@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables (or one experiment from
+the DESIGN.md index) and prints it in the paper's row structure with our
+measured columns appended.  Benches run each experiment exactly once
+(``benchmark.pedantic(rounds=1)``): the interesting output is the table,
+the timing is a by-product.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Callable, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.scenario import ScenarioConfig
+
+# Regenerated tables are also appended to this log (pytest captures stdout
+# of passing tests, so the log is how a full `pytest benchmarks/` run
+# leaves its tables behind).  Truncated once per process.
+RESULTS_LOG = os.environ.get(
+    "REPRO_BENCH_LOG",
+    os.path.join(os.path.dirname(__file__), "results.log"))
+_log_initialized = False
+
+# The canonical bench scenario: 8 vehicles, 90 simulated seconds, CACC at
+# motorway speed -- large enough for string effects, small enough to keep
+# the full harness in minutes.
+BENCH_CONFIG = ScenarioConfig(n_vehicles=8, duration=90.0, warmup=10.0,
+                              seed=2021)
+
+
+def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]],
+         notes: Optional[str] = None) -> str:
+    """Print a regenerated table (stderr) and append it to the results log."""
+    global _log_initialized
+    text = format_table(headers, rows, title=f"\n== {title} ==")
+    if notes:
+        text += f"\n{notes}"
+    print(text, file=sys.stderr)
+    mode = "a" if _log_initialized else "w"
+    _log_initialized = True
+    try:
+        with open(RESULTS_LOG, mode) as log:
+            log.write(text + "\n")
+    except OSError:
+        pass
+    return text
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fmt(value: Any, digits: int = 3) -> Any:
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return round(value, digits)
+    return value

@@ -1,0 +1,102 @@
+"""E10 -- SP-VLC hybrid communication (§VI-A.4, ref [2]).
+
+"Suppose jamming of the wireless communication on 802.11p occurs.  In
+that case, it will switch to using visible light only until a secure
+connection can be re-established."
+
+Series:
+* jammer power sweep, radio-only vs hybrid -> availability retained,
+* ambient-light outage sweep (VLC's own weather/sunlight weakness),
+* cross-check value: radio-only forgeries rejected.
+"""
+
+import pytest
+
+from repro.core.attacks import FakeManeuverAttack, JammingAttack
+from repro.core.defenses import HybridVlcDefense
+from repro.core.scenario import run_episode
+from repro.net.vlc import VlcConfig
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+VLC_CFG = BENCH_CONFIG.with_overrides(with_vlc=True)
+
+
+def test_e10_jamming_power_radio_vs_hybrid(benchmark):
+    def experiment():
+        rows = []
+        for power in (10.0, 20.0, 30.0):
+            radio_only = run_episode(VLC_CFG, attacks=[JammingAttack(
+                start_time=10.0, power_dbm=power)])
+            hybrid = run_episode(VLC_CFG, attacks=[JammingAttack(
+                start_time=10.0, power_dbm=power)],
+                defenses=[HybridVlcDefense()])
+            rows.append([f"{power:.0f} dBm",
+                         fmt(radio_only.metrics.degraded_fraction),
+                         radio_only.metrics.disbands,
+                         fmt(hybrid.metrics.degraded_fraction),
+                         hybrid.metrics.disbands,
+                         fmt(hybrid.metrics.fuel_proxy
+                             - radio_only.metrics.fuel_proxy, 1)])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E10 -- jamming: radio-only vs SP-VLC hybrid",
+         ["Jammer", "Degraded (radio)", "Disbands (radio)",
+          "Degraded (hybrid)", "Disbands (hybrid)", "Fuel delta"], rows,
+         notes="Shape: the hybrid keeps CACC running on VLC relays through "
+               "RF jamming that disbands the radio-only platoon.")
+    worst = rows[-1]
+    assert worst[2] >= 5                 # radio-only disbanded
+    assert worst[4] == 0                 # hybrid survived
+    assert float(worst[3]) < float(worst[1]) * 0.3
+
+
+def test_e10_ambient_outage_sweep(benchmark):
+    def experiment():
+        rows = []
+        for outage in (0.0, 0.2, 0.5, 0.8):
+            config = VLC_CFG.with_overrides()
+            config = config.with_overrides()
+            # Rebuild the scenario with a lossier optical channel.
+            from dataclasses import replace as _replace
+
+            def hook(scenario, outage=outage):
+                scenario.vlc.config.ambient_outage_prob = outage
+
+            result = run_episode(config,
+                                 attacks=[JammingAttack(start_time=10.0,
+                                                        power_dbm=30.0)],
+                                 defenses=[HybridVlcDefense()],
+                                 setup_hooks=[hook])
+            rows.append([outage, fmt(result.metrics.degraded_fraction),
+                         result.metrics.disbands])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E10 -- VLC ambient-light outage under full RF jamming",
+         ["VLC outage prob", "Degraded fraction", "Disbands"], rows,
+         notes="VLC is the only channel left under jamming; its own outage "
+               "probability (sunlight interference) bounds the protection.")
+    assert float(rows[0][1]) <= float(rows[-1][1])
+
+
+def test_e10_cross_check_rejects_radio_only_forgery(benchmark):
+    def experiment():
+        defense = HybridVlcDefense()
+        result = run_episode(VLC_CFG, attacks=[FakeManeuverAttack(
+            start_time=10.0, mode="entrance", interval=6.0)],
+            defenses=[defense])
+        return result, defense
+
+    result, defense = run_once(benchmark, experiment)
+    rows = [["forged GAP_OPENs injected",
+             result.attack_reports[0].observables["injected"]],
+            ["gap time wasted [s]", fmt(result.metrics.gap_open_time_s, 1)],
+            ["maneuvers blocked by cross-check",
+             defense.observables()["maneuvers_blocked"]]]
+    emit("E10 -- two-channel cross-check vs radio-only FDI",
+         ["Quantity", "Value"], rows,
+         notes="A roadside forger has no headlight/taillight presence: its "
+               "radio-only commands never complete the VLC pair.")
+    assert result.metrics.gap_open_time_s == 0.0

@@ -1,0 +1,70 @@
+"""E11 -- risk assessment framework (§VI-B.4 open challenge).
+
+The paper asks how SAE J3061 / ISO/SAE 21434 would classify platoon
+attacks by risk.  This bench runs the TARA over the Table II taxonomy,
+then *calibrates* it with measured impact ratios from the attack suite --
+closing the loop the paper leaves open.
+"""
+
+import pytest
+
+from repro.core import taxonomy
+from repro.core.campaign import run_threat_catalogue
+from repro.risk import RiskLevel, build_platoon_tara, format_risk_report
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+
+def test_e11_tara_ranking(benchmark):
+    assessment = run_once(benchmark, build_platoon_tara)
+    rows = []
+    for ranked in assessment.ranked():
+        scenario = ranked.scenario
+        rows.append([scenario.key,
+                     taxonomy.THREATS[scenario.threat_key].display_name,
+                     scenario.impact().name,
+                     scenario.feasibility.rating().name,
+                     ranked.risk.name])
+    emit("E11 -- platoon TARA (expert ratings, pre-calibration)",
+         ["Scenario", "Threat", "Impact", "Feasibility", "Risk"], rows)
+    assert assessment.coverage() == []
+    # Shape: the cheap, high-impact channel attacks rank at the top; pure
+    # confidentiality attacks rank below safety-relevant ones.
+    ranking = [r.scenario.threat_key for r in assessment.ranked()]
+    assert ranking.index("jamming") < ranking.index("malware")
+    top3 = set(ranking[:3])
+    assert "jamming" in top3
+    assert "fake_maneuver" in top3
+
+
+def test_e11_calibrated_tara(benchmark):
+    def experiment():
+        outcomes = run_threat_catalogue(
+            BENCH_CONFIG, threats=["jamming", "fake_maneuver", "dos"])
+        measured = {}
+        for outcome in outcomes:
+            if outcome.baseline_value > 0:
+                measured[outcome.threat_key] = (outcome.attacked_value
+                                                / outcome.baseline_value)
+            elif outcome.attacked_value > 0:
+                measured[outcome.threat_key] = 10.0
+        assessment = build_platoon_tara()
+        adjustments = assessment.calibrate(measured)
+        return assessment, measured, adjustments
+
+    assessment, measured, adjustments = run_once(benchmark, experiment)
+    rows = [[k, fmt(v, 1)] for k, v in measured.items()]
+    emit("E11 -- measured impact ratios fed back into the TARA",
+         ["Threat", "Attacked/baseline ratio"], rows,
+         notes="Adjustments applied: "
+               + ("; ".join(adjustments) if adjustments else "none needed "
+                  "(expert ratings already matched measurements)"))
+    report = format_risk_report(assessment)
+    print(report)
+    # Every measured threat now carries simulation evidence.
+    for threat_key in measured:
+        scenario = assessment.scenario_for(threat_key)
+        assert scenario.measured_impact is not None
+    # High-risk set is non-empty and includes jamming.
+    high = {s.threat_key for s in assessment.at_or_above(RiskLevel.HIGH)}
+    assert "jamming" in high

@@ -1,0 +1,115 @@
+"""E1 -- replay oscillation (§V-A.1).
+
+The paper's worked example: an attacker records the leader's gap commands
+and replays them after the contrary command, making members "position
+themselves into the best positions based on the information they receive"
+-- i.e. hold gaps that should be closed and oscillate.
+
+Series regenerated:
+* replay-rate sweep -> wasted gap-open time and fuel,
+* freshness-window ablation (the DESIGN.md knob: too long admits replays,
+  too short drops legitimate delayed frames),
+* controller ablation: PATH constant-spacing vs Ploeg time-headway
+  exposure to *beacon* replay when gaps come from beacons (no-radar mode).
+"""
+
+import pytest
+
+from repro.core.attacks import ReplayAttack
+from repro.core.defenses import FreshnessDefense
+from repro.core.scenario import gap_cycle_hook, run_episode
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+HOOKS = (gap_cycle_hook(member_index=3, period=14.0, open_for=4.0),)
+
+
+def test_e1_replay_rate_sweep(benchmark):
+    def experiment():
+        rows = []
+        base = run_episode(BENCH_CONFIG, setup_hooks=HOOKS)
+        rows.append(["0 (baseline)", fmt(base.metrics.gap_open_time_s, 1),
+                     fmt(base.metrics.gap_open_time_s
+                         / base.metrics.duration, 3)])
+        for interval in (1.0, 0.4, 0.1):
+            rate = 1.0 / interval
+            result = run_episode(
+                BENCH_CONFIG,
+                attacks=[ReplayAttack(start_time=10.0, target="maneuvers",
+                                      replay_interval=interval)],
+                setup_hooks=HOOKS)
+            rows.append([f"{rate:.0f}/s",
+                         fmt(result.metrics.gap_open_time_s, 1),
+                         fmt(result.metrics.gap_open_time_s
+                             / result.metrics.duration, 3)])
+        return rows, base
+
+    rows, base = run_once(benchmark, experiment)
+    emit("E1 -- replayed gap commands vs replay rate",
+         ["Replay rate", "Gap-open time [s]", "Fraction of episode held open"],
+         rows,
+         notes="Shape: legitimately the gap is open ~4 s per 14 s cycle; "
+               "replayed GAP_OPENs re-arm it continuously, so the victim "
+               "spends most of the episode at doubled spacing.")
+    assert float(rows[-1][1]) > float(rows[0][1]) * 1.5
+
+
+def test_e1_freshness_window_ablation(benchmark):
+    def experiment():
+        rows = []
+        attack = lambda: ReplayAttack(start_time=10.0, target="maneuvers",
+                                      min_age=4.0)
+        for window in (8.0, 2.0, 0.8, 0.2):
+            # Nonces alone already catch duplicates (tested elsewhere);
+            # disable them to isolate the timestamp-window trade-off.
+            defense = FreshnessDefense(window=window, use_nonces=False)
+            result = run_episode(BENCH_CONFIG, attacks=[attack()],
+                                 defenses=[defense], setup_hooks=HOOKS)
+            rows.append([window, fmt(result.metrics.gap_open_time_s, 1),
+                         defense.rejected_stale,
+                         fmt(result.metrics.packet_delivery_ratio)])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E1 ablation -- anti-replay freshness window (timestamps only)",
+         ["Window [s]", "Gap-open time [s]", "Stale frames rejected", "PDR"],
+         rows,
+         notes="A window longer than the replay age (8 s > 4 s) admits the "
+               "replays; sub-second windows stop them.  With nonces enabled "
+               "even in-window replays are dropped as duplicates.")
+    # Long window fails to protect; short window protects.
+    assert float(rows[0][1]) > float(rows[-1][1])
+    assert rows[-1][2] > 0
+
+
+def test_e1_controller_ablation_beacon_gap_mode(benchmark):
+    """Vehicles that derive gaps from *beacon positions* (blinded radar /
+    radar-less ablation) are exposed to beacon replay; radar-based gaps
+    are not.  Also contrasts the two CACC laws."""
+
+    def experiment():
+        rows = []
+        for cacc, use_radar in (("ploeg", True), ("ploeg", False),
+                                ("path", True), ("path", False)):
+            config = BENCH_CONFIG.with_overrides(cacc_kind=cacc)
+            config = config.with_overrides(
+                vehicle=config.vehicle.__class__(use_radar_gap=use_radar))
+            base = run_episode(config)
+            attacked = run_episode(config, attacks=[ReplayAttack(
+                start_time=10.0, target="beacons")])
+            rows.append([cacc, "radar" if use_radar else "beacon",
+                         fmt(base.metrics.mean_abs_spacing_error),
+                         fmt(attacked.metrics.mean_abs_spacing_error),
+                         attacked.metrics.collisions,
+                         fmt(attacked.metrics.min_gap, 1)])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E1 ablation -- beacon replay vs gap source and CACC law",
+         ["CACC", "Gap source", "Base err [m]", "Replayed err [m]",
+          "Collisions", "Min gap [m]"], rows,
+         notes="Beacon-derived gaps inherit beacon lies; radar-derived gaps "
+               "bound the damage to the feed-forward path.")
+    radar_err = float(rows[0][3])
+    beacon_err = float(rows[1][3])
+    assert beacon_err > radar_err

@@ -1,0 +1,76 @@
+"""E2 -- Sybil ghost vehicles (§V-A.2).
+
+"The presence of which will leave the platoon with large gaps in it or
+for the platoon leader to think there are more vehicles part of the
+platoon than there really are."
+
+Series: ghost count sweep -> roster inflation, capacity exhaustion and the
+fate of a legitimate late joiner; plus the credential ladder (none /
+group key / PKI).
+"""
+
+import pytest
+
+from repro.core.attacks import SybilAttack
+from repro.core.defenses import GroupKeyAuthDefense, PkiSignatureDefense
+from repro.core.scenario import run_episode
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+CFG = BENCH_CONFIG.with_overrides(max_members=12, joiner=True,
+                                  joiner_delay=60.0, duration=100.0)
+
+
+def test_e2_ghost_count_sweep(benchmark):
+    def experiment():
+        rows = []
+        for n_ghosts in (0, 2, 4, 8):
+            attacks = ([SybilAttack(start_time=10.0, n_ghosts=n_ghosts)]
+                       if n_ghosts else [])
+            result = run_episode(CFG, attacks=attacks)
+            if attacks:
+                obs = result.attack_reports[0].observables
+            else:
+                obs = {"ghosts_admitted": 0, "roster_size": 8,
+                       "roster_inflation": 0}
+            joiner_ok = result.events.count("joiner_completed") == 1
+            rows.append([n_ghosts, obs["ghosts_admitted"], obs["roster_size"],
+                         obs["roster_inflation"],
+                         "joined" if joiner_ok else "BLOCKED"])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E2 -- Sybil ghosts vs platoon capacity (max_members=12)",
+         ["Ghosts launched", "Ghosts admitted", "Roster size",
+          "Roster inflation", "Legit joiner"], rows,
+         notes="Shape: the roster inflates with ghost count until capacity; "
+               "beyond that the legitimate joiner is shut out.")
+    assert rows[0][4] == "joined"          # no attack: joiner gets in
+    assert rows[-1][4] == "BLOCKED"        # saturating ghosts lock it out
+    assert rows[-1][2] >= rows[1][2]
+
+
+def test_e2_credential_ladder(benchmark):
+    def experiment():
+        rows = []
+        for label, defenses in (
+                ("none", []),
+                ("group key (insider)", [GroupKeyAuthDefense()]),
+                ("PKI per-identity", [PkiSignatureDefense()])):
+            attack = SybilAttack(start_time=10.0, n_ghosts=4, insider=True)
+            run_episode(CFG.with_overrides(joiner=False, duration=70.0),
+                        attacks=[attack], defenses=list(defenses))
+            obs = attack.observables()
+            rows.append([label, obs["ghosts_admitted"],
+                         obs["roster_inflation"]])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E2 -- Sybil vs credential strength (insider attacker)",
+         ["Defence", "Ghosts admitted", "Roster inflation"], rows,
+         notes="The group key authenticates membership, not identity -- an "
+               "insider's ghosts sail through; only per-identity PKI "
+               "certificates stop them.")
+    assert rows[0][1] > 0
+    assert rows[1][1] > 0     # paper's caveat reproduced
+    assert rows[2][1] == 0

@@ -1,0 +1,72 @@
+"""E3 -- fake manoeuvre attacks (§V-A.3).
+
+"Fake leave and split messages are capable of causing the most problems
+as they can break down a platoon into individual members" -- the bench
+quantifies all three forgeries and checks that ordering.
+"""
+
+import pytest
+
+from repro.core.attacks import FakeManeuverAttack
+from repro.core.scenario import run_episode
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+
+def _run(mode, interval):
+    result = run_episode(BENCH_CONFIG, attacks=[FakeManeuverAttack(
+        start_time=10.0, mode=mode, interval=interval)])
+    return result
+
+
+def test_e3_three_forgeries(benchmark):
+    def experiment():
+        base = run_episode(BENCH_CONFIG)
+        rows = [["(baseline)", "-", fmt(base.metrics.gap_open_time_s, 1),
+                 base.metrics.members_remaining,
+                 base.metrics.platoon_fragments,
+                 fmt(base.metrics.fuel_proxy, 1)]]
+        for mode, interval in (("entrance", 8.0), ("leave", 8.0),
+                               ("split", 15.0)):
+            result = _run(mode, interval)
+            rows.append([mode, result.attack_reports[0].observables["injected"],
+                         fmt(result.metrics.gap_open_time_s, 1),
+                         result.metrics.members_remaining,
+                         result.metrics.platoon_fragments,
+                         fmt(result.metrics.fuel_proxy, 1)])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E3 -- forged entrance / leave / split",
+         ["Forgery", "Injected", "Gap-open time [s]", "Members left",
+          "Platoon fragments", "Fuel proxy"], rows,
+         notes="Shape: entrance wastes efficiency; leave strips membership; "
+               "split breaks the platoon apart -- the paper's 'most "
+               "problems' variants are leave/split.")
+    by_mode = {r[0]: r for r in rows}
+    assert float(by_mode["entrance"][2]) > 20.0          # wasted gaps
+    assert by_mode["leave"][3] < by_mode["(baseline)"][3]  # members stripped
+    assert by_mode["split"][4] >= 3                       # fragmentation
+    # 'Most problems': leave/split destroy membership, entrance only wastes.
+    assert by_mode["leave"][3] < by_mode["entrance"][3]
+    assert by_mode["split"][4] > by_mode["entrance"][4]
+
+
+def test_e3_entrance_gap_factor_sweep(benchmark):
+    def experiment():
+        rows = []
+        for gap_factor in (1.5, 2.5, 3.5):
+            result = run_episode(BENCH_CONFIG, attacks=[FakeManeuverAttack(
+                start_time=10.0, mode="entrance", interval=8.0,
+                gap_factor=gap_factor)])
+            rows.append([gap_factor, fmt(result.metrics.gap_open_time_s, 1),
+                         fmt(result.metrics.fuel_proxy, 1),
+                         fmt(result.metrics.mean_abs_spacing_error)])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E3 -- forged entrance gap size sweep",
+         ["Demanded gap factor", "Gap-open time [s]", "Fuel proxy",
+          "Mean |err| [m]"], rows,
+         notes="Bigger demanded gaps cost more fuel while they persist.")
+    assert float(rows[-1][2]) > float(rows[0][2]) * 0.95

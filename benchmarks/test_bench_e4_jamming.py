@@ -1,0 +1,117 @@
+"""E4 -- jamming (§V-B).
+
+"By flooding the communication frequencies with random noise and junk, it
+becomes impossible for the platoon to maintain its communications ...
+All savings are lost by disbanding the platoon."
+
+Series:
+* jammer power sweep -> MAC starvation, CACC degradation, disbands, and
+  the fuel savings evaporating,
+* duty-cycle sweep (pulsed jamming),
+* graceful-degradation ablation (CACC->ACC fallback vs hold-last-value),
+  the DESIGN.md design-choice bench.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.attacks import JammingAttack
+from repro.core.scenario import run_episode
+from repro.platoon.vehicle import VehicleConfig
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+
+def test_e4_power_sweep(benchmark):
+    def experiment():
+        rows = []
+        base = run_episode(BENCH_CONFIG)
+        rows.append(["(no jammer)", fmt(base.metrics.mac_drop_ratio),
+                     fmt(base.metrics.degraded_fraction),
+                     base.metrics.disbands, base.metrics.members_remaining,
+                     fmt(base.metrics.fuel_proxy, 1)])
+        for power in (-10.0, 0.0, 10.0, 20.0, 30.0):
+            result = run_episode(BENCH_CONFIG, attacks=[JammingAttack(
+                start_time=10.0, power_dbm=power)])
+            rows.append([f"{power:.0f} dBm", fmt(result.metrics.mac_drop_ratio),
+                         fmt(result.metrics.degraded_fraction),
+                         result.metrics.disbands,
+                         result.metrics.members_remaining,
+                         fmt(result.metrics.fuel_proxy, 1)])
+        return rows, base
+
+    rows, base = run_once(benchmark, experiment)
+    emit("E4 -- jammer power sweep (chase jammer, always on)",
+         ["Jammer", "MAC drop ratio", "Degraded fraction", "Disbands",
+          "Members left", "Fuel proxy"], rows,
+         notes="Shape: a threshold in jammer power beyond which the platoon "
+               "degrades and then disbands; fuel rises as drag savings "
+               "vanish ('all savings are lost').")
+    weak = rows[1]      # -10 dBm
+    strong = rows[-1]   # 30 dBm
+    assert float(weak[2]) < 0.2
+    assert float(strong[2]) > 0.5
+    assert strong[3] >= 5                      # disbanded
+    assert float(strong[5]) > float(rows[0][5])  # fuel savings lost
+
+
+def test_e4_duty_cycle_sweep(benchmark):
+    def experiment():
+        rows = []
+        for duty in (0.1, 0.3, 0.6, 1.0):
+            result = run_episode(BENCH_CONFIG, attacks=[JammingAttack(
+                start_time=10.0, power_dbm=30.0, duty_cycle=duty,
+                pulse_period=0.5)])
+            rows.append([duty, fmt(result.metrics.degraded_fraction),
+                         result.metrics.disbands])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E4 -- pulsed jamming duty cycle (30 dBm)",
+         ["Duty cycle", "Degraded fraction", "Disbands"], rows,
+         notes="Even partial duty cycles hurt once pulses outpace the "
+               "beacon freshness window.")
+    assert float(rows[0][1]) <= float(rows[-1][1])
+
+
+def test_e4_graceful_degradation_ablation(benchmark):
+    """Design-choice ablation: the default policy (degrade CACC->ACC on
+    stale beacons, abandon the platoon on sustained leader silence) vs the
+    naive policy that holds the last cooperative values and stays in
+    formation.  The danger scenario is the paper's collision warning: the
+    leader brakes hard *while the channel is jammed*."""
+
+    def experiment():
+        def brake_hook(scenario):
+            scenario.sim.schedule_at(
+                25.0, lambda: setattr(scenario.leader, "target_speed", 8.0))
+
+        rows = []
+        for label, vehicle_config in (
+                ("degrade + disband (default)", VehicleConfig()),
+                ("hold-last-value, stay in formation",
+                 VehicleConfig(degrade_on_stale=False, disband_timeout=1e9))):
+            config = BENCH_CONFIG.with_overrides(
+                duration=60.0, leader_profile="constant",
+                vehicle=vehicle_config)
+            result = run_episode(config,
+                                 attacks=[JammingAttack(start_time=10.0,
+                                                        power_dbm=30.0)],
+                                 setup_hooks=[brake_hook])
+            rows.append([label, fmt(result.metrics.min_gap, 2),
+                         result.metrics.collisions,
+                         result.metrics.disbands])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E4 ablation -- beacon-loss policy when the leader brakes under jamming",
+         ["Policy", "Min gap [m]", "Collision pairs", "Disbands"], rows,
+         notes="Holding stale cooperative data at CACC spacing through a "
+               "hard brake causes pile-ups; graceful degradation widens "
+               "margins in time.  'Disbanding' is the safe failure the "
+               "paper describes.")
+    default, hold = rows
+    assert default[2] == 0          # graceful degradation: no collisions
+    assert hold[2] > 0              # naive policy: pile-up
+    assert float(hold[1]) < 0.0

@@ -1,0 +1,76 @@
+"""E5 -- eavesdropping and information theft (§V-C, §V-E).
+
+"This attack's primary goal is to gain information from a platoon and/or
+member vehicles ... The sold-on information can also be GPS locations and
+tracking information."
+
+Series:
+* eavesdropper placement sweep (chase car vs roadside at range) -> capture
+  fraction and route-reconstruction coverage,
+* confidentiality ladder: plaintext / encrypted / encrypted-vs-insider.
+"""
+
+import pytest
+
+from repro.core.attacks import EavesdroppingAttack
+from repro.core.defenses import GroupKeyAuthDefense
+from repro.core.scenario import run_episode
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+
+def test_e5_placement_sweep(benchmark):
+    def experiment():
+        rows = []
+        scenarios = [("chase car", None, True)] + [
+            (f"roadside @ +{offset:.0f} m", BENCH_CONFIG.start_position + offset,
+             False) for offset in (200.0, 600.0, 1000.0)]
+        for label, position, chase in scenarios:
+            attack = EavesdroppingAttack(start_time=0.0, position=position,
+                                         chase=chase)
+            run_episode(BENCH_CONFIG, attacks=[attack])
+            obs = attack.observables()
+            rows.append([label, obs["captured_total"],
+                         fmt(obs["route_coverage"]),
+                         obs["vehicles_profiled"]])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E5 -- eavesdropper placement",
+         ["Placement", "Frames captured", "Route coverage",
+          "Vehicles profiled"], rows,
+         notes="A chase receiver reconstructs nearly the whole route; a "
+               "fixed roadside receiver only the segment it overhears.")
+    chase_cov = float(rows[0][2])
+    roadside_cov = float(rows[-1][2])
+    assert chase_cov > 0.8
+    assert roadside_cov < chase_cov
+
+
+def test_e5_confidentiality_ladder(benchmark):
+    def experiment():
+        rows = []
+        cases = [
+            ("plaintext", [], False),
+            ("group-key encryption", [GroupKeyAuthDefense(encrypt=True)], False),
+            ("encryption vs insider", [GroupKeyAuthDefense(encrypt=True)], True),
+        ]
+        for label, defenses, insider in cases:
+            attack = EavesdroppingAttack(start_time=0.0, insider=insider)
+            run_episode(BENCH_CONFIG, attacks=[attack], defenses=defenses)
+            obs = attack.observables()
+            rows.append([label, obs["captured_total"], obs["decoded"],
+                         obs["undecodable"], fmt(obs["route_coverage"])])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E5 -- confidentiality ladder",
+         ["Configuration", "Captured", "Decoded", "Undecodable",
+          "Route coverage"], rows,
+         notes="Encryption leaves capture counts unchanged but empties "
+               "their value; an insider holding the group key reads "
+               "everything again -- key management is what matters.")
+    plaintext, encrypted, insider = rows
+    assert float(plaintext[4]) > 0.8
+    assert float(encrypted[4]) == 0.0
+    assert float(insider[4]) > 0.8

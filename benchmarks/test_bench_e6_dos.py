@@ -1,0 +1,94 @@
+"""E6 -- DoS by join-request flooding (§V-D).
+
+"This means an attacker does not need as much equipment to carry out such
+an attack" -- the bench shows that even low request rates lock the join
+queue, and sweeps queue capacity as the obvious (insufficient) knob.
+"""
+
+import pytest
+
+from repro.core.attacks import DosJoinFloodAttack
+from repro.core.defenses import GroupKeyAuthDefense
+from repro.core.scenario import run_episode
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+CFG = BENCH_CONFIG.with_overrides(duration=110.0, joiner=True,
+                                  joiner_delay=30.0)
+
+
+def _joiner_outcome(result):
+    done = result.events.first("joiner_completed")
+    if done is None:
+        return "BLOCKED", None
+    return "joined", round(done.data.get("latency", 0.0), 1)
+
+
+def test_e6_flood_rate_sweep(benchmark):
+    def experiment():
+        rows = []
+        base = run_episode(CFG)
+        outcome, latency = _joiner_outcome(base)
+        rows.append(["0 (baseline)", 0, 0, outcome, latency])
+        for rate in (0.2, 1.0, 5.0, 20.0):
+            result = run_episode(CFG, attacks=[DosJoinFloodAttack(
+                start_time=10.0, rate_hz=rate)])
+            obs = result.attack_reports[0].observables
+            outcome, latency = _joiner_outcome(result)
+            rows.append([f"{rate}/s", obs["requests_sent"],
+                         obs["queue_drops"], outcome, latency])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E6 -- join-request flood rate vs legitimate join",
+         ["Flood rate", "Requests sent", "Queue drops", "Legit joiner",
+          "Join latency [s]"], rows,
+         notes="Shape: the legitimate joiner is locked out already at "
+               "around one request per second -- 'far less equipment' than "
+               "attacking a fleet operator.")
+    assert rows[0][3] == "joined"
+    assert rows[-1][3] == "BLOCKED"
+    blocked_rates = [r[0] for r in rows[1:] if r[3] == "BLOCKED"]
+    assert "1.0/s" in blocked_rates or "0.2/s" in blocked_rates
+
+
+def test_e6_queue_capacity_sweep(benchmark):
+    def experiment():
+        rows = []
+        for capacity in (2, 4, 8, 16):
+            config = CFG.with_overrides(max_pending=capacity)
+            result = run_episode(config, attacks=[DosJoinFloodAttack(
+                start_time=10.0, rate_hz=2.0, n_identities=100)])
+            outcome, latency = _joiner_outcome(result)
+            rows.append([capacity, outcome, latency,
+                         result.attack_reports[0].observables["queue_drops"]])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E6 -- pending-queue capacity vs a 2/s flood",
+         ["Queue capacity", "Legit joiner", "Latency [s]", "Queue drops"],
+         rows,
+         notes="Raising the queue is not a fix: fake identities never "
+               "complete, so any finite queue fills at these rates.")
+    assert all(r[1] == "BLOCKED" for r in rows[:2])
+
+
+def test_e6_authentication_restores_service(benchmark):
+    def experiment():
+        attacked = run_episode(CFG, attacks=[DosJoinFloodAttack(
+            start_time=10.0, rate_hz=5.0)])
+        defended = run_episode(CFG, attacks=[DosJoinFloodAttack(
+            start_time=10.0, rate_hz=5.0)], defenses=[GroupKeyAuthDefense()])
+        return attacked, defended
+
+    attacked, defended = run_once(benchmark, experiment)
+    rows = [
+        ["undefended", _joiner_outcome(attacked)[0]],
+        ["group-key auth", _joiner_outcome(defended)[0]],
+    ]
+    emit("E6 -- authentication gates the join queue",
+         ["Configuration", "Legit joiner"], rows,
+         notes="Unauthenticated fake identities never reach the queue once "
+               "join requests must carry a valid platoon credential.")
+    assert rows[0][1] == "BLOCKED"
+    assert rows[1][1] == "joined"

@@ -1,0 +1,124 @@
+"""E7 -- impersonation + GPS spoofing vs identity and position defences
+(§V-F, §V-G, §VI-A.2/3).
+
+Series:
+* impersonation escalation ladder: no defence / PKI vs stolen ID / PKI vs
+  stolen key / PKI + revocation,
+* GPS drift-rate sweep -> beacon error and VPD-ADA detection latency,
+* VPD threshold ablation (detection latency vs false positives -- the
+  DESIGN.md trade-off knob).
+"""
+
+import pytest
+
+from repro.core.attacks import GpsSpoofingAttack, ImpersonationAttack
+from repro.core.defenses import PkiSignatureDefense, VpdAdaDefense
+from repro.core.scenario import run_episode
+
+from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+
+
+def test_e7_impersonation_ladder(benchmark):
+    def forged_leave_accepted(result, victim_id):
+        """Did the leader act on a LEAVE in the victim's name?  (Distinct
+        from the victim being *pruned* after revocation silences it --
+        that is revocation collateral, not attack success.)"""
+        return any(e.data.get("member") == victim_id
+                   for e in result.events.of_kind("leave_accepted"))
+
+    def experiment():
+        rows = []
+        # 1. undefended, stolen ID only
+        a1 = ImpersonationAttack(start_time=10.0)
+        r1 = run_episode(BENCH_CONFIG, attacks=[a1])
+        rows.append(["stolen ID, no defence",
+                     forged_leave_accepted(r1, a1.victim_id)])
+        # 2. PKI vs stolen ID
+        a2 = ImpersonationAttack(start_time=10.0)
+        r2 = run_episode(BENCH_CONFIG, attacks=[a2],
+                         defenses=[PkiSignatureDefense()])
+        rows.append(["stolen ID vs PKI",
+                     forged_leave_accepted(r2, a2.victim_id)])
+        # 3. PKI vs stolen key
+        a3 = ImpersonationAttack(start_time=10.0, steal_key=True)
+        r3 = run_episode(BENCH_CONFIG, attacks=[a3],
+                         defenses=[PkiSignatureDefense()])
+        rows.append(["stolen KEY vs PKI",
+                     forged_leave_accepted(r3, a3.victim_id)])
+        # 4. PKI + revocation vs stolen key
+        a4 = ImpersonationAttack(start_time=10.0, steal_key=True)
+        d4 = PkiSignatureDefense()
+
+        def revoke(scenario):
+            scenario.sim.schedule_at(9.0, lambda: d4.ca.revoke(a4.victim_id))
+
+        r4 = run_episode(BENCH_CONFIG, attacks=[a4], defenses=[d4],
+                         setup_hooks=[revoke])
+        rows.append(["stolen KEY vs PKI + revocation",
+                     forged_leave_accepted(r4, a4.victim_id)])
+        return rows, d4
+
+    rows, d4 = run_once(benchmark, experiment)
+    emit("E7 -- impersonation escalation ladder",
+         ["Scenario", "Forged LEAVE accepted?"], rows,
+         notes="Identity strings are free to steal; keys take signatures "
+               "off the table; stolen keys survive until revocation -- "
+               "'keys only secure the message until the attacker gains "
+               "access to the key'.  Revocation also silences the victim "
+               "itself (it is pruned from the roster): the paper's "
+               "reputational collateral.")
+    assert [r[1] for r in rows] == [True, False, True, False]
+    assert d4.rejected_revoked > 0
+
+
+def test_e7_gps_drift_sweep_detection_latency(benchmark):
+    def experiment():
+        rows = []
+        for drift in (0.5, 1.0, 2.0, 4.0):
+            attack = GpsSpoofingAttack(start_time=10.0, drift_rate=drift)
+            defense = VpdAdaDefense()
+            run_episode(BENCH_CONFIG, attacks=[attack], defenses=[defense])
+            latency = defense.first_detection_latency(10.0)
+            rows.append([drift,
+                         fmt(attack.observables()["mean_beacon_error_m"], 1),
+                         fmt(latency, 1) if latency is not None else "missed",
+                         defense.detections_emitted])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E7 -- GPS capture-and-drift vs VPD-ADA",
+         ["Drift rate [m/s]", "Mean beacon error [m]",
+          "Detection latency [s]", "Detections"], rows,
+         notes="Stealthier (slower) drift stays under the positional "
+               "threshold longer -- latency falls as drift rises.")
+    latencies = [r[2] for r in rows if r[2] != "missed"]
+    assert len(latencies) >= 3
+    assert float(rows[-1][2]) < float(latencies[0])
+
+
+def test_e7_vpd_threshold_ablation(benchmark):
+    def experiment():
+        rows = []
+        for threshold in (3.0, 5.0, 8.0, 12.0):
+            attack = GpsSpoofingAttack(start_time=10.0, drift_rate=2.0)
+            defense = VpdAdaDefense(position_threshold=threshold)
+            attacked = run_episode(BENCH_CONFIG, attacks=[attack],
+                                   defenses=[defense])
+            latency = defense.first_detection_latency(10.0)
+            clean_defense = VpdAdaDefense(position_threshold=threshold)
+            clean = run_episode(BENCH_CONFIG, defenses=[clean_defense])
+            rows.append([threshold,
+                         fmt(latency, 1) if latency is not None else "missed",
+                         clean.metrics.false_positives])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit("E7 ablation -- VPD-ADA position threshold",
+         ["Threshold [m]", "Detection latency [s]",
+          "False positives (clean run)"], rows,
+         notes="The classic trade-off: tight thresholds detect earlier but "
+               "alarm on GPS noise; loose thresholds stay quiet and slow.")
+    tight, loose = rows[0], rows[-1]
+    assert tight[2] >= loose[2]                       # more FPs when tight
+    if tight[1] != "missed" and loose[1] != "missed":
+        assert float(tight[1]) <= float(loose[1])     # earlier when tight

@@ -1,0 +1,86 @@
+"""T1 -- regenerate Table I (related surveys).
+
+The paper's Table I is qualitative; the reproduction renders it from the
+machine-readable taxonomy and cross-checks that the attack vocabulary used
+by the surveys is consistent with the Table II threat catalogue (every
+Table II threat is discussed by at least one prior survey -- that is the
+paper's point: the pieces existed, scattered).
+"""
+
+from repro.core import taxonomy
+
+from benchmarks._util import emit, run_once
+
+# Mapping from Table II threat keys to the (varied) vocabulary the prior
+# surveys use for the same attack.
+_ALIASES = {
+    "sybil": {"sybil"},
+    "replay": {"replay"},
+    "jamming": {"jamming", "communication_jamming"},
+    "eavesdropping": {"eavesdropping", "traffic_analysis",
+                      "information_gathering"},
+    "dos": {"dos"},
+    "impersonation": {"impersonation", "masquerade", "masquerading"},
+    "sensor_spoofing": {"sensor_spoofing", "gps_spoofing", "tpms",
+                        "position_faking", "position_forging"},
+    "malware": {"malware", "media_infection", "rogue_updates"},
+    "fake_maneuver": {"bogus_information", "message_alteration",
+                      "message_falsification", "broadcast_tampering",
+                      "illusion"},
+    "falsification": {"bogus_information", "message_falsification",
+                      "fdi_can", "message_alteration"},
+}
+
+
+def _build_table1():
+    rows = []
+    for survey in taxonomy.SURVEYS.values():
+        rows.append([
+            f"{survey.authors} {survey.year} {survey.reference}",
+            survey.key_points,
+            ", ".join(survey.attacks_discussed) or "(attacks not discussed)",
+        ])
+    return rows
+
+
+def _coverage_matrix():
+    """threat x survey coverage counts derived from Table I."""
+    rows = []
+    for threat_key in taxonomy.THREATS:
+        aliases = _ALIASES[threat_key]
+        covering = [s.key for s in taxonomy.SURVEYS.values()
+                    if aliases & set(s.attacks_discussed)]
+        rows.append([taxonomy.THREATS[threat_key].display_name,
+                     len(covering), ", ".join(covering) or "-"])
+    return rows
+
+
+def test_table1_surveys(benchmark):
+    rows = run_once(benchmark, _build_table1)
+    emit("Table I -- related surveys addressing cybersecurity of CAV/VANET/platoons",
+         ["Survey", "Key points", "Attacks discussed"], rows)
+    assert len(rows) == 8
+
+
+def test_table1_threats_scattered_across_surveys(benchmark):
+    rows = run_once(benchmark, _coverage_matrix)
+    emit("Table I cross-check -- each Table II threat in prior surveys",
+         ["Threat (Table II)", "#surveys", "Covered by"], rows,
+         notes="Every platoon threat appears in prior surveys -- scattered, "
+               "never as one platoon-specific catalogue (the paper's gap).")
+    # The paper's premise: attacks known, platoon catalogue missing.
+    uncovered = [r for r in rows if r[1] == 0]
+    assert not uncovered, f"threats absent from all surveys: {uncovered}"
+    # Coverage is heterogeneous: broad VANET surveys (Mejri et al.) touch
+    # most attack families at network level, while others cover only a
+    # slice -- and none addresses them *as platoon attacks* (every entry
+    # here is a VANET/CAV survey; platoon specificity is what Table II
+    # adds).  Assert the heterogeneity that motivates the paper.
+    per_survey = {s.key: set() for s in taxonomy.SURVEYS.values()}
+    for threat_key, aliases in _ALIASES.items():
+        for survey in taxonomy.SURVEYS.values():
+            if aliases & set(survey.attacks_discussed):
+                per_survey[survey.key].add(threat_key)
+    counts = sorted(len(v) for v in per_survey.values())
+    assert counts[0] == 0            # Hussain et al.: no attacks discussed
+    assert counts[-1] - counts[0] >= 5  # wildly uneven coverage

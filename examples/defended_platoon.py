@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A hardened freight convoy surviving a coordinated multi-attack campaign.
+
+The scenario the paper's introduction motivates: a truck platoon hauling
+high-value goods, targeted by an adversary who combines reconnaissance
+(eavesdropping), protocol forgery (fake manoeuvres), an insider (beacon
+falsification) and identity theft (impersonation).
+
+Two episodes are compared:
+
+* **undefended** -- the convoy runs the bare protocol,
+* **hardened**   -- PKI signatures + freshness + VPD-ADA + resilient
+  control + SP-VLC hybrid + trust management, the full Table III stack.
+
+Usage::
+
+    python examples/defended_platoon.py
+"""
+
+from repro import ScenarioConfig, run_episode
+from repro.analysis.tables import format_kv, format_table
+from repro.core.attacks import (
+    EavesdroppingAttack,
+    FakeManeuverAttack,
+    FalsificationAttack,
+    ImpersonationAttack,
+)
+from repro.core.defenses import (
+    FreshnessDefense,
+    HybridVlcDefense,
+    PkiSignatureDefense,
+    ResilientControlDefense,
+    TrustFilterDefense,
+    VpdAdaDefense,
+)
+
+
+def make_attacks():
+    return [
+        EavesdroppingAttack(start_time=0.0),
+        FakeManeuverAttack(start_time=15.0, mode="entrance", interval=10.0),
+        FalsificationAttack(start_time=25.0, profile="offset",
+                            position_offset=10.0),
+        ImpersonationAttack(start_time=35.0),
+    ]
+
+
+def make_defenses():
+    return [
+        PkiSignatureDefense(),
+        FreshnessDefense(),
+        VpdAdaDefense(),
+        ResilientControlDefense(),
+        HybridVlcDefense(),
+        TrustFilterDefense(),
+    ]
+
+
+def main() -> None:
+    config = ScenarioConfig(n_vehicles=8, trucks=True, initial_speed=24.0,
+                            duration=90.0, warmup=10.0, seed=99,
+                            with_vlc=True)
+
+    print("running undefended convoy under combined attack...")
+    undefended = run_episode(config, attacks=make_attacks())
+
+    print("running hardened convoy under the same attack...")
+    hardened = run_episode(config, attacks=make_attacks(),
+                           defenses=make_defenses())
+
+    rows = []
+    for name in ("mean_abs_spacing_error", "gap_open_time_s",
+                 "members_remaining", "detections", "fuel_proxy",
+                 "collisions"):
+        rows.append([name,
+                     round(getattr(undefended.metrics, name), 3),
+                     round(getattr(hardened.metrics, name), 3)])
+    print(format_table(["metric", "undefended", "hardened"], rows,
+                       title="\nCombined campaign against an 8-truck convoy"))
+
+    print("\nHardened-convoy defence activity:")
+    print(format_kv({name: {k: v for k, v in obs.items()
+                            if k != "trust_snapshot"}
+                     for name, obs in hardened.defense_observables.items()}))
+
+    eaves_undefended = undefended.attack_reports[0].observables
+    print(f"\nReconnaissance value to the attacker (undefended): "
+          f"{eaves_undefended['route_coverage']:.0%} of the route, "
+          f"{eaves_undefended['vehicles_profiled']} vehicles profiled.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Physical-layer key agreement between two platoon members.
+
+Demonstrates the §VI-A.1 "quantized fading channel randomness" mechanism
+(Li et al. [5], [9]): Alice and Bob (leader and a member) probe their
+reciprocal radio channel, quantise the fading samples into bits, reconcile
+over a public channel, and distil identical secret keys -- while Eve, half
+a wavelength away, observes an independent channel and learns nothing.
+
+Usage::
+
+    python examples/key_agreement_demo.py
+"""
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.security.keys import KeyAgreementConfig, agree_keys, key_rate_vs_snr
+
+
+def main() -> None:
+    rng = random.Random(0xF00D)
+
+    print("one session at 18 dB probe SNR:")
+    result = agree_keys(rng, KeyAgreementConfig(snr_db=18.0, samples=512))
+    print(f"  bits kept after quantisation : {result.kept_after_quantization}")
+    print(f"  raw legit bit mismatch       : {result.mismatch_rate_raw:.3f}")
+    print(f"  after reconciliation         : {result.mismatch_rate_reconciled:.3f}"
+          f" (leaked {result.leaked_bits} parity bits)")
+    print(f"  final key length             : {result.key_bits} bits")
+    print(f"  keys agree                   : {result.agreed}")
+    print(f"  Alice key: {result.alice_key.hex()[:32]}...")
+    print(f"  Bob   key: {result.bob_key.hex()[:32]}...")
+    print(f"  Eve bit agreement            : "
+          f"{result.eavesdropper_bit_agreement:.3f} (coin flip = 0.5)")
+    print(f"  Eve recovered the key        : {result.eavesdropper_key_match}")
+
+    print("\nSNR sweep (10 sessions per point):")
+    rows = []
+    for point in key_rate_vs_snr(rng, [0, 5, 10, 15, 20, 30], sessions=10):
+        rows.append([point["snr_db"],
+                     f"{point['agreement_rate']:.0%}",
+                     round(point["mean_key_bits"]),
+                     round(point["mean_raw_mismatch"], 3),
+                     round(point["mean_eve_agreement"], 3)])
+    print(format_table(
+        ["SNR [dB]", "Agreement", "Mean key bits", "Legit mismatch",
+         "Eve agreement"], rows))
+    print("\nThe eavesdropper pathway fades differently -- her bits are a "
+          "coin flip\nregardless of SNR, exactly the paper's argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: build a platoon, drive it, attack it, defend it.
+
+Runs three 60-second episodes of an 8-vehicle CACC platoon:
+
+1. a clean baseline,
+2. the same platoon under a 30 dBm barrage jammer (it degrades to ACC
+   and disbands -- the paper's §V-B story),
+3. the jammed platoon equipped with SP-VLC hybrid communication
+   (§VI-A.4): availability is retained over the optical channel.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import ScenarioConfig, run_episode
+from repro.analysis.tables import format_table
+from repro.core.attacks import JammingAttack
+from repro.core.defenses import HybridVlcDefense
+
+
+def main() -> None:
+    config = ScenarioConfig(n_vehicles=8, duration=60.0, warmup=10.0,
+                            seed=7, with_vlc=True)
+
+    print("running baseline episode...")
+    baseline = run_episode(config)
+
+    print("running jammed episode...")
+    jammed = run_episode(config,
+                         attacks=[JammingAttack(start_time=10.0,
+                                                power_dbm=30.0)])
+
+    print("running jammed + SP-VLC hybrid episode...")
+    defended = run_episode(config,
+                           attacks=[JammingAttack(start_time=10.0,
+                                                  power_dbm=30.0)],
+                           defenses=[HybridVlcDefense()])
+
+    rows = []
+    for label, result in (("baseline", baseline), ("jammed", jammed),
+                          ("jammed + hybrid VLC", defended)):
+        metrics = result.metrics
+        rows.append([
+            label,
+            round(metrics.mean_abs_spacing_error, 3),
+            round(metrics.degraded_fraction, 3),
+            metrics.disbands,
+            metrics.members_remaining,
+            round(metrics.fuel_proxy, 1),
+        ])
+    print(format_table(
+        ["episode", "mean |spacing err| [m]", "degraded fraction",
+         "disbands", "members left", "fuel proxy"],
+        rows, title="\nQuickstart: jamming disbands a platoon; SP-VLC keeps "
+                    "it together"))
+
+    print("\nEvent highlights (jammed episode):")
+    for event in jammed.events.of_kind("attack_start", "controller_degraded",
+                                       "platoon_disband")[:8]:
+        print(f"  t={event.time:6.2f}s  {event.kind:22s} {event.source}")
+
+
+if __name__ == "__main__":
+    main()

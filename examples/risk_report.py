@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Generate the platoon TARA risk report, calibrated from simulation.
+
+The paper's §VI-B.4 open challenge: how would an ISO/SAE 21434-style risk
+assessment classify platoon attacks?  This example answers it twice --
+first with expert ratings alone, then after feeding measured impact
+ratios from the attack suite back into the assessment.
+
+Usage::
+
+    python examples/risk_report.py [--quick]
+"""
+
+import argparse
+
+from repro import ScenarioConfig
+from repro.core.campaign import run_threat_catalogue
+from repro.risk import build_platoon_tara, format_risk_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="calibrate from fewer, shorter episodes")
+    args = parser.parse_args()
+
+    assessment = build_platoon_tara()
+    print(format_risk_report(assessment))
+
+    threats = (["jamming", "fake_maneuver", "dos"] if args.quick
+               else ["jamming", "fake_maneuver", "dos", "replay",
+                     "falsification", "eavesdropping"])
+    config = ScenarioConfig(n_vehicles=8, duration=60.0 if args.quick else 90.0,
+                            warmup=10.0, seed=11)
+    print(f"\ncalibrating from {len(threats)} measured attack campaigns...")
+    outcomes = run_threat_catalogue(config, threats=threats)
+    measured = {}
+    for outcome in outcomes:
+        if outcome.baseline_value > 0:
+            measured[outcome.threat_key] = (outcome.attacked_value
+                                            / outcome.baseline_value)
+        elif outcome.attacked_value > 0:
+            measured[outcome.threat_key] = 10.0
+
+    adjustments = assessment.calibrate(measured)
+    if adjustments:
+        print("adjustments from measurement:")
+        for line in adjustments:
+            print(f"  - {line}")
+    else:
+        print("expert ratings already consistent with measurements.")
+
+    print()
+    print(format_risk_report(assessment))
+
+
+if __name__ == "__main__":
+    main()

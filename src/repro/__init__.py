@@ -1,0 +1,56 @@
+"""platoonsec -- a canonical attack/defence suite for vehicular platoon
+communication.
+
+Reproduction of *"Vehicular Platoon Communication: Cybersecurity Threats
+and Open Challenges"* (Taylor, Ahmad, Nguyen, Shaikh, Evans, Price --
+DSN-W 2021).  The paper is a survey; this library is the executable
+artefact it calls for: a from-scratch platooning simulator, every attack
+in its Table II, every defence in its Table III, the machine-readable
+taxonomy behind its three tables, and an ISO/SAE 21434-style risk
+framework over the lot.
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_episode
+    from repro.core.attacks import JammingAttack
+    from repro.core.defenses import HybridVlcDefense
+
+    result = run_episode(ScenarioConfig(duration=60.0, with_vlc=True),
+                         attacks=[JammingAttack(power_dbm=30)],
+                         defenses=[HybridVlcDefense()])
+    print(result.metrics.summary())
+
+Package map
+-----------
+``repro.core``      attacks, defences, taxonomy, scenarios, metrics, campaigns
+``repro.platoon``   vehicle dynamics, CACC/ACC controllers, manoeuvre protocol
+``repro.net``       discrete-event engine, 802.11p-like channel, MAC, VLC
+``repro.security``  crypto (HMAC/RSA-FDH), PKI, PHY-layer keys, trust
+``repro.infra``     roadside units and the trusted authority
+``repro.onboard``   CAN-like bus, ECUs, malware, hardening
+``repro.risk``      ISO/SAE 21434-style TARA over the taxonomy
+``repro.analysis``  table rendering for bench output
+"""
+
+from repro.core.metrics import ScenarioMetrics
+from repro.core.scenario import (
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+    gap_cycle_hook,
+    run_episode,
+)
+from repro.events import EventLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ScenarioMetrics",
+    "EventLog",
+    "run_episode",
+    "gap_cycle_hook",
+    "__version__",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``attack <threat> [options]``
+    Run one canonical Table II attack experiment (baseline vs attacked)
+    and print the outcome.
+``catalogue``
+    Run the full Table II campaign.
+``matrix [mechanism]``
+    Run the Table III defence matrix (optionally one mechanism row).
+``taxonomy``
+    Print Tables I/II/III from the machine-readable taxonomy and verify
+    the implementation registry.
+``risk``
+    Print the platoon TARA risk report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core import taxonomy
+from repro.core.campaign import (
+    run_defense_matrix,
+    run_matrix_cell,
+    run_threat_catalogue,
+    run_threat_experiment,
+    threat_experiment,
+)
+from repro.core.scenario import ScenarioConfig
+
+
+def _base_config(args) -> ScenarioConfig:
+    return ScenarioConfig(n_vehicles=args.vehicles, duration=args.duration,
+                          warmup=10.0, seed=args.seed, trucks=args.trucks)
+
+
+def cmd_attack(args) -> int:
+    experiment = threat_experiment(args.threat, _base_config(args),
+                                   variant=args.variant)
+    outcome = run_threat_experiment(experiment)
+    print(format_table(
+        ["threat", "variant", "metric", "baseline", "attacked", "effect"],
+        [[outcome.threat_key, outcome.variant, outcome.metric_name,
+          round(outcome.baseline_value, 3), round(outcome.attacked_value, 3),
+          "CONFIRMED" if outcome.effect_present else "no effect"]]))
+    for key, value in sorted(outcome.attack_observables.items()):
+        print(f"  {key} = {value}")
+    return 0 if outcome.effect_present else 1
+
+
+def cmd_catalogue(args) -> int:
+    outcomes = run_threat_catalogue(_base_config(args))
+    rows = [[o.threat_key, o.variant, o.metric_name,
+             round(o.baseline_value, 3), round(o.attacked_value, 3),
+             "CONFIRMED" if o.effect_present else "no effect"]
+            for o in outcomes]
+    print(format_table(["threat", "variant", "metric", "baseline",
+                        "attacked", "effect"], rows,
+                       title="Table II campaign"))
+    return 0 if all(o.effect_present for o in outcomes) else 1
+
+
+def cmd_matrix(args) -> int:
+    if args.mechanism:
+        mechanism = taxonomy.MECHANISMS[args.mechanism]
+        cells = [run_matrix_cell(args.mechanism, threat, _base_config(args))
+                 for threat in mechanism.attack_targets]
+    else:
+        cells = run_defense_matrix(_base_config(args))
+    rows = [[c.mechanism_key, c.threat_key, c.metric_name,
+             round(c.baseline_value, 3), round(c.attacked_value, 3),
+             round(c.defended_value, 3),
+             round(c.mitigation, 2) if c.mitigation is not None else "n/a"]
+            for c in cells]
+    print(format_table(["mechanism", "threat", "metric", "baseline",
+                        "attacked", "defended", "mitigation"], rows,
+                       title="Table III defence matrix"))
+    return 0
+
+
+def cmd_taxonomy(args) -> int:
+    print(format_table(
+        ["key", "survey", "year"],
+        [[s.key, s.authors, s.year] for s in taxonomy.SURVEYS.values()],
+        title="Table I -- related surveys"))
+    print(format_table(
+        ["key", "threat", "compromises", "implementations"],
+        [[t.key, t.display_name,
+          "/".join(a.value for a in t.compromises),
+          ", ".join(t.attack_impls)] for t in taxonomy.THREATS.values()],
+        title="\nTable II -- threats"))
+    print(format_table(
+        ["key", "mechanism", "targets", "implementations"],
+        [[m.key, m.display_name, ", ".join(m.attack_targets),
+          ", ".join(m.defense_impls)] for m in taxonomy.MECHANISMS.values()],
+        title="\nTable III -- mechanisms"))
+    problems = taxonomy.check_taxonomy_complete()
+    if problems:
+        print("\nREGISTRY PROBLEMS:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nregistry check: every catalogued row is implemented.")
+    return 0
+
+
+def cmd_risk(args) -> int:
+    from repro.risk import build_platoon_tara, format_risk_report
+
+    print(format_risk_report(build_platoon_tara()))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--vehicles", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--trucks", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_attack = sub.add_parser("attack", help="run one Table II experiment")
+    p_attack.add_argument("threat", choices=sorted(taxonomy.THREATS))
+    p_attack.add_argument("--variant", default=None)
+    p_attack.set_defaults(fn=cmd_attack)
+
+    sub.add_parser("catalogue", help="run the full Table II campaign") \
+        .set_defaults(fn=cmd_catalogue)
+
+    p_matrix = sub.add_parser("matrix", help="run the Table III matrix")
+    p_matrix.add_argument("mechanism", nargs="?", default=None,
+                          choices=sorted(taxonomy.MECHANISMS))
+    p_matrix.set_defaults(fn=cmd_matrix)
+
+    sub.add_parser("taxonomy", help="print the machine-readable tables") \
+        .set_defaults(fn=cmd_taxonomy)
+    sub.add_parser("risk", help="print the TARA risk report") \
+        .set_defaults(fn=cmd_risk)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Persistence for campaign results.
+
+Benches and the CLI produce :class:`~repro.core.metrics.ScenarioMetrics`,
+:class:`~repro.core.campaign.ThreatOutcome` and
+:class:`~repro.core.campaign.MatrixCell` records; this module serialises
+them to JSON so campaigns can be archived, diffed across code versions,
+and post-processed outside the simulator.
+
+The format is versioned and self-describing::
+
+    {
+      "format": "platoonsec-results/1",
+      "kind": "threat_catalogue",
+      "records": [...]
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from repro.core.campaign import MatrixCell, ThreatOutcome
+from repro.core.metrics import ScenarioMetrics
+
+FORMAT = "platoonsec-results/1"
+
+_KINDS = {
+    "threat_catalogue": ThreatOutcome,
+    "defense_matrix": MatrixCell,
+    "metrics": ScenarioMetrics,
+}
+
+
+def _to_jsonable(record: Any) -> dict:
+    if not dataclasses.is_dataclass(record):
+        raise TypeError(f"cannot serialise {type(record).__name__}")
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(record):
+        value = getattr(record, field.name)
+        if isinstance(value, float) and value in (float("inf"), float("-inf")):
+            value = None
+        out[field.name] = value
+    return out
+
+
+def save_records(path: Union[str, Path], kind: str,
+                 records: Iterable[Any]) -> Path:
+    """Write a homogeneous record list to a JSON file."""
+    if kind not in _KINDS:
+        raise ValueError(f"unknown record kind {kind!r}; expected one of "
+                         f"{sorted(_KINDS)}")
+    expected = _KINDS[kind]
+    payload = []
+    for record in records:
+        if not isinstance(record, expected):
+            raise TypeError(f"kind {kind!r} expects {expected.__name__}, "
+                            f"got {type(record).__name__}")
+        payload.append(_to_jsonable(record))
+    path = Path(path)
+    path.write_text(json.dumps({"format": FORMAT, "kind": kind,
+                                "records": payload}, indent=2))
+    return path
+
+
+def load_records(path: Union[str, Path]) -> tuple[str, list]:
+    """Read a record file back into dataclass instances.
+
+    Returns ``(kind, records)``.  Unknown formats or kinds raise
+    ``ValueError`` rather than guessing.
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != FORMAT:
+        raise ValueError(f"unsupported results format: {data.get('format')!r}")
+    kind = data.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown record kind {kind!r}")
+    cls = _KINDS[kind]
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    records = []
+    for raw in data.get("records", []):
+        unknown = set(raw) - field_names
+        if unknown:
+            raise ValueError(f"record has unknown fields {sorted(unknown)}")
+        records.append(cls(**raw))
+    return kind, records
+
+
+def diff_catalogues(old: list, new: list,
+                    tolerance: float = 0.15) -> list[str]:
+    """Compare two threat-catalogue runs; report regressions.
+
+    A regression is a threat whose effect flipped from present to absent,
+    or whose attacked metric moved by more than ``tolerance`` (relative)
+    in the direction of *less* attack impact -- the check a CI pipeline
+    runs to catch silently weakened attacks.
+    """
+    old_by_key = {(o.threat_key, o.variant): o for o in old}
+    problems: list[str] = []
+    for outcome in new:
+        key = (outcome.threat_key, outcome.variant)
+        previous = old_by_key.get(key)
+        if previous is None:
+            continue
+        if previous.effect_present and not outcome.effect_present:
+            problems.append(f"{outcome.threat_key}/{outcome.variant}: effect "
+                            f"disappeared")
+            continue
+        prev_delta = abs(previous.attacked_value - previous.baseline_value)
+        new_delta = abs(outcome.attacked_value - outcome.baseline_value)
+        if prev_delta > 1e-9 and new_delta < prev_delta * (1.0 - tolerance):
+            problems.append(
+                f"{outcome.threat_key}/{outcome.variant}: impact shrank "
+                f"{prev_delta:.3f} -> {new_delta:.3f}")
+    return problems

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for bench output.
+
+Every bench prints the rows it regenerates through :func:`format_table`,
+so the terminal output reads like the paper's tables with measured columns
+appended.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+
+def _cell(value: Any, width: int) -> str:
+    text = "" if value is None else str(value)
+    # Control characters (newlines, tabs) would break row alignment.
+    text = "".join(c if c.isprintable() else " " for c in text)
+    if len(text) > width:
+        text = text[:width - 1] + "…"
+    return text.ljust(width)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 max_col_width: int = 44, title: Optional[str] = None) -> str:
+    """Render rows as an ASCII table with column sizing and truncation."""
+    rows = [list(r) for r in rows]
+    n = len(headers)
+    widths = [min(max_col_width, len(str(h))) for h in headers]
+    for row in rows:
+        for i in range(min(n, len(row))):
+            text = "" if row[i] is None else str(row[i])
+            widths[i] = min(max_col_width, max(widths[i], len(text)))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("| " + " | ".join(_cell(h, w) for h, w in zip(headers, widths)) + " |")
+    out.append(sep)
+    for row in rows:
+        padded = list(row) + [""] * (n - len(row))
+        out.append("| " + " | ".join(_cell(c, w)
+                                     for c, w in zip(padded, widths)) + " |")
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_kv(record: dict, indent: str = "  ") -> str:
+    """Render a flat dict as aligned key/value lines."""
+    if not record:
+        return f"{indent}(empty)"
+    width = max(len(str(k)) for k in record)
+    return "\n".join(f"{indent}{str(k).ljust(width)} : {v}"
+                     for k, v in record.items())

@@ -1,0 +1,33 @@
+"""Core contribution: the canonical platoon attack/defence suite.
+
+This package turns the paper's taxonomy into executable artefacts:
+
+* :mod:`repro.core.taxonomy` -- machine-readable Tables I, II and III with
+  a registry linking every row to the class that implements it.
+* :mod:`repro.core.attack` / :mod:`repro.core.attacks` -- one attack class
+  per Table II threat.
+* :mod:`repro.core.defense` / :mod:`repro.core.defenses` -- one defence
+  mechanism per Table III row.
+* :mod:`repro.core.scenario` -- composes platoon + channel + attacks +
+  defences into runnable episodes.
+* :mod:`repro.core.metrics` -- platoon-health metrics (spacing error,
+  string stability, collisions, fuel proxy, availability, detections).
+* :mod:`repro.core.campaign` -- attack x defence evaluation campaigns that
+  regenerate the paper's tables with measurements attached.
+"""
+
+from repro.core.attack import Attack, AttackerNode, AttackReport
+from repro.core.defense import Defense
+from repro.core.metrics import ScenarioMetrics
+from repro.core.scenario import Scenario, ScenarioConfig, ScenarioResult
+
+__all__ = [
+    "Attack",
+    "AttackerNode",
+    "AttackReport",
+    "Defense",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ScenarioMetrics",
+]

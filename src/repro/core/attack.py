@@ -1,0 +1,166 @@
+"""Attack framework: base class, attacker nodes, reports.
+
+Every Table II threat is implemented as an :class:`Attack` subclass in
+:mod:`repro.core.attacks`.  The lifecycle is:
+
+1. ``setup(scenario)`` -- called after the platoon is built but before the
+   episode runs; the attack places its attacker node(s), registers channel
+   interferers, hooks taps, etc.
+2. ``activate()`` / ``deactivate()`` -- scheduled by the scenario at the
+   attack's configured window (``start_time`` .. ``stop_time``).
+3. ``report()`` -- attack-specific observables for the benches (messages
+   injected, ghosts admitted, bytes eavesdropped, ...).
+
+:class:`AttackerNode` gives attacks an off-platoon radio presence: a
+roadside device or a chase car, with its own TX power and optional motion,
+without any of the platoon-member machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.messages import Message
+from repro.net.radio import Radio
+
+if TYPE_CHECKING:
+    from repro.core.scenario import Scenario
+
+
+@dataclass
+class AttackReport:
+    """Outcome record one attack produces at the end of an episode."""
+
+    attack_name: str
+    active_time: float
+    observables: dict = field(default_factory=dict)
+
+
+class AttackerNode:
+    """A physical attacker presence: static roadside unit or moving chase car.
+
+    ``speed`` lets the attacker pace the platoon (a chase car keeping up
+    with a moving target); position integrates linearly.
+    """
+
+    def __init__(self, scenario: "Scenario", node_id: str, position: float,
+                 speed: float = 0.0, tx_power_dbm: Optional[float] = None) -> None:
+        self.scenario = scenario
+        self.node_id = node_id
+        self._position0 = position
+        self._speed = speed
+        self._t0 = scenario.sim.now
+        self.radio = Radio(scenario.sim, scenario.channel, node_id,
+                           self.position, tx_power_dbm=tx_power_dbm)
+
+    def position(self) -> float:
+        return self._position0 + self._speed * (self.scenario.sim.now - self._t0)
+
+    def set_motion(self, position: float, speed: float) -> None:
+        self._position0 = position
+        self._speed = speed
+        self._t0 = self.scenario.sim.now
+
+    def send(self, msg: Message) -> bool:
+        return self.radio.send(msg)
+
+    def shutdown(self) -> None:
+        self.radio.shutdown()
+
+
+class Attack(abc.ABC):
+    """Base class for all Table II attacks.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier; must match a
+        :class:`repro.core.taxonomy.ThreatEntry` key so the taxonomy
+        registry can verify every catalogued threat has an implementation.
+    compromises:
+        Security attributes broken (values from
+        :class:`repro.core.taxonomy.SecurityAttribute`).
+    """
+
+    name: str = "abstract"
+    compromises: tuple = ()
+
+    def __init__(self, start_time: float = 10.0,
+                 stop_time: Optional[float] = None) -> None:
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.scenario: Optional["Scenario"] = None
+        self.active = False
+        self._activated_at: Optional[float] = None
+        self._active_total = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def setup(self, scenario: "Scenario") -> None:
+        """Install the attack into a built scenario; schedules activation."""
+        self.scenario = scenario
+        scenario.sim.schedule_at(max(self.start_time, scenario.sim.now),
+                                 self._do_activate)
+        if self.stop_time is not None:
+            scenario.sim.schedule_at(max(self.stop_time, scenario.sim.now),
+                                     self._do_deactivate)
+
+    def _do_activate(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self._activated_at = self.scenario.sim.now
+        self.scenario.events.record(self.scenario.sim.now, "attack_start",
+                                    self.name)
+        self.on_activate()
+
+    def _do_deactivate(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        if self._activated_at is not None:
+            self._active_total += self.scenario.sim.now - self._activated_at
+        self.scenario.events.record(self.scenario.sim.now, "attack_stop",
+                                    self.name)
+        self.on_deactivate()
+
+    def finalize(self) -> None:
+        """Close the active window at scenario end (for always-on attacks)."""
+        if self.active and self._activated_at is not None:
+            self._active_total += self.scenario.sim.now - self._activated_at
+            self._activated_at = self.scenario.sim.now
+
+    @property
+    def active_time(self) -> float:
+        total = self._active_total
+        if self.active and self._activated_at is not None:
+            total += self.scenario.sim.now - self._activated_at
+        return total
+
+    # ------------------------------------------------------------- interface
+
+    @abc.abstractmethod
+    def on_activate(self) -> None:
+        """Start attacking.  Called once at ``start_time``."""
+
+    def on_deactivate(self) -> None:
+        """Stop attacking.  Called at ``stop_time`` if one was given."""
+
+    def taint(self, *identities: str) -> None:
+        """Register identities whose traffic this attack corrupts (ground
+        truth used only for detector scoring, never by detectors)."""
+        self.scenario.tainted_identities.update(identities)
+
+    def untaint(self, *identities: str) -> None:
+        self.scenario.tainted_identities.difference_update(identities)
+
+    def observables(self) -> dict:
+        """Attack-specific measurements (override in subclasses)."""
+        return {}
+
+    def report(self) -> AttackReport:
+        self.finalize()
+        return AttackReport(attack_name=self.name, active_time=self.active_time,
+                            observables=self.observables())

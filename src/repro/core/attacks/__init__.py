@@ -1,0 +1,46 @@
+"""The canonical attack suite: one module per Table II threat.
+
+====================  ==========================================  =============
+Attack class          Paper section                               Taxonomy key
+====================  ==========================================  =============
+ReplayAttack          §V-A.1 replay / FDI                         replay
+SybilAttack           §V-A.2 Sybil ghost vehicles                 sybil
+FakeManeuverAttack    §V-A.3 fake entrance / leave / split        fake_maneuver
+FalsificationAttack   §V-A insider false-data injection           falsification
+JammingAttack         §V-B RF jamming                             jamming
+EavesdroppingAttack   §V-C / §V-E eavesdropping + info theft      eavesdropping
+DosJoinFloodAttack    §V-D join-request flooding                  dos
+ImpersonationAttack   §V-F stolen-identity impersonation          impersonation
+GpsSpoofingAttack     §V-G GPS capture-and-drift spoofing         gps_spoofing
+SensorSpoofingAttack  §V-G sensor blinding / TPMS spoofing        sensor_spoofing
+MalwareAttack         §V-H malware infection                      malware
+====================  ==========================================  =============
+"""
+
+from repro.core.attacks.replay import ReplayAttack
+from repro.core.attacks.sybil import SybilAttack
+from repro.core.attacks.maneuver import FakeManeuverAttack
+from repro.core.attacks.falsification import FalsificationAttack
+from repro.core.attacks.jamming import JammingAttack
+from repro.core.attacks.eavesdropping import EavesdroppingAttack
+from repro.core.attacks.dos import DosJoinFloodAttack
+from repro.core.attacks.impersonation import ImpersonationAttack
+from repro.core.attacks.gps_spoofing import GpsSpoofingAttack
+from repro.core.attacks.sensor_spoofing import SensorSpoofingAttack
+from repro.core.attacks.malware import MalwareAttack
+
+ALL_ATTACKS = [
+    ReplayAttack,
+    SybilAttack,
+    FakeManeuverAttack,
+    FalsificationAttack,
+    JammingAttack,
+    EavesdroppingAttack,
+    DosJoinFloodAttack,
+    ImpersonationAttack,
+    GpsSpoofingAttack,
+    SensorSpoofingAttack,
+    MalwareAttack,
+]
+
+__all__ = [cls.__name__ for cls in ALL_ATTACKS] + ["ALL_ATTACKS"]

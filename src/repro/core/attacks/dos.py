@@ -1,0 +1,78 @@
+"""Denial-of-service by join-request flooding (§V-D, Table II row
+"Denial Of Service").
+
+The paper's per-platoon DoS: "getting fake or copied IDs to connect to
+make a platoon leader think that there are far more members than there
+are.  This will prevent other members from connecting to the platoon
+leader."  Because platoons cap their membership and their pending-join
+queue, a single cheap attacker ("does not need as much equipment") can
+keep the queue full of fake requesters that never complete, so legitimate
+join requests are silently dropped.
+
+Measured effects: legitimate joiner success/latency, join-queue drops on
+the leader, and channel load (the flood also consumes airtime).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.net.messages import ManeuverMessage, ManeuverType
+
+
+class DosJoinFloodAttack(Attack):
+    """Join-request flood from fabricated identities."""
+
+    name = "dos"
+    compromises = ("availability",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 rate_hz: float = 5.0, n_identities: int = 50) -> None:
+        super().__init__(start_time, stop_time)
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        self.rate_hz = rate_hz
+        self.n_identities = n_identities
+        self.requests_sent = 0
+        self._identity_cursor = 0
+        self._node: Optional[AttackerNode] = None
+        self._proc = None
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        tail = scenario.platoon_vehicles[-1]
+        self._node = AttackerNode(scenario, "dos-attacker", tail.position - 50.0,
+                                  speed=scenario.config.initial_speed)
+
+    def on_activate(self) -> None:
+        self._proc = self.scenario.sim.every(1.0 / self.rate_hz, self._flood)
+
+    def on_deactivate(self) -> None:
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+
+    def _flood(self) -> None:
+        fake_id = f"fake{self._identity_cursor % self.n_identities}"
+        self._identity_cursor += 1
+        msg = ManeuverMessage(sender_id=fake_id, timestamp=self.scenario.sim.now,
+                              maneuver=ManeuverType.JOIN_REQUEST,
+                              platoon_id=self.scenario.platoon_id,
+                              target_id=self.scenario.leader.vehicle_id)
+        self._node.send(msg)
+        self.requests_sent += 1
+
+    def observables(self) -> dict:
+        registry = self.scenario.leader_logic.registry
+        events = self.scenario.events
+        joiner_done = events.first("joiner_completed")
+        return {
+            "rate_hz": self.rate_hz,
+            "requests_sent": self.requests_sent,
+            "queue_drops": registry.rejected_queue,
+            "pending_now": len(registry.pending),
+            "legit_join_succeeded": joiner_done is not None,
+            "legit_join_latency": (joiner_done.data.get("latency")
+                                   if joiner_done is not None else None),
+        }

@@ -1,0 +1,109 @@
+"""Eavesdropping / information theft (§V-C, §V-E, Table II row
+"Eavesdropping").
+
+A purely passive roadside (or chase) receiver taps the broadcast channel.
+It never transmits, so no availability/integrity metric moves -- the harm
+is informational, and the attack reports it directly:
+
+* how many frames of each type were captured,
+* how much of the platoon's *route* the attacker reconstructed (fraction
+  of the leader's trajectory recovered within a grid tolerance -- the
+  "GPS locations and tracking information" the paper says criminals buy),
+* per-vehicle dossiers: identity, positions over time, speeds -- the raw
+  material for the replay and Sybil attacks the paper says eavesdropping
+  enables.
+
+When a confidentiality defence encrypts beacon contents (group-key
+encryption in :class:`~repro.core.defenses.message_auth.GroupKeyAuthDefense`
+with ``encrypt=True``), captured frames still count as *captured* but
+their fields are unreadable unless the attacker is an insider holding the
+group key.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.net.messages import Beacon, Message, MessageType
+
+
+class EavesdroppingAttack(Attack):
+    """Passive traffic capture and route reconstruction."""
+
+    name = "eavesdropping"
+    compromises = ("confidentiality",)
+
+    def __init__(self, start_time: float = 0.0, stop_time: Optional[float] = None,
+                 position: Optional[float] = None, chase: bool = True,
+                 insider: bool = False, grid_m: float = 25.0) -> None:
+        super().__init__(start_time, stop_time)
+        self.position_override = position
+        self.chase = chase
+        self.insider = insider
+        self.grid_m = grid_m
+        self.captured_total = 0
+        self.captured_by_type: dict[str, int] = {}
+        self.decoded = 0
+        self.undecodable = 0
+        # per-vehicle dossier: sender -> list of (t, position, speed)
+        self.dossiers: dict[str, list[tuple[float, float, float]]] = {}
+        self._node: Optional[AttackerNode] = None
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        mid = scenario.platoon_vehicles[len(scenario.platoon_vehicles) // 2]
+        position = (self.position_override if self.position_override is not None
+                    else mid.position - 15.0)
+        speed = scenario.config.initial_speed if self.chase else 0.0
+        self._node = AttackerNode(scenario, "eavesdropper", position, speed=speed)
+        self._node.radio.add_tap(self._capture)
+
+    def on_activate(self) -> None:
+        """Purely passive: activation just opens the capture window."""
+
+    def _can_decode(self, msg: Message) -> bool:
+        if not msg.payload.get("__encrypted__"):
+            return True
+        if self.insider:
+            return self.scenario.security_context.get("group_key") is not None
+        return False
+
+    def _capture(self, msg: Message) -> None:
+        if not self.active:
+            return
+        self.captured_total += 1
+        key = msg.msg_type.value
+        self.captured_by_type[key] = self.captured_by_type.get(key, 0) + 1
+        if not self._can_decode(msg):
+            self.undecodable += 1
+            return
+        self.decoded += 1
+        if isinstance(msg, Beacon):
+            self.dossiers.setdefault(msg.sender_id, []).append(
+                (self.scenario.sim.now, msg.position, msg.speed))
+
+    # --------------------------------------------------------------- results
+
+    def route_coverage(self) -> float:
+        """Fraction of the leader's true route grid recovered from beacons."""
+        leader = self.scenario.leader
+        trace = self.scenario.metrics_collector.traces.get(leader.vehicle_id)
+        if trace is None or not trace.positions:
+            return 0.0
+        truth_cells = {int(p // self.grid_m) for p in trace.positions}
+        dossier = self.dossiers.get(leader.vehicle_id, [])
+        recovered_cells = {int(p // self.grid_m) for (_, p, _) in dossier}
+        if not truth_cells:
+            return 0.0
+        return len(truth_cells & recovered_cells) / len(truth_cells)
+
+    def observables(self) -> dict:
+        return {
+            "captured_total": self.captured_total,
+            "captured_by_type": dict(self.captured_by_type),
+            "decoded": self.decoded,
+            "undecodable": self.undecodable,
+            "vehicles_profiled": len(self.dossiers),
+            "route_coverage": round(self.route_coverage(), 3),
+        }

@@ -1,0 +1,100 @@
+"""Insider false-data injection (§V-A, the FDI umbrella).
+
+"Another way an attacker can carry out an FDI attack [is] when an attacker
+is part of a platoon.  The attacker can deliberately transmit false or
+misleading information."  This attack compromises one *member* and
+corrupts the beacons it legitimately broadcasts -- before any signing
+happens, so message authentication does **not** stop it (the insider holds
+valid keys; the signature covers the lie).
+
+Falsification profiles:
+
+* ``"oscillate"`` -- advertised acceleration swings sinusoidally around
+  truth; downstream CACC feed-forward chases a phantom speed profile and
+  the platoon oscillates behind the insider.
+* ``"offset"``   -- constant position/speed bias (claims to be further
+  ahead / faster), shifting followers' beacon-derived spacing.
+* ``"brake"``    -- periodically advertises hard braking that never
+  happens; followers brake for nothing (comfort loss, gap churn).
+
+Mitigations that do work: VPD-ADA positional cross-checks (radar vs.
+claims) and resilient control (gating cooperative inputs against local
+sensors) -- the §VI-A.3 story.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.attack import Attack
+from repro.net.messages import Beacon, Message
+
+
+class FalsificationAttack(Attack):
+    """A compromised member broadcasting falsified beacons."""
+
+    name = "falsification"
+    compromises = ("integrity",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 insider_index: int = 1, profile: str = "oscillate",
+                 amplitude: float = 2.0, period: float = 4.0,
+                 position_offset: float = 6.0) -> None:
+        super().__init__(start_time, stop_time)
+        if profile not in ("oscillate", "offset", "brake"):
+            raise ValueError(f"unknown falsification profile {profile!r}")
+        self.insider_index = insider_index
+        self.profile = profile
+        self.amplitude = amplitude
+        self.period = period
+        self.position_offset = position_offset
+        self.insider_id: Optional[str] = None
+        self.falsified = 0
+        self._installed = False
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        members = scenario.platoon_vehicles[1:]
+        insider = members[self.insider_index % len(members)]
+        self.insider_id = insider.vehicle_id
+        # Corrupt *before* any signing processor: insert at the front so
+        # the defence's signature covers the falsified content (insider
+        # threat model -- valid keys, lying payload).
+        insider.outbound_processors.insert(0, self._falsify)
+        self._installed = True
+
+    def _falsify(self, msg: Message) -> Message:
+        if not self.active or not isinstance(msg, Beacon):
+            return msg
+        now = self.scenario.sim.now
+        if self.profile == "oscillate":
+            phase = 2 * math.pi * now / self.period
+            msg.acceleration = msg.acceleration + self.amplitude * math.sin(phase)
+            msg.speed = msg.speed + (self.amplitude * self.period
+                                     / (2 * math.pi)) * (-math.cos(phase))
+        elif self.profile == "offset":
+            msg.position = msg.position + self.position_offset
+            msg.speed = msg.speed + self.amplitude
+        else:  # brake
+            if int(now / self.period) % 2 == 0:
+                msg.acceleration = -4.5
+                msg.speed = max(0.0, msg.speed - self.amplitude)
+        self.falsified += 1
+        return msg
+
+    def on_activate(self) -> None:
+        insider = self.scenario.world.get(self.insider_id)
+        if insider is not None:
+            insider.compromise(by=self.name)
+        self.taint(self.insider_id)
+
+    def on_deactivate(self) -> None:
+        self.untaint(self.insider_id)
+
+    def observables(self) -> dict:
+        return {
+            "insider": self.insider_id,
+            "profile": self.profile,
+            "falsified_beacons": self.falsified,
+        }

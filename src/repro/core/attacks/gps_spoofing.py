@@ -1,0 +1,99 @@
+"""GPS spoofing attack (§V-G, Table II row "Jamming and Spoofing Sensors").
+
+Reproduces the capture-and-drag technique the paper describes: the
+attacker first *captures* the victim's receiver by replaying its GPS
+signal at higher power, then slowly drags the reported position away from
+truth.  While captured, the victim's beacons broadcast the spoofed
+position -- "the victim vehicle using the wrong GPS information" -- which
+is precisely the claimed-vs-physical divergence that VPD-ADA-style
+positional cross-checking (§VI-A.3) detects.
+
+``drift_rate`` is the drag speed in metres of error per second; a stealthy
+attacker uses a low rate to stay under detection thresholds longer (the
+detection-latency-vs-threshold trade-off is an ablation in the E7 bench).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack
+
+
+class GpsSpoofingAttack(Attack):
+    """Capture-and-drift GPS spoofing against one victim vehicle."""
+
+    name = "gps_spoofing"
+    compromises = ("authenticity",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 victim_index: int = 2, drift_rate: float = 2.0,
+                 capture_delay: float = 1.0) -> None:
+        super().__init__(start_time, stop_time)
+        self.victim_index = victim_index
+        self.drift_rate = drift_rate
+        self.capture_delay = capture_delay
+        self.victim_id: Optional[str] = None
+        self._captured_at: Optional[float] = None
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        vehicles = scenario.platoon_vehicles
+        self.victim_id = vehicles[self.victim_index % len(vehicles)].vehicle_id
+        self._beacon_errors: list[float] = []
+        scenario.channel.add_tx_observer(self._observe_tx)
+
+    def _observe_tx(self, sender, msg) -> None:
+        """Measure how wrong the victim's *broadcast* position is -- the
+        platoon-level harm of GPS spoofing (and what sensor fusion fixes)."""
+        if not self.active or sender.node_id != self.victim_id:
+            return
+        position = getattr(msg, "position", None)
+        if position is None:
+            return
+        victim = self.scenario.world.get(self.victim_id)
+        if victim is not None:
+            self._beacon_errors.append(abs(position - victim.position))
+
+    def on_activate(self) -> None:
+        # The capture phase: the attacker needs a short while right next to
+        # the victim to overpower the real signal.
+        self.scenario.sim.schedule(self.capture_delay, self._capture)
+
+    def _capture(self) -> None:
+        if not self.active:
+            return
+        victim = self.scenario.world.get(self.victim_id)
+        if victim is None:
+            return
+        t0 = self.scenario.sim.now
+        rate = self.drift_rate
+
+        def spoofed(truth: float, now: float) -> float:
+            return truth + rate * (now - t0)
+
+        victim.gps.capture(spoofed)
+        self._captured_at = t0
+        self.scenario.events.record(t0, "gps_captured", self.name,
+                                    victim=self.victim_id, drift_rate=rate)
+
+    def on_deactivate(self) -> None:
+        victim = self.scenario.world.get(self.victim_id)
+        if victim is not None:
+            victim.gps.release()
+
+    def current_error(self) -> float:
+        if self._captured_at is None:
+            return 0.0
+        return self.drift_rate * (self.scenario.sim.now - self._captured_at)
+
+    def observables(self) -> dict:
+        mean_beacon_error = (sum(self._beacon_errors) / len(self._beacon_errors)
+                             if self._beacon_errors else 0.0)
+        return {
+            "victim": self.victim_id,
+            "drift_rate": self.drift_rate,
+            "captured": self._captured_at is not None,
+            "final_position_error_m": round(self.current_error(), 1),
+            "mean_beacon_error_m": round(mean_beacon_error, 2),
+        }

@@ -1,0 +1,124 @@
+"""Impersonation attack (§V-F, Table II row "Impersonation").
+
+The attacker "pretends to be another user ... using a stolen or forged
+ID".  Two strength levels:
+
+* ``steal_key=False`` (default) -- the attacker knows only the victim's
+  *identity string*.  Forged traffic claims ``sender_id = victim``.  This
+  defeats an unauthenticated platoon completely but fails against any
+  message authentication, because the attacker cannot produce the
+  victim's tags/signatures.
+* ``steal_key=True`` -- the attacker also exfiltrated the victim's key
+  material (reads it from the scenario security context).  Signatures
+  verify; only revocation (RSU/TA pushing a CRL after detection) stops
+  the attack -- the exact escalation the paper's key-management discussion
+  worries about ("keys only secure the message until the attacker gains
+  access to the key").
+
+Paper consequences reproduced: the innocent victim suffers "not
+connecting or sudden dropouts" (forged LEAVE_REQUESTs expel it from the
+platoon) and reputation damage (trust defences attribute the forged
+misbehaviour to the victim).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.net.messages import Beacon, ManeuverMessage, ManeuverType, Message
+from repro.security.crypto import hmac_tag, sign
+
+
+class ImpersonationAttack(Attack):
+    """Stolen-identity forgery against one victim member."""
+
+    name = "impersonation"
+    compromises = ("integrity", "confidentiality")
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 victim_index: int = -1, steal_key: bool = False,
+                 forge_interval: float = 5.0,
+                 beacon_lies: bool = True) -> None:
+        super().__init__(start_time, stop_time)
+        self.victim_index = victim_index
+        self.steal_key = steal_key
+        self.forge_interval = forge_interval
+        self.beacon_lies = beacon_lies
+        self.victim_id: Optional[str] = None
+        self.forged_sent = 0
+        self.victim_expelled_at: Optional[float] = None
+        self._node: Optional[AttackerNode] = None
+        self._proc = None
+        self._nonce = 5_000_000
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        members = scenario.platoon_vehicles[1:]
+        self.victim_id = members[self.victim_index].vehicle_id
+        tail = scenario.platoon_vehicles[-1]
+        self._node = AttackerNode(scenario, "impersonator", tail.position - 40.0,
+                                  speed=scenario.config.initial_speed)
+
+    def _secure(self, msg: Message) -> Message:
+        """Attach the victim's credentials if we stole them."""
+        if not self.steal_key:
+            return msg
+        ctx = self.scenario.security_context
+        group_key = ctx.get("group_key")
+        self._nonce += 1
+        msg.nonce = self._nonce
+        if group_key is not None:
+            msg.auth_tag = hmac_tag(group_key, msg.signing_bytes())
+        keypairs = ctx.get("keypairs", {})
+        certs = ctx.get("certificates", {})
+        if self.victim_id in keypairs:
+            msg.cert = certs.get(self.victim_id)
+            msg.signature = sign(keypairs[self.victim_id], msg.signing_bytes())
+        return msg
+
+    def on_activate(self) -> None:
+        self._proc = self.scenario.sim.every(self.forge_interval, self._forge,
+                                             initial_delay=0.1)
+        self.taint(self.victim_id)
+
+    def on_deactivate(self) -> None:
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+        self.untaint(self.victim_id)
+
+    def _forge(self) -> None:
+        scenario = self.scenario
+        now = scenario.sim.now
+        registry = scenario.leader_logic.registry
+        if self.victim_id in registry.members:
+            # Ask to leave "on the victim's behalf".
+            msg = ManeuverMessage(sender_id=self.victim_id, timestamp=now,
+                                  maneuver=ManeuverType.LEAVE_REQUEST,
+                                  platoon_id=scenario.platoon_id,
+                                  target_id=scenario.leader.vehicle_id)
+            self._node.send(self._secure(msg))
+            self.forged_sent += 1
+        elif self.victim_expelled_at is None:
+            self.victim_expelled_at = now
+            scenario.events.record(now, "impersonation_victim_expelled",
+                                   self.name, victim=self.victim_id)
+        if self.beacon_lies:
+            # Misbehave loudly under the victim's name (reputation damage):
+            # implausible position/speed claims that detectors will flag.
+            beacon = Beacon(sender_id=self.victim_id, timestamp=now,
+                            position=self._node.position() + 500.0,
+                            speed=55.0, acceleration=2.0,
+                            platoon_id=scenario.platoon_id)
+            self._node.send(self._secure(beacon))
+            self.forged_sent += 1
+
+    def observables(self) -> dict:
+        return {
+            "victim": self.victim_id,
+            "steal_key": self.steal_key,
+            "forged_sent": self.forged_sent,
+            "victim_expelled": self.victim_expelled_at is not None,
+            "victim_expelled_at": self.victim_expelled_at,
+        }

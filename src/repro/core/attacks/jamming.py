@@ -1,0 +1,88 @@
+"""Jamming attack (§V-B, Table II row "Jamming").
+
+A barrage jammer floods the platoon's control channel with noise.  The
+model registers the jammer as a channel interferer:
+
+* every reception computes SINR against (noise + jammer power at the
+  receiver), so packet delivery collapses with jammer power / proximity,
+* carrier sensing also sees the jammer, so members' own transmissions are
+  deferred and eventually dropped by the MAC retry limit,
+* members lose cooperative data, degrade from CACC to radar-only ACC, and
+  when the leader stays silent past the disband timeout the platoon
+  disbands -- "all savings are lost by disbanding the platoon".
+
+``duty_cycle`` < 1 models pulsed jamming; ``chase=True`` keeps the jammer
+pacing the platoon (a jammer in a moving car) rather than a fixed
+roadside emitter the platoon drives away from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack
+
+
+class JammingAttack(Attack):
+    """Barrage/pulsed RF jammer implemented as a channel interferer."""
+
+    name = "jamming"
+    compromises = ("availability",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 power_dbm: float = 30.0, position: Optional[float] = None,
+                 chase: bool = True, duty_cycle: float = 1.0,
+                 pulse_period: float = 0.5) -> None:
+        super().__init__(start_time, stop_time)
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in (0, 1]")
+        self.power_dbm = power_dbm
+        self.position_override = position
+        self.chase = chase
+        self.duty_cycle = duty_cycle
+        self.pulse_period = pulse_period
+        self._position0 = 0.0
+        self._speed = 0.0
+        self._t0 = 0.0
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        mid = scenario.platoon_vehicles[len(scenario.platoon_vehicles) // 2]
+        self._position0 = (self.position_override if self.position_override
+                           is not None else mid.position)
+        self._speed = scenario.config.initial_speed if self.chase else 0.0
+        self._t0 = scenario.sim.now
+
+    def jammer_position(self, now: float) -> float:
+        return self._position0 + self._speed * (now - self._t0)
+
+    def _emitting(self, now: float) -> bool:
+        if not self.active:
+            return False
+        if self.duty_cycle >= 1.0:
+            return True
+        phase = (now % self.pulse_period) / self.pulse_period
+        return phase < self.duty_cycle
+
+    # Interferer protocol -------------------------------------------------
+
+    def interference_dbm_at(self, position: float, now: float) -> float:
+        if not self._emitting(now):
+            return float("-inf")
+        distance = abs(position - self.jammer_position(now))
+        return self.power_dbm - self.scenario.channel.path_loss_db(distance)
+
+    def on_activate(self) -> None:
+        self.scenario.channel.add_interferer(self)
+
+    def on_deactivate(self) -> None:
+        self.scenario.channel.remove_interferer(self)
+
+    def observables(self) -> dict:
+        stats = self.scenario.channel.stats
+        return {
+            "power_dbm": self.power_dbm,
+            "duty_cycle": self.duty_cycle,
+            "lost_interference": stats.lost_interference,
+            "pdr": stats.packet_delivery_ratio,
+        }

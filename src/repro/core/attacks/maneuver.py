@@ -1,0 +1,159 @@
+"""Fake manoeuvre attacks (§V-A.3, Table II row "Fake Maneuver attack").
+
+Three forgeries, selectable via ``mode``:
+
+* ``"entrance"`` -- forged GAP_OPEN commands (claiming the leader's
+  identity) make members open entrance gaps for joiners that never come.
+  The gap "could be created and remain for an extended period before the
+  platoon closes it", reducing efficiency: measured as gap-open time and
+  fuel-proxy increase.
+* ``"leave"`` -- forged LEAVE_REQUESTs (claiming a member's identity) make
+  the leader expel real members one by one.
+* ``"split"`` -- forged SPLIT_COMMANDs (claiming the leader's identity)
+  "break down a platoon into individual members", the variant the paper
+  calls capable of causing the most problems; measured as platoon
+  fragmentation.
+
+The attacker needs no insider state: platoon beacons broadcast platoon id,
+index and leader flag in the clear, so a roadside receiver reconstructs
+every platoon's composition by listening (exactly the reconnaissance
+§V-C describes) and then forges against whichever platoon it currently
+observes -- including the fragments its own earlier splits created.
+
+All three are outsider message injections: any authentication defence that
+binds sender identity to a key stops them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.net.messages import Beacon, ManeuverMessage, ManeuverType, Message
+
+
+@dataclass
+class _ObservedPlatoon:
+    """What the attacker has pieced together about one platoon."""
+
+    platoon_id: str
+    leader_id: Optional[str] = None
+    # member -> (claimed position, last heard at)
+    members: dict = field(default_factory=dict)
+
+    def roster_by_position(self, now: float, stale_after: float = 2.0) -> list[str]:
+        fresh = [(mid, pos) for mid, (pos, seen) in self.members.items()
+                 if now - seen <= stale_after]
+        return [mid for mid, _ in sorted(fresh, key=lambda kv: -kv[1])]
+
+
+class FakeManeuverAttack(Attack):
+    """Forged entrance / leave / split injection from overheard state."""
+
+    name = "fake_maneuver"
+    compromises = ("integrity",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 mode: str = "entrance", interval: float = 8.0,
+                 gap_factor: float = 3.0) -> None:
+        super().__init__(start_time, stop_time)
+        if mode not in ("entrance", "leave", "split"):
+            raise ValueError(f"unknown fake-maneuver mode {mode!r}")
+        self.mode = mode
+        self.interval = interval
+        self.gap_factor = gap_factor
+        self.injected = 0
+        self._victim_cursor = 0
+        self._observed: dict[str, _ObservedPlatoon] = {}
+        self._node: Optional[AttackerNode] = None
+        self._proc = None
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        mid = scenario.platoon_vehicles[len(scenario.platoon_vehicles) // 2]
+        self._node = AttackerNode(scenario, "maneuver-attacker",
+                                  mid.position - 10.0,
+                                  speed=scenario.config.initial_speed)
+        self._node.radio.add_tap(self._observe)
+
+    # ----------------------------------------------------------- observation
+
+    def _observe(self, msg: Message) -> None:
+        if not isinstance(msg, Beacon) or msg.platoon_id is None:
+            return
+        observed = self._observed.setdefault(
+            msg.platoon_id, _ObservedPlatoon(msg.platoon_id))
+        observed.members[msg.sender_id] = (msg.position, self.scenario.sim.now)
+        if msg.is_leader:
+            observed.leader_id = msg.sender_id
+
+    def _largest_platoon(self, min_size: int) -> Optional[_ObservedPlatoon]:
+        now = self.scenario.sim.now
+        best: Optional[_ObservedPlatoon] = None
+        best_size = 0
+        for observed in self._observed.values():
+            if observed.leader_id is None:
+                continue
+            size = len(observed.roster_by_position(now))
+            if size >= min_size and size > best_size:
+                best = observed
+                best_size = size
+        return best
+
+    # -------------------------------------------------------------- injection
+
+    def on_activate(self) -> None:
+        self._proc = self.scenario.sim.every(self.interval, self._inject,
+                                             initial_delay=0.1)
+
+    def on_deactivate(self) -> None:
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+
+    def _inject(self) -> None:
+        scenario = self.scenario
+        now = scenario.sim.now
+        target = self._largest_platoon(min_size=3 if self.mode == "split" else 2)
+        if target is None:
+            return
+        roster = target.roster_by_position(now)
+        leader_id = target.leader_id
+        members = [mid for mid in roster if mid != leader_id]
+        if not members:
+            return
+        if self.mode == "entrance":
+            victim = members[self._victim_cursor % len(members)]
+            self._victim_cursor += 1
+            msg = ManeuverMessage(sender_id=leader_id, timestamp=now,
+                                  maneuver=ManeuverType.GAP_OPEN,
+                                  platoon_id=target.platoon_id,
+                                  target_id=victim, gap_size=self.gap_factor)
+        elif self.mode == "leave":
+            # Claim to *be* the victim asking to leave; the leader expels it.
+            victim = members[-1]
+            msg = ManeuverMessage(sender_id=victim, timestamp=now,
+                                  maneuver=ManeuverType.LEAVE_REQUEST,
+                                  platoon_id=target.platoon_id,
+                                  target_id=leader_id)
+        else:  # split
+            # Ensure the forged roster starts with the leader: beacons order
+            # by position and the leader is in front on a sane platoon.
+            if roster[0] != leader_id:
+                roster = [leader_id] + members
+            split_index = max(1, len(roster) // 2)
+            msg = ManeuverMessage(sender_id=leader_id, timestamp=now,
+                                  maneuver=ManeuverType.SPLIT_COMMAND,
+                                  platoon_id=target.platoon_id,
+                                  split_index=split_index)
+            msg.payload["roster"] = roster
+        self._node.send(msg)
+        self.taint(msg.sender_id)
+        self.injected += 1
+        scenario.events.record(now, "attack_injection", self.name,
+                               mode=self.mode, platoon=target.platoon_id)
+
+    def observables(self) -> dict:
+        return {"mode": self.mode, "injected": self.injected,
+                "platoons_observed": len(self._observed)}

@@ -1,0 +1,134 @@
+"""Replay attack (§V-A.1, Table II row "Replay").
+
+A roadside/chase attacker records legitimate platoon traffic and
+re-injects it later, unmodified.  The recorded frames carry *valid*
+authentication tags -- replay defeats pure message authentication and is
+only stopped by freshness checks (timestamps/nonces, §VI-A.1).
+
+Replaying stale leader beacons poisons the members' beacon knowledge
+bases: the CACC feed-forward consumes leader speed/acceleration from a
+different phase of the speed profile, so members "position themselves
+into the best positions based on the information they receive" -- and
+oscillate, exactly the paper's narrative.  Replaying recorded GAP_OPEN /
+GAP_CLOSE manoeuvre commands yields the close-the-gap/back-off flapping
+of the paper's worked example.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.net.messages import (
+    Beacon,
+    ManeuverMessage,
+    ManeuverType,
+    Message,
+    MessageType,
+)
+
+
+class ReplayAttack(Attack):
+    """Record-then-replay of platoon traffic.
+
+    Parameters
+    ----------
+    replay_interval:
+        Seconds between injected replays while active.
+    min_age, max_age:
+        A recorded frame is eligible for replay once it is at least
+        ``min_age`` old; frames older than ``max_age`` are dropped from
+        the buffer (the attacker keeps a sliding window).
+    target:
+        ``"beacons"`` replays leader beacons, ``"maneuvers"`` replays gap
+        commands, ``"all"`` replays both.
+    burst:
+        Frames injected per replay tick.
+    """
+
+    name = "replay"
+    compromises = ("integrity",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 replay_interval: float = 0.1, min_age: float = 4.0,
+                 max_age: float = 12.0, target: str = "beacons",
+                 burst: int = 6, position: Optional[float] = None) -> None:
+        super().__init__(start_time, stop_time)
+        if target not in ("beacons", "maneuvers", "all"):
+            raise ValueError(f"unknown replay target {target!r}")
+        self.replay_interval = replay_interval
+        self.min_age = min_age
+        self.max_age = max_age
+        self.target = target
+        self.burst = burst
+        self.position = position
+        self.recorded: list[tuple[float, Message]] = []
+        self.replayed = 0
+        self._node: Optional[AttackerNode] = None
+        self._proc = None
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        # Chase car pacing the platoon tail so it hears everything.
+        tail = scenario.platoon_vehicles[-1]
+        position = self.position if self.position is not None \
+            else tail.position - 30.0
+        self._node = AttackerNode(scenario, "replay-attacker", position,
+                                  speed=scenario.config.initial_speed)
+        self._node.radio.add_tap(self._record)
+
+    def _wants(self, msg: Message) -> bool:
+        if self.target in ("beacons", "all") and isinstance(msg, Beacon):
+            # Record every platoon vehicle's beacons: replaying stale
+            # *predecessor* state hits the CACC of every follower, not just
+            # the first one.
+            return msg.sender_id in self.scenario.world
+        if self.target in ("maneuvers", "all") and isinstance(msg, ManeuverMessage):
+            # The attacker replays the commands that *create conflict*: a
+            # stale GAP_OPEN re-opens a gap the leader already closed, a
+            # stale SPEED_COMMAND re-imposes an old cruise speed.  Replaying
+            # the matching GAP_CLOSE too would cancel its own damage.
+            return msg.maneuver in (ManeuverType.GAP_OPEN,
+                                    ManeuverType.SPEED_COMMAND)
+        return False
+
+    def _record(self, msg: Message) -> None:
+        if not self._wants(msg):
+            return
+        self.recorded.append((self.scenario.sim.now, msg.copy()))
+        # prune the sliding window
+        horizon = self.scenario.sim.now - self.max_age
+        while self.recorded and self.recorded[0][0] < horizon:
+            self.recorded.pop(0)
+
+    def on_activate(self) -> None:
+        self._proc = self.scenario.sim.every(self.replay_interval, self._replay_tick)
+        self.taint(*(v.vehicle_id for v in self.scenario.platoon_vehicles))
+
+    def on_deactivate(self) -> None:
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+        self.untaint(*(v.vehicle_id for v in self.scenario.platoon_vehicles))
+
+    def _replay_tick(self) -> None:
+        now = self.scenario.sim.now
+        # Oldest eligible frame per (sender, kind): beacons poison every
+        # member's knowledge base with maximally stale state; manoeuvre
+        # commands replay both the GAP_OPEN and the GAP_CLOSE so the victim
+        # flaps between positions (the paper's §V-A.1 oscillation).
+        oldest: dict[tuple, Message] = {}
+        for t, m in self.recorded:
+            if now - t < self.min_age:
+                continue
+            key = (m.sender_id, getattr(m, "maneuver", None))
+            if key not in oldest:
+                oldest[key] = m
+        if not oldest:
+            return
+        for msg in list(oldest.values())[:self.burst]:
+            self._node.send(msg.copy())
+            self.replayed += 1
+
+    def observables(self) -> dict:
+        return {"recorded": len(self.recorded), "replayed": self.replayed}

@@ -1,0 +1,93 @@
+"""Sensor jamming/spoofing attack (§V-G, Table II row "Jamming and
+Spoofing Sensors").
+
+Covers the non-GPS half of the paper's sensor narrative:
+
+* ``blind_radar=True`` -- laser/torch blinding of the forward
+  camera/LiDAR or radar jamming: the ranging sensor returns no target.
+  A blinded member cannot measure its gap and must fall back to
+  beacon-claimed positions (if any are fresh), so FDI on positions gets a
+  direct path into spacing control; a blinded *free* vehicle simply loses
+  its ACC target ("blind spots can hide dangers").
+* ``radar_bias``  -- spoofed returns: the sensor reports the true gap
+  plus an adversary-chosen offset, moving the equilibrium spacing.
+* ``spoof_tpms=True`` -- unauthenticated TPMS frame injection: constant
+  low-pressure readings raise continuous warnings to the driver
+  ("constant alerts and warnings"), the classic cheap RF entry point.
+
+Multiple victims are supported (``victim_indices``); per the paper "it is
+far easier for an attacker to jam individual sensors" than the whole
+platoon, so the default hits one member.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.attack import Attack
+
+
+class SensorSpoofingAttack(Attack):
+    """Radar blinding / radar bias injection / TPMS spoofing."""
+
+    name = "sensor_spoofing"
+    compromises = ("authenticity", "availability")
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 victim_indices: Sequence[int] = (3,),
+                 blind_radar: bool = True,
+                 radar_bias: Optional[float] = None,
+                 spoof_tpms: bool = False,
+                 tpms_value_kpa: float = 95.0) -> None:
+        super().__init__(start_time, stop_time)
+        self.victim_indices = tuple(victim_indices)
+        self.blind_radar = blind_radar
+        self.radar_bias = radar_bias
+        self.spoof_tpms = spoof_tpms
+        self.tpms_value_kpa = tpms_value_kpa
+        self.victim_ids: list[str] = []
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        vehicles = scenario.platoon_vehicles
+        self.victim_ids = [vehicles[i % len(vehicles)].vehicle_id
+                           for i in self.victim_indices]
+
+    def on_activate(self) -> None:
+        for victim_id in self.victim_ids:
+            victim = self.scenario.world.get(victim_id)
+            if victim is None:
+                continue
+            if self.blind_radar:
+                victim.radar.blind()
+            elif self.radar_bias is not None:
+                bias = self.radar_bias
+                victim.radar.inject_bias(lambda gap, now, b=bias: gap + b)
+            if self.spoof_tpms:
+                victim.tpms.spoof(self.tpms_value_kpa)
+            self.scenario.events.record(self.scenario.sim.now, "sensor_attacked",
+                                        self.name, victim=victim_id,
+                                        blinded=self.blind_radar,
+                                        bias=self.radar_bias,
+                                        tpms=self.spoof_tpms)
+
+    def on_deactivate(self) -> None:
+        for victim_id in self.victim_ids:
+            victim = self.scenario.world.get(victim_id)
+            if victim is None:
+                continue
+            victim.radar.restore()
+            victim.tpms.clear_spoof()
+
+    def observables(self) -> dict:
+        warnings = 0
+        for victim_id in self.victim_ids:
+            victim = self.scenario.world.get(victim_id)
+            if victim is not None:
+                warnings += victim.tpms.warnings_raised
+        return {
+            "victims": list(self.victim_ids),
+            "blind_radar": self.blind_radar,
+            "radar_bias": self.radar_bias,
+            "tpms_warnings": warnings,
+        }

@@ -1,0 +1,177 @@
+"""Sybil attack (§V-A.2, Table II row "Sybil attack").
+
+One attacker node "pretends to present multiple nodes": it fabricates
+ghost vehicle identities that request to join the platoon, acknowledge
+the join protocol, and then emit periodic beacons claiming plausible
+positions behind the tail.  Consequences reproduced:
+
+* the leader's roster inflates with vehicles that do not exist,
+* platoon capacity is exhausted, so real joiners are rejected ("prevent
+  members from joining"),
+* the leader "think[s] there are more vehicles part of the platoon than
+  there really are" -- measured as roster length vs. physical length.
+
+Defence interactions: with group-key authentication an *insider* Sybil
+attacker (an admitted member that holds the key) still succeeds -- the key
+authenticates the message, not the identity.  Per-identity PKI
+certificates stop it: ghosts cannot present valid certs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.net.messages import Beacon, ManeuverMessage, ManeuverType, Message
+from repro.security.crypto import hmac_tag
+
+
+class SybilAttack(Attack):
+    """Ghost-vehicle fabrication by a single attacker node.
+
+    Parameters
+    ----------
+    n_ghosts:
+        How many fake identities to create.
+    insider:
+        If True, the attacker is modelled as having platoon credentials
+        (it reads the group key from the scenario's security context), so
+        symmetric message authentication does not stop it.
+    ghost_spacing:
+        Claimed gap between consecutive ghosts [m].
+    """
+
+    name = "sybil"
+    compromises = ("authenticity",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 n_ghosts: int = 4, insider: bool = True,
+                 ghost_spacing: float = 18.0,
+                 beacon_interval: float = 0.1) -> None:
+        super().__init__(start_time, stop_time)
+        self.n_ghosts = n_ghosts
+        self.insider = insider
+        self.ghost_spacing = ghost_spacing
+        self.beacon_interval = beacon_interval
+        self.ghost_ids: list[str] = []
+        self.ghosts_accepted: set[str] = set()
+        self.ghosts_admitted: set[str] = set()
+        self.join_requests_sent = 0
+        self.beacons_sent = 0
+        self._node: Optional[AttackerNode] = None
+        self._beacon_proc = None
+        self._join_proc = None
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        tail = scenario.platoon_vehicles[-1]
+        self._node = AttackerNode(scenario, "sybil-attacker",
+                                  tail.position - 25.0,
+                                  speed=scenario.config.initial_speed)
+        self._node.radio.add_tap(self._on_overheard)
+        self.ghost_ids = [f"ghost{i}" for i in range(self.n_ghosts)]
+
+    # --------------------------------------------------------------- helpers
+
+    def _secure(self, msg: Message) -> Message:
+        """Attach whatever credentials the attacker plausibly has."""
+        if self.insider:
+            group_key = self.scenario.security_context.get("group_key")
+            if group_key is not None:
+                # Insider holds the symmetric key: forge a valid MAC.
+                nonce_counter = self.scenario.security_context.get(
+                    "sybil_nonce", 1_000_000)
+                msg.nonce = nonce_counter
+                self.scenario.security_context["sybil_nonce"] = nonce_counter + 1
+                msg.auth_tag = hmac_tag(group_key, msg.signing_bytes())
+        return msg
+
+    def _tail_anchor(self) -> tuple[float, float]:
+        tail = self.scenario.platoon_vehicles[-1]
+        return tail.position, tail.speed
+
+    # -------------------------------------------------------------- protocol
+
+    def on_activate(self) -> None:
+        self._join_proc = self.scenario.sim.every(1.0, self._join_tick,
+                                                  initial_delay=0.1)
+        self._beacon_proc = self.scenario.sim.every(self.beacon_interval,
+                                                    self._beacon_tick)
+        self.taint(*self.ghost_ids)
+
+    def on_deactivate(self) -> None:
+        for proc in (self._join_proc, self._beacon_proc):
+            if proc is not None:
+                proc.stop()
+        self._join_proc = self._beacon_proc = None
+
+    def _join_tick(self) -> None:
+        scenario = self.scenario
+        # Retry JOIN_COMPLETE for accepted ghosts the roster has not
+        # confirmed yet (individual frames can be lost to fading).
+        for ghost_id in sorted(self.ghosts_accepted - self.ghosts_admitted):
+            self._complete_join(ghost_id)
+        for ghost_id in self.ghost_ids:
+            if ghost_id in self.ghosts_accepted:
+                continue
+            msg = ManeuverMessage(sender_id=ghost_id, timestamp=scenario.sim.now,
+                                  maneuver=ManeuverType.JOIN_REQUEST,
+                                  platoon_id=scenario.platoon_id,
+                                  target_id=scenario.leader.vehicle_id)
+            self._node.send(self._secure(msg))
+            self.join_requests_sent += 1
+            return  # one pending ghost at a time keeps the queue polite
+
+    def _on_overheard(self, msg: Message) -> None:
+        if not self.active:
+            return
+        if isinstance(msg, ManeuverMessage) and msg.maneuver is ManeuverType.JOIN_ACCEPT:
+            if msg.target_id in self.ghost_ids and msg.target_id not in self.ghosts_accepted:
+                self.ghosts_accepted.add(msg.target_id)
+                # Pretend to approach, then declare completion shortly after.
+                self.scenario.sim.schedule(1.0, self._complete_join, msg.target_id)
+        if isinstance(msg, ManeuverMessage) and msg.maneuver is ManeuverType.ROSTER:
+            roster = msg.payload.get("roster", [])
+            for ghost_id in self.ghost_ids:
+                if ghost_id in roster:
+                    self.ghosts_admitted.add(ghost_id)
+
+    def _complete_join(self, ghost_id: str) -> None:
+        if not self.active:
+            return
+        msg = ManeuverMessage(sender_id=ghost_id, timestamp=self.scenario.sim.now,
+                              maneuver=ManeuverType.JOIN_COMPLETE,
+                              platoon_id=self.scenario.platoon_id,
+                              target_id=self.scenario.leader.vehicle_id)
+        self._node.send(self._secure(msg))
+
+    def _beacon_tick(self) -> None:
+        if not self.ghosts_accepted:
+            return
+        tail_pos, tail_speed = self._tail_anchor()
+        for i, ghost_id in enumerate(sorted(self.ghosts_accepted)):
+            beacon = Beacon(sender_id=ghost_id, timestamp=self.scenario.sim.now,
+                            position=tail_pos - (i + 1) * self.ghost_spacing,
+                            speed=tail_speed, acceleration=0.0,
+                            platoon_id=self.scenario.platoon_id)
+            self._node.send(self._secure(beacon))
+            self.beacons_sent += 1
+
+    # --------------------------------------------------------------- results
+
+    def observables(self) -> dict:
+        registry = self.scenario.leader_logic.registry
+        roster_size = registry.size
+        physical = sum(1 for vid in registry.members if vid in self.scenario.world)
+        # Ground truth from the leader's registry (the attacker's own view,
+        # self.ghosts_admitted, can lag when it misses a ROSTER frame).
+        admitted = sum(1 for gid in self.ghost_ids if gid in registry.members)
+        return {
+            "ghosts_requested": self.n_ghosts,
+            "ghosts_admitted": admitted,
+            "join_requests_sent": self.join_requests_sent,
+            "ghost_beacons_sent": self.beacons_sent,
+            "roster_size": roster_size,
+            "physical_members": physical,
+            "roster_inflation": roster_size - physical,
+        }

@@ -1,0 +1,328 @@
+"""Evaluation campaigns: canonical experiments behind Tables II and III.
+
+For every Table II threat there is a *canonical experiment*: a scenario
+configuration, the attack instance(s), optional traffic hooks, and a
+headline metric with a direction.  :func:`run_threat_catalogue` executes
+baseline + attacked episodes per threat and verdicts whether the paper's
+claimed effect materialised.  :func:`run_defense_matrix` crosses Table III
+mechanisms with the threats they claim to mitigate and reports the
+mitigation factor.
+
+These functions are what the T2/T3 benches (and the attack-campaign
+example) call; tests pin their semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.scenario import (
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+    gap_cycle_hook,
+    run_episode,
+)
+from repro.core import taxonomy
+from repro.core.attacks import (
+    DosJoinFloodAttack,
+    EavesdroppingAttack,
+    FakeManeuverAttack,
+    FalsificationAttack,
+    GpsSpoofingAttack,
+    ImpersonationAttack,
+    JammingAttack,
+    MalwareAttack,
+    ReplayAttack,
+    SensorSpoofingAttack,
+    SybilAttack,
+)
+from repro.core.defenses import (
+    FreshnessDefense,
+    GroupKeyAuthDefense,
+    HybridVlcDefense,
+    OnboardHardeningDefense,
+    ResilientControlDefense,
+    RsuKeyDistributionDefense,
+    TrustFilterDefense,
+    VpdAdaDefense,
+)
+from repro.onboard.malware import InfectionVector
+
+
+@dataclass
+class ThreatExperiment:
+    """A runnable, comparable experiment for one Table II threat."""
+
+    threat_key: str
+    variant: str
+    config: ScenarioConfig
+    make_attacks: Callable[[], list]
+    hooks: tuple = ()
+    # headline metric: (name, extractor(result) -> float, lower_is_better)
+    metric_name: str = "mean_abs_spacing_error"
+    lower_is_better: bool = True
+
+    def extract_metric(self, result: ScenarioResult) -> float:
+        return _extract(result, self.metric_name)
+
+
+def _extract(result: ScenarioResult, name: str) -> float:
+    metrics = result.metrics
+    if hasattr(metrics, name):
+        value = getattr(metrics, name)
+        return float(value) if value is not None else 0.0
+    for report in result.attack_reports:
+        if name in report.observables:
+            value = report.observables[name]
+            if isinstance(value, bool):
+                return 1.0 if value else 0.0
+            return float(value) if value is not None else 0.0
+    return 0.0
+
+
+def threat_experiment(threat_key: str,
+                      base_config: Optional[ScenarioConfig] = None,
+                      variant: Optional[str] = None) -> ThreatExperiment:
+    """Build the canonical experiment for a Table II threat key."""
+    base = base_config or ScenarioConfig(duration=90.0)
+    if threat_key not in taxonomy.THREATS:
+        raise KeyError(f"unknown threat {threat_key!r}; expected one of "
+                       f"{sorted(taxonomy.THREATS)}")
+
+    if threat_key == "sybil":
+        cfg = base.with_overrides(joiner=True, joiner_delay=55.0, max_members=10)
+        return ThreatExperiment(
+            threat_key, "ghost-joins", cfg,
+            lambda: [SybilAttack(start_time=base.warmup, n_ghosts=6)],
+            metric_name="roster_inflation", lower_is_better=True)
+
+    if threat_key == "fake_maneuver":
+        mode = variant or "split"
+        metric = {"entrance": "gap_open_time_s",
+                  "leave": "members_remaining",
+                  "split": "platoon_fragments"}[mode]
+        lower = mode != "leave"   # more members remaining is better
+        interval = 15.0 if mode == "split" else 8.0
+        return ThreatExperiment(
+            threat_key, mode, base,
+            lambda: [FakeManeuverAttack(start_time=base.warmup, mode=mode,
+                                        interval=interval)],
+            metric_name=metric, lower_is_better=lower)
+
+    if threat_key == "replay":
+        return ThreatExperiment(
+            threat_key, "gap-command-replay", base,
+            lambda: [ReplayAttack(start_time=base.warmup, target="all")],
+            hooks=(gap_cycle_hook(),),
+            metric_name="gap_open_time_s", lower_is_better=True)
+
+    if threat_key == "jamming":
+        return ThreatExperiment(
+            threat_key, "barrage-30dBm", base,
+            lambda: [JammingAttack(start_time=base.warmup, power_dbm=30.0)],
+            metric_name="degraded_fraction", lower_is_better=True)
+
+    if threat_key == "eavesdropping":
+        return ThreatExperiment(
+            threat_key, "roadside-capture", base,
+            lambda: [EavesdroppingAttack(start_time=base.warmup)],
+            metric_name="route_coverage", lower_is_better=True)
+
+    if threat_key == "dos":
+        cfg = base.with_overrides(joiner=True, joiner_delay=base.warmup + 15.0,
+                                  max_pending=4)
+        return ThreatExperiment(
+            threat_key, "join-flood", cfg,
+            lambda: [DosJoinFloodAttack(start_time=base.warmup, rate_hz=5.0)],
+            metric_name="joins_completed", lower_is_better=False)
+
+    if threat_key == "impersonation":
+        steal = (variant == "stolen-key")
+        return ThreatExperiment(
+            threat_key, variant or "stolen-id", base,
+            lambda: [ImpersonationAttack(start_time=base.warmup,
+                                         steal_key=steal)],
+            metric_name="victim_expelled", lower_is_better=True)
+
+    if threat_key == "sensor_spoofing":
+        if variant == "gps":
+            return ThreatExperiment(
+                threat_key, "gps", base,
+                lambda: [GpsSpoofingAttack(start_time=base.warmup,
+                                           drift_rate=2.0)],
+                metric_name="mean_beacon_error_m", lower_is_better=True)
+        return ThreatExperiment(
+            threat_key, variant or "blind+tpms", base,
+            lambda: [SensorSpoofingAttack(start_time=base.warmup,
+                                          spoof_tpms=True)],
+            metric_name="tpms_warnings", lower_is_better=True)
+
+    if threat_key == "malware":
+        vector = {"obd": InfectionVector.OBD,
+                  "media": InfectionVector.MEDIA,
+                  "wireless": InfectionVector.WIRELESS}.get(
+                      variant or "wireless", InfectionVector.WIRELESS)
+        return ThreatExperiment(
+            threat_key, variant or "wireless", base,
+            lambda: [MalwareAttack(start_time=base.warmup, vectors=(vector,))],
+            metric_name="infected_at_end", lower_is_better=True)
+
+    if threat_key == "falsification":
+        return ThreatExperiment(
+            threat_key, variant or "oscillate", base,
+            lambda: [FalsificationAttack(start_time=base.warmup,
+                                         profile=variant or "oscillate",
+                                         amplitude=2.5)],
+            metric_name="mean_abs_spacing_error", lower_is_better=True)
+
+    raise AssertionError(f"unhandled threat {threat_key!r}")
+
+
+# --------------------------------------------------------------------------
+# Defence construction
+# --------------------------------------------------------------------------
+
+def make_defenses(mechanism_key: str) -> tuple[list, dict]:
+    """Canonical defence stack for a Table III mechanism key.
+
+    Returns ``(defenses, config_requirements)`` where the requirements are
+    ScenarioConfig overrides the mechanism needs (VLC hardware, authority,
+    RSUs along the route).
+    """
+    if mechanism_key == "secret_public_keys":
+        return ([GroupKeyAuthDefense(encrypt=True), FreshnessDefense()], {})
+    if mechanism_key == "roadside_units":
+        return ([RsuKeyDistributionDefense(), GroupKeyAuthDefense(encrypt=True)],
+                {"with_authority": True,
+                 "rsu_positions": (1200.0, 2400.0, 3600.0, 4800.0, 6000.0),
+                 "rsu_coverage": 800.0})
+    if mechanism_key == "control_algorithms":
+        return ([VpdAdaDefense(expel=True), ResilientControlDefense()], {})
+    if mechanism_key == "hybrid_communications":
+        return ([HybridVlcDefense()], {"with_vlc": True})
+    if mechanism_key == "onboard_security":
+        return ([OnboardHardeningDefense()], {})
+    if mechanism_key == "trust_management":
+        return ([TrustFilterDefense(), VpdAdaDefense()], {})
+    raise KeyError(f"unknown mechanism {mechanism_key!r}; expected one of "
+                   f"{sorted(taxonomy.MECHANISMS)}")
+
+
+# --------------------------------------------------------------------------
+# Campaign runners
+# --------------------------------------------------------------------------
+
+@dataclass
+class ThreatOutcome:
+    threat_key: str
+    variant: str
+    metric_name: str
+    baseline_value: float
+    attacked_value: float
+    effect_present: bool
+    attack_observables: dict = field(default_factory=dict)
+
+    @property
+    def impact_ratio(self) -> Optional[float]:
+        if self.baseline_value == 0:
+            return None
+        return self.attacked_value / self.baseline_value
+
+
+def run_threat_experiment(experiment: ThreatExperiment) -> ThreatOutcome:
+    """Run baseline + attacked episodes and verdict the claimed effect."""
+    baseline = run_episode(experiment.config, setup_hooks=experiment.hooks)
+    attacked = run_episode(experiment.config, attacks=experiment.make_attacks(),
+                           setup_hooks=experiment.hooks)
+    baseline_value = experiment.extract_metric(baseline)
+    attacked_value = experiment.extract_metric(attacked)
+    if experiment.lower_is_better:
+        effect = attacked_value > baseline_value + 1e-9
+    else:
+        effect = attacked_value < baseline_value - 1e-9
+    observables: dict = {}
+    for report in attacked.attack_reports:
+        observables.update({f"{report.attack_name}.{k}": v
+                            for k, v in report.observables.items()})
+    return ThreatOutcome(threat_key=experiment.threat_key,
+                         variant=experiment.variant,
+                         metric_name=experiment.metric_name,
+                         baseline_value=baseline_value,
+                         attacked_value=attacked_value,
+                         effect_present=effect,
+                         attack_observables=observables)
+
+
+def run_threat_catalogue(base_config: Optional[ScenarioConfig] = None,
+                         threats: Optional[Sequence[str]] = None
+                         ) -> list[ThreatOutcome]:
+    """Table II campaign: every catalogued threat, baseline vs attacked."""
+    keys = list(threats) if threats is not None else list(taxonomy.THREATS)
+    return [run_threat_experiment(threat_experiment(key, base_config))
+            for key in keys]
+
+
+@dataclass
+class MatrixCell:
+    mechanism_key: str
+    threat_key: str
+    metric_name: str
+    baseline_value: float
+    attacked_value: float
+    defended_value: float
+
+    @property
+    def mitigation(self) -> Optional[float]:
+        """Fraction of the attack-induced delta removed by the defence.
+
+        1.0 = fully restored to baseline; 0.0 = no help; negative = the
+        defence made it worse.  ``None`` when the attack had no effect.
+        """
+        delta_attack = self.attacked_value - self.baseline_value
+        if abs(delta_attack) < 1e-9:
+            return None
+        return (self.attacked_value - self.defended_value) / delta_attack
+
+
+def run_matrix_cell(mechanism_key: str, threat_key: str,
+                    base_config: Optional[ScenarioConfig] = None,
+                    variant: Optional[str] = None) -> MatrixCell:
+    """One Table III cell: attack impact with the mechanism off vs on."""
+    defenses, requirements = make_defenses(mechanism_key)
+    base = base_config or ScenarioConfig(duration=90.0)
+    # Matrix cells use the graded variants so mitigation is a ratio, not a
+    # boolean: entrance gaps for fake manoeuvres, oscillation for replay.
+    if variant is None and threat_key == "fake_maneuver":
+        variant = "entrance"
+    if variant is None and threat_key == "sensor_spoofing" \
+            and mechanism_key == "onboard_security":
+        variant = "gps"
+    experiment = threat_experiment(threat_key, base, variant=variant)
+    config = experiment.config.with_overrides(**requirements)
+    baseline = run_episode(config, setup_hooks=experiment.hooks)
+    attacked = run_episode(config, attacks=experiment.make_attacks(),
+                           setup_hooks=experiment.hooks)
+    defenses_fresh, _ = make_defenses(mechanism_key)
+    defended = run_episode(config, attacks=experiment.make_attacks(),
+                           defenses=defenses_fresh,
+                           setup_hooks=experiment.hooks)
+    return MatrixCell(mechanism_key=mechanism_key, threat_key=threat_key,
+                      metric_name=experiment.metric_name,
+                      baseline_value=experiment.extract_metric(baseline),
+                      attacked_value=experiment.extract_metric(attacked),
+                      defended_value=experiment.extract_metric(defended))
+
+
+def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
+                       mechanisms: Optional[Sequence[str]] = None
+                       ) -> list[MatrixCell]:
+    """Table III campaign: each mechanism against each threat it targets."""
+    keys = list(mechanisms) if mechanisms is not None else list(taxonomy.MECHANISMS)
+    cells: list[MatrixCell] = []
+    for mechanism_key in keys:
+        mechanism = taxonomy.MECHANISMS[mechanism_key]
+        for threat_key in mechanism.attack_targets:
+            cells.append(run_matrix_cell(mechanism_key, threat_key, base_config))
+    return cells

@@ -1,0 +1,49 @@
+"""Defence framework: base class for Table III security mechanisms.
+
+Defences install themselves into a scenario *before* it runs: they add
+receive filters and outbound processors to vehicles, join validators to
+leaders, detectors, infrastructure, or replace communication patterns
+(hybrid radio+VLC).  A defence that detects misbehaviour records events of
+kind ``"detection"`` with a ``true_positive`` flag so the metrics layer can
+compute precision and latency.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.scenario import Scenario
+
+
+class Defense(abc.ABC):
+    """Base class for all Table III defence mechanisms.
+
+    ``name`` must match a :class:`repro.core.taxonomy.MechanismEntry` key so
+    the taxonomy registry can verify every catalogued mechanism has an
+    implementation behind it.
+    """
+
+    name: str = "abstract"
+    mitigates: tuple = ()   # attack names this mechanism targets (Table III)
+
+    def __init__(self) -> None:
+        self.scenario: "Scenario | None" = None
+
+    @abc.abstractmethod
+    def setup(self, scenario: "Scenario") -> None:
+        """Install the mechanism into a built scenario."""
+
+    def observables(self) -> dict:
+        """Defence-specific measurements (override in subclasses)."""
+        return {}
+
+    def detect(self, source: str, suspect: str, reason: str,
+               true_positive: bool) -> None:
+        """Record a detection event in the scenario log."""
+        assert self.scenario is not None
+        self.scenario.events.record(self.scenario.sim.now, "detection", source,
+                                    suspect=suspect, reason=reason,
+                                    defense=self.name,
+                                    true_positive=true_positive)

@@ -1,0 +1,52 @@
+"""The defence suite: one module per Table III security mechanism.
+
+=========================  =======================================  ==================
+Defence class              Paper section                            Taxonomy key
+=========================  =======================================  ==================
+GroupKeyAuthDefense        §VI-A.1 secret (group) keys              secret_public_keys
+PkiSignatureDefense        §VI-A.1 public keys / PKI                secret_public_keys
+FreshnessDefense           §VI-A.1 timestamps/nonces (anti-replay)  secret_public_keys
+RsuKeyDistributionDefense  §VI-A.2 RSU key distribution             roadside_units
+VpdAdaDefense              §VI-A.3 VPD attack-detection algorithm   control_algorithms
+ResilientControlDefense    §VI-A.3 attack-resilient control         control_algorithms
+HybridVlcDefense           §VI-A.4 SP-VLC hybrid communication      hybrid_communications
+OnboardHardeningDefense    §VI-A.5 securing on-board systems        onboard_security
+TrustFilterDefense         §VI-B.3 trust management (REPLACE)       trust_management
+=========================  =======================================  ==================
+
+In addition to the Table III rows, two defences address the paper's open
+challenges and §VII future-work pointers (marked as extensions in the
+taxonomy):
+
+* ``WitnessJoinDefense`` -- Convoy-style physical context verification
+  for joins (ref [4]); stops Sybil ghosts without cryptography.
+* ``PseudonymRotationDefense`` -- random pseudonym updates (§III refs
+  [25]-[27]) for location privacy against eavesdropper tracking.
+"""
+
+from repro.core.defenses.message_auth import GroupKeyAuthDefense, PkiSignatureDefense
+from repro.core.defenses.freshness import FreshnessDefense
+from repro.core.defenses.rsu_keys import RsuKeyDistributionDefense
+from repro.core.defenses.vpd_ada import VpdAdaDefense
+from repro.core.defenses.resilient_control import ResilientControlDefense
+from repro.core.defenses.hybrid_vlc import HybridVlcDefense
+from repro.core.defenses.onboard_hardening import OnboardHardeningDefense
+from repro.core.defenses.trust_filter import TrustFilterDefense
+from repro.core.defenses.witness_join import WitnessJoinDefense
+from repro.core.defenses.pseudonyms import PseudonymRotationDefense
+
+ALL_DEFENSES = [
+    GroupKeyAuthDefense,
+    PkiSignatureDefense,
+    FreshnessDefense,
+    RsuKeyDistributionDefense,
+    VpdAdaDefense,
+    ResilientControlDefense,
+    HybridVlcDefense,
+    OnboardHardeningDefense,
+    TrustFilterDefense,
+    WitnessJoinDefense,
+    PseudonymRotationDefense,
+]
+
+__all__ = [cls.__name__ for cls in ALL_DEFENSES] + ["ALL_DEFENSES"]

@@ -1,0 +1,168 @@
+"""SP-VLC hybrid communication defence (§VI-A.4, Ucar et al. [2]).
+
+"To carry out any action, each member of the platoon must receive both
+[a] visible light transmission and an 802.11p transmission ... Suppose
+jamming of the wireless communication on 802.11p occurs.  In that case,
+it will switch to using visible light only until a secure connection can
+be re-established."
+
+Implementation on every platoon vehicle:
+
+* the vehicle's radio handler is replaced by a **cross-checking
+  dispatcher**: manoeuvre messages are acted on only when *both* the
+  radio copy and the VLC copy of the same frame (sender, seq) have
+  arrived -- a roadside forger with no headlight/taillight presence can
+  never complete the pair, so radio-only FDI is rejected;
+* **jamming fallback**: when no radio frame has been heard for
+  ``fallback_after`` seconds the radio is presumed jammed and VLC-only
+  frames are accepted, restoring availability;
+* **VLC relaying**: VLC reaches only adjacent vehicles, so every member
+  re-forwards leader-originated frames it first saw on VLC (seq-deduped),
+  letting leader beacons and commands hop down the string while the RF
+  channel is gone.
+
+Beacons are accepted from either medium (availability wins for control
+data); only *actions* (manoeuvres) require the two-channel agreement,
+exactly the SP-VLC rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.defense import Defense
+from repro.net.messages import ManeuverMessage, Message, MessageType
+
+
+class HybridVlcDefense(Defense):
+    """Radio+VLC cross-checking with jamming fallback and VLC relaying."""
+
+    name = "hybrid_vlc"
+    mitigates = ("jamming", "fake_maneuver", "replay", "sybil")
+
+    def __init__(self, fallback_after: float = 1.0,
+                 pair_window: float = 0.5,
+                 require_both_for_maneuvers: bool = True) -> None:
+        super().__init__()
+        self.fallback_after = fallback_after
+        self.pair_window = pair_window
+        self.require_both_for_maneuvers = require_both_for_maneuvers
+        self.vlc_frames = 0
+        self.maneuvers_cross_checked = 0
+        self.maneuvers_blocked = 0
+        self.fallback_accepts = 0
+        self.relayed = 0
+        self._last_radio_rx: dict[str, float] = {}
+        self._pending: dict[str, dict[tuple, tuple]] = {}
+        self._relayed_seqs: dict[str, set] = {}
+
+    def setup(self, scenario) -> None:
+        if scenario.vlc is None:
+            raise ValueError("HybridVlcDefense requires ScenarioConfig.with_vlc=True")
+        self.scenario = scenario
+        vehicles = list(scenario.platoon_vehicles)
+        if scenario.joiner is not None:
+            vehicles.append(scenario.joiner)
+        for vehicle in vehicles:
+            if vehicle.vlc is None:
+                continue
+            self._last_radio_rx[vehicle.vehicle_id] = scenario.sim.now
+            self._pending[vehicle.vehicle_id] = {}
+            self._relayed_seqs[vehicle.vehicle_id] = set()
+            original_handlers = vehicle.radio.clear_handlers()
+            vehicle.radio.on_receive(
+                self._make_radio_handler(vehicle, original_handlers))
+            vehicle.vlc.on_receive(
+                self._make_vlc_handler(vehicle, original_handlers))
+
+    # ------------------------------------------------------------ dispatchers
+
+    def _radio_presumed_jammed(self, vehicle_id: str) -> bool:
+        last = self._last_radio_rx.get(vehicle_id, 0.0)
+        return (self.scenario.sim.now - last) > self.fallback_after
+
+    def _make_radio_handler(self, vehicle, downstream):
+        def handler(msg: Message) -> None:
+            self._last_radio_rx[vehicle.vehicle_id] = self.scenario.sim.now
+            self._dispatch(vehicle, msg, medium="radio", downstream=downstream)
+
+        return handler
+
+    def _make_vlc_handler(self, vehicle, downstream):
+        def handler(msg: Message) -> None:
+            self.vlc_frames += 1
+            self._relay(vehicle, msg)
+            self._dispatch(vehicle, msg, medium="vlc", downstream=downstream)
+
+        return handler
+
+    def _dispatch(self, vehicle, msg: Message, medium: str, downstream) -> None:
+        if (msg.msg_type is not MessageType.MANEUVER
+                or not self.require_both_for_maneuvers):
+            # Beacons / data: either medium is fine.
+            self._deliver(downstream, msg)
+            return
+        now = self.scenario.sim.now
+        if medium == "vlc" and self._radio_presumed_jammed(vehicle.vehicle_id):
+            # Radio is gone: switch to VLC-only operation.
+            self.fallback_accepts += 1
+            self._deliver(downstream, msg)
+            return
+        pending = self._pending[vehicle.vehicle_id]
+        key = (msg.sender_id, msg.seq)
+        # purge stale pending entries
+        for stale_key in [k for k, (t, _, _) in pending.items()
+                          if now - t > self.pair_window]:
+            self.maneuvers_blocked += 1
+            del pending[stale_key]
+        if key in pending:
+            _, other_medium, stored = pending.pop(key)
+            if other_medium != medium:
+                self.maneuvers_cross_checked += 1
+                self._deliver(downstream, stored if medium == "vlc" else msg)
+            else:
+                pending[key] = (now, medium, msg)
+        else:
+            pending[key] = (now, medium, msg)
+
+    @staticmethod
+    def _deliver(downstream, msg: Message) -> None:
+        for handler in downstream:
+            handler(msg)
+
+    # --------------------------------------------------------------- relaying
+
+    def _relay(self, vehicle, msg: Message) -> None:
+        """Forward platoon VLC frames one more hop along the string.
+
+        VLC only reaches adjacent vehicles, so platoon-wide visibility under
+        RF jamming needs hop-by-hop flooding in *both* directions: leader
+        frames travel down to the tail, member beacons travel up so the
+        leader keeps hearing its platoon (and does not prune live members).
+        Seq-dedup keeps each frame to one relay per vehicle.
+        """
+        state = vehicle.state
+        if state.leader_id is None:
+            return
+        is_platoon_traffic = (msg.sender_id == state.leader_id
+                              or msg.sender_id in state.roster)
+        if not is_platoon_traffic:
+            return
+        seen = self._relayed_seqs[vehicle.vehicle_id]
+        if msg.seq in seen:
+            return
+        seen.add(msg.seq)
+        if len(seen) > 4096:
+            self._relayed_seqs[vehicle.vehicle_id] = set(list(seen)[-1024:])
+        if vehicle.vlc is not None and vehicle.vlc.enabled:
+            vehicle.vlc.send(msg)
+            self.relayed += 1
+
+    def observables(self) -> dict:
+        return {
+            "vlc_frames": self.vlc_frames,
+            "maneuvers_cross_checked": self.maneuvers_cross_checked,
+            "maneuvers_blocked": self.maneuvers_blocked,
+            "fallback_accepts": self.fallback_accepts,
+            "relayed": self.relayed,
+        }

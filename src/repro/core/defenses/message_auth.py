@@ -1,0 +1,191 @@
+"""Message authentication defences (§VI-A.1, Table III row "Secret and
+Public Keys").
+
+Two mechanisms, matching the paper's distinction:
+
+* :class:`GroupKeyAuthDefense` -- one symmetric key shared by the whole
+  platoon.  HMAC tags stop *outsider* injection (fake manoeuvres,
+  impersonation, DoS identities, message falsification from the roadside)
+  and, with ``encrypt=True``, make beacon contents unreadable to
+  eavesdroppers.  Its documented weakness is the paper's own caveat:
+  "an attacker in the network can still carry out attacks" -- any insider
+  (or anyone who stole the key) forges valid tags, and the key
+  authenticates *membership*, not identity, so Sybil ghosts pass.
+* :class:`PkiSignatureDefense` -- per-identity certificates and
+  signatures.  Binds ``sender_id`` to a key: Sybil ghosts and stolen-ID
+  impersonation fail outright; stolen-*key* impersonation is handled by
+  revocation (see :mod:`repro.core.defenses.rsu_keys`).
+
+Both install an outbound processor (sign) and a receive filter (verify)
+on every protected vehicle.  Filters only police platoon traffic (beacons
+and manoeuvres); infrastructure key-distribution frames have their own
+verification path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.defense import Defense
+from repro.net.messages import Message, MessageType
+from repro.security.crypto import NonceGenerator, hmac_tag, hmac_verify
+from repro.security.pki import CertificateAuthority
+from repro.security.crypto import sign as rsa_sign
+from repro.security.crypto import verify as rsa_verify
+
+_PROTECTED_TYPES = (MessageType.BEACON, MessageType.MANEUVER)
+
+
+class GroupKeyAuthDefense(Defense):
+    """Platoon-wide symmetric HMAC authentication (+ optional encryption)."""
+
+    name = "group_key_auth"
+    mitigates = ("fake_maneuver", "impersonation", "dos", "eavesdropping")
+
+    def __init__(self, encrypt: bool = False) -> None:
+        super().__init__()
+        self.encrypt = encrypt
+        self.group_key: Optional[bytes] = None
+        self.rejected = 0
+        self.verified = 0
+        self._nonces: dict[str, NonceGenerator] = {}
+
+    def setup(self, scenario) -> None:
+        self.scenario = scenario
+        if scenario.authority is not None:
+            self.group_key = scenario.authority.current_group_key()
+        else:
+            self.group_key = bytes(scenario.sim.rng.getrandbits(8)
+                                   for _ in range(32))
+        scenario.security_context["group_key"] = self.group_key
+
+        vehicles = list(scenario.platoon_vehicles)
+        if scenario.joiner is not None:
+            vehicles.append(scenario.joiner)
+        for vehicle in vehicles:
+            self._nonces[vehicle.vehicle_id] = NonceGenerator()
+            vehicle.outbound_processors.append(
+                self._make_signer(vehicle.vehicle_id))
+            vehicle.radio.add_filter(self._verify)
+
+    def _make_signer(self, vehicle_id: str):
+        def signer(msg: Message) -> Message:
+            if msg.msg_type not in _PROTECTED_TYPES:
+                return msg
+            if self.encrypt:
+                msg.payload["__encrypted__"] = True
+            if msg.nonce is None:
+                msg.nonce = self._nonces[vehicle_id].next()
+            msg.auth_tag = hmac_tag(self.group_key, msg.signing_bytes())
+            return msg
+
+        return signer
+
+    def _verify(self, msg: Message) -> bool:
+        if msg.msg_type not in _PROTECTED_TYPES:
+            return True
+        if hmac_verify(self.group_key, msg.signing_bytes(), msg.auth_tag):
+            self.verified += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def observables(self) -> dict:
+        return {"verified": self.verified, "rejected": self.rejected,
+                "encrypt": self.encrypt}
+
+
+class PkiSignatureDefense(Defense):
+    """Per-identity certificates + signatures on every protected message."""
+
+    name = "pki_signatures"
+    mitigates = ("sybil", "impersonation", "fake_maneuver", "dos")
+
+    def __init__(self, ca_bits: int = 256, check_revocation: bool = True) -> None:
+        super().__init__()
+        self.ca_bits = ca_bits
+        self.check_revocation = check_revocation
+        self.ca: Optional[CertificateAuthority] = None
+        self.rejected_no_cert = 0
+        self.rejected_identity = 0
+        self.rejected_signature = 0
+        self.rejected_revoked = 0
+        self.verified = 0
+        self._creds: dict[str, tuple] = {}
+        self._cert_cache: set[int] = set()   # serials already chain-checked
+
+    def setup(self, scenario) -> None:
+        self.scenario = scenario
+        if scenario.authority is not None:
+            self.ca = scenario.authority.ca
+        else:
+            import random
+
+            self.ca = CertificateAuthority(rng=random.Random(scenario.config.seed),
+                                           bits=self.ca_bits)
+        vehicles = list(scenario.platoon_vehicles)
+        if scenario.joiner is not None:
+            vehicles.append(scenario.joiner)
+        keypairs: dict = {}
+        certs: dict = {}
+        for vehicle in vehicles:
+            keypair, cert = self.ca.enroll(vehicle.vehicle_id, now=scenario.sim.now)
+            self._creds[vehicle.vehicle_id] = (keypair, cert)
+            keypairs[vehicle.vehicle_id] = keypair
+            certs[vehicle.vehicle_id] = cert
+            vehicle.outbound_processors.append(
+                self._make_signer(vehicle.vehicle_id))
+            vehicle.radio.add_filter(self._verify)
+        # Published so stolen-key attack variants can model key exfiltration.
+        scenario.security_context["keypairs"] = keypairs
+        scenario.security_context["certificates"] = certs
+        scenario.security_context["ca"] = self.ca
+
+    def _make_signer(self, vehicle_id: str):
+        keypair, cert = self._creds[vehicle_id]
+
+        def signer(msg: Message) -> Message:
+            if msg.msg_type not in _PROTECTED_TYPES:
+                return msg
+            msg.cert = cert
+            msg.signature = rsa_sign(keypair, msg.signing_bytes())
+            return msg
+
+        return signer
+
+    def _verify(self, msg: Message) -> bool:
+        if msg.msg_type not in _PROTECTED_TYPES:
+            return True
+        cert = msg.cert
+        if cert is None:
+            self.rejected_no_cert += 1
+            return False
+        # Identity binding: the certificate subject must be the claimed sender.
+        if cert.subject_id != msg.sender_id:
+            self.rejected_identity += 1
+            return False
+        if self.check_revocation and self.ca.is_revoked(cert.subject_id):
+            self.rejected_revoked += 1
+            return False
+        if cert.serial not in self._cert_cache:
+            if not self.ca.validate_certificate(cert, now=self.scenario.sim.now):
+                self.rejected_identity += 1
+                return False
+            self._cert_cache.add(cert.serial)
+        elif self.check_revocation and self.ca.is_revoked(cert.subject_id):
+            self.rejected_revoked += 1
+            return False
+        if not rsa_verify(cert.public_key, msg.signing_bytes(), msg.signature):
+            self.rejected_signature += 1
+            return False
+        self.verified += 1
+        return True
+
+    def observables(self) -> dict:
+        return {
+            "verified": self.verified,
+            "rejected_no_cert": self.rejected_no_cert,
+            "rejected_identity": self.rejected_identity,
+            "rejected_signature": self.rejected_signature,
+            "rejected_revoked": self.rejected_revoked,
+        }

@@ -1,0 +1,171 @@
+"""On-board hardening defence (§VI-A.5, Table III row "Securing Onboard
+Systems").
+
+Installs a hardened :class:`~repro.onboard.malware.OnboardNetwork` on every
+platoon vehicle and runs the operational side of the paper's advice:
+
+* firewall segmentation (lateral movement blocked),
+* media allow-listing ("not downloading from unauthorised sources"),
+* periodic antivirus scans that remediate infections and restore disabled
+  services -- when the V2X gateway comes back, the vehicle's radio is
+  re-enabled and an event records the remediation,
+* secure-boot checks on periodic reboots refusing tampered firmware.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.defense import Defense
+from repro.onboard.hardening import HardeningProfile
+from repro.onboard.malware import OnboardNetwork
+
+KNOWN_STRAINS = {"platoon-wiper", "tpms-ghost", "data-leech"}
+
+
+class OnboardHardeningDefense(Defense):
+    """Hardened onboard networks + periodic AV scans on every vehicle."""
+
+    name = "onboard_hardening"
+    mitigates = ("malware", "sensor_spoofing")
+
+    def __init__(self, profile: Optional[HardeningProfile] = None,
+                 av_signatures: Optional[set] = None,
+                 reboot_interval: float = 0.0,
+                 sensor_fusion: bool = True,
+                 fusion_period: float = 0.5,
+                 gps_divergence_threshold: float = 6.0) -> None:
+        super().__init__()
+        self.profile = profile or HardeningProfile.full()
+        self.av_signatures = set(av_signatures or KNOWN_STRAINS)
+        self.reboot_interval = reboot_interval
+        self.sensor_fusion = sensor_fusion
+        self.fusion_period = fusion_period
+        self.gps_divergence_threshold = gps_divergence_threshold
+        self.remediations = 0
+        self.boot_refusals = 0
+        self.gps_anomalies = 0
+        self.tpms_anomalies = 0
+        self._networks: dict[str, OnboardNetwork] = {}
+        self._dead_reckoning: dict[str, tuple[float, float]] = {}
+        self._gps_flagged: set[str] = set()
+        self._gps_strikes: dict[str, int] = {}
+        self._tpms_history: dict[str, list[float]] = {}
+
+    def setup(self, scenario) -> None:
+        self.scenario = scenario
+        vehicles = list(scenario.platoon_vehicles)
+        if scenario.joiner is not None:
+            vehicles.append(scenario.joiner)
+        for vehicle in vehicles:
+            network = OnboardNetwork(scenario.sim.rng, self.profile,
+                                     av_signatures=self.av_signatures)
+            vehicle.onboard = network
+            self._networks[vehicle.vehicle_id] = network
+            if self.profile.antivirus:
+                scenario.sim.every(self.profile.av_scan_interval,
+                                   self._make_scanner(vehicle),
+                                   initial_delay=scenario.sim.rng.uniform(
+                                       0.5, self.profile.av_scan_interval))
+            if self.reboot_interval > 0 and self.profile.secure_boot:
+                scenario.sim.every(self.reboot_interval,
+                                   self._make_rebooter(vehicle))
+            if self.sensor_fusion:
+                scenario.sim.every(self.fusion_period,
+                                   self._make_fusion_check(vehicle),
+                                   initial_delay=self.fusion_period)
+
+    def _make_scanner(self, vehicle):
+        def scan() -> None:
+            network = self._networks[vehicle.vehicle_id]
+            cleaned = network.run_av_scan()
+            if cleaned > 0:
+                self.remediations += cleaned
+                self.detect(vehicle.vehicle_id, vehicle.vehicle_id,
+                            "malware_remediated", true_positive=True)
+                if network.v2x_available() and not vehicle.radio.enabled:
+                    vehicle.radio.enable()
+                    if vehicle.vlc is not None:
+                        vehicle.vlc.enabled = True
+                    vehicle.compromised = False
+                    self.scenario.events.record(self.scenario.sim.now,
+                                                "v2x_restored",
+                                                vehicle.vehicle_id)
+
+        return scan
+
+    def _make_rebooter(self, vehicle):
+        def reboot() -> None:
+            network = self._networks[vehicle.vehicle_id]
+            refused = network.reboot()
+            self.boot_refusals += len(refused)
+
+        return reboot
+
+    def _make_fusion_check(self, vehicle):
+        """Multi-sensor plausibility ("using multiple sensors ... to detect
+        and highlight potential attacks", §VI-A.5): GPS vs dead reckoning,
+        TPMS vs its own recent history."""
+
+        def check() -> None:
+            now = self.scenario.sim.now
+            vid = vehicle.vehicle_id
+            # --- GPS vs wheel-odometry dead reckoning -----------------------
+            gps = vehicle.gps.read()
+            state = self._dead_reckoning.get(vid)
+            if state is None:
+                self._dead_reckoning[vid] = (gps, now)
+            else:
+                dr_pos, last_t = state
+                dr_pos += vehicle.speed * (now - last_t)
+                divergence = gps - dr_pos
+                if abs(divergence) > self.gps_divergence_threshold:
+                    self._dead_reckoning[vid] = (dr_pos, now)
+                    strikes = self._gps_strikes.get(vid, 0) + 1
+                    self._gps_strikes[vid] = strikes
+                    # Two consecutive divergences: GPS noise alone clears
+                    # the threshold only in isolated samples.
+                    if strikes >= 2 and vid not in self._gps_flagged:
+                        self._gps_flagged.add(vid)
+                        self.gps_anomalies += 1
+                        self.detect(vid, vid, "gps_fusion_anomaly",
+                                    true_positive=vehicle.gps.spoofed)
+                        # Broadcast dead-reckoned positions until GPS recovers.
+                        vehicle.beacon_position_fn = (
+                            lambda v=vehicle: self._dead_reckoning[
+                                v.vehicle_id][0])
+                else:
+                    self._dead_reckoning[vid] = (dr_pos + 0.05 * divergence, now)
+                    self._gps_strikes[vid] = 0
+                    if vid in self._gps_flagged:
+                        self._gps_flagged.discard(vid)
+                        vehicle.beacon_position_fn = None
+            # --- TPMS plausibility -----------------------------------------
+            reading = vehicle.tpms.read()
+            history = self._tpms_history.setdefault(vid, [])
+            if len(history) >= 5:
+                median = sorted(history)[len(history) // 2]
+                if abs(reading.pressure_kpa - median) > 50.0:
+                    self.tpms_anomalies += 1
+                    self.detect(vid, vid, "tpms_fusion_anomaly",
+                                true_positive=vehicle.tpms.spoofed)
+                    return  # implausible sample: do not pollute history
+            history.append(reading.pressure_kpa)
+            if len(history) > 20:
+                del history[0]
+
+        return check
+
+    def observables(self) -> dict:
+        infected = sum(1 for n in self._networks.values() if n.any_infected)
+        scans = sum(n.antivirus.scans for n in self._networks.values()
+                    if n.antivirus is not None)
+        return {
+            "vehicles_hardened": len(self._networks),
+            "av_scans": scans,
+            "remediations": self.remediations,
+            "boot_refusals": self.boot_refusals,
+            "infected_at_end": infected,
+            "gps_anomalies": self.gps_anomalies,
+            "tpms_anomalies": self.tpms_anomalies,
+        }

@@ -1,0 +1,165 @@
+"""RSU-mediated key distribution and revocation (§VI-A.2).
+
+"RSUs are used as intermediaries between connected vehicles and a trusted
+authority ... Its primary role is to distribute secret keys to authorised
+users ... This setup gives the trusted authority much better control over
+who has the security key and updating the keys so that anomalous users
+can be screened out faster."
+
+Behaviour installed on every platoon vehicle:
+
+* vehicles lacking the current group key periodically broadcast a key
+  request carrying their position; an RSU in coverage answers with the
+  TA-wrapped key (see :class:`repro.infra.rsu.RoadsideUnit`);
+* replies are verified: the RSU's certificate must chain to the TA --
+  **rogue RSUs** (self-signed) are rejected and reported;
+* received CRL pushes install a drop-filter for revoked identities, the
+  enforcement path that stops stolen-*key* impersonation after the TA
+  revokes the victim;
+* vehicles outside all RSU coverage simply never obtain keys -- the "low
+  RSU density" open challenge, measurable as unserved vehicles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.defense import Defense
+from repro.net.messages import KeyDistributionMessage, Message, MessageType
+from repro.security.crypto import verify as rsa_verify
+
+
+class RsuKeyDistributionDefense(Defense):
+    """Vehicle-side key acquisition + rogue-RSU rejection + CRL enforcement."""
+
+    name = "rsu_key_distribution"
+    mitigates = ("impersonation", "fake_maneuver", "eavesdropping")
+
+    def __init__(self, request_interval: float = 2.0) -> None:
+        super().__init__()
+        self.request_interval = request_interval
+        self.keys_obtained: dict[str, bytes] = {}      # vehicle -> group key
+        self.rogue_rejected = 0
+        self.invalid_replies = 0
+        self.crl_updates = 0
+        self.dropped_revoked = 0
+        self._revoked: set[str] = set()
+        self._secrets: dict[str, bytes] = {}
+
+    def setup(self, scenario) -> None:
+        if scenario.authority is None:
+            raise ValueError("RsuKeyDistributionDefense requires "
+                             "ScenarioConfig.with_authority=True")
+        if not scenario.rsus:
+            raise ValueError("RsuKeyDistributionDefense requires at least one RSU "
+                             "(set ScenarioConfig.rsu_positions)")
+        self.scenario = scenario
+        vehicles = list(scenario.platoon_vehicles)
+        if scenario.joiner is not None:
+            vehicles.append(scenario.joiner)
+        for vehicle in vehicles:
+            self._secrets[vehicle.vehicle_id] = scenario.authority.register_vehicle(
+                vehicle.vehicle_id, now=scenario.sim.now)
+            vehicle.radio.on_receive(self._make_rx(vehicle))
+            vehicle.radio.add_filter(self._revocation_filter)
+            scenario.sim.every(self.request_interval,
+                               self._make_requester(vehicle),
+                               initial_delay=scenario.sim.rng.uniform(
+                                   0.05, self.request_interval))
+
+    # --------------------------------------------------------------- requests
+
+    def _make_requester(self, vehicle):
+        def request() -> None:
+            if vehicle.vehicle_id in self.keys_obtained:
+                current = self.scenario.authority.group_key_id
+                have = self.keys_obtained.get(vehicle.vehicle_id + ":id")
+                if have == current:
+                    return
+            msg = KeyDistributionMessage(sender_id=vehicle.vehicle_id,
+                                         timestamp=self.scenario.sim.now)
+            msg.payload["request"] = "group_key"
+            msg.payload["position"] = vehicle.position
+            vehicle.radio.send(msg)
+
+        return request
+
+    # ---------------------------------------------------------------- replies
+
+    def _verify_rsu(self, msg: KeyDistributionMessage) -> bool:
+        authority = self.scenario.authority
+        cert = msg.cert
+        if cert is None or cert.issuer_id != authority.ca.ca_id:
+            return False
+        if not authority.ca.validate_certificate(cert, now=self.scenario.sim.now):
+            return False
+        if not authority.is_registered_rsu(cert.subject_id):
+            return False
+        if msg.signature is not None:
+            return rsa_verify(cert.public_key, msg.signing_bytes(), msg.signature)
+        return False
+
+    def _make_rx(self, vehicle):
+        def on_key_message(msg: Message) -> None:
+            if msg.msg_type is not MessageType.KEY_DISTRIBUTION:
+                return
+            if not isinstance(msg, KeyDistributionMessage):
+                return
+            if msg.revoked_ids:
+                if self._verify_rsu(msg):
+                    new = set(msg.revoked_ids) - self._revoked
+                    if new:
+                        self._revoked.update(new)
+                        self.crl_updates += 1
+                return
+            if msg.recipient_id != vehicle.vehicle_id:
+                return
+            if not self._verify_rsu(msg):
+                self.rogue_rejected += 1
+                self.detect(vehicle.vehicle_id, msg.sender_id, "rogue_rsu",
+                            true_positive=True)
+                return
+            from repro.infra.authority import TrustedAuthority, WrappedKey
+
+            tag_hex = msg.payload.get("tag")
+            if tag_hex is None or msg.encrypted_key is None:
+                self.invalid_replies += 1
+                return
+            wrapped = WrappedKey(key_id=msg.key_id,
+                                 ciphertext=msg.encrypted_key,
+                                 tag=bytes.fromhex(tag_hex))
+            secret = self._secrets[vehicle.vehicle_id]
+            key = TrustedAuthority.unwrap_group_key(secret, wrapped)
+            if key is None:
+                self.invalid_replies += 1
+                return
+            first = vehicle.vehicle_id not in self.keys_obtained
+            self.keys_obtained[vehicle.vehicle_id] = key
+            self.keys_obtained[vehicle.vehicle_id + ":id"] = msg.key_id
+            if first:
+                self.scenario.events.record(self.scenario.sim.now,
+                                            "group_key_obtained",
+                                            vehicle.vehicle_id, key_id=msg.key_id)
+
+        return on_key_message
+
+    # ------------------------------------------------------------- revocation
+
+    def _revocation_filter(self, msg: Message) -> bool:
+        if msg.msg_type in (MessageType.BEACON, MessageType.MANEUVER) \
+                and msg.sender_id in self._revoked:
+            self.dropped_revoked += 1
+            return False
+        return True
+
+    def vehicles_with_key(self) -> int:
+        return sum(1 for k in self.keys_obtained if not k.endswith(":id"))
+
+    def observables(self) -> dict:
+        return {
+            "vehicles_with_key": self.vehicles_with_key(),
+            "rogue_rejected": self.rogue_rejected,
+            "invalid_replies": self.invalid_replies,
+            "crl_updates": self.crl_updates,
+            "dropped_revoked": self.dropped_revoked,
+        }

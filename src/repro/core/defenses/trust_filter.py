@@ -1,0 +1,129 @@
+"""Trust-management defence (§VI-B.3 / REPLACE [6]).
+
+The paper lists trust as an open challenge; REPLACE is its concrete
+platoon instance: rate platoon participants from observed behaviour and
+screen out badly-rated ones.  This defence wires the
+:class:`~repro.security.trust.TrustManager` substrate into the platoon:
+
+* **evidence intake** -- detection events emitted by other defences
+  (VPD-ADA, rogue-RSU rejection) become negative experiences for the
+  suspect; regular plausible beacons accrue slow positive experience;
+* **join admission** -- the leader rejects join requests from distrusted
+  identities (a Sybil attacker that already burnt its reputation cannot
+  ride again under the same identity);
+* **beacon filtering** -- members drop beacons from distrusted senders, so
+  a distrusted insider loses its grip on the control loop;
+* **expulsion** -- optionally the leader expels members whose trust falls
+  below the distrust threshold.
+
+This defence composes with detectors: alone it has little signal, which is
+faithful to the literature (trust needs evidence sources).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.defense import Defense
+from repro.net.messages import ManeuverMessage, Message, MessageType
+from repro.security.trust import TrustConfig, TrustManager
+
+
+class TrustFilterDefense(Defense):
+    """Leader-side trust database gating joins, beacons and membership."""
+
+    name = "trust_management"
+    mitigates = ("sybil", "impersonation", "falsification")
+
+    def __init__(self, config: Optional[TrustConfig] = None,
+                 expel: bool = True, poll_period: float = 0.5,
+                 negative_weight: float = 2.0) -> None:
+        super().__init__()
+        self.trust_config = config or TrustConfig()
+        self.expel = expel
+        self.poll_period = poll_period
+        self.negative_weight = negative_weight
+        self.manager: Optional[TrustManager] = None
+        self.joins_rejected = 0
+        self.beacons_dropped = 0
+        self.expelled: list[str] = []
+        self._consumed_events = 0
+
+    def setup(self, scenario) -> None:
+        self.scenario = scenario
+        self.manager = TrustManager(scenario.leader.vehicle_id, self.trust_config)
+        # Seed direct experience for founding members.
+        for vehicle in scenario.platoon_vehicles:
+            self.manager.report_positive(vehicle.vehicle_id, scenario.sim.now,
+                                         weight=3.0)
+        scenario.leader_logic.join_validators.append(self._admit)
+        vehicles = list(scenario.platoon_vehicles)
+        if scenario.joiner is not None:
+            vehicles.append(scenario.joiner)
+        for vehicle in vehicles:
+            vehicle.radio.add_filter(self._beacon_filter)
+        scenario.sim.every(self.poll_period, self._ingest_evidence,
+                           initial_delay=self.poll_period)
+
+    # ---------------------------------------------------------------- intake
+
+    def _ingest_evidence(self) -> None:
+        events = self.scenario.events.all()
+        now = self.scenario.sim.now
+        for event in events[self._consumed_events:]:
+            if event.kind == "detection":
+                suspect = event.data.get("suspect")
+                if suspect:
+                    self.manager.report_negative(suspect, now,
+                                                 weight=self.negative_weight)
+            elif event.kind == "join_completed":
+                joiner = event.data.get("joiner")
+                if joiner:
+                    self.manager.report_positive(joiner, now, weight=0.5)
+        self._consumed_events = len(events)
+        # Slow positive drift for members currently beaconing plausibly.
+        for vehicle in self.scenario.platoon_vehicles:
+            if vehicle.state.in_platoon and not vehicle.compromised:
+                self.manager.report_positive(vehicle.vehicle_id, now, weight=0.05)
+        if self.expel:
+            self._expel_distrusted(now)
+
+    def _expel_distrusted(self, now: float) -> None:
+        registry = self.scenario.leader_logic.registry
+        for member_id in list(registry.members):
+            if member_id == registry.leader_id or member_id in self.expelled:
+                continue
+            if self.manager.is_distrusted(member_id, now):
+                if registry.remove_member(member_id):
+                    self.expelled.append(member_id)
+                    self.scenario.leader_logic.broadcast_roster()
+                    self.scenario.events.record(now, "trust_expelled", self.name,
+                                                member=member_id)
+
+    # ----------------------------------------------------------------- gates
+
+    def _admit(self, msg: ManeuverMessage) -> bool:
+        now = self.scenario.sim.now
+        if self.manager.is_distrusted(msg.sender_id, now):
+            self.joins_rejected += 1
+            return False
+        return True
+
+    def _beacon_filter(self, msg: Message) -> bool:
+        if msg.msg_type is not MessageType.BEACON:
+            return True
+        if self.manager.is_distrusted(msg.sender_id, self.scenario.sim.now):
+            self.beacons_dropped += 1
+            return False
+        return True
+
+    def observables(self) -> dict:
+        now = self.scenario.sim.now if self.scenario else 0.0
+        return {
+            "joins_rejected": self.joins_rejected,
+            "beacons_dropped": self.beacons_dropped,
+            "expelled": list(self.expelled),
+            "trust_snapshot": {k: round(v, 3) for k, v in
+                               (self.manager.snapshot(now).items()
+                                if self.manager else {})},
+        }

@@ -1,0 +1,355 @@
+"""VPD attack-detection algorithm (§VI-A.3, Bermad et al. [10]).
+
+"VPD attack detection algorithms help reduce this risk by monitoring the
+position of members, periodically checking the positional information
+from other vehicles to make sure they are part of the platoon.  The
+positional information is gathered from multiple sources such as LiDAR
+... and GPS sensor data."
+
+Two checks, run periodically on every member:
+
+* **Predecessor cross-check** -- the gap implied by the predecessor's
+  *claimed* (beacon) position against the gap the local ranging sensor
+  *measures*.  Sustained disagreement beyond ``position_threshold`` for
+  ``confirmations`` consecutive checks flags the predecessor: catches GPS
+  spoofing, position falsification and offset FDI.
+* **Track plausibility** -- consecutive beacons from any sender must be
+  kinematically consistent (position advance ≈ speed x Δt within
+  tolerance).  Catches replayed beacons (the position jumps backward to a
+  stale value) and wildly implausible impersonation lies.
+
+Detections are recorded as events with a ground-truth ``true_positive``
+flag so the benches can report latency and precision.  With
+``expel=True`` the leader expels a suspect after ``expel_reports``
+detections (the mitigation path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.defense import Defense
+from repro.platoon.platoon import PlatoonRole
+
+
+@dataclass
+class _TrackState:
+    last_position: Optional[float] = None
+    last_speed: float = 0.0
+    last_time: Optional[float] = None
+    strikes: int = 0
+
+
+class VpdAdaDefense(Defense):
+    """Positional-consistency misbehaviour detection."""
+
+    name = "vpd_ada"
+    mitigates = ("gps_spoofing", "falsification", "replay", "impersonation")
+
+    def __init__(self, check_period: float = 0.3,
+                 position_threshold: float = 5.0,
+                 plausibility_tolerance: float = 6.0,
+                 confirmations: int = 3,
+                 expel: bool = False, expel_reports: int = 5,
+                 verify_maneuvers: bool = True,
+                 entrance_grace: float = 5.0,
+                 speed_threshold: float = 1.0) -> None:
+        super().__init__()
+        self.check_period = check_period
+        self.position_threshold = position_threshold
+        self.plausibility_tolerance = plausibility_tolerance
+        self.confirmations = confirmations
+        self.expel = expel
+        self.expel_reports = expel_reports
+        self.verify_maneuvers = verify_maneuvers
+        self.entrance_grace = entrance_grace
+        self.speed_threshold = speed_threshold
+        self.phantom_gaps_closed = 0
+        self._speed_strikes: dict[str, int] = {}
+        self.checks = 0
+        self.detections_emitted = 0
+        self.expelled: list[str] = []
+        self._pred_strikes: dict[tuple, int] = {}   # (checker, suspect) -> strikes
+        self._tracks: dict[str, dict[str, _TrackState]] = {}  # checker -> sender
+        self._report_counts: dict[str, int] = {}      # suspect -> reports
+        self._first_detection_at: dict[str, float] = {}
+        # Dead-reckoning self-check state: checker -> (dr_position, last_t)
+        self._dead_reckoning: dict[str, tuple[float, float]] = {}
+        self._own_gps_anomalous: set[str] = set()
+        self._self_strikes: dict[str, int] = {}
+        # checker -> {sender: (position, speed, rx_time)} from the raw tap
+        self._raw_beacons: dict[str, dict[str, tuple]] = {}
+        self.interloper_events = 0
+
+    def setup(self, scenario) -> None:
+        self.scenario = scenario
+        # Raw (pre-filter) beacon observation: the IDS sees all traffic,
+        # including frames other defences drop (e.g. a trust filter
+        # discarding an expelled member's beacons).  Needed to tell a
+        # lying predecessor from an innocent interloper driving between
+        # roster neighbours.
+        for vehicle in scenario.platoon_vehicles:
+            vehicle.radio.add_tap(self._make_raw_tap(vehicle.vehicle_id))
+        scenario.sim.every(self.check_period, self._check_all,
+                           initial_delay=self.check_period)
+
+    def _make_raw_tap(self, checker_id: str):
+        def tap(msg) -> None:
+            position = getattr(msg, "position", None)
+            if position is None:
+                return
+            store = self._raw_beacons.setdefault(checker_id, {})
+            store[msg.sender_id] = (position, getattr(msg, "speed", 0.0),
+                                    self.scenario.sim.now)
+
+        return tap
+
+
+    # ------------------------------------------------------------------ checks
+
+    def _check_all(self) -> None:
+        for vehicle in self.scenario.platoon_vehicles:
+            self._check_own_gps(vehicle)
+            if vehicle.state.role is PlatoonRole.MEMBER:
+                self._check_predecessor(vehicle)
+                if self.verify_maneuvers:
+                    self._check_phantom_entrance(vehicle)
+            self._check_tracks(vehicle)
+
+    def _check_phantom_entrance(self, vehicle) -> None:
+        """Positional verification of entrance gaps (the paper: VPD-ADA "is
+        also effective at reducing the impact of false manoeuvre requests").
+
+        A member holding a gap open looks for evidence that a joiner
+        actually exists: a beacon from a platoon-less vehicle physically
+        near the gap.  After a grace period with no such evidence the gap
+        is closed and the commanded manoeuvre reported as phantom.
+        """
+        state = vehicle.state
+        if state.gap_factor <= 1.0 or state.gap_open_since is None:
+            return
+        now = self.scenario.sim.now
+        if now - state.gap_open_since < self.entrance_grace:
+            return
+        for sender_id, record in vehicle.beacon_kb.items():
+            beacon = record.beacon
+            if record.age(now) > 1.0:
+                continue
+            if beacon.platoon_id is None and \
+                    abs(beacon.position - vehicle.position) < 60.0:
+                return  # plausible joiner nearby: the gap is legitimate
+        state.gap_factor = 1.0
+        state.gap_open_since = None
+        self.phantom_gaps_closed += 1
+        self.scenario.events.record(now, "gap_closed", vehicle.vehicle_id,
+                                    reason="vpd_phantom")
+        self.detect(vehicle.vehicle_id, state.leader_id or "unknown",
+                    "phantom_entrance",
+                    true_positive=bool(self.scenario.tainted_identities))
+
+    def _check_own_gps(self, vehicle) -> None:
+        """Multi-source self-check: GPS against wheel-odometry dead reckoning.
+
+        A captured GPS drifts away from the dead-reckoned track; once the
+        divergence exceeds the threshold the vehicle flags *itself* and
+        stops trusting its own GPS for predecessor cross-checks (otherwise
+        a spoofed checker would accuse its innocent neighbours).
+        """
+        now = self.scenario.sim.now
+        gps = vehicle.gps.read()
+        state = self._dead_reckoning.get(vehicle.vehicle_id)
+        if state is None:
+            self._dead_reckoning[vehicle.vehicle_id] = (gps, now)
+            return
+        dr_pos, last_t = state
+        dt = now - last_t
+        dr_pos += vehicle.speed * dt
+        divergence = gps - dr_pos
+        if abs(divergence) > self.position_threshold:
+            strikes = self._self_strikes.get(vehicle.vehicle_id, 0) + 1
+            self._self_strikes[vehicle.vehicle_id] = strikes
+            if strikes >= self.confirmations:
+                if vehicle.vehicle_id not in self._own_gps_anomalous:
+                    self._own_gps_anomalous.add(vehicle.vehicle_id)
+                    self._emit(vehicle.vehicle_id, vehicle.vehicle_id,
+                               "own_gps_anomaly")
+            # Hold the dead-reckoned track; do not let the spoof pull it.
+            self._dead_reckoning[vehicle.vehicle_id] = (dr_pos, now)
+        else:
+            # Slow complementary correction absorbs odometry drift.
+            self._dead_reckoning[vehicle.vehicle_id] = (
+                dr_pos + 0.05 * divergence, now)
+            self._self_strikes[vehicle.vehicle_id] = 0
+            self._own_gps_anomalous.discard(vehicle.vehicle_id)
+
+    def _check_predecessor(self, vehicle) -> None:
+        self.checks += 1
+        if vehicle.vehicle_id in self._own_gps_anomalous:
+            return  # our own position reference is compromised
+        state = vehicle.state
+        pred_id = state.predecessor_id(vehicle.vehicle_id)
+        if pred_id is None:
+            return
+        record = vehicle.beacon_kb.get(pred_id)
+        radar_gap = vehicle.last_radar_gap
+        if record is None or radar_gap is None:
+            return
+        now = self.scenario.sim.now
+        if record.age(now) > 0.5:
+            return
+        beacon = record.beacon
+        pred_vehicle = self.scenario.world.get(pred_id)
+        pred_length = (pred_vehicle.params.length if pred_vehicle is not None
+                       else vehicle.params.length)
+        # Project the claim forward by its age so normal beacon latency does
+        # not register as a position lie.
+        claimed_pos = beacon.position + beacon.speed * record.age(now)
+        claimed_gap = claimed_pos - pred_length - vehicle.gps.read()
+        # Speed-innovation check ("multiple sources"): the predecessor's
+        # *claimed* speed against the radar-Doppler estimate (own speed +
+        # measured closing rate).  Catches kinematic lies that leave the
+        # position claim intact (the oscillating-acceleration FDI profile).
+        radar_rate = vehicle.radar.read_rate(
+            (self.scenario.world.get(pred_id).speed - vehicle.speed)
+            if self.scenario.world.get(pred_id) is not None else None)
+        if radar_rate is not None:
+            speed_innovation = beacon.speed - (vehicle.speed + radar_rate)
+            if abs(speed_innovation) > self.speed_threshold:
+                strikes = self._speed_strikes.get(vehicle.vehicle_id, 0) + 1
+                self._speed_strikes[vehicle.vehicle_id] = strikes
+                if strikes >= self.confirmations:
+                    self._speed_strikes[vehicle.vehicle_id] = 0
+                    self._emit(vehicle.vehicle_id, pred_id, "speed_mismatch")
+            else:
+                self._speed_strikes[vehicle.vehicle_id] = 0
+        diff = claimed_gap - radar_gap
+        if abs(diff) > self.position_threshold:
+            suspect = pred_id
+            if diff > 0:
+                # Radar sees something *nearer* than the claim.  Attribute
+                # the mismatch to whoever claims to be closest to the radar
+                # target: an honest non-roster vehicle claiming exactly the
+                # target position exonerates everyone (interloper); a lying
+                # claimant nearest the target takes the blame.
+                target_pos = vehicle.gps.read() + radar_gap + pred_length
+                nearest_id, nearest_error = self._nearest_claimant(
+                    vehicle, pred_id, claimed_pos, target_pos)
+                if nearest_id is not None and nearest_id != pred_id \
+                        and nearest_error <= self.position_threshold:
+                    self.interloper_events += 1
+                    self.scenario.events.record(now, "interloper_detected",
+                                                vehicle.vehicle_id,
+                                                claimed_pred=pred_id,
+                                                interloper=nearest_id)
+                    self._clear_strikes(vehicle.vehicle_id)
+                    return
+                if nearest_id is not None:
+                    suspect = nearest_id
+            key = (vehicle.vehicle_id, suspect)
+            strikes = self._pred_strikes.get(key, 0) + 1
+            self._pred_strikes[key] = strikes
+            if strikes >= self.confirmations:
+                self._pred_strikes[key] = 0
+                self._emit(vehicle.vehicle_id, suspect, "position_mismatch")
+        else:
+            self._clear_strikes(vehicle.vehicle_id)
+
+    def _clear_strikes(self, checker_id: str) -> None:
+        for key in [k for k in self._pred_strikes if k[0] == checker_id]:
+            self._pred_strikes[key] = 0
+
+    def _nearest_claimant(self, checker, pred_id: str, claimed_pred_pos: float,
+                          target_pos: float):
+        """Among fresh raw claims ahead of the checker (up to the claimed
+        predecessor position), find the one nearest the radar target.
+        Returns ``(sender_id, |claim - target|)`` or ``(None, inf)``."""
+        now = self.scenario.sim.now
+        best_id = pred_id
+        best_error = abs(claimed_pred_pos - target_pos)
+        store = self._raw_beacons.get(checker.vehicle_id, {})
+        checker_pos = checker.position
+        for sender_id, (position, speed, seen_at) in store.items():
+            if sender_id in (checker.vehicle_id, pred_id):
+                continue
+            age = now - seen_at
+            if age > 1.0:
+                continue
+            projected = position + speed * age
+            if not (checker_pos < projected
+                    < claimed_pred_pos + self.position_threshold):
+                continue
+            error = abs(projected - target_pos)
+            if error < best_error:
+                best_id = sender_id
+                best_error = error
+        return best_id, best_error
+
+    def _check_tracks(self, vehicle) -> None:
+        tracks = self._tracks.setdefault(vehicle.vehicle_id, {})
+        for sender_id, record in vehicle.beacon_kb.items():
+            beacon = record.beacon
+            track = tracks.setdefault(sender_id, _TrackState())
+            if track.last_time is not None and record.received_at > track.last_time:
+                dt = record.received_at - track.last_time
+                if 0 < dt <= 2.0:
+                    expected = track.last_position + track.last_speed * dt
+                    if abs(beacon.position - expected) > self.plausibility_tolerance:
+                        track.strikes += 1
+                        if track.strikes >= self.confirmations:
+                            track.strikes = 0
+                            self._emit(vehicle.vehicle_id, sender_id,
+                                       "implausible_track")
+                    else:
+                        track.strikes = 0
+            if track.last_time is None or record.received_at > track.last_time:
+                track.last_position = beacon.position
+                track.last_speed = beacon.speed
+                track.last_time = record.received_at
+
+    # ---------------------------------------------------------------- verdicts
+
+    def _ground_truth_misbehaving(self, suspect_id: str) -> bool:
+        if suspect_id in self.scenario.tainted_identities:
+            # Traffic under this identity is attacker-influenced right now
+            # (replayed, forged, falsified) even if the physical vehicle is
+            # innocent -- the detection is about the traffic, so it counts.
+            return True
+        suspect = self.scenario.world.get(suspect_id)
+        if suspect is None:
+            # No physical vehicle behind the identity: ghost / roadside forger.
+            return True
+        return bool(suspect.compromised or suspect.gps.spoofed)
+
+    def _emit(self, checker_id: str, suspect_id: str, reason: str) -> None:
+        true_positive = self._ground_truth_misbehaving(suspect_id)
+        self.detections_emitted += 1
+        if suspect_id not in self._first_detection_at and true_positive:
+            self._first_detection_at[suspect_id] = self.scenario.sim.now
+        self.detect(checker_id, suspect_id, reason, true_positive)
+        count = self._report_counts.get(suspect_id, 0) + 1
+        self._report_counts[suspect_id] = count
+        if (self.expel and count >= self.expel_reports
+                and suspect_id not in self.expelled):
+            registry = self.scenario.leader_logic.registry
+            if registry.remove_member(suspect_id):
+                self.expelled.append(suspect_id)
+                self.scenario.leader_logic.broadcast_roster()
+                self.scenario.events.record(self.scenario.sim.now,
+                                            "suspect_expelled", self.name,
+                                            suspect=suspect_id)
+
+    def first_detection_latency(self, attack_start: float) -> Optional[float]:
+        if not self._first_detection_at:
+            return None
+        return min(self._first_detection_at.values()) - attack_start
+
+    def observables(self) -> dict:
+        return {
+            "checks": self.checks,
+            "detections": self.detections_emitted,
+            "suspects": dict(self._report_counts),
+            "expelled": list(self.expelled),
+            "phantom_gaps_closed": self.phantom_gaps_closed,
+            "interloper_events": self.interloper_events,
+        }

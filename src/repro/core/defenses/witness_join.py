@@ -1,0 +1,92 @@
+"""Witness-based join admission (Convoy-style physical context
+verification, ref [4] in the paper).
+
+"There is research into the use of witness systems and sensors to prove
+members' credentials and locations ... presented as a way to prevent
+Sybil and ghost vehicle attacks" (paper, §VII).
+
+Mechanism: before the leader finalises a join, the current *tail member*
+must act as a physical witness -- its (rear-facing) ranging view of the
+road behind must actually contain an approaching vehicle.  Ghost
+identities have no physical presence, so their JOIN_COMPLETE is never
+corroborated and the pending join expires.
+
+This stops Sybil ghosts **without any cryptography**, complementing PKI:
+it verifies *physical context* rather than identity, exactly the Convoy
+argument.  Its documented limit: it cannot distinguish which identity the
+witnessed vehicle belongs to -- one real attacker car can still vouch for
+one ghost at a time (tested in the suite).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.defense import Defense
+from repro.net.messages import ManeuverMessage, ManeuverType, MessageType
+
+
+class WitnessJoinDefense(Defense):
+    """Leader-side physical-witness gate on join completion."""
+
+    name = "witness_join"
+    mitigates = ("sybil", "dos")
+
+    def __init__(self, witness_range: float = 120.0,
+                 corroboration_window: float = 2.0) -> None:
+        super().__init__()
+        self.witness_range = witness_range
+        self.corroboration_window = corroboration_window
+        self.joins_witnessed = 0
+        self.joins_refused = 0
+
+    def setup(self, scenario) -> None:
+        self.scenario = scenario
+        scenario.leader.radio.add_filter(self._gate_join_complete)
+
+    # ------------------------------------------------------------------ gate
+
+    def _tail_vehicle(self):
+        registry = self.scenario.leader_logic.registry
+        for member_id in reversed(registry.members):
+            vehicle = self.scenario.world.get(member_id)
+            if vehicle is not None:
+                return vehicle
+        return self.scenario.leader
+
+    def _witnessed_behind_tail(self) -> bool:
+        """Is there *physically* a vehicle approaching behind the tail?
+
+        Models the tail member's rear-facing ranging view: any physical
+        vehicle within witness range behind the tail, not already a
+        platoon member, counts as corroboration.
+        """
+        tail = self._tail_vehicle()
+        registry = self.scenario.leader_logic.registry
+        for vehicle in self.scenario.world.vehicles():
+            if vehicle.vehicle_id in registry.members:
+                continue
+            behind_by = tail.position - tail.params.length - vehicle.position
+            if 0.0 < behind_by <= self.witness_range:
+                return True
+        return False
+
+    def _gate_join_complete(self, msg) -> bool:
+        if msg.msg_type is not MessageType.MANEUVER:
+            return True
+        if not isinstance(msg, ManeuverMessage):
+            return True
+        if msg.maneuver is not ManeuverType.JOIN_COMPLETE:
+            return True
+        if self._witnessed_behind_tail():
+            self.joins_witnessed += 1
+            return True
+        self.joins_refused += 1
+        self.detect(self.scenario.leader.vehicle_id, msg.sender_id,
+                    "unwitnessed_join",
+                    true_positive=msg.sender_id not in self.scenario.world)
+        return False
+
+    def observables(self) -> dict:
+        return {"joins_witnessed": self.joins_witnessed,
+                "joins_refused": self.joins_refused}

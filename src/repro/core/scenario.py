@@ -1,0 +1,284 @@
+"""Scenario construction and episode execution.
+
+A :class:`Scenario` assembles the full stack -- simulator, channel,
+(optional) VLC, world, platoon, infrastructure -- from a declarative
+:class:`ScenarioConfig`, installs defences and attacks, runs the episode,
+and returns a :class:`ScenarioResult` bundling metrics, attack reports and
+the event log.
+
+The canonical episode (used by Table II / Table III benches):
+
+* ``n_vehicles`` platoon vehicles pre-formed at cruise speed, the leader
+  following a *varying* speed profile (sinusoid) so beacons carry real
+  dynamics for the controllers -- and for the attackers to corrupt;
+* an optional legitimate joiner approaching from behind (join-latency and
+  DoS experiments);
+* attacks activating after a warm-up window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.events import EventLog
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.simulator import Simulator
+from repro.net.vlc import VlcChannel, VlcConfig
+from repro.platoon.dynamics import LongitudinalState, VehicleParams
+from repro.platoon.vehicle import Vehicle, VehicleConfig
+from repro.platoon.world import World
+from repro.core.metrics import MetricsCollector, ScenarioMetrics
+
+if TYPE_CHECKING:
+    from repro.core.attack import Attack, AttackReport
+    from repro.core.defense import Defense
+    from repro.infra.authority import TrustedAuthority
+    from repro.infra.rsu import RoadsideUnit
+
+
+@dataclass
+class ScenarioConfig:
+    """Declarative description of one episode."""
+
+    n_vehicles: int = 8
+    seed: int = 42
+    duration: float = 100.0
+    warmup: float = 10.0
+    initial_speed: float = 27.0          # [m/s]
+    # Front-bumper to front-bumper start spacing; None = place vehicles at
+    # the CACC law's equilibrium gap for the configured speed and length.
+    initial_spacing: Optional[float] = None
+    start_position: float = 1000.0       # leader's starting coordinate [m]
+    cacc_kind: str = "ploeg"
+    leader_profile: str = "varying"      # "constant" | "varying"
+    speed_amplitude: float = 1.5         # [m/s] sinusoid amplitude
+    speed_period: float = 25.0           # [s]
+    trucks: bool = False
+    max_members: int = 12
+    max_pending: int = 4
+    with_vlc: bool = False
+    with_authority: bool = False
+    rsu_positions: tuple = ()
+    rsu_coverage: float = 600.0
+    joiner: bool = False                 # spawn a legitimate joiner
+    joiner_delay: float = 15.0           # when it starts requesting [s]
+    joiner_distance: float = 80.0        # behind the tail [m]
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    vehicle: VehicleConfig = field(default_factory=VehicleConfig)
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an episode produced."""
+
+    config: ScenarioConfig
+    metrics: ScenarioMetrics
+    attack_reports: list = field(default_factory=list)
+    defense_observables: dict = field(default_factory=dict)
+    events: Optional[EventLog] = None
+
+    def summary(self) -> dict:
+        out = dict(self.metrics.summary())
+        for report in self.attack_reports:
+            for key, value in report.observables.items():
+                out[f"{report.attack_name}.{key}"] = value
+        return out
+
+
+class Scenario:
+    """A built, runnable platooning episode."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config or ScenarioConfig()
+        cfg = self.config
+
+        self.sim = Simulator(seed=cfg.seed)
+        self.world = World()
+        self.events = EventLog()
+        self.channel = RadioChannel(self.sim, cfg.channel)
+        self.vlc: Optional[VlcChannel] = (VlcChannel(self.sim, VlcConfig())
+                                          if cfg.with_vlc else None)
+
+        self.authority: Optional["TrustedAuthority"] = None
+        self.rsus: list["RoadsideUnit"] = []
+        if cfg.with_authority:
+            from repro.infra.authority import TrustedAuthority
+
+            self.authority = TrustedAuthority()
+
+        params = VehicleParams.truck() if cfg.trucks else VehicleParams()
+        vcfg = replace(cfg.vehicle, cacc_kind=cfg.cacc_kind,
+                       cruise_speed=cfg.initial_speed)
+
+        # --- platoon -----------------------------------------------------
+        self.platoon_vehicles: list[Vehicle] = []
+        if cfg.initial_spacing is not None:
+            spacing = max(cfg.initial_spacing, params.length + 2.0)
+        else:
+            from repro.platoon.controllers import make_controller
+
+            equilibrium_gap = make_controller(cfg.cacc_kind).desired_gap(
+                cfg.initial_speed)
+            spacing = params.length + equilibrium_gap
+        for i in range(cfg.n_vehicles):
+            vehicle = Vehicle(
+                self.sim, self.world, self.channel, f"veh{i}", self.events,
+                initial=LongitudinalState(
+                    position=cfg.start_position - i * spacing,
+                    speed=cfg.initial_speed),
+                params=params, config=replace(vcfg), vlc_channel=self.vlc)
+            self.platoon_vehicles.append(vehicle)
+            if self.authority is not None:
+                self.authority.register_vehicle(vehicle.vehicle_id)
+
+        self.leader = self.platoon_vehicles[0]
+        self.platoon_id = "p1"
+        self.leader_logic = self.leader.make_leader(
+            self.platoon_id, max_members=cfg.max_members,
+            max_pending=cfg.max_pending)
+        for vehicle in self.platoon_vehicles[1:]:
+            vehicle.become_member(self.platoon_id, self.leader.vehicle_id)
+            self.leader_logic.registry.members.append(vehicle.vehicle_id)
+        # NOTE: the initial roster broadcast is deferred to run() so that it
+        # goes out *after* any defence installed its signing processors.
+
+        # --- infrastructure ------------------------------------------------
+        for i, position in enumerate(cfg.rsu_positions):
+            from repro.infra.rsu import RoadsideUnit
+
+            self.rsus.append(RoadsideUnit(
+                self.sim, self.channel, f"rsu{i}", position,
+                self.authority, self.events, coverage_m=cfg.rsu_coverage))
+
+        # --- optional legitimate joiner -------------------------------------
+        self.joiner: Optional[Vehicle] = None
+        if cfg.joiner:
+            tail = self.platoon_vehicles[-1]
+            self.joiner = Vehicle(
+                self.sim, self.world, self.channel, "joiner", self.events,
+                initial=LongitudinalState(
+                    position=tail.position - params.length - cfg.joiner_distance,
+                    speed=cfg.initial_speed),
+                params=params, config=replace(vcfg), vlc_channel=self.vlc)
+            if self.authority is not None:
+                self.authority.register_vehicle("joiner")
+            self.sim.schedule_at(cfg.joiner_delay, self._start_joiner)
+
+        # --- leader speed profile --------------------------------------------
+        if cfg.leader_profile == "varying":
+            self.sim.every(0.5, self._update_leader_speed, initial_delay=0.5)
+
+        self.attacks: list["Attack"] = []
+        self.defenses: list["Defense"] = []
+        # Cross-component security state (group keys, CA handles, ...).
+        # Defences publish here; *insider* attacks may read it -- that is
+        # the modelling of "an attacker in the network can still carry out
+        # attacks" from §VI-A.1.
+        self.security_context: dict = {}
+        # Ground truth for detector scoring: identities whose traffic is
+        # currently attacker-influenced (forged, replayed, falsified,
+        # spoofed).  Attacks register here; detectors never read it -- only
+        # the metrics layer does, to label detections true/false positive.
+        self.tainted_identities: set[str] = set()
+        self.metrics_collector = MetricsCollector(self)
+        self._ran = False
+
+    # ----------------------------------------------------------------- hooks
+
+    def _start_joiner(self) -> None:
+        if self.joiner is not None:
+            self.joiner.start_join(self.platoon_id, self.leader.vehicle_id)
+
+    def _update_leader_speed(self) -> None:
+        cfg = self.config
+        t = self.sim.now
+        self.leader.target_speed = (cfg.initial_speed + cfg.speed_amplitude
+                                    * math.sin(2 * math.pi * t / cfg.speed_period))
+
+    # ------------------------------------------------------------ composition
+
+    def add_attack(self, attack: "Attack") -> "Scenario":
+        self.attacks.append(attack)
+        return self
+
+    def add_defense(self, defense: "Defense") -> "Scenario":
+        self.defenses.append(defense)
+        return self
+
+    def members(self) -> list[Vehicle]:
+        return self.platoon_vehicles[1:]
+
+    def vehicle(self, vehicle_id: str) -> Vehicle:
+        found = self.world.get(vehicle_id)
+        if found is None:
+            raise KeyError(f"no vehicle {vehicle_id!r} in scenario")
+        return found
+
+    # --------------------------------------------------------------- running
+
+    def run(self) -> ScenarioResult:
+        """Install defences and attacks, run the episode, compute metrics."""
+        if self._ran:
+            raise RuntimeError("scenario already ran; build a fresh one")
+        self._ran = True
+        for defense in self.defenses:
+            defense.setup(self)
+        # Initial roster broadcast happens only now, after the defences'
+        # outbound signing processors are installed.
+        self.leader_logic.broadcast_roster()
+        for attack in self.attacks:
+            attack.setup(self)
+        self.sim.run_until(self.config.duration)
+        self.metrics_collector.stop()
+        metrics = self.metrics_collector.compute(warmup=self.config.warmup)
+        reports = [attack.report() for attack in self.attacks]
+        defense_obs = {d.name: d.observables() for d in self.defenses}
+        return ScenarioResult(config=self.config, metrics=metrics,
+                              attack_reports=reports,
+                              defense_observables=defense_obs,
+                              events=self.events)
+
+
+def run_episode(config: Optional[ScenarioConfig] = None,
+                attacks: Sequence["Attack"] = (),
+                defenses: Sequence["Defense"] = (),
+                setup_hooks: Sequence = ()) -> ScenarioResult:
+    """One-call episode: build, arm, run.  The workhorse of every bench.
+
+    ``setup_hooks`` are callables ``hook(scenario)`` executed after the
+    scenario is built but before it runs -- benches use them to script
+    extra legitimate traffic (e.g. periodic gap-open/close commands for
+    the replay experiment).
+    """
+    scenario = Scenario(config)
+    for hook in setup_hooks:
+        hook(scenario)
+    for defense in defenses:
+        scenario.add_defense(defense)
+    for attack in attacks:
+        scenario.add_attack(attack)
+    return scenario.run()
+
+
+def gap_cycle_hook(member_index: int = 2, period: float = 12.0,
+                   open_for: float = 4.0, gap_factor: float = 2.0):
+    """Setup hook: the leader periodically opens and re-closes a gap at one
+    member -- legitimate manoeuvre traffic for replay/forgery experiments
+    (the paper's §V-A.1 worked example is exactly this command pair)."""
+
+    def hook(scenario: Scenario) -> None:
+        member = scenario.platoon_vehicles[member_index]
+
+        def cycle() -> None:
+            scenario.leader_logic.request_gap_open(member.vehicle_id, gap_factor)
+            scenario.sim.schedule(open_for, scenario.leader_logic.request_gap_close,
+                                  member.vehicle_id)
+
+        scenario.sim.every(period, cycle, initial_delay=period / 2)
+
+    return hook

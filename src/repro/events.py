@@ -1,0 +1,69 @@
+"""Shared event log.
+
+A flat, queryable record of everything notable that happens in a scenario:
+manoeuvre protocol steps, controller degradations, disbands, attack
+actions, detections.  The metrics layer computes most of its figures from
+this log, and tests assert against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    time: float
+    kind: str
+    source: str
+    data: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} t={self.time:.2f} src={self.source} {self.data}>"
+
+
+class EventLog:
+    """Append-only event record with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[LoggedEvent] = []
+
+    def record(self, time: float, kind: str, source: str, **data: Any) -> LoggedEvent:
+        event = LoggedEvent(time=time, kind=kind, source=source, data=dict(data))
+        self._events.append(event)
+        return event
+
+    def all(self) -> list[LoggedEvent]:
+        return list(self._events)
+
+    def of_kind(self, *kinds: str) -> list[LoggedEvent]:
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def from_source(self, source: str) -> list[LoggedEvent]:
+        return [e for e in self._events if e.source == source]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def first(self, kind: str) -> Optional[LoggedEvent]:
+        for e in self._events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def last(self, kind: str) -> Optional[LoggedEvent]:
+        for e in reversed(self._events):
+            if e.kind == kind:
+                return e
+        return None
+
+    def between(self, t0: float, t1: float) -> list[LoggedEvent]:
+        return [e for e in self._events if t0 <= e.time <= t1]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[LoggedEvent]:
+        return iter(self._events)

@@ -1,0 +1,14 @@
+"""Roadside infrastructure: RSUs and the trusted authority.
+
+Implements the §VI-A.2 defence building block: RSUs act as intermediaries
+between platooning vehicles and a trusted authority -- distributing group
+keys to authorised vehicles, pushing revocation lists, and monitoring
+behaviour in their coverage area.  Rogue RSUs (the module's attack hook)
+present certificates the TA never signed, which is how the "identify rogue
+RSUs" open challenge is exercised.
+"""
+
+from repro.infra.authority import TrustedAuthority
+from repro.infra.rsu import RoadsideUnit
+
+__all__ = ["TrustedAuthority", "RoadsideUnit"]

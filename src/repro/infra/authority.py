@@ -1,0 +1,129 @@
+"""Trusted authority: registration, group keys, revocation.
+
+The TA is the root of trust for the platooning service (the "platoon
+enabling company" in the paper's terminology).  It owns the certificate
+authority, provisions each vehicle with a long-term shared secret at
+registration, manages the *group key* that symmetric message
+authentication uses, and answers revocation queries.
+
+Key wrapping uses a real stream construction: ``wrapped = key XOR
+HKDF(shared_secret, key_id)`` with an HMAC integrity tag, so an
+eavesdropper who captures a key-distribution frame learns nothing about
+the group key without the recipient's shared secret.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.security.crypto import derive_key, hmac_tag, hmac_verify
+from repro.security.pki import Certificate, CertificateAuthority
+
+GROUP_KEY_BYTES = 32
+
+
+@dataclass
+class WrappedKey:
+    key_id: str
+    ciphertext: bytes
+    tag: bytes
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class TrustedAuthority:
+    """Back-end authority for the platooning service."""
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 ca_bits: int = 512) -> None:
+        self.rng = rng or random.Random(0x7A)
+        self.ca = CertificateAuthority(ca_id="TA", rng=self.rng, bits=ca_bits)
+        self._shared_secrets: dict[str, bytes] = {}
+        self._group_key_version = 0
+        self._group_key = self._fresh_key()
+        self._registered_rsus: set[str] = set()
+
+    def _fresh_key(self) -> bytes:
+        return bytes(self.rng.getrandbits(8) for _ in range(GROUP_KEY_BYTES))
+
+    # ----------------------------------------------------------- registration
+
+    def register_vehicle(self, vehicle_id: str, now: float = 0.0) -> bytes:
+        """Enrol a vehicle; returns its long-term shared secret with the TA."""
+        self.ca.enroll(vehicle_id, now)
+        secret = self._shared_secrets.get(vehicle_id)
+        if secret is None:
+            secret = bytes(self.rng.getrandbits(8) for _ in range(32))
+            self._shared_secrets[vehicle_id] = secret
+        return secret
+
+    def register_rsu(self, rsu_id: str, now: float = 0.0) -> tuple:
+        """Enrol an RSU: it gets a TA-signed certificate vehicles can verify."""
+        keypair, cert = self.ca.enroll(rsu_id, now)
+        self._registered_rsus.add(rsu_id)
+        return keypair, cert
+
+    def is_registered_rsu(self, rsu_id: str) -> bool:
+        return rsu_id in self._registered_rsus
+
+    def shared_secret(self, vehicle_id: str) -> Optional[bytes]:
+        return self._shared_secrets.get(vehicle_id)
+
+    # ------------------------------------------------------------- group keys
+
+    @property
+    def group_key_id(self) -> str:
+        return f"gk-{self._group_key_version}"
+
+    def current_group_key(self) -> bytes:
+        return self._group_key
+
+    def rotate_group_key(self) -> str:
+        """Issue a new group key (called periodically or after revocations)."""
+        self._group_key_version += 1
+        self._group_key = self._fresh_key()
+        return self.group_key_id
+
+    def wrap_group_key_for(self, vehicle_id: str) -> Optional[WrappedKey]:
+        """Encrypt the current group key to one vehicle's shared secret.
+
+        Returns None for unregistered or revoked vehicles -- this is the
+        screening step that lets the TA "screen out anomalous users".
+        """
+        if self.ca.is_revoked(vehicle_id):
+            return None
+        secret = self._shared_secrets.get(vehicle_id)
+        if secret is None:
+            return None
+        keystream = derive_key(secret, f"wrap:{self.group_key_id}", GROUP_KEY_BYTES)
+        ciphertext = _xor(self._group_key, keystream)
+        tag = hmac_tag(secret, self.group_key_id.encode() + ciphertext)
+        return WrappedKey(key_id=self.group_key_id, ciphertext=ciphertext, tag=tag)
+
+    @staticmethod
+    def unwrap_group_key(secret: bytes, wrapped: WrappedKey) -> Optional[bytes]:
+        """Vehicle-side unwrap; returns None on integrity failure."""
+        if not hmac_verify(secret, wrapped.key_id.encode() + wrapped.ciphertext,
+                           wrapped.tag):
+            return None
+        keystream = derive_key(secret, f"wrap:{wrapped.key_id}", GROUP_KEY_BYTES)
+        return _xor(wrapped.ciphertext, keystream)
+
+    # ------------------------------------------------------------- revocation
+
+    def revoke_vehicle(self, vehicle_id: str, rotate: bool = True) -> None:
+        """Revoke a vehicle and (by default) rotate the group key so the
+        revoked node's copy becomes useless."""
+        self.ca.revoke(vehicle_id)
+        if rotate:
+            self.rotate_group_key()
+
+    def crl(self) -> frozenset[str]:
+        return self.ca.crl()
+
+    def certificate_of(self, subject_id: str) -> Optional[Certificate]:
+        return self.ca.certificate_of(subject_id)

@@ -1,0 +1,148 @@
+"""Roadside units: key distribution relays and coverage monitors.
+
+An RSU is a static node on the channel.  Its duties follow §VI-A.2:
+
+* answer vehicles' key requests by relaying TA-wrapped group keys
+  (only inside its coverage radius -- the "low RSU density" open challenge
+  shows up as vehicles outside coverage simply not getting keys),
+* periodically push the current revocation list,
+* observe beacons in coverage for behaviour monitoring (it feeds a trust
+  manager that other defences can query).
+
+A **rogue RSU** is constructed with ``rogue=True``: it has no TA
+registration, presents a self-made certificate, and hands out attacker
+keys.  Vehicles that verify RSU certificates against the TA reject it;
+vehicles that don't are captured -- exactly the "identification of rogue
+RSUs" challenge in Table III.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.events import EventLog
+from repro.net.channel import RadioChannel
+from repro.net.messages import KeyDistributionMessage, Message, MessageType
+from repro.net.radio import Radio
+from repro.net.simulator import Simulator
+from repro.infra.authority import TrustedAuthority, WrappedKey
+from repro.security.crypto import generate_keypair, sign
+from repro.security.pki import Certificate
+from repro.security.trust import TrustManager
+
+
+class RoadsideUnit:
+    """A static infrastructure node relaying TA services to vehicles."""
+
+    def __init__(self, sim: Simulator, channel: RadioChannel, rsu_id: str,
+                 position: float, authority: Optional[TrustedAuthority],
+                 events: EventLog,
+                 coverage_m: float = 400.0,
+                 crl_push_interval: float = 5.0,
+                 rogue: bool = False) -> None:
+        self.sim = sim
+        self.rsu_id = rsu_id
+        self.position = position
+        self.authority = authority
+        self.events = events
+        self.coverage_m = coverage_m
+        self.rogue = rogue
+        self.failed = False
+        self.trust = TrustManager(rsu_id)
+        self.keys_issued = 0
+        self.requests_refused = 0
+
+        self.radio = Radio(sim, channel, rsu_id, lambda: self.position)
+        self.radio.on_receive(self._on_message)
+
+        if rogue or authority is None:
+            # Self-signed identity the TA never blessed.
+            rng = random.Random(hash(rsu_id) & 0xFFFF)
+            self._keypair = generate_keypair(rng, bits=512)
+            self._certificate = self._self_signed_cert()
+        else:
+            self._keypair, self._certificate = authority.register_rsu(
+                rsu_id, now=sim.now)
+
+        if crl_push_interval > 0 and authority is not None and not rogue:
+            sim.every(crl_push_interval, self.push_crl,
+                      initial_delay=crl_push_interval / 2)
+
+    def _self_signed_cert(self) -> Certificate:
+        cert = Certificate(subject_id=self.rsu_id, public_key=self._keypair.public,
+                           issuer_id=self.rsu_id, serial=0,
+                           valid_from=0.0, valid_until=1e9)
+        signature = sign(self._keypair, cert.signed_bytes())
+        return Certificate(**{**cert.__dict__, "signature": signature})
+
+    @property
+    def certificate(self) -> Certificate:
+        return self._certificate
+
+    def in_coverage(self, position: float) -> bool:
+        return abs(position - self.position) <= self.coverage_m
+
+    def fail(self) -> None:
+        """Knock the RSU out (damage/failure per the open challenge)."""
+        self.failed = True
+        self.radio.disable()
+
+    # ---------------------------------------------------------------- traffic
+
+    def _on_message(self, msg: Message) -> None:
+        if self.failed:
+            return
+        if msg.msg_type is MessageType.KEY_DISTRIBUTION and isinstance(
+                msg, KeyDistributionMessage):
+            if msg.payload.get("request") == "group_key":
+                self._serve_key_request(msg)
+        elif msg.msg_type is MessageType.BEACON:
+            # Behaviour monitoring: seeing regular beacons is (weak) positive
+            # evidence; detectors hook deeper checks through the radio tap.
+            self.trust.report_positive(msg.sender_id, self.sim.now, weight=0.05)
+
+    def _serve_key_request(self, msg: KeyDistributionMessage) -> None:
+        requester = msg.sender_id
+        requester_pos = msg.payload.get("position")
+        if requester_pos is not None and not self.in_coverage(requester_pos):
+            self.requests_refused += 1
+            return
+        if self.rogue or self.authority is None:
+            # Hand out an attacker-chosen key, "signed" by nobody the TA knows.
+            reply = KeyDistributionMessage(
+                sender_id=self.rsu_id, timestamp=self.sim.now,
+                key_id="rogue-key", encrypted_key=b"\x00" * 32,
+                recipient_id=requester)
+            reply.cert = self._certificate
+            self.radio.send(reply)
+            self.keys_issued += 1
+            self.events.record(self.sim.now, "rogue_key_issued", self.rsu_id,
+                               to=requester)
+            return
+        wrapped: Optional[WrappedKey] = self.authority.wrap_group_key_for(requester)
+        if wrapped is None:
+            self.requests_refused += 1
+            self.events.record(self.sim.now, "key_request_refused", self.rsu_id,
+                               requester=requester)
+            return
+        reply = KeyDistributionMessage(
+            sender_id=self.rsu_id, timestamp=self.sim.now,
+            key_id=wrapped.key_id, encrypted_key=wrapped.ciphertext,
+            recipient_id=requester)
+        reply.payload["tag"] = wrapped.tag.hex()
+        reply.cert = self._certificate
+        reply.signature = sign(self._keypair, reply.signing_bytes())
+        self.radio.send(reply)
+        self.keys_issued += 1
+        self.events.record(self.sim.now, "group_key_issued", self.rsu_id,
+                           to=requester, key_id=wrapped.key_id)
+
+    def push_crl(self) -> None:
+        if self.failed or self.authority is None:
+            return
+        msg = KeyDistributionMessage(sender_id=self.rsu_id, timestamp=self.sim.now,
+                                     revoked_ids=tuple(sorted(self.authority.crl())))
+        msg.cert = self._certificate
+        msg.signature = sign(self._keypair, msg.signing_bytes())
+        self.radio.send(msg)

@@ -1,0 +1,45 @@
+"""V2X network substrate: discrete-event engine, radio channel, MAC and messages.
+
+This package is the from-scratch replacement for the Veins/OMNeT++ network
+stack that Plexe builds on.  It provides:
+
+* :mod:`repro.net.simulator` -- a deterministic discrete-event engine.
+* :mod:`repro.net.channel` -- an IEEE 802.11p-like broadcast radio channel
+  with log-distance path loss, shadowing, Rayleigh fading, SINR-based
+  reception and interference (jammer) injection.
+* :mod:`repro.net.mac` -- a simplified CSMA/CA medium-access layer.
+* :mod:`repro.net.radio` -- per-node radio endpoints.
+* :mod:`repro.net.vlc` -- a line-of-sight visible-light channel used by the
+  SP-VLC hybrid defence.
+* :mod:`repro.net.messages` -- CAM/BSM-like beacons and manoeuvre messages
+  with a canonical wire format used by the security layer.
+"""
+
+from repro.net.simulator import Event, Simulator
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.messages import (
+    Beacon,
+    KeyDistributionMessage,
+    ManeuverMessage,
+    ManeuverType,
+    Message,
+    MessageType,
+)
+from repro.net.radio import Radio
+from repro.net.vlc import VlcChannel, VlcConfig
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "ChannelConfig",
+    "RadioChannel",
+    "Radio",
+    "Message",
+    "MessageType",
+    "Beacon",
+    "ManeuverMessage",
+    "ManeuverType",
+    "KeyDistributionMessage",
+    "VlcChannel",
+    "VlcConfig",
+]

@@ -1,0 +1,280 @@
+"""IEEE 802.11p-like broadcast radio channel.
+
+The channel implements the pieces of the physical layer that the paper's
+availability attacks exploit:
+
+* **Log-distance path loss** with log-normal shadowing and (optionally)
+  Rayleigh fading, parameterised for the 5.9 GHz ITS band.
+* **SINR-based reception**: each delivery attempt computes the signal to
+  (noise + interference) ratio; interference sums concurrent transmissions
+  and any registered *interferers* (jammers).
+* **Carrier sensing** support for the CSMA/CA MAC: total in-band power at a
+  node, including jammer power, which is how a barrage jammer also starves
+  transmit opportunities.
+* **Promiscuous reception** so eavesdropper radios can observe traffic that
+  is not addressed to them (all platoon traffic is broadcast anyway).
+
+Units: powers in dBm internally converted to mW for summation, distances in
+metres, times in seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+from repro.net.messages import Message
+from repro.net.simulator import Simulator
+
+if TYPE_CHECKING:
+    from repro.net.radio import Radio
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm.  Zero maps to -inf."""
+    if mw <= 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(mw)
+
+
+class Interferer(Protocol):
+    """Anything that injects RF power into the channel (e.g. a jammer)."""
+
+    def interference_dbm_at(self, position: float, now: float) -> float:
+        """Received interference power (dBm) at a road position, or -inf."""
+        ...
+
+
+@dataclass
+class ChannelConfig:
+    """Physical-layer parameters for the 5.9 GHz ITS band.
+
+    Defaults follow common Veins/Plexe highway parameterisations: free-space
+    reference loss at 1 m for 5.89 GHz, a path-loss exponent slightly above
+    free space (highway line-of-sight), and a 6 Mbit/s control-channel rate.
+    """
+
+    tx_power_dbm: float = 20.0
+    reference_loss_db: float = 47.86     # free space at 1 m, 5.89 GHz
+    path_loss_exponent: float = 2.2
+    shadowing_sigma_db: float = 2.0
+    rayleigh_fading: bool = True
+    noise_floor_dbm: float = -95.0
+    sinr_threshold_db: float = 8.0       # 50% reception point of the PER curve
+    per_steepness: float = 1.2           # logistic slope (per dB)
+    bitrate_bps: float = 6e6
+    propagation_speed: float = 3e8
+    max_range_m: float = 1500.0
+    carrier_sense_dbm: float = -85.0
+    min_distance_m: float = 1.0          # clamp to avoid log(0)
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate channel counters, reset per scenario."""
+
+    transmissions: int = 0
+    delivery_attempts: int = 0
+    delivered: int = 0
+    lost_noise: int = 0          # SINR failure with no interference present
+    lost_interference: int = 0   # SINR failure while interference was present
+    out_of_range: int = 0
+
+    @property
+    def packet_delivery_ratio(self) -> float:
+        if self.delivery_attempts == 0:
+            return 1.0
+        return self.delivered / self.delivery_attempts
+
+
+@dataclass
+class _ActiveTransmission:
+    sender: "Radio"
+    power_dbm: float
+    start: float
+    end: float
+
+
+class RadioChannel:
+    """Shared broadcast medium connecting all registered radios.
+
+    Radios are registered with a position callback so moving vehicles are
+    handled naturally.  Jammers register as :class:`Interferer` objects and
+    contribute to both SINR computation and carrier sensing.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[ChannelConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or ChannelConfig()
+        self._radios: dict[str, "Radio"] = {}
+        self._interferers: list[Interferer] = []
+        self._active: list[_ActiveTransmission] = []
+        self.stats = ChannelStats()
+        # Observers see every transmission (used by metrics / eavesdrop bookkeeping)
+        self._tx_observers: list[Callable[["Radio", Message], None]] = []
+
+    # ------------------------------------------------------------------ setup
+
+    def register(self, radio: "Radio") -> None:
+        if radio.node_id in self._radios:
+            raise ValueError(f"duplicate radio id {radio.node_id!r}")
+        self._radios[radio.node_id] = radio
+
+    def unregister(self, radio: "Radio") -> None:
+        self._radios.pop(radio.node_id, None)
+
+    def radios(self) -> list["Radio"]:
+        return list(self._radios.values())
+
+    def add_interferer(self, interferer: Interferer) -> None:
+        self._interferers.append(interferer)
+
+    def remove_interferer(self, interferer: Interferer) -> None:
+        if interferer in self._interferers:
+            self._interferers.remove(interferer)
+
+    def add_tx_observer(self, observer: Callable[["Radio", Message], None]) -> None:
+        self._tx_observers.append(observer)
+
+    # ------------------------------------------------------- propagation model
+
+    def path_loss_db(self, distance: float) -> float:
+        d = max(distance, self.config.min_distance_m)
+        return (self.config.reference_loss_db
+                + 10.0 * self.config.path_loss_exponent * math.log10(d))
+
+    def _fading_db(self) -> float:
+        """Random large+small scale fading term for one delivery attempt."""
+        fading = 0.0
+        if self.config.shadowing_sigma_db > 0:
+            fading += self.sim.rng.gauss(0.0, self.config.shadowing_sigma_db)
+        if self.config.rayleigh_fading:
+            # Rayleigh amplitude => exponential power with unit mean.
+            u = self.sim.rng.random()
+            u = max(u, 1e-12)
+            fading += 10.0 * math.log10(-math.log(u))
+        return fading
+
+    def received_power_dbm(self, tx_power_dbm: float, distance: float,
+                           with_fading: bool = True) -> float:
+        rx = tx_power_dbm - self.path_loss_db(distance)
+        if with_fading:
+            rx += self._fading_db()
+        return rx
+
+    def mean_received_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
+        """Deterministic (fading-free) received power; used for carrier sensing."""
+        return tx_power_dbm - self.path_loss_db(distance)
+
+    def interference_mw_at(self, position: float, exclude: Optional["Radio"] = None) -> float:
+        """Total interference power (mW) at a position right now.
+
+        Sums registered interferers (jammers) and currently active
+        transmissions other than ``exclude``.
+        """
+        now = self.sim.now
+        total = 0.0
+        for source in self._interferers:
+            dbm = source.interference_dbm_at(position, now)
+            if dbm > float("-inf"):
+                total += dbm_to_mw(dbm)
+        self._reap_active(now)
+        for tx in self._active:
+            if exclude is not None and tx.sender is exclude:
+                continue
+            distance = abs(tx.sender.position() - position)
+            total += dbm_to_mw(self.mean_received_power_dbm(tx.power_dbm, distance))
+        return total
+
+    def channel_busy(self, radio: "Radio") -> bool:
+        """Carrier-sense check used by the MAC: is in-band power above CS threshold?"""
+        power_mw = self.interference_mw_at(radio.position(), exclude=radio)
+        return mw_to_dbm(power_mw) >= self.config.carrier_sense_dbm
+
+    def _reap_active(self, now: float) -> None:
+        self._active = [tx for tx in self._active if tx.end > now]
+
+    # ------------------------------------------------------------ transmission
+
+    def airtime(self, msg: Message) -> float:
+        return msg.size_bits() / self.config.bitrate_bps
+
+    def broadcast(self, sender: "Radio", msg: Message) -> None:
+        """Transmit ``msg`` from ``sender`` to every other registered radio.
+
+        Reception is evaluated independently per receiver.  Delivery (if
+        successful) is scheduled at transmission end + propagation delay.
+        """
+        cfg = self.config
+        now = self.sim.now
+        duration = self.airtime(msg)
+        power = sender.tx_power_dbm if sender.tx_power_dbm is not None else cfg.tx_power_dbm
+
+        self.stats.transmissions += 1
+        self._reap_active(now)
+        self._active.append(_ActiveTransmission(sender, power, now, now + duration))
+        for observer in self._tx_observers:
+            observer(sender, msg)
+
+        sender_pos = sender.position()
+        for receiver in list(self._radios.values()):
+            if receiver is sender:
+                continue
+            if not receiver.enabled:
+                continue
+            distance = abs(receiver.position() - sender_pos)
+            if distance > cfg.max_range_m:
+                self.stats.out_of_range += 1
+                continue
+            self.stats.delivery_attempts += 1
+            rx_power_dbm = self.received_power_dbm(power, distance)
+            interference_mw = self.interference_mw_at(receiver.position(), exclude=sender)
+            noise_mw = dbm_to_mw(cfg.noise_floor_dbm)
+            sinr_db = rx_power_dbm - mw_to_dbm(noise_mw + interference_mw)
+            if self._reception_success(sinr_db):
+                delay = duration + distance / cfg.propagation_speed
+                self.sim.schedule(delay, receiver.deliver, msg)
+                self.stats.delivered += 1
+            else:
+                if interference_mw > noise_mw * 0.1:
+                    self.stats.lost_interference += 1
+                else:
+                    self.stats.lost_noise += 1
+
+    def _reception_success(self, sinr_db: float) -> bool:
+        """Logistic packet-success probability around the SINR threshold."""
+        cfg = self.config
+        x = cfg.per_steepness * (sinr_db - cfg.sinr_threshold_db)
+        # guard against overflow for extreme SINRs
+        if x > 30:
+            p_success = 1.0
+        elif x < -30:
+            p_success = 0.0
+        else:
+            p_success = 1.0 / (1.0 + math.exp(-x))
+        return self.sim.rng.random() < p_success
+
+    # --------------------------------------------------------------- utilities
+
+    def expected_pdr(self, distance: float, interference_dbm: float = float("-inf"),
+                     samples: int = 200) -> float:
+        """Monte-Carlo estimate of delivery probability at a given distance.
+
+        Useful for calibration tests; does not touch channel statistics.
+        """
+        cfg = self.config
+        noise_mw = dbm_to_mw(cfg.noise_floor_dbm) + dbm_to_mw(interference_dbm) \
+            if interference_dbm > float("-inf") else dbm_to_mw(cfg.noise_floor_dbm)
+        success = 0
+        for _ in range(samples):
+            rx = self.received_power_dbm(cfg.tx_power_dbm, distance)
+            sinr = rx - mw_to_dbm(noise_mw)
+            if self._reception_success(sinr):
+                success += 1
+        return success / samples

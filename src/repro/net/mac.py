@@ -1,0 +1,115 @@
+"""Simplified CSMA/CA medium access control.
+
+The MAC gives the reproduction two behaviours that matter for the paper's
+availability attacks:
+
+* **Carrier-sense deferral** -- a barrage jammer that keeps in-band power
+  above the carrier-sense threshold starves transmit opportunities, not
+  just receptions.
+* **Queueing with finite capacity** -- DoS floods saturate the transmit
+  queue and delay or drop legitimate traffic.
+
+The model is deliberately slotted-and-simplified (no RTS/CTS, no ACKs --
+802.11p broadcast has neither): on send, if the channel is sensed busy the
+frame backs off for a random number of slots and retries, up to a retry
+budget, after which it is dropped and counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.messages import Message
+from repro.net.simulator import Simulator
+
+if TYPE_CHECKING:
+    from repro.net.channel import RadioChannel
+    from repro.net.radio import Radio
+
+
+@dataclass
+class MacConfig:
+    slot_time: float = 13e-6          # 802.11p slot
+    max_backoff_slots: int = 15
+    max_retries: int = 7
+    queue_capacity: int = 64
+
+
+@dataclass
+class MacStats:
+    enqueued: int = 0
+    sent: int = 0
+    dropped_queue_full: int = 0
+    dropped_retry_limit: int = 0
+    total_backoffs: int = 0
+
+    @property
+    def drop_ratio(self) -> float:
+        if self.enqueued == 0:
+            return 0.0
+        return (self.dropped_queue_full + self.dropped_retry_limit) / self.enqueued
+
+
+class CsmaMac:
+    """Per-radio CSMA/CA transmit path."""
+
+    def __init__(self, sim: Simulator, channel: "RadioChannel", radio: "Radio",
+                 config: Optional[MacConfig] = None) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.radio = radio
+        self.config = config or MacConfig()
+        self.stats = MacStats()
+        self._queue: list[Message] = []
+        self._transmitting = False
+
+    def enqueue(self, msg: Message) -> bool:
+        """Queue a frame for transmission.  Returns False if dropped."""
+        self.stats.enqueued += 1
+        if len(self._queue) >= self.config.queue_capacity:
+            self.stats.dropped_queue_full += 1
+            return False
+        self._queue.append(msg)
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        msg = self._queue[0]
+        self._attempt(msg, retries_left=self.config.max_retries)
+
+    def _attempt(self, msg: Message, retries_left: int) -> None:
+        if not self.radio.enabled:
+            # Radio disabled mid-flight (e.g. malware kill): flush the queue.
+            self._queue.clear()
+            self._transmitting = False
+            return
+        if self.channel.channel_busy(self.radio):
+            if retries_left <= 0:
+                self.stats.dropped_retry_limit += 1
+                self._pop_and_continue()
+                return
+            self.stats.total_backoffs += 1
+            slots = self.sim.rng.randint(1, self.config.max_backoff_slots)
+            self.sim.schedule(slots * self.config.slot_time,
+                              self._attempt, msg, retries_left - 1)
+            return
+        # Channel clear: transmit now.
+        self.channel.broadcast(self.radio, msg)
+        self.stats.sent += 1
+        airtime = self.channel.airtime(msg)
+        self.sim.schedule(airtime, self._pop_and_continue)
+
+    def _pop_and_continue(self) -> None:
+        if self._queue:
+            self._queue.pop(0)
+        self._start_next()

@@ -1,0 +1,133 @@
+"""Per-node radio endpoint.
+
+A :class:`Radio` binds a node identity and position source to the shared
+:class:`~repro.net.channel.RadioChannel`.  It owns:
+
+* a CSMA/CA MAC transmit path,
+* a receive pipeline with pluggable *filters* (this is where the defence
+  suite hooks in: message authentication, freshness checks, trust filters
+  all register as receive filters),
+* *taps* that observe every frame before filtering (eavesdroppers and
+  intrusion-detection sensors use taps),
+* simple send/receive counters used by the metrics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.channel import RadioChannel
+from repro.net.mac import CsmaMac, MacConfig
+from repro.net.messages import Message
+from repro.net.simulator import Simulator
+
+RxHandler = Callable[[Message], None]
+RxFilter = Callable[[Message], bool]
+
+
+@dataclass
+class RadioStats:
+    sent: int = 0
+    received: int = 0
+    filtered: int = 0   # frames rejected by a receive filter (e.g. bad MAC)
+
+
+class Radio:
+    """A broadcast radio attached to one node.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identity on the channel.  Note this is the *true* hardware
+        identity; the ``sender_id`` claimed inside messages can differ
+        (that difference is exactly what impersonation and Sybil attacks
+        exploit).
+    position_fn:
+        Callable returning the node's current road coordinate.
+    """
+
+    def __init__(self, sim: Simulator, channel: RadioChannel, node_id: str,
+                 position_fn: Callable[[], float],
+                 tx_power_dbm: Optional[float] = None,
+                 mac_config: Optional[MacConfig] = None) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.node_id = node_id
+        self._position_fn = position_fn
+        self.tx_power_dbm = tx_power_dbm
+        self.enabled = True
+        self.mac = CsmaMac(sim, channel, self, config=mac_config)
+        self.stats = RadioStats()
+        self._handlers: list[RxHandler] = []
+        self._filters: list[RxFilter] = []
+        self._taps: list[RxHandler] = []
+        channel.register(self)
+
+    def position(self) -> float:
+        return self._position_fn()
+
+    # ------------------------------------------------------------------- send
+
+    def send(self, msg: Message) -> bool:
+        """Broadcast a message.  Returns False if the MAC dropped it."""
+        if not self.enabled:
+            return False
+        self.stats.sent += 1
+        return self.mac.enqueue(msg)
+
+    # ---------------------------------------------------------------- receive
+
+    def on_receive(self, handler: RxHandler) -> None:
+        """Register an application-level receive handler."""
+        self._handlers.append(handler)
+
+    def clear_handlers(self) -> list[RxHandler]:
+        """Detach all application handlers (used by dispatch-replacing
+        defences like SP-VLC cross-checking); returns the old handlers."""
+        old = self._handlers
+        self._handlers = []
+        return old
+
+    def add_filter(self, rx_filter: RxFilter) -> None:
+        """Register a receive filter; filters run in order, all must accept.
+
+        A filter returning ``False`` drops the frame before it reaches
+        handlers.  Defences (message auth, anti-replay, trust) plug in here.
+        """
+        self._filters.append(rx_filter)
+
+    def remove_filter(self, rx_filter: RxFilter) -> None:
+        if rx_filter in self._filters:
+            self._filters.remove(rx_filter)
+
+    def add_tap(self, tap: RxHandler) -> None:
+        """Register a promiscuous tap that sees frames before filtering."""
+        self._taps.append(tap)
+
+    def deliver(self, msg: Message) -> None:
+        """Called by the channel when a frame arrives at this radio."""
+        if not self.enabled:
+            return
+        for tap in self._taps:
+            tap(msg)
+        for rx_filter in self._filters:
+            if not rx_filter(msg):
+                self.stats.filtered += 1
+                return
+        self.stats.received += 1
+        for handler in self._handlers:
+            handler(msg)
+
+    # --------------------------------------------------------------- lifecycle
+
+    def disable(self) -> None:
+        """Take the radio off the air (jammed hardware, malware kill, leave)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def shutdown(self) -> None:
+        self.enabled = False
+        self.channel.unregister(self)

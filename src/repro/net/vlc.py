@@ -1,0 +1,165 @@
+"""Visible-light communication (VLC) channel.
+
+Models the optical side of SP-VLC (Ucar et al. [2] in the paper): platoon
+members carry headlight/taillight transceivers, so VLC links exist only
+between *adjacent* vehicles in the same lane within a short line-of-sight
+range.  The properties that make VLC useful as a security channel are
+preserved:
+
+* **RF-jamming immunity** -- the channel ignores all RF interferers.
+* **Line-of-sight only** -- a message reaches at most the nearest vehicle
+  ahead and behind; multi-hop delivery requires explicit relaying (done by
+  the hybrid defence).
+* **Ambient-light outages** -- each delivery independently fails with a
+  configurable probability, modelling sunlight interference the paper
+  mentions; an optical jammer (bright light source) can also be attached,
+  raising the outage probability for vehicles it illuminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.messages import Message
+from repro.net.simulator import Simulator
+
+
+@dataclass
+class VlcConfig:
+    max_range_m: float = 40.0           # usable headlight/taillight LoS range
+    ambient_outage_prob: float = 0.01   # per-delivery loss from ambient light
+    latency_s: float = 0.002            # modulation + decoding latency
+    same_lane_only: bool = True
+
+
+@dataclass
+class VlcStats:
+    transmissions: int = 0
+    delivered: int = 0
+    lost_outage: int = 0
+    lost_range: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        attempts = self.delivered + self.lost_outage
+        if attempts == 0:
+            return 1.0
+        return self.delivered / attempts
+
+
+class VlcEndpoint:
+    """Optical transceiver on one vehicle."""
+
+    def __init__(self, channel: "VlcChannel", node_id: str,
+                 position_fn: Callable[[], float],
+                 lane_fn: Optional[Callable[[], int]] = None) -> None:
+        self.channel = channel
+        self.node_id = node_id
+        self._position_fn = position_fn
+        self._lane_fn = lane_fn or (lambda: 0)
+        self.enabled = True
+        self._handlers: list[Callable[[Message], None]] = []
+        channel.register(self)
+
+    def position(self) -> float:
+        return self._position_fn()
+
+    def lane(self) -> int:
+        return self._lane_fn()
+
+    def send(self, msg: Message) -> None:
+        if self.enabled:
+            self.channel.transmit(self, msg)
+
+    def on_receive(self, handler: Callable[[Message], None]) -> None:
+        self._handlers.append(handler)
+
+    def deliver(self, msg: Message) -> None:
+        if not self.enabled:
+            return
+        for handler in self._handlers:
+            handler(msg)
+
+
+class OpticalJammer:
+    """A bright light source that raises the outage probability nearby.
+
+    Unlike RF jamming this is hard to do covertly at highway speed -- the
+    paper treats VLC as robust to RF jamming but notes external light can
+    block it; this class lets experiments quantify that residual risk.
+    """
+
+    def __init__(self, position: float, radius_m: float = 30.0,
+                 outage_prob: float = 0.9) -> None:
+        self.position = position
+        self.radius_m = radius_m
+        self.outage_prob = outage_prob
+        self.active = True
+
+    def outage_at(self, position: float) -> float:
+        if not self.active:
+            return 0.0
+        if abs(position - self.position) <= self.radius_m:
+            return self.outage_prob
+        return 0.0
+
+
+class VlcChannel:
+    """Shared optical medium.  Delivers only to adjacent same-lane vehicles."""
+
+    def __init__(self, sim: Simulator, config: Optional[VlcConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or VlcConfig()
+        self._endpoints: dict[str, VlcEndpoint] = {}
+        self._optical_jammers: list[OpticalJammer] = []
+        self.stats = VlcStats()
+
+    def register(self, endpoint: VlcEndpoint) -> None:
+        if endpoint.node_id in self._endpoints:
+            raise ValueError(f"duplicate VLC endpoint {endpoint.node_id!r}")
+        self._endpoints[endpoint.node_id] = endpoint
+
+    def unregister(self, endpoint: VlcEndpoint) -> None:
+        self._endpoints.pop(endpoint.node_id, None)
+
+    def add_optical_jammer(self, jammer: OpticalJammer) -> None:
+        self._optical_jammers.append(jammer)
+
+    def _neighbours(self, sender: VlcEndpoint) -> list[VlcEndpoint]:
+        """Nearest endpoint ahead and behind within LoS range (same lane)."""
+        pos = sender.position()
+        lane = sender.lane()
+        ahead: Optional[VlcEndpoint] = None
+        behind: Optional[VlcEndpoint] = None
+        for ep in self._endpoints.values():
+            if ep is sender or not ep.enabled:
+                continue
+            if self.config.same_lane_only and ep.lane() != lane:
+                continue
+            delta = ep.position() - pos
+            if 0 < delta <= self.config.max_range_m:
+                if ahead is None or ep.position() < ahead.position():
+                    ahead = ep
+            elif 0 > delta >= -self.config.max_range_m:
+                if behind is None or ep.position() > behind.position():
+                    behind = ep
+        return [ep for ep in (ahead, behind) if ep is not None]
+
+    def transmit(self, sender: VlcEndpoint, msg: Message) -> None:
+        self.stats.transmissions += 1
+        neighbours = self._neighbours(sender)
+        if not neighbours:
+            self.stats.lost_range += 1
+            return
+        for receiver in neighbours:
+            outage = self.config.ambient_outage_prob
+            for jammer in self._optical_jammers:
+                outage = max(outage, jammer.outage_at(receiver.position()))
+            if self.sim.rng.random() < outage:
+                self.stats.lost_outage += 1
+                continue
+            copy = msg.copy()
+            copy.vlc_copy = True
+            self.sim.schedule(self.config.latency_s, receiver.deliver, copy)
+            self.stats.delivered += 1

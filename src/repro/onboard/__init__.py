@@ -1,0 +1,27 @@
+"""On-board vehicle systems: ECU network, malware, hardening.
+
+The miniature in-vehicle architecture the paper's §V-H malware narrative
+needs: a broadcast CAN-like bus with no frame authentication, ECUs with
+firmware images, infection vectors (OBD port, infected media, wireless),
+and the §VI-A.5 counter-measures (firewall segmentation, antivirus
+scanning, secure boot).
+"""
+
+from repro.onboard.bus import CanBus, CanFrame
+from repro.onboard.ecu import Ecu, Firmware
+from repro.onboard.malware import InfectionVector, MalwareStrain, OnboardNetwork
+from repro.onboard.hardening import AntivirusScanner, Firewall, HardeningProfile, SecureBoot
+
+__all__ = [
+    "CanBus",
+    "CanFrame",
+    "Ecu",
+    "Firmware",
+    "InfectionVector",
+    "MalwareStrain",
+    "OnboardNetwork",
+    "AntivirusScanner",
+    "Firewall",
+    "HardeningProfile",
+    "SecureBoot",
+]

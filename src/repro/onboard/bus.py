@@ -1,0 +1,88 @@
+"""CAN-like in-vehicle bus.
+
+A broadcast bus with arbitration IDs and -- critically for the paper's
+§V-G/H analysis -- **no sender authentication**: any node that can transmit
+on the bus can claim any arbitration ID.  That is exactly the property a
+compromised TPMS receiver or infotainment ECU exploits to inject frames
+"pretending to be other systems on the CAN network".
+
+A :class:`~repro.onboard.hardening.Firewall` may be installed on the bus to
+model gateway segmentation (only allow-listed (source, arbitration-id)
+pairs pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from repro.onboard.ecu import Ecu
+    from repro.onboard.hardening import Firewall
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """One bus frame.  ``claimed_source`` is the arbitration-id level
+    identity, which need not match the physically transmitting ECU."""
+
+    arbitration_id: int
+    claimed_source: str
+    data: dict
+    physical_sender: str = ""     # ground truth, invisible to receivers
+
+
+@dataclass
+class BusStats:
+    frames: int = 0
+    blocked_by_firewall: int = 0
+    spoofed_source_frames: int = 0   # ground-truth count of forged claims
+
+
+class CanBus:
+    """Broadcast bus connecting a vehicle's ECUs."""
+
+    def __init__(self) -> None:
+        self._ecus: dict[str, "Ecu"] = {}
+        self.firewall: Optional["Firewall"] = None
+        self.stats = BusStats()
+        self._taps: list[Callable[[CanFrame], None]] = []
+
+    def attach(self, ecu: "Ecu") -> None:
+        if ecu.ecu_id in self._ecus:
+            raise ValueError(f"duplicate ECU id {ecu.ecu_id!r}")
+        self._ecus[ecu.ecu_id] = ecu
+        ecu.bus = self
+
+    def ecus(self) -> list["Ecu"]:
+        return list(self._ecus.values())
+
+    def get(self, ecu_id: str) -> Optional["Ecu"]:
+        return self._ecus.get(ecu_id)
+
+    def install_firewall(self, firewall: "Firewall") -> None:
+        self.firewall = firewall
+
+    def add_tap(self, tap: Callable[[CanFrame], None]) -> None:
+        """Bus-level observer (intrusion-detection sensors hook in here)."""
+        self._taps.append(tap)
+
+    def transmit(self, sender: "Ecu", arbitration_id: int,
+                 data: dict, claimed_source: Optional[str] = None) -> bool:
+        """Broadcast a frame.  Returns False if a firewall blocked it."""
+        claimed = claimed_source if claimed_source is not None else sender.ecu_id
+        frame = CanFrame(arbitration_id=arbitration_id, claimed_source=claimed,
+                         data=dict(data), physical_sender=sender.ecu_id)
+        if claimed != sender.ecu_id:
+            self.stats.spoofed_source_frames += 1
+        if self.firewall is not None and not self.firewall.allows(
+                sender.ecu_id, arbitration_id):
+            self.stats.blocked_by_firewall += 1
+            return False
+        self.stats.frames += 1
+        for tap in self._taps:
+            tap(frame)
+        for ecu in self._ecus.values():
+            if ecu is not sender and ecu.powered:
+                ecu.receive(frame)
+        return True

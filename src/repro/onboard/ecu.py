@@ -1,0 +1,159 @@
+"""Electronic control units with firmware images.
+
+Each :class:`Ecu` runs a :class:`Firmware` image identified by a content
+hash; malware infection rewrites the image (changing the hash, which is
+what :class:`~repro.onboard.hardening.SecureBoot` detects at the next
+boot).  ECUs expose *services* -- named capabilities like ``"v2x"`` or
+``"braking"`` -- that malware payloads disable or subvert.
+
+Standard arbitration IDs used across the suite (loosely modelled on real
+powertrain/chassis allocations):
+
+====================  =====
+service               arb id
+====================  =====
+engine / powertrain   0x0C0
+braking               0x1A0
+steering              0x1C2
+tpms                  0x3B0
+infotainment          0x5F0
+obd gateway           0x7DF
+v2x gateway           0x6A0
+====================  =====
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from repro.onboard.bus import CanBus, CanFrame
+
+ARBITRATION_IDS = {
+    "engine": 0x0C0,
+    "braking": 0x1A0,
+    "steering": 0x1C2,
+    "tpms": 0x3B0,
+    "infotainment": 0x5F0,
+    "obd": 0x7DF,
+    "v2x": 0x6A0,
+}
+
+
+@dataclass
+class Firmware:
+    """A firmware image with integrity-relevant identity."""
+
+    name: str
+    version: str
+    body: bytes
+
+    def digest(self) -> bytes:
+        return hashlib.sha256(self.name.encode() + self.version.encode()
+                              + self.body).digest()
+
+    def tampered_copy(self, payload: bytes) -> "Firmware":
+        """A maliciously rewritten image (same name/version, altered body)."""
+        return Firmware(name=self.name, version=self.version,
+                        body=self.body + b"|MAL|" + payload)
+
+
+class Ecu:
+    """One electronic control unit.
+
+    ``exposed_interfaces`` lists the external attack surfaces this ECU
+    carries (``"obd"``, ``"media"``, ``"wireless"``); infection vectors can
+    only land on an ECU exposing the matching interface, mirroring the
+    attack-surface analysis of Checkoway et al. [21].
+    """
+
+    def __init__(self, ecu_id: str, firmware: Firmware,
+                 services: Optional[list[str]] = None,
+                 exposed_interfaces: Optional[list[str]] = None) -> None:
+        self.ecu_id = ecu_id
+        self.firmware = firmware
+        self.trusted_digest = firmware.digest()   # factory-known-good hash
+        self.services = list(services or [])
+        self.exposed_interfaces = list(exposed_interfaces or [])
+        self.bus: Optional["CanBus"] = None
+        self.powered = True
+        self.infected = False
+        self.infection_name: Optional[str] = None
+        self.disabled_services: set[str] = set()
+        self.rx_frames: list["CanFrame"] = []
+        self._handlers: list[Callable[["CanFrame"], None]] = []
+
+    # ------------------------------------------------------------------- bus
+
+    def send(self, arbitration_id: int, data: dict,
+             claimed_source: Optional[str] = None) -> bool:
+        if self.bus is None or not self.powered:
+            return False
+        return self.bus.transmit(self, arbitration_id, data, claimed_source)
+
+    def receive(self, frame: "CanFrame") -> None:
+        self.rx_frames.append(frame)
+        if len(self.rx_frames) > 256:
+            del self.rx_frames[:128]
+        for handler in self._handlers:
+            handler(frame)
+
+    def on_frame(self, handler: Callable[["CanFrame"], None]) -> None:
+        self._handlers.append(handler)
+
+    # -------------------------------------------------------------- integrity
+
+    def firmware_intact(self) -> bool:
+        return self.firmware.digest() == self.trusted_digest
+
+    def infect(self, infection_name: str, payload: bytes) -> None:
+        """Rewrite the firmware (what a successful malware drop does)."""
+        self.firmware = self.firmware.tampered_copy(payload)
+        self.infected = True
+        self.infection_name = infection_name
+
+    def disinfect(self) -> None:
+        """Restore the factory image (antivirus remediation)."""
+        self.firmware = Firmware(name=self.firmware.name,
+                                 version=self.firmware.version,
+                                 body=self.firmware.body.split(b"|MAL|")[0])
+        self.infected = False
+        self.infection_name = None
+        self.disabled_services.clear()
+
+    # --------------------------------------------------------------- services
+
+    def service_available(self, service: str) -> bool:
+        return (self.powered and service in self.services
+                and service not in self.disabled_services)
+
+    def disable_service(self, service: str) -> None:
+        if service in self.services:
+            self.disabled_services.add(service)
+
+    def __repr__(self) -> str:
+        flag = " INFECTED" if self.infected else ""
+        return f"<Ecu {self.ecu_id} fw={self.firmware.version}{flag}>"
+
+
+def standard_ecu_suite() -> list[Ecu]:
+    """The default ECU complement of a platoon-enabled vehicle."""
+
+    def fw(name: str) -> Firmware:
+        return Firmware(name=name, version="1.0", body=f"{name}-factory".encode())
+
+    return [
+        Ecu("engine-ecu", fw("engine"), services=["engine"]),
+        Ecu("brake-ecu", fw("brake"), services=["braking"]),
+        Ecu("steering-ecu", fw("steering"), services=["steering"]),
+        Ecu("tpms-ecu", fw("tpms"), services=["tpms"],
+            exposed_interfaces=["wireless"]),
+        Ecu("infotainment-ecu", fw("infotainment"),
+            services=["infotainment"], exposed_interfaces=["media", "wireless"]),
+        Ecu("obd-gateway", fw("obd"), services=["diagnostics"],
+            exposed_interfaces=["obd"]),
+        Ecu("v2x-gateway", fw("v2x"), services=["v2x"],
+            exposed_interfaces=["wireless"]),
+    ]

@@ -1,0 +1,138 @@
+"""On-board hardening: firewall, antivirus, secure boot (§VI-A.5).
+
+The paper recommends three concrete measures for on-board systems:
+firewalls that "only allow components to communicate with what they need
+to", simple antivirus on the on-board computer, and not executing
+unauthorised content.  Each is implemented as a small, testable mechanism,
+and :class:`HardeningProfile` bundles them for scenario configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.onboard.bus import CanBus
+    from repro.onboard.ecu import Ecu
+
+
+class Firewall:
+    """Gateway segmentation: allow-list of (sender ECU, arbitration id).
+
+    Anything not explicitly allowed is blocked, which prevents a
+    compromised infotainment unit from injecting braking frames -- the
+    lateral-movement step of §V-H.
+    """
+
+    def __init__(self) -> None:
+        self._allowed: set[tuple[str, int]] = set()
+        self.default_deny = True
+
+    def allow(self, sender_id: str, arbitration_id: int) -> None:
+        self._allowed.add((sender_id, arbitration_id))
+
+    def allows(self, sender_id: str, arbitration_id: int) -> bool:
+        if not self.default_deny:
+            return True
+        return (sender_id, arbitration_id) in self._allowed
+
+    @staticmethod
+    def standard_policy() -> "Firewall":
+        """Least-privilege policy for the standard ECU suite."""
+        from repro.onboard.ecu import ARBITRATION_IDS
+
+        fw = Firewall()
+        fw.allow("engine-ecu", ARBITRATION_IDS["engine"])
+        fw.allow("brake-ecu", ARBITRATION_IDS["braking"])
+        fw.allow("steering-ecu", ARBITRATION_IDS["steering"])
+        fw.allow("tpms-ecu", ARBITRATION_IDS["tpms"])
+        fw.allow("infotainment-ecu", ARBITRATION_IDS["infotainment"])
+        fw.allow("obd-gateway", ARBITRATION_IDS["obd"])
+        fw.allow("v2x-gateway", ARBITRATION_IDS["v2x"])
+        return fw
+
+
+class AntivirusScanner:
+    """Signature-based scanner over ECU firmware images.
+
+    Detection is probabilistic per strain: known signatures are detected
+    with ``known_detection_prob``; unknown (zero-day) strains with the much
+    lower ``heuristic_detection_prob``.  The paper's claim that "simple
+    antivirus ... can reduce the chance of such an attack being successful"
+    maps to a measurable reduction, not elimination.
+    """
+
+    def __init__(self, rng, known_signatures: Optional[set[str]] = None,
+                 known_detection_prob: float = 0.95,
+                 heuristic_detection_prob: float = 0.25) -> None:
+        self.rng = rng
+        self.known_signatures = set(known_signatures or set())
+        self.known_detection_prob = known_detection_prob
+        self.heuristic_detection_prob = heuristic_detection_prob
+        self.scans = 0
+        self.detections = 0
+
+    def scan(self, ecu: "Ecu") -> bool:
+        """Scan one ECU; on detection the infection is remediated."""
+        self.scans += 1
+        if not ecu.infected:
+            return False
+        if ecu.infection_name in self.known_signatures:
+            p = self.known_detection_prob
+        else:
+            p = self.heuristic_detection_prob
+        if self.rng.random() < p:
+            self.detections += 1
+            ecu.disinfect()
+            return True
+        return False
+
+    def scan_all(self, bus: "CanBus") -> int:
+        return sum(1 for ecu in bus.ecus() if self.scan(ecu))
+
+
+class SecureBoot:
+    """Boot-time firmware integrity check against factory hashes.
+
+    An ECU whose image digest no longer matches its trusted digest is
+    refused boot (powered off) -- persistence is denied even when the
+    initial drop succeeded.
+    """
+
+    def __init__(self) -> None:
+        self.boots = 0
+        self.refused = 0
+
+    def boot(self, ecu: "Ecu") -> bool:
+        self.boots += 1
+        if ecu.firmware_intact():
+            ecu.powered = True
+            return True
+        self.refused += 1
+        ecu.powered = False
+        return False
+
+    def boot_all(self, bus: "CanBus") -> list[str]:
+        """Boot every ECU; returns the ids refused for tampered firmware."""
+        return [ecu.ecu_id for ecu in bus.ecus() if not self.boot(ecu)]
+
+
+@dataclass
+class HardeningProfile:
+    """Scenario-level bundle of on-board defences."""
+
+    firewall: bool = False
+    antivirus: bool = False
+    secure_boot: bool = False
+    media_allowlist: bool = False   # refuse unauthorised media content
+    av_scan_interval: float = 10.0  # [s] periodic scan cadence
+
+    @staticmethod
+    def none() -> "HardeningProfile":
+        return HardeningProfile()
+
+    @staticmethod
+    def full() -> "HardeningProfile":
+        return HardeningProfile(firewall=True, antivirus=True,
+                                secure_boot=True, media_allowlist=True)

@@ -1,0 +1,37 @@
+"""Platooning substrate: vehicle dynamics, controllers, manoeuvres, sensors.
+
+This package is the from-scratch replacement for Plexe/VENTOS [39, 40 in
+the paper]: longitudinal vehicle models, ACC and CACC controllers, the
+leader/member platoon roles, and the message-driven join / leave / split
+manoeuvre protocol that the paper's manoeuvre attacks target.
+"""
+
+from repro.platoon.dynamics import LongitudinalState, VehicleDynamics, VehicleParams
+from repro.platoon.controllers import (
+    AccController,
+    ControllerInputs,
+    CruiseController,
+    PathCaccController,
+    PloegCaccController,
+)
+from repro.platoon.sensors import GpsReceiver, RangeSensor, TirePressureSensor
+from repro.platoon.platoon import PlatoonRole, PlatoonState
+from repro.platoon.vehicle import Vehicle, VehicleConfig
+
+__all__ = [
+    "LongitudinalState",
+    "VehicleDynamics",
+    "VehicleParams",
+    "AccController",
+    "ControllerInputs",
+    "CruiseController",
+    "PathCaccController",
+    "PloegCaccController",
+    "GpsReceiver",
+    "RangeSensor",
+    "TirePressureSensor",
+    "PlatoonRole",
+    "PlatoonState",
+    "Vehicle",
+    "VehicleConfig",
+]

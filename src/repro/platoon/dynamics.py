@@ -1,0 +1,113 @@
+"""Longitudinal vehicle dynamics.
+
+A point-mass model with first-order drivetrain lag, the standard substrate
+for platoon control studies (and what Plexe uses underneath its CACC
+implementations):
+
+.. math::
+
+    \\dot{x} = v, \\qquad \\dot{v} = a, \\qquad
+    \\dot{a} = \\frac{u - a}{\\tau}
+
+where ``u`` is the commanded acceleration and ``tau`` the actuation lag.
+Acceleration and speed are clamped to physical bounds; speed never goes
+negative (no reversing on the motorway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VehicleParams:
+    """Physical parameters for one vehicle.
+
+    Defaults approximate a passenger car; trucks (the primary platooning
+    use case in the paper's introduction) use longer ``length`` and larger
+    ``tau``.
+    """
+
+    length: float = 4.5           # [m]
+    max_accel: float = 2.5        # [m/s^2]
+    max_decel: float = 6.0        # [m/s^2] magnitude of the braking limit
+    tau: float = 0.3              # drivetrain lag [s]
+    max_speed: float = 44.0       # [m/s] ~160 km/h
+
+    @staticmethod
+    def truck() -> "VehicleParams":
+        return VehicleParams(length=16.0, max_accel=1.2, max_decel=4.0,
+                             tau=0.5, max_speed=30.0)
+
+
+@dataclass
+class LongitudinalState:
+    """Kinematic state along the road."""
+
+    position: float = 0.0   # front-bumper coordinate [m]
+    speed: float = 0.0      # [m/s]
+    acceleration: float = 0.0  # realised acceleration [m/s^2]
+
+
+class VehicleDynamics:
+    """Integrates the longitudinal model with semi-implicit Euler steps."""
+
+    def __init__(self, params: VehicleParams, initial: LongitudinalState) -> None:
+        self.params = params
+        self.state = initial
+        self._last_jerk = 0.0
+
+    @property
+    def position(self) -> float:
+        return self.state.position
+
+    @property
+    def speed(self) -> float:
+        return self.state.speed
+
+    @property
+    def acceleration(self) -> float:
+        return self.state.acceleration
+
+    @property
+    def last_jerk(self) -> float:
+        """Jerk realised over the last step; comfort metric input."""
+        return self._last_jerk
+
+    def clamp_command(self, u: float) -> float:
+        return max(-self.params.max_decel, min(self.params.max_accel, u))
+
+    def step(self, dt: float, u: float) -> LongitudinalState:
+        """Advance the model by ``dt`` seconds under command ``u``.
+
+        The command is clamped to actuator bounds, then tracked through the
+        first-order lag.  Speed is clamped to ``[0, max_speed]``; when the
+        vehicle is stopped, negative accelerations are zeroed so it does
+        not reverse.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        p = self.params
+        s = self.state
+        u = self.clamp_command(u)
+
+        # first-order actuation lag (exact discretisation)
+        import math
+        alpha = math.exp(-dt / p.tau)
+        new_accel = u + (s.acceleration - u) * alpha
+        new_accel = max(-p.max_decel, min(p.max_accel, new_accel))
+
+        new_speed = s.speed + new_accel * dt
+        if new_speed < 0.0:
+            new_speed = 0.0
+            new_accel = max(new_accel, 0.0) if s.speed <= 0 else new_accel
+        if new_speed > p.max_speed:
+            new_speed = p.max_speed
+            new_accel = min(new_accel, 0.0) if s.speed >= p.max_speed else new_accel
+
+        avg_speed = 0.5 * (s.speed + new_speed)
+        new_position = s.position + avg_speed * dt
+
+        self._last_jerk = (new_accel - s.acceleration) / dt
+        self.state = LongitudinalState(new_position, new_speed, new_accel)
+        return self.state

@@ -1,0 +1,463 @@
+"""Message-driven join / leave / split manoeuvre protocol.
+
+This module implements the coordination logic the paper's *fake manoeuvre*
+attacks (§V-A.3) target: entrance gaps that stay open for nothing, forged
+leave/split commands that fragment the platoon, and the join queue a DoS
+flood exhausts (§V-D).
+
+The protocol (deliberately close to the Plexe/ENSEMBLE style):
+
+Join (at the tail, or mid-platoon after a gap-open)::
+
+    joiner                     leader                    member[k]
+      | -- JOIN_REQUEST ------> |                           |
+      |                         | -- GAP_OPEN (optional) -> |
+      |                         | <------- GAP_READY ------ |
+      | <-- JOIN_ACCEPT ------- |                           |
+      |  ...approaches tail...  |                           |
+      | -- JOIN_COMPLETE -----> |                           |
+      |                         | -- ROSTER (broadcast) --> |
+
+Leave::
+
+    member -- LEAVE_REQUEST --> leader
+    member <-- LEAVE_ACCEPT --- leader      (roster re-broadcast)
+
+Split: ``SPLIT_COMMAND(split_index=k)`` makes member *k* the leader of a
+new tail platoon.  ``DISSOLVE`` disbands everything.
+
+Merge (a rear platoon joins the platoon ahead, reversing a split)::
+
+    rear leader -- MERGE_REQUEST(roster) --> front leader
+    rear leader <-- MERGE_ACCEPT(combined roster) -- front leader
+    rear leader -- MERGE_COMMIT --> rear members   (all adopt the front id)
+
+The leader also *prunes* members that stop beaconing (disbanded, failed,
+or drove away) so its roster tracks reality; pruned ex-members with the
+``rejoin_after_disband`` policy re-enter through the normal join protocol
+-- the reformation cycle the paper's §V-B alludes to.
+
+None of these messages carry authentication unless a defence installs it;
+that is the paper's point, and the attack suite exploits exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.messages import ManeuverMessage, ManeuverType
+from repro.platoon.platoon import MembershipRegistry, PlatoonRole
+
+if TYPE_CHECKING:
+    from repro.platoon.vehicle import Vehicle
+
+JoinValidator = Callable[[ManeuverMessage], bool]
+
+
+class LeaderLogic:
+    """Leader-side manoeuvre coordination."""
+
+    def __init__(self, vehicle: "Vehicle", registry: MembershipRegistry) -> None:
+        self.vehicle = vehicle
+        self.registry = registry
+        self.join_validators: list[JoinValidator] = []
+        # Pending-join expiry must cover a physical approach: a joiner 80 m
+        # back closing at ~3 m/s needs ~25 s before it can declare complete.
+        self.join_timeout = 40.0
+        # Members silent for this long are pruned from the roster (they
+        # disbanded, failed, or left the road); 0 disables pruning.
+        self.member_silence_timeout = 6.0
+        self._member_added_at: dict[str, float] = {
+            m: vehicle.sim.now for m in registry.members}
+
+    # ------------------------------------------------------------- reception
+
+    def handle(self, msg: ManeuverMessage) -> None:
+        v = self.vehicle
+        if msg.maneuver is ManeuverType.JOIN_REQUEST:
+            self._handle_join_request(msg)
+        elif msg.maneuver is ManeuverType.MERGE_REQUEST \
+                and msg.target_id == v.vehicle_id:
+            self._handle_merge_request(msg)
+        elif msg.maneuver is ManeuverType.MERGE_ACCEPT \
+                and msg.target_id == v.vehicle_id:
+            self._handle_merge_accept(msg)
+        elif msg.maneuver is ManeuverType.JOIN_COMPLETE and msg.sender_id in self.registry.pending:
+            if self.registry.complete_join(msg.sender_id):
+                self._member_added_at[msg.sender_id] = v.sim.now
+                v.events.record(v.sim.now, "join_completed", v.vehicle_id,
+                                joiner=msg.sender_id, size=self.registry.size)
+                self.broadcast_roster()
+            else:
+                v.events.record(v.sim.now, "join_rejected", v.vehicle_id,
+                                requester=msg.sender_id, reason="full")
+                self._reply(ManeuverType.JOIN_REJECT, msg.sender_id)
+        elif msg.maneuver is ManeuverType.LEAVE_REQUEST:
+            self._handle_leave_request(msg)
+        elif msg.maneuver is ManeuverType.GAP_READY:
+            v.events.record(v.sim.now, "gap_ready", v.vehicle_id, member=msg.sender_id)
+
+    def _handle_join_request(self, msg: ManeuverMessage) -> None:
+        v = self.vehicle
+        v.events.record(v.sim.now, "join_requested", v.vehicle_id,
+                        requester=msg.sender_id)
+        for validator in self.join_validators:
+            if not validator(msg):
+                v.events.record(v.sim.now, "join_rejected", v.vehicle_id,
+                                requester=msg.sender_id, reason="validator")
+                self._reply(ManeuverType.JOIN_REJECT, msg.sender_id)
+                return
+        if self.registry.is_full:
+            self.registry.rejected_full += 1
+            v.events.record(v.sim.now, "join_rejected", v.vehicle_id,
+                            requester=msg.sender_id, reason="full")
+            self._reply(ManeuverType.JOIN_REJECT, msg.sender_id)
+            return
+        if not self.registry.queue_join(msg.sender_id, v.sim.now):
+            # Queue exhausted: request silently dropped.  This is the
+            # per-platoon DoS effect -- legitimate joiners get no answer.
+            v.events.record(v.sim.now, "join_dropped_queue_full", v.vehicle_id,
+                            requester=msg.sender_id)
+            return
+        v.events.record(v.sim.now, "join_accepted", v.vehicle_id,
+                        requester=msg.sender_id)
+        accept = self._make(ManeuverType.JOIN_ACCEPT, target_id=msg.sender_id)
+        # Fill the payload *before* sending: security processors sign the
+        # message on the way out, so any later mutation would break the tag.
+        accept.payload["roster"] = list(self.registry.members)
+        v.send(accept)
+
+    def _handle_leave_request(self, msg: ManeuverMessage) -> None:
+        v = self.vehicle
+        if msg.sender_id not in self.registry.members:
+            return
+        self.registry.remove_member(msg.sender_id)
+        v.events.record(v.sim.now, "leave_accepted", v.vehicle_id,
+                        member=msg.sender_id, size=self.registry.size)
+        self._reply(ManeuverType.LEAVE_ACCEPT, msg.sender_id)
+        self.broadcast_roster()
+
+    def _handle_merge_request(self, msg: ManeuverMessage) -> None:
+        """Front-leader side of a platoon merge: absorb the rear platoon."""
+        v = self.vehicle
+        rear_roster = [vid for vid in msg.payload.get("roster", [])
+                       if vid not in self.registry.members]
+        if not rear_roster:
+            return
+        if self.registry.size + len(rear_roster) > self.registry.max_members:
+            self._reply(ManeuverType.MERGE_REJECT, msg.sender_id)
+            v.events.record(v.sim.now, "merge_rejected", v.vehicle_id,
+                            rear_leader=msg.sender_id, reason="capacity")
+            return
+        self.registry.members.extend(rear_roster)
+        for member_id in rear_roster:
+            self._member_added_at[member_id] = v.sim.now
+        v.events.record(v.sim.now, "merge_accepted", v.vehicle_id,
+                        rear_leader=msg.sender_id, absorbed=rear_roster)
+        accept = self._make(ManeuverType.MERGE_ACCEPT, target_id=msg.sender_id)
+        accept.payload["roster"] = list(self.registry.members)
+        v.send(accept)
+        self.broadcast_roster()
+
+    def _handle_merge_accept(self, msg: ManeuverMessage) -> None:
+        """Rear-leader side: commit the platoon over to the front leader."""
+        v = self.vehicle
+        combined = list(msg.payload.get("roster", []))
+        commit = ManeuverMessage(sender_id=v.vehicle_id, timestamp=v.sim.now,
+                                 maneuver=ManeuverType.MERGE_COMMIT,
+                                 platoon_id=self.registry.platoon_id)
+        commit.payload["new_platoon_id"] = msg.platoon_id
+        commit.payload["new_leader_id"] = msg.sender_id
+        commit.payload["roster"] = combined
+        v.send(commit)
+        v.events.record(v.sim.now, "merge_committed", v.vehicle_id,
+                        into=msg.platoon_id)
+        # Demote ourselves to member of the front platoon.
+        v.leader_logic = None
+        v.become_member(msg.platoon_id, msg.sender_id)
+        v.state.roster = combined
+
+    # -------------------------------------------------------------- commands
+
+    def broadcast_roster(self) -> None:
+        v = self.vehicle
+        # Order members by their last claimed position (front to back) so
+        # roster order matches road order even after out-of-order rejoins.
+        members = list(self.registry.members)
+        followers = [m for m in members if m != self.registry.leader_id]
+
+        def claimed_position(member_id: str) -> float:
+            record = v.beacon_kb.get(member_id)
+            if record is None:
+                return float("-inf")   # unheard members sort to the tail
+            return record.beacon.position
+
+        followers.sort(key=claimed_position, reverse=True)
+        ordered = [self.registry.leader_id] + followers
+        self.registry.members = ordered
+        msg = self._make(ManeuverType.ROSTER)
+        msg.payload["roster"] = list(ordered)
+        v.send(msg)
+        v.state.roster = list(ordered)
+        v.events.record(v.sim.now, "roster_update", v.vehicle_id,
+                        roster=list(ordered))
+
+    def request_merge(self, front_leader_id: str) -> None:
+        """Ask the platoon ahead to absorb this platoon (rear-leader side)."""
+        msg = self._make(ManeuverType.MERGE_REQUEST, target_id=front_leader_id)
+        msg.payload["roster"] = list(self.registry.members)
+        self.vehicle.send(msg)
+        self.vehicle.events.record(self.vehicle.sim.now, "merge_requested",
+                                   self.vehicle.vehicle_id,
+                                   front_leader=front_leader_id)
+
+    def request_gap_open(self, member_id: str, gap_factor: float = 2.5) -> None:
+        msg = self._make(ManeuverType.GAP_OPEN, target_id=member_id)
+        msg.gap_size = gap_factor
+        self.vehicle.send(msg)
+
+    def request_gap_close(self, member_id: str) -> None:
+        self.vehicle.send(self._make(ManeuverType.GAP_CLOSE, target_id=member_id))
+
+    def command_split(self, split_index: int) -> None:
+        msg = self._make(ManeuverType.SPLIT_COMMAND)
+        msg.split_index = split_index
+        msg.payload["roster"] = list(self.registry.members)
+        self.vehicle.send(msg)
+        # The leader keeps only the front part.
+        tail = self.registry.members[split_index:]
+        self.registry.members = self.registry.members[:split_index]
+        self.vehicle.events.record(self.vehicle.sim.now, "split_commanded",
+                                   self.vehicle.vehicle_id, tail=tail)
+        self.broadcast_roster()
+
+    def dissolve(self) -> None:
+        self.vehicle.send(self._make(ManeuverType.DISSOLVE))
+        self.vehicle.events.record(self.vehicle.sim.now, "dissolve_commanded",
+                                   self.vehicle.vehicle_id)
+        self.registry.members = [self.registry.leader_id]
+
+    def command_speed(self, speed: float) -> None:
+        msg = self._make(ManeuverType.SPEED_COMMAND)
+        msg.speed = speed
+        self.vehicle.send(msg)
+        self.vehicle.target_speed = speed
+
+    # ------------------------------------------------------------------ tick
+
+    def tick(self) -> None:
+        expired = self.registry.expire_pending(self.vehicle.sim.now, self.join_timeout)
+        for requester in expired:
+            self.vehicle.events.record(self.vehicle.sim.now, "join_expired",
+                                       self.vehicle.vehicle_id, requester=requester)
+        self._prune_silent_members()
+
+    def _prune_silent_members(self) -> None:
+        """Drop roster members the leader has not heard from in a while.
+
+        A member that disbanded, crashed or drove away stops beaconing;
+        without pruning the leader's view of the platoon diverges from
+        reality forever (and its capacity stays consumed)."""
+        if self.member_silence_timeout <= 0:
+            return
+        v = self.vehicle
+        now = v.sim.now
+        pruned = []
+        for member_id in list(self.registry.members):
+            if member_id == self.registry.leader_id:
+                continue
+            record = v.beacon_kb.get(member_id)
+            last_heard = record.received_at if record is not None else \
+                self._member_added_at.get(member_id, now)
+            if now - last_heard > self.member_silence_timeout:
+                self.registry.remove_member(member_id)
+                self._member_added_at.pop(member_id, None)
+                pruned.append(member_id)
+        if pruned:
+            v.events.record(now, "members_pruned", v.vehicle_id,
+                            members=pruned)
+            self.broadcast_roster()
+
+    # --------------------------------------------------------------- plumbing
+
+    def _make(self, kind: ManeuverType, target_id: Optional[str] = None) -> ManeuverMessage:
+        v = self.vehicle
+        return ManeuverMessage(sender_id=v.vehicle_id, timestamp=v.sim.now,
+                               maneuver=kind, platoon_id=self.registry.platoon_id,
+                               target_id=target_id)
+
+    def _reply(self, kind: ManeuverType, target_id: str) -> ManeuverMessage:
+        msg = self._make(kind, target_id=target_id)
+        self.vehicle.send(msg)
+        return msg
+
+
+class MemberLogic:
+    """Member-side manoeuvre handling (also runs while JOINER/LEAVER)."""
+
+    def __init__(self, vehicle: "Vehicle") -> None:
+        self.vehicle = vehicle
+        self.gap_open_timeout = 20.0   # close an unused entrance gap after this
+
+    def handle(self, msg: ManeuverMessage) -> None:
+        v = self.vehicle
+        state = v.state
+        # Only obey manoeuvre traffic for our own platoon once joined.
+        if state.platoon_id is not None and msg.platoon_id not in (None, state.platoon_id):
+            return
+        kind = msg.maneuver
+        if kind is ManeuverType.GAP_OPEN and msg.target_id == v.vehicle_id:
+            factor = msg.gap_size if msg.gap_size and msg.gap_size > 1.0 else 2.5
+            state.gap_factor = factor
+            state.gap_open_since = v.sim.now
+            v.events.record(v.sim.now, "gap_open", v.vehicle_id, factor=factor,
+                            commanded_by=msg.sender_id)
+            reply = ManeuverMessage(sender_id=v.vehicle_id, timestamp=v.sim.now,
+                                    maneuver=ManeuverType.GAP_READY,
+                                    platoon_id=state.platoon_id,
+                                    target_id=msg.sender_id)
+            v.send(reply)
+        elif kind is ManeuverType.GAP_CLOSE and msg.target_id == v.vehicle_id:
+            self._close_gap(reason="commanded")
+        elif kind is ManeuverType.ROSTER:
+            if msg.sender_id == state.leader_id or state.leader_id is None:
+                roster = list(msg.payload.get("roster", []))
+                if roster:
+                    state.roster = roster
+                    if v.vehicle_id not in roster and state.role is PlatoonRole.MEMBER:
+                        # We have been dropped from the platoon.
+                        v.leave_platoon(reason="roster_removed")
+        elif kind is ManeuverType.SPLIT_COMMAND:
+            self._handle_split(msg)
+        elif kind is ManeuverType.DISSOLVE:
+            if state.in_platoon and msg.sender_id == state.leader_id:
+                v.leave_platoon(reason="dissolve")
+        elif kind is ManeuverType.LEAVE_ACCEPT and msg.target_id == v.vehicle_id:
+            if state.role is PlatoonRole.MEMBER:
+                v.events.record(v.sim.now, "leave_completed", v.vehicle_id)
+                v.leave_platoon(reason="left")
+        elif kind is ManeuverType.SPEED_COMMAND:
+            if msg.speed is not None and msg.sender_id == state.leader_id:
+                v.target_speed = msg.speed
+                v.events.record(v.sim.now, "speed_command", v.vehicle_id,
+                                speed=msg.speed)
+        elif kind is ManeuverType.MERGE_COMMIT:
+            if state.in_platoon and msg.sender_id == state.leader_id:
+                new_platoon = msg.payload.get("new_platoon_id")
+                new_leader = msg.payload.get("new_leader_id")
+                if new_platoon and new_leader:
+                    v.become_member(new_platoon, new_leader)
+                    v.state.roster = list(msg.payload.get("roster", []))
+                    v.events.record(v.sim.now, "merge_followed", v.vehicle_id,
+                                    into=new_platoon)
+
+    def _handle_split(self, msg: ManeuverMessage) -> None:
+        v = self.vehicle
+        state = v.state
+        if not state.in_platoon or msg.split_index is None:
+            return
+        roster = list(msg.payload.get("roster", state.roster))
+        my_index = roster.index(v.vehicle_id) if v.vehicle_id in roster else None
+        if my_index is None:
+            return
+        split = msg.split_index
+        if not (0 < split < len(roster)):
+            return
+        if my_index < split:
+            # Front part: roster shrinks, nothing else changes for us.
+            state.roster = roster[:split]
+            return
+        tail = roster[split:]
+        new_leader = tail[0]
+        v.events.record(v.sim.now, "split_executed", v.vehicle_id,
+                        new_leader=new_leader, commanded_by=msg.sender_id)
+        if v.vehicle_id == new_leader:
+            # Suffix with the new leader's id so repeated splits yield
+            # distinct platoon identities (fragment counting relies on it).
+            v.promote_to_leader(tail, platoon_suffix=new_leader)
+        else:
+            state.roster = tail
+            state.leader_id = new_leader
+            state.platoon_id = f"{state.platoon_id or 'p'}-{new_leader}"
+
+    def _close_gap(self, reason: str) -> None:
+        v = self.vehicle
+        if v.state.gap_factor != 1.0:
+            v.state.gap_factor = 1.0
+            v.state.gap_open_since = None
+            v.events.record(v.sim.now, "gap_closed", v.vehicle_id, reason=reason)
+
+    def tick(self) -> None:
+        v = self.vehicle
+        since = v.state.gap_open_since
+        if since is not None and v.sim.now - since > self.gap_open_timeout:
+            v.events.record(v.sim.now, "gap_timeout", v.vehicle_id,
+                            open_for=v.sim.now - since)
+            self._close_gap(reason="timeout")
+
+
+class JoinerLogic:
+    """Free-vehicle logic for joining a platoon (the legitimate joiner the
+    DoS experiments measure)."""
+
+    def __init__(self, vehicle: "Vehicle", platoon_id: str, leader_id: str,
+                 retry_interval: float = 3.0) -> None:
+        self.vehicle = vehicle
+        self.platoon_id = platoon_id
+        self.leader_id = leader_id
+        self.retry_interval = retry_interval
+        self.requested_at: Optional[float] = None
+        self.accepted_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.attempts = 0
+        # Send JOIN_COMPLETE once the radar tracks the tail at moderate
+        # range; the member CACC then closes the remaining distance.  (The
+        # ACC approach law cannot exceed its target speed, so demanding a
+        # tighter gap than the ACC equilibrium would stall the join.)
+        self.join_complete_gap = 30.0
+
+    @property
+    def joined(self) -> bool:
+        return self.completed_at is not None
+
+    def handle(self, msg: ManeuverMessage) -> None:
+        v = self.vehicle
+        if msg.maneuver is ManeuverType.JOIN_ACCEPT and msg.target_id == v.vehicle_id:
+            if self.accepted_at is None:
+                self.accepted_at = v.sim.now
+                v.state.role = PlatoonRole.JOINER
+                v.state.platoon_id = self.platoon_id
+                v.state.leader_id = self.leader_id
+                v.state.roster = list(msg.payload.get("roster", []))
+                v.events.record(v.sim.now, "joiner_accepted", v.vehicle_id)
+        elif msg.maneuver is ManeuverType.JOIN_REJECT and msg.target_id == v.vehicle_id:
+            v.events.record(v.sim.now, "joiner_rejected", v.vehicle_id)
+
+    def tick(self) -> None:
+        v = self.vehicle
+        if self.joined:
+            return
+        if self.accepted_at is None:
+            # Keep (re)requesting until somebody answers.
+            if (self.requested_at is None
+                    or v.sim.now - self.requested_at >= self.retry_interval):
+                self.requested_at = v.sim.now
+                self.attempts += 1
+                req = ManeuverMessage(sender_id=v.vehicle_id, timestamp=v.sim.now,
+                                      maneuver=ManeuverType.JOIN_REQUEST,
+                                      platoon_id=self.platoon_id,
+                                      target_id=self.leader_id)
+                v.send(req)
+            return
+        # Accepted: close in on the tail, then declare completion.
+        gap = v.last_radar_gap
+        if gap is not None and gap <= self.join_complete_gap:
+            self.completed_at = v.sim.now
+            done = ManeuverMessage(sender_id=v.vehicle_id, timestamp=v.sim.now,
+                                   maneuver=ManeuverType.JOIN_COMPLETE,
+                                   platoon_id=self.platoon_id,
+                                   target_id=self.leader_id)
+            v.send(done)
+            v.become_member(self.platoon_id, self.leader_id)
+            v.events.record(v.sim.now, "joiner_completed", v.vehicle_id,
+                            latency=self.completed_at - (self.requested_at or 0.0))

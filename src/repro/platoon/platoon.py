@@ -1,0 +1,146 @@
+"""Platoon roles and communicated membership state.
+
+The key modelling decision (and the paper's core attack surface): platoon
+membership is *communicated state*, not physical state.  A vehicle's
+:class:`PlatoonState` reflects what it has been told over V2V -- which may
+include ghost members (Sybil), stale rosters (replay) or forged splits.
+The physical truth lives in :class:`repro.platoon.world.World` and the two
+only agree when nobody is attacking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class PlatoonRole(enum.Enum):
+    FREE = "free"        # not platooning; human-driven cruise/ACC
+    LEADER = "leader"
+    MEMBER = "member"
+    JOINER = "joiner"    # approaching the platoon, join accepted but not complete
+    LEAVER = "leaver"    # leave accepted, manoeuvring out
+
+
+@dataclass
+class PlatoonState:
+    """One vehicle's view of its platoon."""
+
+    role: PlatoonRole = PlatoonRole.FREE
+    platoon_id: Optional[str] = None
+    leader_id: Optional[str] = None
+    # Ordered roster, leader first, as last communicated by the leader.
+    roster: list[str] = field(default_factory=list)
+    gap_factor: float = 1.0          # >1 while opening a gap for a joiner
+    gap_open_since: Optional[float] = None
+    joined_at: Optional[float] = None
+
+    @property
+    def in_platoon(self) -> bool:
+        return self.role in (PlatoonRole.LEADER, PlatoonRole.MEMBER)
+
+    def index_of(self, vehicle_id: str) -> Optional[int]:
+        try:
+            return self.roster.index(vehicle_id)
+        except ValueError:
+            return None
+
+    def predecessor_id(self, vehicle_id: str) -> Optional[str]:
+        """Who the roster says is directly ahead of ``vehicle_id``."""
+        idx = self.index_of(vehicle_id)
+        if idx is None or idx == 0:
+            return None
+        return self.roster[idx - 1]
+
+    def reset(self) -> None:
+        self.role = PlatoonRole.FREE
+        self.platoon_id = None
+        self.leader_id = None
+        self.roster = []
+        self.gap_factor = 1.0
+        self.gap_open_since = None
+        self.joined_at = None
+
+
+@dataclass
+class PendingJoin:
+    """Leader-side bookkeeping for an in-progress join."""
+
+    requester_id: str
+    requested_at: float
+    accepted_at: Optional[float] = None
+
+
+@dataclass
+class MembershipRegistry:
+    """Leader-side authoritative membership list with a join queue.
+
+    ``max_members`` is the platoon size cap the paper's per-platoon DoS
+    analysis relies on ("platoons will be limited to a maximum number of
+    members"); ``max_pending`` is the join-queue capacity a request flood
+    exhausts.
+    """
+
+    platoon_id: str
+    leader_id: str
+    max_members: int = 10
+    max_pending: int = 4
+    members: list[str] = field(default_factory=list)   # leader first
+    pending: dict[str, PendingJoin] = field(default_factory=dict)
+    rejected_full: int = 0
+    rejected_queue: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            self.members = [self.leader_id]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def is_full(self) -> bool:
+        return self.size >= self.max_members
+
+    def can_queue_join(self) -> bool:
+        return len(self.pending) < self.max_pending
+
+    def queue_join(self, requester_id: str, now: float) -> bool:
+        if requester_id in self.pending:
+            return True  # duplicate request, keep original slot
+        if not self.can_queue_join():
+            self.rejected_queue += 1
+            return False
+        self.pending[requester_id] = PendingJoin(requester_id, now)
+        return True
+
+    def complete_join(self, requester_id: str) -> bool:
+        if requester_id not in self.pending:
+            return False
+        del self.pending[requester_id]
+        if requester_id in self.members:
+            return True
+        if self.is_full:
+            # Several accepted joins can be in flight at once; capacity is
+            # re-checked at completion so pipelined joins cannot overshoot.
+            self.rejected_full += 1
+            return False
+        self.members.append(requester_id)
+        return True
+
+    def abandon_join(self, requester_id: str) -> None:
+        self.pending.pop(requester_id, None)
+
+    def remove_member(self, vehicle_id: str) -> bool:
+        if vehicle_id in self.members and vehicle_id != self.leader_id:
+            self.members.remove(vehicle_id)
+            return True
+        return False
+
+    def expire_pending(self, now: float, timeout: float) -> list[str]:
+        expired = [pid for pid, pj in self.pending.items()
+                   if now - pj.requested_at > timeout]
+        for pid in expired:
+            del self.pending[pid]
+        return expired

@@ -1,0 +1,152 @@
+"""On-vehicle sensors: GPS, forward ranging (radar/LiDAR), tyre pressure.
+
+Each sensor exposes the *attack hooks* the paper describes in §V-G:
+
+* :class:`GpsReceiver` -- spoofing overrides the position estimate with an
+  adversary-controlled drift (the "stronger signal wins" capture model).
+* :class:`RangeSensor` -- blinding (laser/torch on cameras, radar jamming)
+  makes the sensor return no target or noise-only junk.
+* :class:`TirePressureSensor` -- TPMS spoofing injects false readings that
+  raise spurious warnings (the CAN-access stepping stone in [13], [21]).
+
+Sensors draw noise from the simulator RNG so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.simulator import Simulator
+
+
+class GpsReceiver:
+    """GPS position estimator with spoof-capture semantics.
+
+    In normal operation ``read()`` returns truth plus zero-mean noise.  A
+    spoofer that "wins" the receiver (see
+    :class:`repro.core.attacks.gps_spoofing.GpsSpoofingAttack`) installs an
+    offset function; while captured, the receiver reports the adversary's
+    chosen position instead, exactly the failure mode of replay-and-
+    overpower spoofing described in the paper.
+    """
+
+    def __init__(self, sim: Simulator, truth_fn: Callable[[], float],
+                 noise_std: float = 1.5) -> None:
+        self.sim = sim
+        self._truth_fn = truth_fn
+        self.noise_std = noise_std
+        self._spoof_fn: Optional[Callable[[float, float], float]] = None
+        self.spoof_captures = 0
+
+    @property
+    def spoofed(self) -> bool:
+        return self._spoof_fn is not None
+
+    def capture(self, spoof_fn: Callable[[float, float], float]) -> None:
+        """Install a spoofing function ``f(truth, now) -> reported position``."""
+        self._spoof_fn = spoof_fn
+        self.spoof_captures += 1
+
+    def release(self) -> None:
+        self._spoof_fn = None
+
+    def true_position(self) -> float:
+        return self._truth_fn()
+
+    def read(self) -> float:
+        truth = self._truth_fn()
+        if self._spoof_fn is not None:
+            return self._spoof_fn(truth, self.sim.now)
+        return truth + self.sim.rng.gauss(0.0, self.noise_std)
+
+
+class RangeSensor:
+    """Forward radar/LiDAR measuring the bumper-to-bumper gap.
+
+    ``read(true_gap)`` adds noise; when *blinded* it returns ``None`` (no
+    target).  ``max_range`` models sensor limits -- beyond it the sensor
+    legitimately sees nothing, which is why CACC degradation to radar-only
+    ACC needs the target in range.
+    """
+
+    def __init__(self, sim: Simulator, noise_std: float = 0.1,
+                 max_range: float = 120.0) -> None:
+        self.sim = sim
+        self.noise_std = noise_std
+        self.max_range = max_range
+        self.blinded = False
+        self._bias_fn: Optional[Callable[[float, float], float]] = None
+
+    def blind(self) -> None:
+        """Simulate laser/torch blinding or radar jamming (§V-G)."""
+        self.blinded = True
+
+    def restore(self) -> None:
+        self.blinded = False
+        self._bias_fn = None
+
+    def inject_bias(self, bias_fn: Callable[[float, float], float]) -> None:
+        """Install a spoofing bias ``f(true_gap, now) -> reported gap``."""
+        self._bias_fn = bias_fn
+
+    def read(self, true_gap: Optional[float]) -> Optional[float]:
+        if self.blinded or true_gap is None:
+            return None
+        if true_gap > self.max_range or true_gap < 0:
+            return None
+        if self._bias_fn is not None:
+            return max(0.0, self._bias_fn(true_gap, self.sim.now))
+        return max(0.0, true_gap + self.sim.rng.gauss(0.0, self.noise_std))
+
+    def read_rate(self, true_rate: Optional[float]) -> Optional[float]:
+        """Doppler-derived closing-rate measurement."""
+        if self.blinded or true_rate is None:
+            return None
+        return true_rate + self.sim.rng.gauss(0.0, self.noise_std * 0.5)
+
+
+@dataclass
+class TpmsReading:
+    pressure_kpa: float
+    warning: bool
+
+
+class TirePressureSensor:
+    """Tyre-pressure monitoring sensor, the classic unauthenticated RF entry
+    point cited by the paper ([13], [21]).
+
+    Spoofing injects readings directly; because TPMS frames carry no
+    authentication the ECU cannot tell them from real ones.
+    """
+
+    LOW_THRESHOLD_KPA = 180.0
+    HIGH_THRESHOLD_KPA = 320.0
+
+    def __init__(self, sim: Simulator, nominal_kpa: float = 240.0,
+                 noise_std: float = 2.0) -> None:
+        self.sim = sim
+        self.nominal_kpa = nominal_kpa
+        self.noise_std = noise_std
+        self._spoofed_value: Optional[float] = None
+        self.warnings_raised = 0
+
+    def spoof(self, value_kpa: float) -> None:
+        self._spoofed_value = value_kpa
+
+    def clear_spoof(self) -> None:
+        self._spoofed_value = None
+
+    @property
+    def spoofed(self) -> bool:
+        return self._spoofed_value is not None
+
+    def read(self) -> TpmsReading:
+        if self._spoofed_value is not None:
+            value = self._spoofed_value
+        else:
+            value = self.nominal_kpa + self.sim.rng.gauss(0.0, self.noise_std)
+        warning = value < self.LOW_THRESHOLD_KPA or value > self.HIGH_THRESHOLD_KPA
+        if warning:
+            self.warnings_raised += 1
+        return TpmsReading(pressure_kpa=value, warning=warning)

@@ -1,0 +1,119 @@
+"""Physical world registry: who is where on the road.
+
+The :class:`World` holds every physical vehicle so that ranging sensors can
+find the true predecessor, collision detection can check real gaps, and
+attackers placed on the roadside can compute distances.  It deliberately
+knows nothing about platoon membership -- that is communicated state, and
+keeping the two separate is what lets the attack suite create divergence
+between *claimed* and *physical* reality (ghost vehicles, spoofed GPS).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.platoon.vehicle import Vehicle
+
+
+class World:
+    """Registry of physical vehicles on a single directed road.
+
+    The world also owns the **synchronized control loop**: every control
+    period it first lets *all* vehicles sense and decide against the frozen
+    current state, and only then steps every vehicle's dynamics.  Without
+    this two-phase update, vehicles ticking in creation order would measure
+    gaps against predecessors that already moved this step -- a systematic
+    ``v * dt`` range bias that corrupts every spacing result.
+    """
+
+    def __init__(self) -> None:
+        self._vehicles: dict[str, "Vehicle"] = {}
+        self._control_proc = None
+        self.control_period: Optional[float] = None
+
+    def add(self, vehicle: "Vehicle") -> None:
+        if vehicle.vehicle_id in self._vehicles:
+            raise ValueError(f"duplicate vehicle id {vehicle.vehicle_id!r}")
+        self._vehicles[vehicle.vehicle_id] = vehicle
+        self._ensure_control_loop(vehicle)
+
+    def _ensure_control_loop(self, vehicle: "Vehicle") -> None:
+        if self._control_proc is not None:
+            return
+        self.control_period = vehicle.config.control_period
+        self._control_proc = vehicle.sim.every(
+            self.control_period, self._control_tick,
+            initial_delay=self.control_period)
+
+    def _control_tick(self) -> None:
+        dt = self.control_period
+        assert dt is not None
+        # Phase 1: everyone senses and decides against frozen state.
+        decisions: list[tuple["Vehicle", float]] = []
+        for vehicle in list(self._vehicles.values()):
+            decisions.append((vehicle, vehicle.control_decide()))
+        # Phase 2: everyone moves.
+        for vehicle, command in decisions:
+            if vehicle.vehicle_id in self._vehicles:  # not removed mid-tick
+                vehicle.control_actuate(dt, command)
+
+    def stop_control_loop(self) -> None:
+        if self._control_proc is not None:
+            self._control_proc.stop()
+            self._control_proc = None
+
+    def remove(self, vehicle_id: str) -> None:
+        self._vehicles.pop(vehicle_id, None)
+
+    def get(self, vehicle_id: str) -> Optional["Vehicle"]:
+        return self._vehicles.get(vehicle_id)
+
+    def vehicles(self) -> list["Vehicle"]:
+        return list(self._vehicles.values())
+
+    def __contains__(self, vehicle_id: str) -> bool:
+        return vehicle_id in self._vehicles
+
+    def __len__(self) -> int:
+        return len(self._vehicles)
+
+    def vehicles_in_lane(self, lane: int) -> list["Vehicle"]:
+        return [v for v in self._vehicles.values() if v.lane == lane]
+
+    def predecessor_of(self, vehicle: "Vehicle") -> Optional["Vehicle"]:
+        """Nearest vehicle physically ahead in the same lane, or None."""
+        best: Optional["Vehicle"] = None
+        for other in self._vehicles.values():
+            if other is vehicle or other.lane != vehicle.lane:
+                continue
+            if other.position > vehicle.position:
+                if best is None or other.position < best.position:
+                    best = other
+        return best
+
+    def true_gap(self, vehicle: "Vehicle") -> Optional[float]:
+        """Bumper-to-bumper distance to the physical predecessor."""
+        pred = self.predecessor_of(vehicle)
+        if pred is None:
+            return None
+        return pred.position - pred.params.length - vehicle.position
+
+    def gap_between(self, follower: "Vehicle", leader: "Vehicle") -> float:
+        return leader.position - leader.params.length - follower.position
+
+    def collisions(self) -> list[tuple[str, str]]:
+        """Pairs (follower, leader) whose bumper gap is non-positive."""
+        out: list[tuple[str, str]] = []
+        for vehicle in self._vehicles.values():
+            pred = self.predecessor_of(vehicle)
+            if pred is not None and self.gap_between(vehicle, pred) <= 0.0:
+                out.append((vehicle.vehicle_id, pred.vehicle_id))
+        return out
+
+    def ordered_by_position(self, lane: Optional[int] = None) -> list["Vehicle"]:
+        """Vehicles sorted front (largest position) to back."""
+        pool: Iterable["Vehicle"] = self._vehicles.values()
+        if lane is not None:
+            pool = (v for v in pool if v.lane == lane)
+        return sorted(pool, key=lambda v: -v.position)

@@ -1,0 +1,35 @@
+"""Risk assessment framework (ISO/SAE 21434-style TARA).
+
+The paper's open challenge §VI-B.4: "how these standards [SAE J3061,
+ISO/SAE 21434] will be applied within the platoons to perform risk
+assessment is an open challenge".  This package closes the loop over our
+own taxonomy: a Threat Analysis and Risk Assessment (TARA) with damage
+scenarios, impact ratings, attack-feasibility ratings and a risk matrix --
+optionally *calibrated from simulation*, feeding measured attack impact
+back into the impact rating.
+"""
+
+from repro.risk.model import (
+    AttackFeasibility,
+    DamageScenario,
+    FeasibilityRating,
+    ImpactRating,
+    RiskLevel,
+    ThreatScenario,
+    risk_level,
+)
+from repro.risk.assessment import RiskAssessment, build_platoon_tara
+from repro.risk.report import format_risk_report
+
+__all__ = [
+    "AttackFeasibility",
+    "DamageScenario",
+    "FeasibilityRating",
+    "ImpactRating",
+    "RiskLevel",
+    "ThreatScenario",
+    "risk_level",
+    "RiskAssessment",
+    "build_platoon_tara",
+    "format_risk_report",
+]

@@ -1,0 +1,131 @@
+"""TARA data model: impact, feasibility, risk.
+
+Follows the ISO/SAE 21434 shape: damage scenarios rated on safety /
+financial / operational / privacy impact; threat scenarios rated on
+attack feasibility (elapsed time, specialist expertise, knowledge of the
+item, window of opportunity, equipment); risk = f(impact, feasibility)
+through a standard 5x4 matrix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ImpactRating(enum.IntEnum):
+    NEGLIGIBLE = 0
+    MODERATE = 1
+    MAJOR = 2
+    SEVERE = 3
+
+
+class FeasibilityRating(enum.IntEnum):
+    VERY_LOW = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+
+class RiskLevel(enum.IntEnum):
+    """Final risk classes, 1 (minimal) .. 5 (critical)."""
+
+    MINIMAL = 1
+    LOW = 2
+    MEDIUM = 3
+    HIGH = 4
+    CRITICAL = 5
+
+
+@dataclass(frozen=True)
+class DamageScenario:
+    """What goes wrong for road users if a threat succeeds."""
+
+    key: str
+    description: str
+    safety: ImpactRating
+    financial: ImpactRating
+    operational: ImpactRating
+    privacy: ImpactRating
+
+    def overall_impact(self) -> ImpactRating:
+        """ISO 21434 takes the maximum across impact categories."""
+        return ImpactRating(max(self.safety, self.financial,
+                                self.operational, self.privacy))
+
+
+@dataclass(frozen=True)
+class AttackFeasibility:
+    """Attack-potential style feasibility decomposition (0 = easiest).
+
+    Each factor is scored 0-3 where LOWER means easier for the attacker;
+    the aggregate maps to a :class:`FeasibilityRating` where HIGHER means
+    more feasible (easier), matching the 21434 convention that high
+    feasibility drives high risk.
+    """
+
+    elapsed_time: int          # 0: <1 day ... 3: months
+    expertise: int             # 0: layman ... 3: multiple experts
+    knowledge: int             # 0: public ... 3: strictly confidential
+    window: int                # 0: unlimited ... 3: difficult
+    equipment: int             # 0: standard ... 3: bespoke
+
+    def __post_init__(self) -> None:
+        for name in ("elapsed_time", "expertise", "knowledge", "window",
+                     "equipment"):
+            value = getattr(self, name)
+            if not 0 <= value <= 3:
+                raise ValueError(f"{name} must be in 0..3, got {value}")
+
+    def score(self) -> int:
+        return (self.elapsed_time + self.expertise + self.knowledge
+                + self.window + self.equipment)
+
+    def rating(self) -> FeasibilityRating:
+        total = self.score()   # 0 (trivial) .. 15 (near impossible)
+        if total <= 3:
+            return FeasibilityRating.HIGH
+        if total <= 7:
+            return FeasibilityRating.MEDIUM
+        if total <= 11:
+            return FeasibilityRating.LOW
+        return FeasibilityRating.VERY_LOW
+
+
+# Explicit 4x4 risk matrix (rows = impact, columns = feasibility ordered
+# VERY_LOW..HIGH), shaped like the ISO/SAE 21434 annex examples: CRITICAL
+# is reserved for severe-impact, highly-feasible threats.
+_MATRIX_ROWS: dict[ImpactRating, tuple[int, int, int, int]] = {
+    ImpactRating.NEGLIGIBLE: (1, 1, 1, 1),
+    ImpactRating.MODERATE: (1, 2, 2, 3),
+    ImpactRating.MAJOR: (2, 3, 4, 4),
+    ImpactRating.SEVERE: (2, 3, 4, 5),
+}
+_RISK_MATRIX: dict[tuple[ImpactRating, FeasibilityRating], RiskLevel] = {
+    (impact, feas): RiskLevel(_MATRIX_ROWS[impact][int(feas)])
+    for impact in ImpactRating for feas in FeasibilityRating
+}
+
+
+def risk_level(impact: ImpactRating, feasibility: FeasibilityRating) -> RiskLevel:
+    """Look up the risk class for an (impact, feasibility) pair."""
+    return _RISK_MATRIX[(impact, feasibility)]
+
+
+@dataclass
+class ThreatScenario:
+    """One assessable threat: taxonomy threat x damage scenario."""
+
+    key: str
+    threat_key: str               # Table II key
+    damage: DamageScenario
+    feasibility: AttackFeasibility
+    description: str = ""
+    measured_impact: Optional[float] = None   # optional simulation evidence
+
+    def impact(self) -> ImpactRating:
+        return self.damage.overall_impact()
+
+    def risk(self) -> RiskLevel:
+        return risk_level(self.impact(), self.feasibility.rating())

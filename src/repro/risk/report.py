@@ -1,0 +1,39 @@
+"""Risk-report rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core import taxonomy
+from repro.risk.assessment import RiskAssessment
+
+
+def format_risk_report(assessment: RiskAssessment) -> str:
+    """Full TARA report: ranked risk table + per-scenario details."""
+    rows = []
+    for ranked in assessment.ranked():
+        scenario = ranked.scenario
+        threat = taxonomy.THREATS[scenario.threat_key]
+        rows.append([
+            scenario.key,
+            threat.display_name,
+            scenario.impact().name,
+            scenario.feasibility.rating().name,
+            ranked.risk.name,
+            (f"{scenario.measured_impact:.1f}x"
+             if scenario.measured_impact is not None else "-"),
+        ])
+    table = format_table(
+        ["Scenario", "Threat (Table II)", "Impact", "Feasibility", "Risk",
+         "Measured"],
+        rows, title="Platoon TARA (ISO/SAE 21434-style) -- ranked by risk")
+    details = []
+    for ranked in assessment.ranked():
+        scenario = ranked.scenario
+        details.append(f"\n{scenario.key} [{ranked.risk.name}] "
+                       f"{scenario.description}")
+        damage = scenario.damage
+        details.append(f"  damage: safety={damage.safety.name} "
+                       f"financial={damage.financial.name} "
+                       f"operational={damage.operational.name} "
+                       f"privacy={damage.privacy.name}")
+    return table + "\n" + "\n".join(details)

@@ -1,0 +1,48 @@
+"""Security substrate: crypto primitives, PKI, PHY-layer keys, trust.
+
+Everything here is built from scratch over :mod:`hashlib`/:mod:`hmac` --
+no external crypto libraries -- because the reproduction mandate is to
+implement every substrate the paper's defences rely on:
+
+* :mod:`repro.security.crypto` -- HMAC message authentication, HKDF-style
+  key derivation and a real (small-modulus, simulation-grade) RSA
+  signature scheme built on Miller-Rabin prime generation.
+* :mod:`repro.security.pki` -- certificate authority, vehicle certificates,
+  pseudonym pools and revocation lists.
+* :mod:`repro.security.keys` -- reciprocal-fading physical-layer key
+  agreement (quantisation, reconciliation, privacy amplification),
+  reproducing the mechanism of refs [5], [9] in the paper.
+* :mod:`repro.security.trust` -- beta-reputation trust management in the
+  style of REPLACE [6].
+"""
+
+from repro.security.crypto import (
+    KeyPair,
+    derive_key,
+    generate_keypair,
+    hmac_tag,
+    hmac_verify,
+    sha256,
+    sign,
+    verify,
+)
+from repro.security.pki import Certificate, CertificateAuthority
+from repro.security.keys import KeyAgreementConfig, KeyAgreementResult, agree_keys
+from repro.security.trust import TrustManager
+
+__all__ = [
+    "sha256",
+    "hmac_tag",
+    "hmac_verify",
+    "derive_key",
+    "KeyPair",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "Certificate",
+    "CertificateAuthority",
+    "KeyAgreementConfig",
+    "KeyAgreementResult",
+    "agree_keys",
+    "TrustManager",
+]

@@ -1,0 +1,208 @@
+"""Cryptographic primitives built from scratch for the reproduction.
+
+Symmetric side: SHA-256 hashing, HMAC-SHA256 tags, and an HKDF-style key
+derivation -- these are real constructions over the standard library's
+:mod:`hashlib`/:mod:`hmac`.
+
+Asymmetric side: **simulation-grade RSA** with full-domain-hash signatures.
+Prime generation uses Miller-Rabin over a caller-supplied deterministic
+RNG, so experiments are reproducible.  The default modulus (512 bits) is
+cryptographically weak by modern standards but structurally faithful: a
+forged message fails verification unless the attacker holds the private
+exponent, which is the property every PKI defence in the suite relies on.
+
+.. warning::
+   Do not use this module outside the simulation.  It exists because the
+   reproduction mandate forbids external crypto dependencies, not because
+   512-bit RSA is a good idea.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+DEFAULT_MODULUS_BITS = 512
+_PUBLIC_EXPONENT = 65537
+
+# Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107,
+                 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173]
+
+
+def sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def hmac_tag(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 authentication tag."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hmac_verify(key: bytes, data: bytes, tag: Optional[bytes]) -> bool:
+    if tag is None:
+        return False
+    return _hmac.compare_digest(hmac_tag(key, data), tag)
+
+
+def derive_key(master: bytes, context: str, length: int = 32) -> bytes:
+    """HKDF-expand-style derivation: blocks of HMAC(master, context || ctr)."""
+    out = b""
+    counter = 1
+    while len(out) < length:
+        out += hmac_tag(master, context.encode() + counter.to_bytes(4, "big"))
+        counter += 1
+    return out[:length]
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    n: int
+    e: int
+
+    def fingerprint(self) -> bytes:
+        return sha256(f"{self.n}:{self.e}".encode())[:16]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    public: PublicKey
+    d: int  # private exponent
+
+    @property
+    def n(self) -> int:
+        return self.public.n
+
+
+def generate_keypair(rng: random.Random,
+                     bits: int = DEFAULT_MODULUS_BITS) -> KeyPair:
+    """Generate an RSA keypair from a deterministic RNG."""
+    if bits < 64:
+        raise ValueError("modulus too small to be meaningful even in simulation")
+    half = bits // 2
+    while True:
+        p = _generate_prime(half, rng)
+        q = _generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = pow(_PUBLIC_EXPONENT, -1, phi)
+        return KeyPair(public=PublicKey(n=n, e=_PUBLIC_EXPONENT), d=d)
+
+
+def _fdh(data: bytes, n: int) -> int:
+    """Full-domain hash of ``data`` into Z_n (iterated SHA-256 expansion)."""
+    target_bytes = (n.bit_length() + 7) // 8
+    material = b""
+    counter = 0
+    while len(material) < target_bytes:
+        material += sha256(data + counter.to_bytes(4, "big"))
+        counter += 1
+    return int.from_bytes(material[:target_bytes], "big") % n
+
+
+def sign(keypair: KeyPair, data: bytes) -> bytes:
+    """RSA-FDH signature over ``data``."""
+    h = _fdh(data, keypair.n)
+    sig = pow(h, keypair.d, keypair.n)
+    length = (keypair.n.bit_length() + 7) // 8
+    return sig.to_bytes(length, "big")
+
+
+def verify(public: PublicKey, data: bytes, signature: Optional[bytes]) -> bool:
+    """Verify an RSA-FDH signature."""
+    if signature is None:
+        return False
+    sig_int = int.from_bytes(signature, "big")
+    if not 0 < sig_int < public.n:
+        return False
+    recovered = pow(sig_int, public.e, public.n)
+    return recovered == _fdh(data, public.n)
+
+
+class NonceGenerator:
+    """Monotone per-sender nonce source for anti-replay envelopes."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+
+class NonceWindow:
+    """Receiver-side sliding window of seen nonces per sender.
+
+    Accepts a nonce if it is newer than (highest - window) and not seen
+    before; this is the standard anti-replay window from IPsec adapted to
+    broadcast beacons.
+    """
+
+    def __init__(self, window: int = 128) -> None:
+        self.window = window
+        self._highest: dict[str, int] = {}
+        self._seen: dict[str, set[int]] = {}
+
+    def accept(self, sender_id: str, nonce: Optional[int]) -> bool:
+        if nonce is None:
+            return False
+        highest = self._highest.get(sender_id, -1)
+        seen = self._seen.setdefault(sender_id, set())
+        if nonce > highest:
+            self._highest[sender_id] = nonce
+            seen.add(nonce)
+            floor = nonce - self.window
+            if len(seen) > 2 * self.window:
+                self._seen[sender_id] = {x for x in seen if x >= floor}
+            return True
+        if nonce <= highest - self.window:
+            return False
+        if nonce in seen:
+            return False
+        seen.add(nonce)
+        return True

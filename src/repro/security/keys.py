@@ -1,0 +1,209 @@
+"""Physical-layer key agreement from reciprocal channel fading.
+
+Reproduces the mechanism of Li et al. [5], [9] (the "quantized fading
+channel randomness" defence in §VI-A.1): two legitimate platoon members
+observe a *reciprocal* fading channel, so their RSS measurements are highly
+correlated, while an eavesdropper at a different location observes an
+(essentially) independent channel.  The protocol:
+
+1. **Probing** -- both parties sample RSS over time; correlation between
+   Alice's and Bob's samples is ``reciprocity`` (SNR-dependent), while
+   Eve's correlation with Alice is ``eavesdropper_correlation`` (near 0
+   when Eve is more than half a wavelength away).
+2. **Quantisation** -- samples above ``mean + alpha*std`` map to 1, below
+   ``mean - alpha*std`` to 0, the guard band in between is dropped.  The
+   parties publicly exchange kept-index lists and keep the intersection.
+3. **Reconciliation** -- block-parity comparison over the public channel;
+   blocks whose parities disagree are discarded (each comparison leaks one
+   bit, which privacy amplification must pay for).
+4. **Privacy amplification** -- the surviving bits are hashed down to a key
+   whose length is reduced by the leaked-bit count and a safety margin.
+
+Outputs are the quantities the paper's discussion cares about: key
+generation rate, legitimate bit-disagreement before/after reconciliation,
+and how many of the final key bits the eavesdropper can predict.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.security.crypto import sha256
+
+
+@dataclass
+class KeyAgreementConfig:
+    samples: int = 512                   # probing rounds
+    snr_db: float = 15.0                 # probe SNR; drives reciprocity
+    quantizer_alpha: float = 0.3         # guard-band half-width in std units
+    block_size: int = 8                  # reconciliation block length
+    amplification_margin: int = 8        # extra bits removed in amplification
+    eavesdropper_correlation: float = 0.05
+
+    def reciprocity(self) -> float:
+        """Correlation between Alice's and Bob's RSS samples.
+
+        Measurement noise decorrelates the reciprocal observations; with
+        per-party noise variance 1/SNR over a unit-variance channel the
+        effective correlation is SNR/(SNR+1).
+        """
+        snr_linear = 10.0 ** (self.snr_db / 10.0)
+        return snr_linear / (snr_linear + 1.0)
+
+
+@dataclass
+class KeyAgreementResult:
+    """Everything measured during one key-agreement run."""
+
+    alice_key: Optional[bytes]
+    bob_key: Optional[bytes]
+    key_bits: int
+    kept_after_quantization: int
+    mismatch_rate_raw: float            # legit bit disagreement pre-reconciliation
+    mismatch_rate_reconciled: float     # post-reconciliation (should be ~0)
+    leaked_bits: int                    # parity bits exposed on the public channel
+    eavesdropper_bit_agreement: float   # Eve's raw-bit agreement with Alice
+    eavesdropper_key_match: bool        # does Eve's best guess equal the key?
+    key_rate_bits_per_sample: float
+
+    @property
+    def agreed(self) -> bool:
+        return (self.alice_key is not None and self.alice_key == self.bob_key
+                and self.key_bits > 0)
+
+
+def _correlated_samples(rng: random.Random, base: list[float],
+                        correlation: float) -> list[float]:
+    """Samples with the given Pearson correlation to ``base``."""
+    rho = max(-1.0, min(1.0, correlation))
+    ortho = math.sqrt(max(0.0, 1.0 - rho * rho))
+    return [rho * x + ortho * rng.gauss(0.0, 1.0) for x in base]
+
+
+def _quantize(samples: list[float], alpha: float) -> dict[int, int]:
+    """Map samples to bits with a guard band; returns {index: bit}."""
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((x - mean) ** 2 for x in samples) / max(n - 1, 1)
+    std = math.sqrt(var) if var > 0 else 1.0
+    upper = mean + alpha * std
+    lower = mean - alpha * std
+    bits: dict[int, int] = {}
+    for i, x in enumerate(samples):
+        if x >= upper:
+            bits[i] = 1
+        elif x <= lower:
+            bits[i] = 0
+    return bits
+
+
+def _reconcile(alice: list[int], bob: list[int],
+               block_size: int) -> tuple[list[int], list[int], int]:
+    """Block-parity reconciliation: drop disagreeing blocks, count leakage."""
+    kept_a: list[int] = []
+    kept_b: list[int] = []
+    leaked = 0
+    for start in range(0, len(alice), block_size):
+        block_a = alice[start:start + block_size]
+        block_b = bob[start:start + block_size]
+        leaked += 1  # one parity bit crossed the public channel
+        if sum(block_a) % 2 == sum(block_b) % 2:
+            kept_a.extend(block_a)
+            kept_b.extend(block_b)
+    return kept_a, kept_b, leaked
+
+
+def _amplify(bits: list[int], final_bits: int) -> Optional[bytes]:
+    if final_bits <= 0 or not bits:
+        return None
+    material = "".join(str(b) for b in bits).encode()
+    digest = b""
+    counter = 0
+    while len(digest) * 8 < final_bits:
+        digest += sha256(material + counter.to_bytes(4, "big"))
+        counter += 1
+    n_bytes = (final_bits + 7) // 8
+    return digest[:n_bytes]
+
+
+def agree_keys(rng: random.Random,
+               config: Optional[KeyAgreementConfig] = None) -> KeyAgreementResult:
+    """Run one full key-agreement session between Alice, Bob and Eve."""
+    cfg = config or KeyAgreementConfig()
+    base = [rng.gauss(0.0, 1.0) for _ in range(cfg.samples)]
+    rho = cfg.reciprocity()
+    alice_rss = _correlated_samples(rng, base, math.sqrt(rho))
+    bob_rss = _correlated_samples(rng, base, math.sqrt(rho))
+    eve_rss = _correlated_samples(rng, alice_rss, cfg.eavesdropper_correlation)
+
+    alice_bits_map = _quantize(alice_rss, cfg.quantizer_alpha)
+    bob_bits_map = _quantize(bob_rss, cfg.quantizer_alpha)
+    eve_bits_map = _quantize(eve_rss, cfg.quantizer_alpha)
+
+    # Public index exchange: keep positions where both parties are confident.
+    common = sorted(set(alice_bits_map) & set(bob_bits_map))
+    alice_bits = [alice_bits_map[i] for i in common]
+    bob_bits = [bob_bits_map[i] for i in common]
+    # Eve hears the index lists too and uses her own measurements there.
+    eve_bits = [eve_bits_map.get(i, rng.randint(0, 1)) for i in common]
+
+    kept = len(common)
+    if kept == 0:
+        return KeyAgreementResult(None, None, 0, 0, 1.0, 1.0, 0, 0.5, False, 0.0)
+
+    mismatches = sum(1 for a, b in zip(alice_bits, bob_bits) if a != b)
+    raw_mismatch = mismatches / kept
+    eve_agreement = sum(1 for a, e in zip(alice_bits, eve_bits) if a == e) / kept
+
+    rec_a, rec_b, leaked = _reconcile(alice_bits, bob_bits, cfg.block_size)
+    if rec_a:
+        rec_mismatch = sum(1 for a, b in zip(rec_a, rec_b) if a != b) / len(rec_a)
+    else:
+        rec_mismatch = 1.0
+
+    final_bits = max(0, len(rec_a) - leaked - cfg.amplification_margin)
+    alice_key = _amplify(rec_a, final_bits)
+    bob_key = _amplify(rec_b, final_bits)
+
+    # Eve's best effort: run the same pipeline on her bits at the kept indices.
+    eve_rec = [eve_bits[i] for i in range(len(eve_bits))][:len(rec_a)]
+    eve_key = _amplify(eve_rec, final_bits)
+    eve_match = (eve_key is not None and alice_key is not None
+                 and eve_key == alice_key)
+
+    return KeyAgreementResult(
+        alice_key=alice_key,
+        bob_key=bob_key,
+        key_bits=final_bits if alice_key is not None else 0,
+        kept_after_quantization=kept,
+        mismatch_rate_raw=raw_mismatch,
+        mismatch_rate_reconciled=rec_mismatch,
+        leaked_bits=leaked,
+        eavesdropper_bit_agreement=eve_agreement,
+        eavesdropper_key_match=eve_match,
+        key_rate_bits_per_sample=(final_bits / cfg.samples) if final_bits > 0 else 0.0,
+    )
+
+
+def key_rate_vs_snr(rng: random.Random, snr_values_db: list[float],
+                    sessions: int = 5,
+                    config: Optional[KeyAgreementConfig] = None) -> list[dict]:
+    """Sweep probe SNR and report mean key-agreement statistics per point."""
+    base_cfg = config or KeyAgreementConfig()
+    rows: list[dict] = []
+    for snr in snr_values_db:
+        cfg = KeyAgreementConfig(**{**base_cfg.__dict__, "snr_db": snr})
+        results = [agree_keys(rng, cfg) for _ in range(sessions)]
+        rows.append({
+            "snr_db": snr,
+            "agreement_rate": sum(1 for r in results if r.agreed) / sessions,
+            "mean_key_bits": sum(r.key_bits for r in results) / sessions,
+            "mean_raw_mismatch": sum(r.mismatch_rate_raw for r in results) / sessions,
+            "mean_eve_agreement": sum(r.eavesdropper_bit_agreement
+                                      for r in results) / sessions,
+            "eve_key_matches": sum(1 for r in results if r.eavesdropper_key_match),
+        })
+    return rows

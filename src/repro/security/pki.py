@@ -1,0 +1,168 @@
+"""Public-key infrastructure: CA, certificates, pseudonyms, revocation.
+
+Implements the PKI building block of §VI-A.1/2: a trusted authority issues
+certificates binding vehicle identities (or unlinkable pseudonyms) to
+public keys; receivers verify the chain and consult a revocation list.
+Impersonation with a *stolen ID string* fails against PKI because the
+attacker lacks the private key; impersonation with a *stolen key* is then
+countered by revocation -- both paths are exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.security.crypto import (
+    KeyPair,
+    PublicKey,
+    generate_keypair,
+    sign,
+    sha256,
+    verify,
+)
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of subject identity to a public key."""
+
+    subject_id: str
+    public_key: PublicKey
+    issuer_id: str
+    serial: int
+    valid_from: float
+    valid_until: float
+    is_pseudonym: bool = False
+    signature: bytes = b""
+
+    def signed_bytes(self) -> bytes:
+        body = (f"{self.subject_id}|{self.public_key.n}|{self.public_key.e}|"
+                f"{self.issuer_id}|{self.serial}|{self.valid_from}|"
+                f"{self.valid_until}|{self.is_pseudonym}")
+        return body.encode()
+
+
+@dataclass
+class _Enrollment:
+    keypair: KeyPair
+    certificate: Certificate
+    pseudonyms: list[tuple[KeyPair, Certificate]] = field(default_factory=list)
+
+
+class CertificateAuthority:
+    """Simulation trusted authority: enrolment, pseudonyms, revocation.
+
+    ``bits`` controls the RSA modulus size; tests use small moduli for
+    speed, scenarios default to 512.
+    """
+
+    def __init__(self, ca_id: str = "TA", rng: Optional[random.Random] = None,
+                 bits: int = 512, cert_lifetime: float = 86400.0) -> None:
+        self.ca_id = ca_id
+        self.rng = rng or random.Random(0xCA)
+        self.bits = bits
+        self.cert_lifetime = cert_lifetime
+        self.root = generate_keypair(self.rng, bits)
+        self._serial = 0
+        self._enrolled: dict[str, _Enrollment] = {}
+        self._revoked_serials: set[int] = set()
+        self._revoked_subjects: set[str] = set()
+        # Pseudonym resolution map (kept secret by the CA; used by tests to
+        # check that pseudonyms are unlinkable *without* this map).
+        self._pseudonym_owner: dict[str, str] = {}
+
+    # -------------------------------------------------------------- issuance
+
+    def _issue(self, subject_id: str, public_key: PublicKey, now: float,
+               is_pseudonym: bool) -> Certificate:
+        self._serial += 1
+        cert = Certificate(subject_id=subject_id, public_key=public_key,
+                           issuer_id=self.ca_id, serial=self._serial,
+                           valid_from=now, valid_until=now + self.cert_lifetime,
+                           is_pseudonym=is_pseudonym)
+        signature = sign(self.root, cert.signed_bytes())
+        return Certificate(**{**cert.__dict__, "signature": signature})
+
+    def enroll(self, vehicle_id: str, now: float = 0.0) -> tuple[KeyPair, Certificate]:
+        """Register a vehicle: generate its keypair and long-term certificate."""
+        if vehicle_id in self._enrolled:
+            enrolment = self._enrolled[vehicle_id]
+            return enrolment.keypair, enrolment.certificate
+        keypair = generate_keypair(self.rng, self.bits)
+        cert = self._issue(vehicle_id, keypair.public, now, is_pseudonym=False)
+        self._enrolled[vehicle_id] = _Enrollment(keypair, cert)
+        return keypair, cert
+
+    def issue_pseudonyms(self, vehicle_id: str, count: int,
+                         now: float = 0.0) -> list[tuple[KeyPair, Certificate]]:
+        """Issue ``count`` unlinkable pseudonym certificates for a vehicle."""
+        if vehicle_id not in self._enrolled:
+            raise KeyError(f"{vehicle_id!r} is not enrolled")
+        out: list[tuple[KeyPair, Certificate]] = []
+        for _ in range(count):
+            keypair = generate_keypair(self.rng, self.bits)
+            pid = "ps-" + sha256(f"{vehicle_id}:{self._serial}:{self.rng.random()}"
+                                 .encode()).hex()[:12]
+            cert = self._issue(pid, keypair.public, now, is_pseudonym=True)
+            self._pseudonym_owner[pid] = vehicle_id
+            self._enrolled[vehicle_id].pseudonyms.append((keypair, cert))
+            out.append((keypair, cert))
+        return out
+
+    def resolve_pseudonym(self, pseudonym_id: str) -> Optional[str]:
+        """CA-only: map a pseudonym back to the real identity (for audits)."""
+        return self._pseudonym_owner.get(pseudonym_id)
+
+    # ------------------------------------------------------------ revocation
+
+    def revoke(self, subject_id: str) -> None:
+        """Revoke a subject (and, for real identities, all its pseudonyms)."""
+        self._revoked_subjects.add(subject_id)
+        enrolment = self._enrolled.get(subject_id)
+        if enrolment is not None:
+            self._revoked_serials.add(enrolment.certificate.serial)
+            for _, cert in enrolment.pseudonyms:
+                self._revoked_serials.add(cert.serial)
+                self._revoked_subjects.add(cert.subject_id)
+        # Revoking a bare pseudonym also flags its owner's serial set lazily.
+        for pid, owner in self._pseudonym_owner.items():
+            if owner == subject_id:
+                self._revoked_subjects.add(pid)
+
+    def crl(self) -> frozenset[str]:
+        """Current certificate revocation list (by subject id)."""
+        return frozenset(self._revoked_subjects)
+
+    def is_revoked(self, subject_id: str) -> bool:
+        return subject_id in self._revoked_subjects
+
+    # ------------------------------------------------------------ validation
+
+    def validate_certificate(self, cert: Optional[Certificate],
+                             now: float = 0.0,
+                             crl: Optional[frozenset[str]] = None) -> bool:
+        """Full chain check: signature by this CA, validity window, CRL."""
+        if cert is None:
+            return False
+        if cert.issuer_id != self.ca_id:
+            return False
+        if not (cert.valid_from <= now <= cert.valid_until):
+            return False
+        revoked = self._revoked_subjects if crl is None else crl
+        if cert.subject_id in revoked or cert.serial in self._revoked_serials:
+            return False
+        return verify(self.root.public, cert.signed_bytes(), cert.signature)
+
+    def keypair_of(self, vehicle_id: str) -> Optional[KeyPair]:
+        enrolment = self._enrolled.get(vehicle_id)
+        return enrolment.keypair if enrolment else None
+
+    def certificate_of(self, vehicle_id: str) -> Optional[Certificate]:
+        enrolment = self._enrolled.get(vehicle_id)
+        return enrolment.certificate if enrolment else None
+
+    @property
+    def enrolled_ids(self) -> list[str]:
+        return list(self._enrolled)

@@ -1,0 +1,109 @@
+"""Beta-reputation trust management (REPLACE-style, ref [6] in the paper).
+
+Each observer keeps per-subject ``(positive, negative)`` experience
+counters; trust is the expected value of the Beta posterior,
+``(p + 1) / (p + n + 2)``, optionally blended with recommendations from
+other observers weighted by the recommender's own trust.  Experience decays
+exponentially so old behaviour washes out -- a node cannot bank goodwill
+and then turn malicious forever (the on-off attack the trust literature
+worries about).
+
+The platoon integration (`repro.core.defenses.trust_filter`) uses this to
+gate join admission and to discount beacons from low-trust members, which
+is the REPLACE use-case: recommending trustworthy platoon heads and
+excluding badly-behaving vehicles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TrustRecord:
+    positive: float = 0.0
+    negative: float = 0.0
+    last_update: float = 0.0
+
+    def expectation(self) -> float:
+        return (self.positive + 1.0) / (self.positive + self.negative + 2.0)
+
+
+@dataclass
+class TrustConfig:
+    decay_half_life: float = 120.0     # [s] experience half-life
+    recommendation_weight: float = 0.3  # blend factor for indirect trust
+    distrust_threshold: float = 0.35   # below this a node is distrusted
+    trust_threshold: float = 0.55      # above this a node is trusted
+
+
+class TrustManager:
+    """One observer's trust database over other nodes."""
+
+    def __init__(self, owner_id: str, config: Optional[TrustConfig] = None) -> None:
+        self.owner_id = owner_id
+        self.config = config or TrustConfig()
+        self._records: dict[str, TrustRecord] = {}
+
+    def _decayed(self, subject_id: str, now: float) -> TrustRecord:
+        record = self._records.setdefault(subject_id, TrustRecord(last_update=now))
+        dt = max(0.0, now - record.last_update)
+        if dt > 0 and self.config.decay_half_life > 0:
+            factor = 0.5 ** (dt / self.config.decay_half_life)
+            record.positive *= factor
+            record.negative *= factor
+            record.last_update = now
+        return record
+
+    def report_positive(self, subject_id: str, now: float, weight: float = 1.0) -> None:
+        record = self._decayed(subject_id, now)
+        record.positive += weight
+
+    def report_negative(self, subject_id: str, now: float, weight: float = 1.0) -> None:
+        record = self._decayed(subject_id, now)
+        record.negative += weight
+
+    def direct_trust(self, subject_id: str, now: float) -> float:
+        if subject_id == self.owner_id:
+            return 1.0
+        return self._decayed(subject_id, now).expectation()
+
+    def trust(self, subject_id: str, now: float,
+              recommendations: Optional[dict[str, float]] = None) -> float:
+        """Combined trust: direct experience blended with weighted recommendations.
+
+        ``recommendations`` maps recommender-id -> that recommender's trust
+        value for the subject.  Each recommendation is weighted by *our*
+        trust in the recommender, so badmouthing by distrusted nodes is
+        discounted (a core REPLACE property).
+        """
+        direct = self.direct_trust(subject_id, now)
+        if not recommendations:
+            return direct
+        weighted_sum = 0.0
+        weight_total = 0.0
+        for recommender, value in recommendations.items():
+            if recommender in (self.owner_id, subject_id):
+                continue
+            w = self.direct_trust(recommender, now)
+            weighted_sum += w * value
+            weight_total += w
+        if weight_total == 0.0:
+            return direct
+        indirect = weighted_sum / weight_total
+        alpha = self.config.recommendation_weight
+        return (1.0 - alpha) * direct + alpha * indirect
+
+    def is_trusted(self, subject_id: str, now: float) -> bool:
+        return self.trust(subject_id, now) >= self.config.trust_threshold
+
+    def is_distrusted(self, subject_id: str, now: float) -> bool:
+        return self.trust(subject_id, now) < self.config.distrust_threshold
+
+    def known_subjects(self) -> list[str]:
+        return list(self._records)
+
+    def snapshot(self, now: float) -> dict[str, float]:
+        return {sid: self.direct_trust(sid, now) for sid in self._records}

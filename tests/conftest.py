@@ -1,0 +1,78 @@
+"""Shared fixtures: simulators, small worlds, fast scenario configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import Scenario, ScenarioConfig
+from repro.events import EventLog
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.simulator import Simulator
+from repro.platoon.dynamics import LongitudinalState
+from repro.platoon.vehicle import Vehicle, VehicleConfig
+from repro.platoon.world import World
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=123)
+
+
+@pytest.fixture
+def channel(sim) -> RadioChannel:
+    return RadioChannel(sim)
+
+
+@pytest.fixture
+def quiet_channel(sim) -> RadioChannel:
+    """A channel with no fading and generous margins: deterministic delivery."""
+    return RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                           rayleigh_fading=False))
+
+
+@pytest.fixture
+def world() -> World:
+    return World()
+
+
+@pytest.fixture
+def events() -> EventLog:
+    return EventLog()
+
+
+def build_platoon(sim, world, channel, events, n=4, speed=27.0, spacing=20.0,
+                  config=None, vlc_channel=None):
+    """A pre-formed platoon of ``n`` vehicles, leader first."""
+    vehicles = []
+    for i in range(n):
+        vehicle = Vehicle(sim, world, channel, f"veh{i}", events,
+                          initial=LongitudinalState(position=1000.0 - i * spacing,
+                                                    speed=speed),
+                          config=config or VehicleConfig(),
+                          vlc_channel=vlc_channel)
+        vehicles.append(vehicle)
+    leader_logic = vehicles[0].make_leader("p1")
+    for vehicle in vehicles[1:]:
+        vehicle.become_member("p1", vehicles[0].vehicle_id)
+        leader_logic.registry.members.append(vehicle.vehicle_id)
+    leader_logic.broadcast_roster()
+    return vehicles
+
+
+@pytest.fixture
+def platoon4(sim, world, channel, events):
+    return build_platoon(sim, world, channel, events, n=4)
+
+
+# Fast scenario configs for integration-level tests --------------------------
+
+@pytest.fixture
+def fast_config() -> ScenarioConfig:
+    """Short, small episode: ~0.5 s wall clock."""
+    return ScenarioConfig(n_vehicles=5, duration=40.0, warmup=8.0, seed=99)
+
+
+@pytest.fixture
+def fast_joiner_config(fast_config) -> ScenarioConfig:
+    return fast_config.with_overrides(joiner=True, joiner_delay=10.0,
+                                      duration=60.0)

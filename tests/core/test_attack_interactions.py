@@ -1,0 +1,96 @@
+"""Interactions between attacks: combinations and lifecycle bookkeeping."""
+
+import pytest
+
+from repro.core.attacks import (
+    DosJoinFloodAttack,
+    EavesdroppingAttack,
+    FalsificationAttack,
+    JammingAttack,
+    ReplayAttack,
+    SybilAttack,
+)
+from repro.core.scenario import ScenarioConfig, run_episode
+
+
+@pytest.fixture
+def cfg():
+    return ScenarioConfig(n_vehicles=6, duration=50.0, warmup=8.0, seed=505)
+
+
+class TestCombinations:
+    def test_jamming_starves_the_eavesdropper_too(self, cfg):
+        """Attacks are not independent: a jammer denies the channel to the
+        eavesdropper as well (MAC starvation means nothing is on the air)."""
+        quiet = EavesdroppingAttack(start_time=0.0)
+        run_episode(cfg, attacks=[quiet])
+        jammed = EavesdroppingAttack(start_time=0.0)
+        run_episode(cfg, attacks=[jammed,
+                                  JammingAttack(start_time=10.0,
+                                                power_dbm=30.0)])
+        assert jammed.observables()["captured_total"] < \
+            quiet.observables()["captured_total"] * 0.6
+
+    def test_dos_flood_competes_with_sybil_for_queue(self, cfg):
+        """A DoS flood keeps the pending queue full, which also locks the
+        Sybil attacker's ghosts out -- queue capacity is one resource."""
+        sybil = SybilAttack(start_time=12.0, n_ghosts=3, insider=True)
+        run_episode(cfg.with_overrides(max_members=12, max_pending=2),
+                    attacks=[DosJoinFloodAttack(start_time=8.0, rate_hz=10.0),
+                             sybil])
+        assert sybil.observables()["ghosts_admitted"] <= 1
+
+    def test_replay_amplifies_falsification(self, cfg):
+        """Replaying an insider's falsified beacons re-injects the lies
+        after the insider stops -- the recorded corpus is poisoned."""
+        falsify_only = run_episode(cfg, attacks=[FalsificationAttack(
+            start_time=8.0, stop_time=25.0, profile="oscillate",
+            amplitude=2.5)])
+        both = run_episode(cfg, attacks=[
+            FalsificationAttack(start_time=8.0, stop_time=25.0,
+                                profile="oscillate", amplitude=2.5),
+            ReplayAttack(start_time=26.0, target="beacons")])
+        assert both.metrics.mean_abs_spacing_error >= \
+            falsify_only.metrics.mean_abs_spacing_error * 0.9
+
+    def test_reports_are_per_attack(self, cfg):
+        result = run_episode(cfg, attacks=[
+            EavesdroppingAttack(start_time=0.0),
+            JammingAttack(start_time=10.0, stop_time=20.0, power_dbm=20.0)])
+        names = [r.attack_name for r in result.attack_reports]
+        assert names == ["eavesdropping", "jamming"]
+        assert result.attack_reports[1].active_time == pytest.approx(10.0,
+                                                                     abs=0.2)
+
+
+class TestTaintBookkeeping:
+    def test_taint_cleared_on_deactivate(self, cfg):
+        from repro.core.scenario import Scenario
+
+        scenario = Scenario(cfg)
+        attack = FalsificationAttack(start_time=8.0, stop_time=20.0)
+        scenario.add_attack(attack)
+        scenario.sim.schedule_at(15.0, lambda: taints.append(
+            set(scenario.tainted_identities)))
+        scenario.sim.schedule_at(30.0, lambda: taints.append(
+            set(scenario.tainted_identities)))
+        taints = []
+        scenario.run()
+        during, after = taints
+        assert attack.insider_id in during
+        assert attack.insider_id not in after
+
+    def test_replay_taints_whole_platoon_while_active(self, cfg):
+        from repro.core.scenario import Scenario
+
+        scenario = Scenario(cfg)
+        scenario.add_attack(ReplayAttack(start_time=8.0, stop_time=20.0))
+        snapshots = []
+        scenario.sim.schedule_at(15.0, lambda: snapshots.append(
+            set(scenario.tainted_identities)))
+        scenario.sim.schedule_at(25.0, lambda: snapshots.append(
+            set(scenario.tainted_identities)))
+        scenario.run()
+        during, after = snapshots
+        assert {"veh0", "veh1", "veh5"} <= during
+        assert after == set()

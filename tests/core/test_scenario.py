@@ -1,0 +1,125 @@
+"""Tests for scenario construction and episode execution."""
+
+import pytest
+
+from repro.core.scenario import (
+    Scenario,
+    ScenarioConfig,
+    gap_cycle_hook,
+    run_episode,
+)
+from repro.platoon.platoon import PlatoonRole
+
+
+class TestConstruction:
+    def test_platoon_preformed(self, fast_config):
+        scenario = Scenario(fast_config)
+        assert len(scenario.platoon_vehicles) == fast_config.n_vehicles
+        assert scenario.leader.is_leader
+        assert all(v.state.role is PlatoonRole.MEMBER
+                   for v in scenario.members())
+        assert scenario.leader_logic.registry.size == fast_config.n_vehicles
+
+    def test_vehicles_ordered_front_to_back(self, fast_config):
+        scenario = Scenario(fast_config)
+        positions = [v.position for v in scenario.platoon_vehicles]
+        assert positions == sorted(positions, reverse=True)
+
+    def test_vlc_only_when_requested(self, fast_config):
+        assert Scenario(fast_config).vlc is None
+        with_vlc = Scenario(fast_config.with_overrides(with_vlc=True))
+        assert with_vlc.vlc is not None
+        assert all(v.vlc is not None for v in with_vlc.platoon_vehicles)
+
+    def test_authority_and_rsus(self, fast_config):
+        cfg = fast_config.with_overrides(with_authority=True,
+                                         rsu_positions=(500.0, 1500.0))
+        scenario = Scenario(cfg)
+        assert scenario.authority is not None
+        assert len(scenario.rsus) == 2
+
+    def test_trucks_config(self, fast_config):
+        scenario = Scenario(fast_config.with_overrides(trucks=True))
+        assert scenario.leader.params.length > 10.0
+
+    def test_vehicle_lookup(self, fast_config):
+        scenario = Scenario(fast_config)
+        assert scenario.vehicle("veh1").vehicle_id == "veh1"
+        with pytest.raises(KeyError):
+            scenario.vehicle("ghost")
+
+    def test_config_overrides_immutable_base(self):
+        base = ScenarioConfig()
+        derived = base.with_overrides(n_vehicles=3)
+        assert base.n_vehicles != 3
+        assert derived.n_vehicles == 3
+
+
+class TestExecution:
+    def test_baseline_episode_is_healthy(self, fast_config):
+        result = run_episode(fast_config)
+        metrics = result.metrics
+        assert metrics.collisions == 0
+        assert metrics.disbands == 0
+        assert metrics.mean_abs_spacing_error < 1.0
+        assert metrics.packet_delivery_ratio > 0.9
+        assert metrics.members_remaining == fast_config.n_vehicles - 1
+        assert metrics.platoon_fragments == 1
+
+    def test_varying_leader_profile_moves_speed(self, fast_config):
+        scenario = Scenario(fast_config)
+        scenario.run()
+        trace = scenario.metrics_collector.traces["veh0"]
+        assert max(trace.speeds) - min(trace.speeds) > 1.0
+
+    def test_constant_profile_keeps_speed(self, fast_config):
+        cfg = fast_config.with_overrides(leader_profile="constant")
+        scenario = Scenario(cfg)
+        scenario.run()
+        trace = scenario.metrics_collector.traces["veh0"]
+        assert max(trace.speeds) - min(trace.speeds) < 0.5
+
+    def test_scenario_runs_once(self, fast_config):
+        scenario = Scenario(fast_config)
+        scenario.run()
+        with pytest.raises(RuntimeError):
+            scenario.run()
+
+    def test_joiner_completes(self, fast_joiner_config):
+        result = run_episode(fast_joiner_config)
+        assert result.metrics.joins_completed == 1
+
+    def test_setup_hook_runs(self, fast_config):
+        seen = []
+        run_episode(fast_config, setup_hooks=[lambda sc: seen.append(sc)])
+        assert len(seen) == 1
+        assert isinstance(seen[0], Scenario)
+
+    def test_gap_cycle_hook_generates_commands(self, fast_config):
+        result = run_episode(fast_config,
+                             setup_hooks=[gap_cycle_hook(member_index=2,
+                                                         period=10.0)])
+        assert result.events.count("gap_open") >= 2
+        assert result.events.count("gap_closed") >= 2
+        assert result.metrics.gap_open_time_s > 0
+
+    def test_summary_flattens_attack_observables(self, fast_config):
+        from repro.core.attacks import EavesdroppingAttack
+
+        result = run_episode(fast_config, attacks=[EavesdroppingAttack()])
+        summary = result.summary()
+        assert "eavesdropping.captured_total" in summary
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_metrics(self, fast_config):
+        a = run_episode(fast_config)
+        b = run_episode(fast_config)
+        assert a.metrics.mean_abs_spacing_error == b.metrics.mean_abs_spacing_error
+        assert a.metrics.fuel_proxy == b.metrics.fuel_proxy
+        assert a.metrics.packet_delivery_ratio == b.metrics.packet_delivery_ratio
+
+    def test_different_seed_differs(self, fast_config):
+        a = run_episode(fast_config)
+        b = run_episode(fast_config.with_overrides(seed=fast_config.seed + 1))
+        assert a.metrics.fuel_proxy != b.metrics.fuel_proxy

@@ -1,0 +1,82 @@
+"""Unit tests for the trusted authority."""
+
+import random
+
+import pytest
+
+from repro.infra.authority import TrustedAuthority, WrappedKey
+
+
+@pytest.fixture
+def ta():
+    return TrustedAuthority(rng=random.Random(61), ca_bits=256)
+
+
+class TestRegistration:
+    def test_register_returns_stable_secret(self, ta):
+        s1 = ta.register_vehicle("veh0")
+        s2 = ta.register_vehicle("veh0")
+        assert s1 == s2
+        assert len(s1) == 32
+
+    def test_secrets_differ_between_vehicles(self, ta):
+        assert ta.register_vehicle("a") != ta.register_vehicle("b")
+
+    def test_rsu_registration(self, ta):
+        keypair, cert = ta.register_rsu("rsu0")
+        assert ta.is_registered_rsu("rsu0")
+        assert not ta.is_registered_rsu("rogue")
+        assert ta.ca.validate_certificate(cert, now=0.0)
+
+
+class TestGroupKeys:
+    def test_wrap_unwrap_roundtrip(self, ta):
+        secret = ta.register_vehicle("veh0")
+        wrapped = ta.wrap_group_key_for("veh0")
+        key = TrustedAuthority.unwrap_group_key(secret, wrapped)
+        assert key == ta.current_group_key()
+
+    def test_unregistered_vehicle_refused(self, ta):
+        assert ta.wrap_group_key_for("stranger") is None
+
+    def test_revoked_vehicle_refused(self, ta):
+        ta.register_vehicle("veh0")
+        ta.revoke_vehicle("veh0")
+        assert ta.wrap_group_key_for("veh0") is None
+
+    def test_wrong_secret_fails_integrity(self, ta):
+        ta.register_vehicle("veh0")
+        wrapped = ta.wrap_group_key_for("veh0")
+        assert TrustedAuthority.unwrap_group_key(b"x" * 32, wrapped) is None
+
+    def test_tampered_ciphertext_fails(self, ta):
+        secret = ta.register_vehicle("veh0")
+        wrapped = ta.wrap_group_key_for("veh0")
+        bad = WrappedKey(wrapped.key_id,
+                         bytes([wrapped.ciphertext[0] ^ 1])
+                         + wrapped.ciphertext[1:], wrapped.tag)
+        assert TrustedAuthority.unwrap_group_key(secret, bad) is None
+
+    def test_eavesdropper_learns_nothing_useful(self, ta):
+        # The wrapped blob differs from the key itself (stream-XOR'd).
+        ta.register_vehicle("veh0")
+        wrapped = ta.wrap_group_key_for("veh0")
+        assert wrapped.ciphertext != ta.current_group_key()
+
+    def test_rotation_changes_key_and_id(self, ta):
+        before_key = ta.current_group_key()
+        before_id = ta.group_key_id
+        ta.rotate_group_key()
+        assert ta.current_group_key() != before_key
+        assert ta.group_key_id != before_id
+
+    def test_revocation_rotates_by_default(self, ta):
+        ta.register_vehicle("veh0")
+        old = ta.current_group_key()
+        ta.revoke_vehicle("veh0")
+        assert ta.current_group_key() != old
+
+    def test_crl_reflects_revocations(self, ta):
+        ta.register_vehicle("veh0")
+        ta.revoke_vehicle("veh0", rotate=False)
+        assert "veh0" in ta.crl()

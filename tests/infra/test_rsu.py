@@ -1,0 +1,135 @@
+"""Unit tests for roadside units: key relay, rogue behaviour, CRL pushes."""
+
+import random
+
+import pytest
+
+from repro.events import EventLog
+from repro.infra.authority import TrustedAuthority, WrappedKey
+from repro.infra.rsu import RoadsideUnit
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.messages import KeyDistributionMessage, MessageType
+from repro.net.radio import Radio
+from repro.net.simulator import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator(seed=71)
+    channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                              rayleigh_fading=False))
+    events = EventLog()
+    ta = TrustedAuthority(rng=random.Random(71), ca_bits=256)
+    return sim, channel, events, ta
+
+
+def request_key(sim, channel, vehicle_id, position):
+    radio = Radio(sim, channel, vehicle_id, lambda: position)
+    replies = []
+    radio.on_receive(lambda m: replies.append(m)
+                     if m.msg_type is MessageType.KEY_DISTRIBUTION else None)
+    msg = KeyDistributionMessage(sender_id=vehicle_id, timestamp=sim.now)
+    msg.payload["request"] = "group_key"
+    msg.payload["position"] = position
+    radio.send(msg)
+    return radio, replies
+
+
+class TestKeyRelay:
+    def test_serves_registered_vehicle_in_coverage(self, setup):
+        sim, channel, events, ta = setup
+        secret = ta.register_vehicle("veh0")
+        rsu = RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                           coverage_m=300.0, crl_push_interval=0.0)
+        _, replies = request_key(sim, channel, "veh0", 150.0)
+        sim.run(0.5)
+        keyed = [m for m in replies if m.recipient_id == "veh0"]
+        assert len(keyed) == 1
+        wrapped = WrappedKey(keyed[0].key_id, keyed[0].encrypted_key,
+                             bytes.fromhex(keyed[0].payload["tag"]))
+        assert TrustedAuthority.unwrap_group_key(secret, wrapped) == \
+            ta.current_group_key()
+        assert rsu.keys_issued == 1
+        assert events.count("group_key_issued") == 1
+
+    def test_refuses_outside_coverage(self, setup):
+        sim, channel, events, ta = setup
+        ta.register_vehicle("veh0")
+        rsu = RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                           coverage_m=200.0, crl_push_interval=0.0)
+        # Outside the RSU's service coverage but still within radio reach.
+        _, replies = request_key(sim, channel, "veh0", 400.0)
+        sim.run(0.5)
+        assert not [m for m in replies if m.recipient_id == "veh0"]
+        assert rsu.requests_refused == 1
+
+    def test_refuses_unregistered_vehicle(self, setup):
+        sim, channel, events, ta = setup
+        rsu = RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                           crl_push_interval=0.0)
+        _, replies = request_key(sim, channel, "stranger", 150.0)
+        sim.run(0.5)
+        assert not [m for m in replies if m.recipient_id == "stranger"]
+        assert events.count("key_request_refused") == 1
+
+    def test_refuses_revoked_vehicle(self, setup):
+        sim, channel, events, ta = setup
+        ta.register_vehicle("veh0")
+        ta.revoke_vehicle("veh0")
+        RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                     crl_push_interval=0.0)
+        _, replies = request_key(sim, channel, "veh0", 150.0)
+        sim.run(0.5)
+        assert not [m for m in replies if m.recipient_id == "veh0"]
+
+    def test_failed_rsu_is_silent(self, setup):
+        sim, channel, events, ta = setup
+        ta.register_vehicle("veh0")
+        rsu = RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                           crl_push_interval=0.0)
+        rsu.fail()
+        _, replies = request_key(sim, channel, "veh0", 150.0)
+        sim.run(0.5)
+        assert replies == []
+
+
+class TestRogue:
+    def test_rogue_issues_bogus_key(self, setup):
+        sim, channel, events, ta = setup
+        rogue = RoadsideUnit(sim, channel, "evil-rsu", 100.0, None, events,
+                             rogue=True, crl_push_interval=0.0)
+        _, replies = request_key(sim, channel, "veh0", 150.0)
+        sim.run(0.5)
+        bogus = [m for m in replies if m.recipient_id == "veh0"]
+        assert len(bogus) == 1
+        assert bogus[0].key_id == "rogue-key"
+        assert events.count("rogue_key_issued") == 1
+
+    def test_rogue_cert_fails_ta_validation(self, setup):
+        sim, channel, events, ta = setup
+        rogue = RoadsideUnit(sim, channel, "evil-rsu", 100.0, None, events,
+                             rogue=True, crl_push_interval=0.0)
+        assert not ta.ca.validate_certificate(rogue.certificate, now=0.0)
+        assert not ta.is_registered_rsu("evil-rsu")
+
+    def test_legit_cert_passes_ta_validation(self, setup):
+        sim, channel, events, ta = setup
+        rsu = RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                           crl_push_interval=0.0)
+        assert ta.ca.validate_certificate(rsu.certificate, now=0.0)
+
+
+class TestCrlPush:
+    def test_periodic_crl_broadcast(self, setup):
+        sim, channel, events, ta = setup
+        ta.register_vehicle("badguy")
+        ta.revoke_vehicle("badguy", rotate=False)
+        RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                     crl_push_interval=1.0)
+        radio = Radio(sim, channel, "listener", lambda: 150.0)
+        crls = []
+        radio.on_receive(lambda m: crls.append(m)
+                         if getattr(m, "revoked_ids", ()) else None)
+        sim.run(3.0)
+        assert crls
+        assert "badguy" in crls[0].revoked_ids

@@ -1,0 +1,70 @@
+"""Failure injection: RSU outages and failover (the Table III open
+challenge: "identifying and removing faulty RSUs ... without damaging the
+network overall")."""
+
+import pytest
+
+from repro.core.defenses import RsuKeyDistributionDefense
+from repro.core.scenario import ScenarioConfig, run_episode
+
+
+class TestRsuFailover:
+    def test_failed_rsu_covered_by_next_along_route(self):
+        config = ScenarioConfig(n_vehicles=4, duration=80.0, warmup=5.0,
+                                seed=801, with_authority=True,
+                                rsu_positions=(1500.0, 2800.0),
+                                rsu_coverage=500.0)
+        defense = RsuKeyDistributionDefense()
+
+        def fail_first_rsu(scenario):
+            scenario.rsus[0].fail()
+
+        run_episode(config, defenses=[defense], setup_hooks=[fail_first_rsu])
+        # Vehicles pass the dead RSU unserved but pick up keys at the next.
+        assert defense.vehicles_with_key() == 4
+
+    def test_all_rsus_failed_no_service(self):
+        config = ScenarioConfig(n_vehicles=4, duration=40.0, warmup=5.0,
+                                seed=802, with_authority=True,
+                                rsu_positions=(1500.0,), rsu_coverage=500.0)
+        defense = RsuKeyDistributionDefense()
+
+        def fail_all(scenario):
+            for rsu in scenario.rsus:
+                rsu.fail()
+
+        run_episode(config, defenses=[defense], setup_hooks=[fail_all])
+        assert defense.vehicles_with_key() == 0
+
+    def test_mid_run_failure_after_service(self):
+        config = ScenarioConfig(n_vehicles=4, duration=60.0, warmup=5.0,
+                                seed=803, with_authority=True,
+                                rsu_positions=(1500.0,), rsu_coverage=800.0)
+        defense = RsuKeyDistributionDefense()
+
+        def fail_later(scenario):
+            scenario.sim.schedule_at(30.0, scenario.rsus[0].fail)
+
+        result = run_episode(config, defenses=[defense],
+                             setup_hooks=[fail_later])
+        # Keys obtained before the failure keep working (symmetric auth is
+        # local); only *new* issuance stops.
+        assert defense.vehicles_with_key() == 4
+        assert result.metrics.collisions == 0
+
+    def test_rogue_rsu_alongside_legit_does_not_poison(self):
+        config = ScenarioConfig(n_vehicles=4, duration=60.0, warmup=5.0,
+                                seed=804, with_authority=True,
+                                rsu_positions=(1500.0,), rsu_coverage=800.0)
+        defense = RsuKeyDistributionDefense()
+
+        def plant_rogue(scenario):
+            from repro.infra.rsu import RoadsideUnit
+
+            RoadsideUnit(scenario.sim, scenario.channel, "evil", 1400.0,
+                         None, scenario.events, rogue=True,
+                         coverage_m=800.0, crl_push_interval=0.0)
+
+        run_episode(config, defenses=[defense], setup_hooks=[plant_rogue])
+        assert defense.rogue_rejected > 0
+        assert defense.vehicles_with_key() == 4   # legit keys still obtained

@@ -1,0 +1,228 @@
+"""Unit tests for the radio channel: propagation, SINR, interference."""
+
+import math
+
+import pytest
+
+from repro.net.channel import ChannelConfig, RadioChannel, dbm_to_mw, mw_to_dbm
+from repro.net.messages import Beacon
+from repro.net.radio import Radio
+from repro.net.simulator import Simulator
+
+
+def make_radio(sim, channel, node_id, position):
+    return Radio(sim, channel, node_id, lambda: position)
+
+
+class TestUnits:
+    def test_dbm_mw_roundtrip(self):
+        for dbm in (-90.0, -30.0, 0.0, 20.0):
+            assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_zero_mw_is_minus_inf(self):
+        assert mw_to_dbm(0.0) == float("-inf")
+
+    def test_dbm_to_mw_known_values(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert dbm_to_mw(30.0) == pytest.approx(1000.0)
+
+
+class TestPathLoss:
+    def test_monotonically_increasing_with_distance(self, sim):
+        channel = RadioChannel(sim)
+        losses = [channel.path_loss_db(d) for d in (1, 10, 100, 1000)]
+        assert losses == sorted(losses)
+        assert losses[0] < losses[-1]
+
+    def test_reference_loss_at_one_metre(self, sim):
+        channel = RadioChannel(sim)
+        assert channel.path_loss_db(1.0) == pytest.approx(
+            channel.config.reference_loss_db)
+
+    def test_min_distance_clamped(self, sim):
+        channel = RadioChannel(sim)
+        assert channel.path_loss_db(0.0) == channel.path_loss_db(
+            channel.config.min_distance_m)
+
+    def test_exponent_slope(self, sim):
+        cfg = ChannelConfig(path_loss_exponent=2.0)
+        channel = RadioChannel(sim, cfg)
+        # 10x the distance => +20 dB at exponent 2.
+        delta = channel.path_loss_db(100.0) - channel.path_loss_db(10.0)
+        assert delta == pytest.approx(20.0)
+
+
+class TestReception:
+    def test_close_range_delivery_is_reliable(self):
+        sim = Simulator(seed=1)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        tx = make_radio(sim, channel, "tx", 0.0)
+        rx = make_radio(sim, channel, "rx", 20.0)
+        got = []
+        rx.on_receive(got.append)
+        for i in range(20):
+            tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+            sim.run(0.05)
+        assert len(got) == 20
+
+    def test_out_of_range_never_delivers(self):
+        sim = Simulator(seed=1)
+        channel = RadioChannel(sim)
+        tx = make_radio(sim, channel, "tx", 0.0)
+        rx = make_radio(sim, channel, "rx", channel.config.max_range_m + 1)
+        got = []
+        rx.on_receive(got.append)
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(1.0)
+        assert got == []
+        assert channel.stats.out_of_range == 1
+
+    def test_pdr_decreases_with_distance(self):
+        sim = Simulator(seed=2)
+        channel = RadioChannel(sim)
+        near = channel.expected_pdr(50.0, samples=400)
+        far = channel.expected_pdr(1200.0, samples=400)
+        assert near > 0.9
+        assert far < near
+
+    def test_interference_lowers_pdr(self):
+        sim = Simulator(seed=3)
+        channel = RadioChannel(sim)
+        clean = channel.expected_pdr(100.0, samples=400)
+        jammed = channel.expected_pdr(100.0, interference_dbm=-60.0, samples=400)
+        assert jammed < clean
+
+    def test_delivery_has_positive_latency(self):
+        sim = Simulator(seed=4)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        tx = make_radio(sim, channel, "tx", 0.0)
+        rx = make_radio(sim, channel, "rx", 30.0)
+        arrival = []
+        rx.on_receive(lambda m: arrival.append(sim.now))
+        msg = Beacon(sender_id="tx", timestamp=sim.now)
+        expected_airtime = channel.airtime(msg)
+        tx.send(msg)
+        sim.run(1.0)
+        assert len(arrival) == 1
+        assert arrival[0] >= expected_airtime
+
+    def test_disabled_receiver_gets_nothing(self):
+        sim = Simulator(seed=5)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        tx = make_radio(sim, channel, "tx", 0.0)
+        rx = make_radio(sim, channel, "rx", 30.0)
+        got = []
+        rx.on_receive(got.append)
+        rx.disable()
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(1.0)
+        assert got == []
+
+    def test_broadcast_reaches_multiple_receivers(self):
+        sim = Simulator(seed=6)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        tx = make_radio(sim, channel, "tx", 0.0)
+        receivers = [make_radio(sim, channel, f"rx{i}", 10.0 * (i + 1))
+                     for i in range(5)]
+        counts = [0] * 5
+        for i, rx in enumerate(receivers):
+            rx.on_receive(lambda m, i=i: counts.__setitem__(i, counts[i] + 1))
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(1.0)
+        assert counts == [1] * 5
+
+
+class _FixedInterferer:
+    def __init__(self, dbm):
+        self.dbm = dbm
+
+    def interference_dbm_at(self, position, now):
+        return self.dbm
+
+
+class TestInterference:
+    def test_strong_interferer_starves_mac(self):
+        # A barrage-level interferer trips carrier sensing: the MAC never
+        # even transmits -- frames die at the retry limit, not in the air.
+        sim = Simulator(seed=7)
+        channel = RadioChannel(sim)
+        tx = make_radio(sim, channel, "tx", 0.0)
+        rx = make_radio(sim, channel, "rx", 100.0)
+        got = []
+        rx.on_receive(got.append)
+        channel.add_interferer(_FixedInterferer(-20.0))
+        for _ in range(30):
+            tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+            sim.run(0.05)
+        assert got == []
+        assert channel.stats.transmissions == 0
+        assert tx.mac.stats.dropped_retry_limit > 0
+
+    def test_moderate_interferer_causes_sinr_losses(self):
+        # Below the carrier-sense threshold the MAC still transmits, but
+        # receptions fail on SINR -- the lost_interference counter moves.
+        sim = Simulator(seed=7)
+        channel = RadioChannel(sim)
+        tx = make_radio(sim, channel, "tx", 0.0)
+        rx = make_radio(sim, channel, "rx", 700.0)
+        channel.add_interferer(_FixedInterferer(-88.0))  # under CS at -85
+        for _ in range(60):
+            tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+            sim.run(0.05)
+        assert channel.stats.transmissions == 60
+        assert channel.stats.lost_interference > 0
+
+    def test_remove_interferer_restores_delivery(self):
+        sim = Simulator(seed=8)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        tx = make_radio(sim, channel, "tx", 0.0)
+        rx = make_radio(sim, channel, "rx", 30.0)
+        got = []
+        rx.on_receive(got.append)
+        jam = _FixedInterferer(-20.0)
+        channel.add_interferer(jam)
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        channel.remove_interferer(jam)
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        assert len(got) == 1
+
+    def test_interferer_raises_carrier_sense(self):
+        sim = Simulator(seed=9)
+        channel = RadioChannel(sim)
+        rx = make_radio(sim, channel, "rx", 0.0)
+        assert not channel.channel_busy(rx)
+        channel.add_interferer(_FixedInterferer(-60.0))
+        assert channel.channel_busy(rx)
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        sim = Simulator(seed=10)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        tx = make_radio(sim, channel, "tx", 0.0)
+        make_radio(sim, channel, "rx", 30.0)
+        for _ in range(3):
+            tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+            sim.run(0.05)
+        assert channel.stats.transmissions == 3
+        assert channel.stats.delivery_attempts == 3
+        assert channel.stats.delivered == 3
+        assert channel.stats.packet_delivery_ratio == 1.0
+
+    def test_pdr_defaults_to_one_with_no_traffic(self, sim):
+        channel = RadioChannel(sim)
+        assert channel.stats.packet_delivery_ratio == 1.0
+
+    def test_duplicate_radio_id_rejected(self, sim):
+        channel = RadioChannel(sim)
+        make_radio(sim, channel, "dup", 0.0)
+        with pytest.raises(ValueError):
+            make_radio(sim, channel, "dup", 10.0)

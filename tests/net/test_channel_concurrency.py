@@ -1,0 +1,80 @@
+"""Concurrent-transmission behaviour of the channel (hidden collisions)."""
+
+import pytest
+
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.messages import Beacon, Message
+from repro.net.radio import Radio
+from repro.net.simulator import Simulator
+
+
+def big_message(sender):
+    msg = Message(sender_id=sender, timestamp=0.0)
+    msg.payload["blob"] = "x" * 4000   # long airtime
+    return msg
+
+
+class TestConcurrentTransmissions:
+    def test_active_transmission_counts_as_interference(self):
+        sim = Simulator(seed=91)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        a = Radio(sim, channel, "a", lambda: 0.0)
+        b = Radio(sim, channel, "b", lambda: 100.0)
+        rx = Radio(sim, channel, "rx", lambda: 50.0)
+        # a starts a long transmission; while it is on the air, b's frame
+        # toward rx sees it as interference.
+        channel.broadcast(a, big_message("a"))
+        interference_during = channel.interference_mw_at(50.0, exclude=b)
+        assert interference_during > 0.0
+        sim.run(1.0)
+        interference_after = channel.interference_mw_at(50.0, exclude=b)
+        assert interference_after == 0.0
+
+    def test_carrier_sense_sees_neighbour_transmission(self):
+        sim = Simulator(seed=92)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        a = Radio(sim, channel, "a", lambda: 0.0)
+        b = Radio(sim, channel, "b", lambda: 30.0)
+        assert not channel.channel_busy(b)
+        channel.broadcast(a, big_message("a"))
+        assert channel.channel_busy(b)
+
+    def test_mac_defers_while_neighbour_talks(self):
+        from repro.net.mac import MacConfig
+
+        sim = Simulator(seed=93)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        a = Radio(sim, channel, "a", lambda: 0.0)
+        # A patient MAC: the neighbour's ~5 ms frame outlasts the default
+        # retry budget (7 x ~0.1 ms), which would drop the frame instead.
+        b = Radio(sim, channel, "b", lambda: 30.0,
+                  mac_config=MacConfig(max_retries=200))
+        channel.broadcast(a, big_message("a"))   # occupies the channel
+        b.send(Beacon(sender_id="b", timestamp=sim.now))
+        sim.run(0.0005)   # shorter than the blob airtime
+        assert b.mac.stats.total_backoffs >= 1
+        assert b.mac.stats.sent == 0
+        sim.run(0.2)      # channel clears; frame eventually goes out
+        assert b.mac.stats.sent == 1
+
+    def test_default_retry_budget_drops_under_long_occupancy(self):
+        sim = Simulator(seed=95)
+        channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                                  rayleigh_fading=False))
+        a = Radio(sim, channel, "a", lambda: 0.0)
+        b = Radio(sim, channel, "b", lambda: 30.0)
+        channel.broadcast(a, big_message("a"))
+        b.send(Beacon(sender_id="b", timestamp=sim.now))
+        sim.run(0.2)
+        assert b.mac.stats.dropped_retry_limit == 1
+
+    def test_mean_received_power_deterministic(self):
+        sim = Simulator(seed=94)
+        channel = RadioChannel(sim)
+        p1 = channel.mean_received_power_dbm(20.0, 100.0)
+        p2 = channel.mean_received_power_dbm(20.0, 100.0)
+        assert p1 == p2
+        assert channel.mean_received_power_dbm(20.0, 200.0) < p1

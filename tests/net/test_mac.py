@@ -1,0 +1,100 @@
+"""Unit tests for the CSMA/CA MAC."""
+
+import pytest
+
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.mac import MacConfig
+from repro.net.messages import Beacon
+from repro.net.radio import Radio
+from repro.net.simulator import Simulator
+
+
+class _FixedInterferer:
+    def __init__(self, dbm):
+        self.dbm = dbm
+        self.active = True
+
+    def interference_dbm_at(self, position, now):
+        return self.dbm if self.active else float("-inf")
+
+
+@pytest.fixture
+def quiet():
+    sim = Simulator(seed=11)
+    channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                              rayleigh_fading=False))
+    return sim, channel
+
+
+class TestTransmitPath:
+    def test_clear_channel_sends_immediately(self, quiet):
+        sim, channel = quiet
+        tx = Radio(sim, channel, "tx", lambda: 0.0)
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.01)
+        assert tx.mac.stats.sent == 1
+        assert tx.mac.stats.total_backoffs == 0
+
+    def test_busy_channel_triggers_backoff(self, quiet):
+        sim, channel = quiet
+        tx = Radio(sim, channel, "tx", lambda: 0.0)
+        jam = _FixedInterferer(-60.0)
+        channel.add_interferer(jam)
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.001)
+        assert tx.mac.stats.total_backoffs >= 1
+        # Clear the channel: the frame eventually goes out.
+        jam.active = False
+        sim.run(0.1)
+        assert tx.mac.stats.sent == 1
+
+    def test_retry_limit_drops_frame(self, quiet):
+        sim, channel = quiet
+        tx = Radio(sim, channel, "tx", lambda: 0.0,
+                   mac_config=MacConfig(max_retries=3))
+        channel.add_interferer(_FixedInterferer(-60.0))
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(1.0)
+        assert tx.mac.stats.dropped_retry_limit == 1
+        assert tx.mac.stats.sent == 0
+
+    def test_queue_capacity_drops_excess(self, quiet):
+        sim, channel = quiet
+        tx = Radio(sim, channel, "tx", lambda: 0.0,
+                   mac_config=MacConfig(queue_capacity=4))
+        channel.add_interferer(_FixedInterferer(-60.0))  # nothing drains
+        for _ in range(10):
+            tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        assert tx.mac.stats.dropped_queue_full == 6
+        assert tx.mac.queue_length == 4
+
+    def test_queue_drains_in_order(self, quiet):
+        sim, channel = quiet
+        tx = Radio(sim, channel, "tx", lambda: 0.0)
+        rx = Radio(sim, channel, "rx", lambda: 20.0)
+        got = []
+        rx.on_receive(lambda m: got.append(m.payload["i"]))
+        for i in range(5):
+            msg = Beacon(sender_id="tx", timestamp=sim.now)
+            msg.payload["i"] = i
+            tx.send(msg)
+        sim.run(0.5)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_drop_ratio_property(self, quiet):
+        sim, channel = quiet
+        tx = Radio(sim, channel, "tx", lambda: 0.0,
+                   mac_config=MacConfig(queue_capacity=1))
+        channel.add_interferer(_FixedInterferer(-60.0))
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        assert tx.mac.stats.drop_ratio == pytest.approx(0.5)
+
+    def test_disabled_radio_flushes_queue(self, quiet):
+        sim, channel = quiet
+        tx = Radio(sim, channel, "tx", lambda: 0.0)
+        channel.add_interferer(_FixedInterferer(-60.0))
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        tx.disable()
+        sim.run(0.1)
+        assert tx.mac.queue_length == 0

@@ -1,0 +1,113 @@
+"""Unit tests for message types and the canonical signing encoding."""
+
+import pytest
+
+from repro.net.messages import (
+    Beacon,
+    KeyDistributionMessage,
+    ManeuverMessage,
+    ManeuverType,
+    Message,
+    MessageType,
+    is_beacon,
+    is_maneuver,
+)
+
+
+class TestSigningBytes:
+    def test_identical_messages_encode_identically(self):
+        a = Beacon(sender_id="v1", timestamp=1.0, seq=5, position=10.0)
+        b = Beacon(sender_id="v1", timestamp=1.0, seq=5, position=10.0)
+        assert a.signing_bytes() == b.signing_bytes()
+
+    @pytest.mark.parametrize("field,value", [
+        ("sender_id", "v2"),
+        ("timestamp", 2.0),
+        ("position", 11.0),
+        ("speed", 3.0),
+        ("acceleration", -1.0),
+        ("platoon_id", "p9"),
+    ])
+    def test_tampering_any_covered_field_changes_bytes(self, field, value):
+        msg = Beacon(sender_id="v1", timestamp=1.0, seq=5)
+        baseline = msg.signing_bytes()
+        setattr(msg, field, value)
+        assert msg.signing_bytes() != baseline
+
+    def test_envelope_fields_not_covered(self):
+        msg = Beacon(sender_id="v1", timestamp=1.0, seq=5)
+        baseline = msg.signing_bytes()
+        msg.auth_tag = b"tag"
+        msg.signature = b"sig"
+        msg.cert = object()
+        msg.vlc_copy = True
+        assert msg.signing_bytes() == baseline
+
+    def test_nonce_is_covered_when_present(self):
+        msg = Beacon(sender_id="v1", timestamp=1.0, seq=5)
+        baseline = msg.signing_bytes()
+        msg.nonce = 7
+        assert msg.signing_bytes() != baseline
+
+    def test_payload_is_covered(self):
+        msg = Message(sender_id="v1", timestamp=1.0, seq=5)
+        baseline = msg.signing_bytes()
+        msg.payload["k"] = "v"
+        assert msg.signing_bytes() != baseline
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        msg = ManeuverMessage(sender_id="v1", timestamp=1.0,
+                              maneuver=ManeuverType.GAP_OPEN)
+        msg.payload["roster"] = ["a", "b"]
+        dup = msg.copy()
+        dup.payload["roster"].append("c")
+        dup.gap_size = 9.0
+        assert msg.payload["roster"] == ["a", "b"]
+        assert msg.gap_size != 9.0
+
+    def test_copy_preserves_envelope(self):
+        msg = Beacon(sender_id="v1", timestamp=1.0)
+        msg.auth_tag = b"t"
+        assert msg.copy().auth_tag == b"t"
+
+
+class TestTypes:
+    def test_beacon_type_set_by_post_init(self):
+        assert Beacon(sender_id="v", timestamp=0.0).msg_type is MessageType.BEACON
+
+    def test_maneuver_type_set_by_post_init(self):
+        msg = ManeuverMessage(sender_id="v", timestamp=0.0)
+        assert msg.msg_type is MessageType.MANEUVER
+
+    def test_key_distribution_type(self):
+        msg = KeyDistributionMessage(sender_id="rsu", timestamp=0.0)
+        assert msg.msg_type is MessageType.KEY_DISTRIBUTION
+
+    def test_is_beacon_helper(self):
+        assert is_beacon(Beacon(sender_id="v", timestamp=0.0))
+        assert not is_beacon(ManeuverMessage(sender_id="v", timestamp=0.0))
+
+    def test_is_maneuver_with_kind(self):
+        msg = ManeuverMessage(sender_id="v", timestamp=0.0,
+                              maneuver=ManeuverType.SPLIT_COMMAND)
+        assert is_maneuver(msg)
+        assert is_maneuver(msg, ManeuverType.SPLIT_COMMAND)
+        assert not is_maneuver(msg, ManeuverType.JOIN_REQUEST)
+
+    def test_seq_is_unique_and_monotone(self):
+        a = Beacon(sender_id="v", timestamp=0.0)
+        b = Beacon(sender_id="v", timestamp=0.0)
+        assert b.seq > a.seq
+
+    def test_size_bits_positive_and_grows_with_payload(self):
+        small = Message(sender_id="v", timestamp=0.0)
+        big = Message(sender_id="v", timestamp=0.0,
+                      payload={"blob": "x" * 500})
+        assert small.size_bits() > 0
+        assert big.size_bits() > small.size_bits()
+
+    def test_describe_mentions_sender(self):
+        msg = Beacon(sender_id="veh3", timestamp=1.5)
+        assert "veh3" in msg.describe()

@@ -1,0 +1,119 @@
+"""Unit tests for the per-node radio endpoint."""
+
+import pytest
+
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.messages import Beacon
+from repro.net.radio import Radio
+from repro.net.simulator import Simulator
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator(seed=21)
+    channel = RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
+                                              rayleigh_fading=False))
+    tx = Radio(sim, channel, "tx", lambda: 0.0)
+    rx = Radio(sim, channel, "rx", lambda: 25.0)
+    return sim, channel, tx, rx
+
+
+def ping(sim, tx, n=1):
+    for _ in range(n):
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.02)
+
+
+class TestFilters:
+    def test_filter_rejects_frame(self, pair):
+        sim, _, tx, rx = pair
+        got = []
+        rx.on_receive(got.append)
+        rx.add_filter(lambda msg: False)
+        ping(sim, tx)
+        assert got == []
+        assert rx.stats.filtered == 1
+        assert rx.stats.received == 0
+
+    def test_filters_run_in_order_all_must_accept(self, pair):
+        sim, _, tx, rx = pair
+        calls = []
+        rx.add_filter(lambda m: calls.append("a") or True)
+        rx.add_filter(lambda m: calls.append("b") or False)
+        rx.add_filter(lambda m: calls.append("c") or True)
+        ping(sim, tx)
+        assert calls == ["a", "b"]   # short-circuits at the rejection
+
+    def test_remove_filter(self, pair):
+        sim, _, tx, rx = pair
+        got = []
+        rx.on_receive(got.append)
+        block = lambda m: False
+        rx.add_filter(block)
+        ping(sim, tx)
+        rx.remove_filter(block)
+        ping(sim, tx)
+        assert len(got) == 1
+
+
+class TestTaps:
+    def test_tap_sees_frames_before_filtering(self, pair):
+        sim, _, tx, rx = pair
+        tapped = []
+        rx.add_tap(tapped.append)
+        rx.add_filter(lambda m: False)
+        ping(sim, tx)
+        assert len(tapped) == 1
+
+    def test_multiple_handlers_all_called(self, pair):
+        sim, _, tx, rx = pair
+        a, b = [], []
+        rx.on_receive(a.append)
+        rx.on_receive(b.append)
+        ping(sim, tx)
+        assert len(a) == len(b) == 1
+
+    def test_clear_handlers_returns_old(self, pair):
+        sim, _, tx, rx = pair
+        got = []
+        rx.on_receive(got.append)
+        old = rx.clear_handlers()
+        assert len(old) == 1
+        ping(sim, tx)
+        assert got == []
+
+
+class TestLifecycle:
+    def test_disabled_radio_does_not_send(self, pair):
+        sim, _, tx, rx = pair
+        tx.disable()
+        assert tx.send(Beacon(sender_id="tx", timestamp=sim.now)) is False
+        assert tx.stats.sent == 0
+
+    def test_reenable(self, pair):
+        sim, _, tx, rx = pair
+        got = []
+        rx.on_receive(got.append)
+        tx.disable()
+        tx.enable()
+        ping(sim, tx)
+        assert len(got) == 1
+
+    def test_shutdown_unregisters(self, pair):
+        sim, channel, tx, rx = pair
+        rx.shutdown()
+        assert rx not in channel.radios()
+
+    def test_sender_does_not_hear_itself(self, pair):
+        sim, _, tx, _ = pair
+        got = []
+        tx.on_receive(got.append)
+        ping(sim, tx)
+        assert got == []
+
+    def test_stats_counts(self, pair):
+        sim, _, tx, rx = pair
+        rx.on_receive(lambda m: None)
+        ping(sim, tx, n=3)
+        assert tx.stats.sent == 3
+        assert rx.stats.received == 3

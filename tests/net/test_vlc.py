@@ -1,0 +1,140 @@
+"""Unit tests for the visible-light channel."""
+
+import pytest
+
+from repro.net.messages import Beacon
+from repro.net.simulator import Simulator
+from repro.net.vlc import OpticalJammer, VlcChannel, VlcConfig, VlcEndpoint
+
+
+@pytest.fixture
+def vlc_sim():
+    sim = Simulator(seed=31)
+    channel = VlcChannel(sim, VlcConfig(ambient_outage_prob=0.0))
+    return sim, channel
+
+
+def endpoint(channel, node_id, position, lane=0):
+    return VlcEndpoint(channel, node_id, lambda: position, lambda: lane)
+
+
+class TestAdjacency:
+    def test_reaches_adjacent_ahead_and_behind(self, vlc_sim):
+        sim, channel = vlc_sim
+        mid = endpoint(channel, "mid", 100.0)
+        ahead = endpoint(channel, "ahead", 120.0)
+        behind = endpoint(channel, "behind", 80.0)
+        got = {"ahead": 0, "behind": 0}
+        ahead.on_receive(lambda m: got.__setitem__("ahead", got["ahead"] + 1))
+        behind.on_receive(lambda m: got.__setitem__("behind", got["behind"] + 1))
+        mid.send(Beacon(sender_id="mid", timestamp=sim.now))
+        sim.run(0.1)
+        assert got == {"ahead": 1, "behind": 1}
+
+    def test_only_nearest_neighbour_receives(self, vlc_sim):
+        sim, channel = vlc_sim
+        tx = endpoint(channel, "tx", 100.0)
+        near = endpoint(channel, "near", 115.0)
+        far = endpoint(channel, "far", 130.0)
+        got = []
+        near.on_receive(lambda m: got.append("near"))
+        far.on_receive(lambda m: got.append("far"))
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        assert got == ["near"]
+
+    def test_out_of_los_range_not_reached(self, vlc_sim):
+        sim, channel = vlc_sim
+        tx = endpoint(channel, "tx", 100.0)
+        far = endpoint(channel, "far", 100.0 + channel.config.max_range_m + 1)
+        got = []
+        far.on_receive(got.append)
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        assert got == []
+        assert channel.stats.lost_range == 1
+
+    def test_different_lane_not_reached(self, vlc_sim):
+        sim, channel = vlc_sim
+        tx = endpoint(channel, "tx", 100.0, lane=0)
+        other = endpoint(channel, "other", 110.0, lane=1)
+        got = []
+        other.on_receive(got.append)
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        assert got == []
+
+    def test_delivered_copy_is_marked_vlc(self, vlc_sim):
+        sim, channel = vlc_sim
+        tx = endpoint(channel, "tx", 100.0)
+        rx = endpoint(channel, "rx", 110.0)
+        got = []
+        rx.on_receive(got.append)
+        original = Beacon(sender_id="tx", timestamp=sim.now)
+        tx.send(original)
+        sim.run(0.1)
+        assert got[0].vlc_copy is True
+        assert original.vlc_copy is False
+
+    def test_disabled_endpoint_neither_sends_nor_receives(self, vlc_sim):
+        sim, channel = vlc_sim
+        tx = endpoint(channel, "tx", 100.0)
+        rx = endpoint(channel, "rx", 110.0)
+        got = []
+        rx.on_receive(got.append)
+        rx.enabled = False
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        assert got == []
+
+
+class TestOutages:
+    def test_ambient_outage_drops_some(self):
+        sim = Simulator(seed=32)
+        channel = VlcChannel(sim, VlcConfig(ambient_outage_prob=0.5))
+        tx = endpoint(channel, "tx", 100.0)
+        rx = endpoint(channel, "rx", 110.0)
+        got = []
+        rx.on_receive(got.append)
+        for _ in range(100):
+            tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+            sim.run(0.01)
+        assert 20 < len(got) < 80
+        assert channel.stats.lost_outage > 0
+
+    def test_optical_jammer_blocks_nearby(self, vlc_sim):
+        sim, channel = vlc_sim
+        tx = endpoint(channel, "tx", 100.0)
+        rx = endpoint(channel, "rx", 110.0)
+        got = []
+        rx.on_receive(got.append)
+        channel.add_optical_jammer(OpticalJammer(position=110.0, radius_m=20.0,
+                                                 outage_prob=1.0))
+        for _ in range(10):
+            tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        assert got == []
+
+    def test_optical_jammer_out_of_radius_harmless(self, vlc_sim):
+        sim, channel = vlc_sim
+        tx = endpoint(channel, "tx", 100.0)
+        rx = endpoint(channel, "rx", 110.0)
+        got = []
+        rx.on_receive(got.append)
+        channel.add_optical_jammer(OpticalJammer(position=500.0, radius_m=20.0,
+                                                 outage_prob=1.0))
+        tx.send(Beacon(sender_id="tx", timestamp=sim.now))
+        sim.run(0.1)
+        assert len(got) == 1
+
+    def test_rf_immunity_no_rf_interface(self, vlc_sim):
+        # Structural: the VLC channel has no interferer registry at all --
+        # RF jammers cannot couple into it by construction.
+        _, channel = vlc_sim
+        assert not hasattr(channel, "add_interferer")
+
+    def test_duplicate_endpoint_rejected(self, vlc_sim):
+        _, channel = vlc_sim
+        endpoint(channel, "dup", 0.0)
+        with pytest.raises(ValueError):
+            endpoint(channel, "dup", 10.0)

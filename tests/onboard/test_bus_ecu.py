@@ -1,0 +1,100 @@
+"""Unit tests for the CAN-like bus and ECUs."""
+
+import pytest
+
+from repro.onboard.bus import CanBus
+from repro.onboard.ecu import ARBITRATION_IDS, Ecu, Firmware, standard_ecu_suite
+from repro.onboard.hardening import Firewall
+
+
+def fw(name="test"):
+    return Firmware(name=name, version="1.0", body=b"factory")
+
+
+@pytest.fixture
+def bus():
+    bus = CanBus()
+    for ecu in standard_ecu_suite():
+        bus.attach(ecu)
+    return bus
+
+
+class TestBus:
+    def test_broadcast_reaches_all_others(self, bus):
+        sender = bus.get("engine-ecu")
+        sender.send(ARBITRATION_IDS["engine"], {"rpm": 2000})
+        for ecu in bus.ecus():
+            if ecu is sender:
+                assert not ecu.rx_frames
+            else:
+                assert len(ecu.rx_frames) == 1
+
+    def test_no_sender_authentication(self, bus):
+        # Any ECU can claim any arbitration-level identity -- the CAN
+        # weakness the paper's sensor-spoofing narrative relies on.
+        tpms = bus.get("tpms-ecu")
+        ok = tpms.send(ARBITRATION_IDS["braking"], {"brake": 1.0},
+                       claimed_source="brake-ecu")
+        assert ok
+        frame = bus.get("engine-ecu").rx_frames[0]
+        assert frame.claimed_source == "brake-ecu"
+        assert frame.physical_sender == "tpms-ecu"
+        assert bus.stats.spoofed_source_frames == 1
+
+    def test_firewall_blocks_unauthorized(self, bus):
+        bus.install_firewall(Firewall.standard_policy())
+        tpms = bus.get("tpms-ecu")
+        assert not tpms.send(ARBITRATION_IDS["braking"], {"brake": 1.0})
+        assert bus.stats.blocked_by_firewall == 1
+
+    def test_firewall_allows_own_traffic(self, bus):
+        bus.install_firewall(Firewall.standard_policy())
+        assert bus.get("tpms-ecu").send(ARBITRATION_IDS["tpms"], {"kpa": 240})
+
+    def test_tap_sees_frames(self, bus):
+        frames = []
+        bus.add_tap(frames.append)
+        bus.get("engine-ecu").send(ARBITRATION_IDS["engine"], {})
+        assert len(frames) == 1
+
+    def test_powered_off_ecu_does_not_receive(self, bus):
+        bus.get("brake-ecu").powered = False
+        bus.get("engine-ecu").send(ARBITRATION_IDS["engine"], {})
+        assert not bus.get("brake-ecu").rx_frames
+
+    def test_duplicate_ecu_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.attach(Ecu("engine-ecu", fw()))
+
+
+class TestEcu:
+    def test_infection_changes_digest(self):
+        ecu = Ecu("x", fw())
+        assert ecu.firmware_intact()
+        ecu.infect("strain", b"payload")
+        assert ecu.infected
+        assert not ecu.firmware_intact()
+
+    def test_disinfect_restores_factory_image(self):
+        ecu = Ecu("x", fw())
+        ecu.infect("strain", b"payload")
+        ecu.disinfect()
+        assert not ecu.infected
+        assert ecu.firmware_intact()
+
+    def test_service_disable(self):
+        ecu = Ecu("x", fw(), services=["v2x"])
+        assert ecu.service_available("v2x")
+        ecu.disable_service("v2x")
+        assert not ecu.service_available("v2x")
+
+    def test_unknown_service_never_available(self):
+        ecu = Ecu("x", fw(), services=["v2x"])
+        assert not ecu.service_available("braking")
+
+    def test_standard_suite_has_expected_surfaces(self):
+        suite = {e.ecu_id: e for e in standard_ecu_suite()}
+        assert "obd" in suite["obd-gateway"].exposed_interfaces
+        assert "media" in suite["infotainment-ecu"].exposed_interfaces
+        assert "wireless" in suite["tpms-ecu"].exposed_interfaces
+        assert suite["v2x-gateway"].service_available("v2x")

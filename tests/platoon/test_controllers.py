@@ -1,0 +1,161 @@
+"""Unit tests for longitudinal control laws."""
+
+import pytest
+
+from repro.platoon.controllers import (
+    AccController,
+    ControllerInputs,
+    CruiseController,
+    PathCaccController,
+    PloegCaccController,
+    make_controller,
+)
+
+
+def inputs(**kwargs):
+    defaults = dict(own_speed=25.0, own_accel=0.0, target_speed=25.0)
+    defaults.update(kwargs)
+    return ControllerInputs(**defaults)
+
+
+class TestCruise:
+    def test_accelerates_when_below_target(self):
+        assert CruiseController().compute(inputs(own_speed=20.0)) > 0
+
+    def test_brakes_when_above_target(self):
+        assert CruiseController().compute(inputs(own_speed=30.0)) < 0
+
+    def test_zero_at_target(self):
+        assert CruiseController().compute(inputs()) == pytest.approx(0.0)
+
+
+class TestAcc:
+    def test_equilibrium_at_desired_gap(self):
+        acc = AccController(headway=1.2, standstill=2.0)
+        desired = acc.desired_gap(25.0)
+        u = acc.compute(inputs(gap=desired, gap_rate=0.0))
+        assert u == pytest.approx(0.0, abs=0.05)
+
+    def test_too_close_brakes(self):
+        acc = AccController()
+        u = acc.compute(inputs(gap=acc.desired_gap(25.0) - 10.0, gap_rate=0.0))
+        assert u < 0
+
+    def test_too_far_accelerates_below_target_speed(self):
+        acc = AccController()
+        u = acc.compute(inputs(gap=acc.desired_gap(24.0) + 10.0, gap_rate=0.0,
+                               own_speed=24.0))
+        assert u > 0
+
+    def test_closing_fast_brakes_harder(self):
+        acc = AccController()
+        gap = acc.desired_gap(25.0)
+        steady = acc.compute(inputs(gap=gap, gap_rate=0.0))
+        closing = acc.compute(inputs(gap=gap, gap_rate=-5.0))
+        assert closing < steady
+
+    def test_no_target_falls_back_to_cruise(self):
+        acc = AccController()
+        u = acc.compute(inputs(gap=None, own_speed=20.0))
+        assert u > 0
+
+    def test_does_not_chase_predecessor_past_target_speed(self):
+        acc = AccController()
+        # Huge gap but already at/above target speed: the cruise term caps
+        # the command at <= 0 (speed-limited gap closing).
+        at_target = acc.compute(inputs(gap=100.0, gap_rate=3.0, own_speed=25.0))
+        assert at_target <= 1e-9
+        above = acc.compute(inputs(gap=100.0, gap_rate=3.0, own_speed=26.0))
+        assert above < 0.0
+
+    def test_gap_factor_widens_equilibrium(self):
+        acc = AccController()
+        desired = acc.desired_gap(25.0)
+        u_normal = acc.compute(inputs(gap=desired, gap_rate=0.0))
+        u_opening = acc.compute(inputs(gap=desired, gap_rate=0.0,
+                                       desired_gap_factor=2.0))
+        assert u_opening < u_normal  # wants a bigger gap: backs off
+
+
+class TestPloeg:
+    def full_inputs(self, gap=None, **kwargs):
+        ploeg = PloegCaccController()
+        base = dict(gap=gap if gap is not None else ploeg.desired_gap(25.0),
+                    gap_rate=0.0, predecessor_speed=25.0,
+                    predecessor_accel=0.0, leader_speed=25.0, leader_accel=0.0)
+        base.update(kwargs)
+        return inputs(**base)
+
+    def test_equilibrium(self):
+        ploeg = PloegCaccController()
+        assert ploeg.compute(self.full_inputs()) == pytest.approx(0.0, abs=0.01)
+
+    def test_feedforward_of_predecessor_accel(self):
+        ploeg = PloegCaccController()
+        u = ploeg.compute(self.full_inputs(predecessor_accel=1.5))
+        assert u == pytest.approx(1.5, abs=0.05)
+
+    def test_missing_predecessor_raises(self):
+        ploeg = PloegCaccController()
+        with pytest.raises(ValueError):
+            ploeg.compute(inputs(gap=10.0))
+
+    def test_sub_second_headway_gap_smaller_than_acc(self):
+        ploeg = PloegCaccController()
+        acc = AccController()
+        assert ploeg.desired_gap(25.0) < acc.desired_gap(25.0)
+
+
+class TestPathCacc:
+    def full_inputs(self, **kwargs):
+        path = PathCaccController()
+        base = dict(gap=path.spacing, gap_rate=0.0, predecessor_speed=25.0,
+                    predecessor_accel=0.0, leader_speed=25.0, leader_accel=0.0)
+        base.update(kwargs)
+        return inputs(**base)
+
+    def test_equilibrium_at_constant_spacing(self):
+        path = PathCaccController()
+        assert path.compute(self.full_inputs()) == pytest.approx(0.0, abs=0.01)
+
+    def test_constant_spacing_policy_ignores_speed(self):
+        path = PathCaccController(spacing=5.0)
+        assert path.desired_gap(10.0) == path.desired_gap(40.0) == 5.0
+
+    def test_leader_accel_feedforward_weighted_by_c1(self):
+        path = PathCaccController(c1=0.5)
+        u = path.compute(self.full_inputs(leader_accel=2.0))
+        assert u == pytest.approx(0.5 * 2.0, abs=0.05)
+
+    def test_requires_leader_data(self):
+        path = PathCaccController()
+        with pytest.raises(ValueError):
+            path.compute(inputs(gap=5.0, gap_rate=0.0, predecessor_speed=25.0,
+                                predecessor_accel=0.0))
+
+    def test_too_close_pushes_back(self):
+        path = PathCaccController()
+        u = path.compute(self.full_inputs(gap=path.spacing - 3.0))
+        assert u < 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("cruise", CruiseController),
+        ("acc", AccController),
+        ("path", PathCaccController),
+        ("ploeg", PloegCaccController),
+    ])
+    def test_factory_kinds(self, kind, cls):
+        assert isinstance(make_controller(kind), cls)
+
+    def test_factory_case_insensitive(self):
+        assert isinstance(make_controller("PLOEG"), PloegCaccController)
+
+    def test_factory_overrides(self):
+        controller = make_controller("ploeg", headway=0.8)
+        assert controller.headway == 0.8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller("pid")

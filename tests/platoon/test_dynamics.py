@@ -1,0 +1,104 @@
+"""Unit tests for longitudinal vehicle dynamics."""
+
+import pytest
+
+from repro.platoon.dynamics import LongitudinalState, VehicleDynamics, VehicleParams
+
+
+def make(speed=20.0, accel=0.0, position=0.0, **params):
+    return VehicleDynamics(VehicleParams(**params),
+                           LongitudinalState(position, speed, accel))
+
+
+class TestIntegration:
+    def test_constant_speed_advances_position(self):
+        dyn = make(speed=10.0)
+        for _ in range(10):
+            dyn.step(0.1, 0.0)
+        assert dyn.position == pytest.approx(10.0, abs=0.01)
+        assert dyn.speed == pytest.approx(10.0, abs=0.01)
+
+    def test_acceleration_tracks_command_through_lag(self):
+        dyn = make(speed=10.0, tau=0.3)
+        dyn.step(0.1, 2.0)
+        first = dyn.acceleration
+        assert 0.0 < first < 2.0      # lag: not instantaneous
+        for _ in range(30):
+            dyn.step(0.1, 2.0)
+        assert dyn.acceleration == pytest.approx(2.0, abs=0.05)
+
+    def test_lag_time_constant(self):
+        # After exactly tau seconds the realised accel reaches ~63% of a step.
+        dyn = make(speed=10.0, tau=0.5)
+        steps = 50
+        dt = 0.5 / steps
+        for _ in range(steps):
+            dyn.step(dt, 1.0)
+        assert dyn.acceleration == pytest.approx(1 - 2.718281828 ** -1, rel=0.02)
+
+    def test_braking_slows_vehicle(self):
+        dyn = make(speed=20.0)
+        for _ in range(20):
+            dyn.step(0.1, -3.0)
+        assert dyn.speed < 15.0
+
+
+class TestLimits:
+    def test_command_clamped_to_max_accel(self):
+        dyn = make(speed=10.0, max_accel=2.0)
+        for _ in range(50):
+            dyn.step(0.1, 100.0)
+        assert dyn.acceleration <= 2.0 + 1e-9
+
+    def test_command_clamped_to_max_decel(self):
+        dyn = make(speed=30.0, max_decel=5.0)
+        dyn.step(0.1, -100.0)
+        assert dyn.acceleration >= -5.0 - 1e-9
+
+    def test_speed_never_negative(self):
+        dyn = make(speed=1.0)
+        for _ in range(100):
+            dyn.step(0.1, -6.0)
+        assert dyn.speed == 0.0
+
+    def test_stopped_vehicle_does_not_reverse(self):
+        dyn = make(speed=0.0)
+        start = dyn.position
+        for _ in range(20):
+            dyn.step(0.1, -3.0)
+        assert dyn.position >= start - 1e-6
+
+    def test_speed_capped_at_max(self):
+        dyn = make(speed=40.0, max_speed=44.0)
+        for _ in range(200):
+            dyn.step(0.1, 2.5)
+        assert dyn.speed <= 44.0 + 1e-9
+
+    def test_invalid_dt_rejected(self):
+        dyn = make()
+        with pytest.raises(ValueError):
+            dyn.step(0.0, 1.0)
+        with pytest.raises(ValueError):
+            dyn.step(-0.1, 1.0)
+
+
+class TestJerk:
+    def test_jerk_reported(self):
+        dyn = make(speed=10.0)
+        dyn.step(0.1, 2.0)
+        assert dyn.last_jerk > 0.0
+
+    def test_steady_state_jerk_near_zero(self):
+        dyn = make(speed=10.0)
+        for _ in range(100):
+            dyn.step(0.1, 0.0)
+        assert abs(dyn.last_jerk) < 1e-6
+
+
+class TestParams:
+    def test_truck_preset_is_heavier(self):
+        car = VehicleParams()
+        truck = VehicleParams.truck()
+        assert truck.length > car.length
+        assert truck.max_accel < car.max_accel
+        assert truck.tau > car.tau

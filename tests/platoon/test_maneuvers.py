@@ -1,0 +1,161 @@
+"""Integration tests for the join / leave / split manoeuvre protocol."""
+
+import pytest
+
+from repro.net.messages import ManeuverMessage, ManeuverType
+from repro.platoon.dynamics import LongitudinalState
+from repro.platoon.platoon import PlatoonRole
+from repro.platoon.vehicle import Vehicle
+
+from tests.conftest import build_platoon
+
+
+class TestJoin:
+    def test_full_join_flow(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        tail = vehicles[-1]
+        joiner = Vehicle(sim, world, quiet_channel, "joiner", events,
+                         initial=LongitudinalState(
+                             position=tail.position - 70.0, speed=27.0))
+        joiner.start_join("p1", "veh0")
+        sim.run_until(60.0)
+        assert joiner.state.role is PlatoonRole.MEMBER
+        assert "joiner" in vehicles[0].leader_logic.registry.members
+        assert events.count("join_completed") == 1
+        # Joiner should appear in everyone's roster via the broadcast.
+        assert "joiner" in vehicles[1].state.roster
+
+    def test_join_rejected_when_full(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        vehicles[0].leader_logic.registry.max_members = 3
+        tail = vehicles[-1]
+        joiner = Vehicle(sim, world, quiet_channel, "joiner", events,
+                         initial=LongitudinalState(
+                             position=tail.position - 70.0, speed=27.0))
+        joiner.start_join("p1", "veh0")
+        sim.run_until(20.0)
+        assert joiner.state.role is not PlatoonRole.MEMBER
+        assert events.count("join_rejected") >= 1
+
+    def test_join_validator_vetoes(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        vehicles[0].leader_logic.join_validators.append(lambda msg: False)
+        tail = vehicles[-1]
+        joiner = Vehicle(sim, world, quiet_channel, "joiner", events,
+                         initial=LongitudinalState(
+                             position=tail.position - 70.0, speed=27.0))
+        joiner.start_join("p1", "veh0")
+        sim.run_until(20.0)
+        assert events.count("join_rejected") >= 1
+        assert "joiner" not in vehicles[0].leader_logic.registry.members
+
+    def test_pending_join_expires(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        logic = vehicles[0].leader_logic
+        logic.join_timeout = 5.0
+        logic.registry.queue_join("phantom", now=sim.now)
+        sim.run_until(10.0)
+        assert events.count("join_expired") == 1
+        assert "phantom" not in logic.registry.pending
+
+
+class TestLeave:
+    def test_member_leave_flow(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        member = vehicles[2]
+        sim.run_until(2.0)
+        msg = ManeuverMessage(sender_id=member.vehicle_id, timestamp=sim.now,
+                              maneuver=ManeuverType.LEAVE_REQUEST,
+                              platoon_id="p1", target_id="veh0")
+        member.send(msg)
+        sim.run_until(6.0)
+        assert member.state.role is PlatoonRole.FREE
+        assert member.vehicle_id not in vehicles[0].leader_logic.registry.members
+        assert events.count("leave_accepted") == 1
+
+
+class TestGapOpenClose:
+    def test_gap_open_and_ready(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.request_gap_open("veh2", gap_factor=2.5)
+        sim.run_until(4.0)
+        assert vehicles[2].state.gap_factor == 2.5
+        assert events.count("gap_ready") == 1
+
+    def test_gap_close_command(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.request_gap_open("veh2")
+        sim.run_until(4.0)
+        vehicles[0].leader_logic.request_gap_close("veh2")
+        sim.run_until(6.0)
+        assert vehicles[2].state.gap_factor == 1.0
+        assert events.count("gap_closed") == 1
+
+    def test_gap_times_out(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        vehicles[2].member_logic.gap_open_timeout = 5.0
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.request_gap_open("veh2")
+        sim.run_until(12.0)
+        assert vehicles[2].state.gap_factor == 1.0
+        assert events.count("gap_timeout") == 1
+
+    def test_gap_widens_physically(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        vehicles[2].member_logic.gap_open_timeout = 60.0  # don't auto-close
+        sim.run_until(15.0)
+        before = world.true_gap(vehicles[2])
+        vehicles[0].leader_logic.request_gap_open("veh2", gap_factor=2.0)
+        sim.run_until(45.0)
+        after = world.true_gap(vehicles[2])
+        assert after > before * 1.5
+
+
+class TestSplitAndDissolve:
+    def test_split_creates_two_platoons(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.command_split(2)
+        sim.run_until(5.0)
+        assert vehicles[2].state.role is PlatoonRole.LEADER
+        assert vehicles[3].state.leader_id == "veh2"
+        assert vehicles[3].state.platoon_id != "p1"
+        assert vehicles[0].leader_logic.registry.members == ["veh0", "veh1"]
+
+    def test_dissolve_frees_everyone(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.dissolve()
+        sim.run_until(5.0)
+        for member in vehicles[1:]:
+            assert member.state.role is PlatoonRole.FREE
+
+    def test_speed_command_propagates(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.command_speed(22.0)
+        sim.run_until(4.0)
+        assert vehicles[0].target_speed == 22.0
+        assert all(v.target_speed == 22.0 for v in vehicles[1:])
+
+    def test_roster_removal_evicts_member(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        logic = vehicles[0].leader_logic
+        logic.registry.remove_member("veh3")
+        logic.broadcast_roster()
+        sim.run_until(5.0)
+        assert vehicles[3].state.role is PlatoonRole.FREE
+
+    def test_foreign_platoon_commands_ignored(self, sim, world, quiet_channel,
+                                              events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        msg = ManeuverMessage(sender_id="veh0", timestamp=sim.now,
+                              maneuver=ManeuverType.DISSOLVE,
+                              platoon_id="other-platoon")
+        vehicles[0].send(msg)
+        sim.run_until(4.0)
+        assert all(v.state.in_platoon for v in vehicles)

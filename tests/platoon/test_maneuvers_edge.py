@@ -1,0 +1,130 @@
+"""Edge cases of the manoeuvre protocol: malformed/foreign commands."""
+
+import pytest
+
+from repro.net.messages import ManeuverMessage, ManeuverType
+from repro.platoon.platoon import PlatoonRole
+
+from tests.conftest import build_platoon
+
+
+def forged(sender, kind, target=None, platoon="p1", **fields):
+    msg = ManeuverMessage(sender_id=sender, timestamp=0.0, maneuver=kind,
+                          platoon_id=platoon, target_id=target)
+    for key, value in fields.items():
+        setattr(msg, key, value)
+    return msg
+
+
+class TestSplitEdgeCases:
+    def test_split_index_zero_ignored(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        msg = forged("veh0", ManeuverType.SPLIT_COMMAND, split_index=0)
+        msg.payload["roster"] = ["veh0", "veh1", "veh2", "veh3"]
+        vehicles[0].send(msg)
+        sim.run_until(4.0)
+        assert all(v.state.platoon_id == "p1" for v in vehicles[1:])
+
+    def test_split_index_beyond_roster_ignored(self, sim, world, quiet_channel,
+                                               events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        msg = forged("veh0", ManeuverType.SPLIT_COMMAND, split_index=9)
+        msg.payload["roster"] = ["veh0", "veh1", "veh2", "veh3"]
+        vehicles[0].send(msg)
+        sim.run_until(4.0)
+        assert events.count("split_executed") == 0
+
+    def test_split_without_roster_uses_state(self, sim, world, quiet_channel,
+                                             events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        msg = forged("veh0", ManeuverType.SPLIT_COMMAND, split_index=2)
+        vehicles[0].send(msg)   # no roster payload: members use their own
+        sim.run_until(4.0)
+        assert vehicles[2].state.role is PlatoonRole.LEADER
+
+    def test_vehicle_not_in_roster_ignores_split(self, sim, world,
+                                                 quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        msg = forged("veh0", ManeuverType.SPLIT_COMMAND, split_index=1)
+        msg.payload["roster"] = ["veh0", "veh9", "veh8"]
+        vehicles[0].send(msg)
+        sim.run_until(4.0)
+        assert all(v.state.role is PlatoonRole.MEMBER for v in vehicles[1:])
+
+
+class TestAuthorityChecks:
+    def test_speed_command_from_non_leader_ignored(self, sim, world,
+                                                   quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        msg = forged("veh2", ManeuverType.SPEED_COMMAND, speed=5.0)
+        vehicles[2].send(msg)
+        sim.run_until(4.0)
+        assert vehicles[1].target_speed != 5.0
+
+    def test_dissolve_from_non_leader_ignored(self, sim, world, quiet_channel,
+                                              events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        vehicles[2].send(forged("veh2", ManeuverType.DISSOLVE))
+        sim.run_until(4.0)
+        assert vehicles[1].state.in_platoon
+
+    def test_roster_from_non_leader_ignored(self, sim, world, quiet_channel,
+                                            events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        before = list(vehicles[1].state.roster)
+        msg = forged("veh2", ManeuverType.ROSTER)
+        msg.payload["roster"] = ["veh2"]
+        vehicles[2].send(msg)
+        sim.run_until(4.0)
+        assert vehicles[1].state.roster == before
+
+    def test_gap_open_for_other_target_ignored(self, sim, world, quiet_channel,
+                                               events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.request_gap_open("veh1")
+        sim.run_until(4.0)
+        assert vehicles[2].state.gap_factor == 1.0
+        assert vehicles[1].state.gap_factor > 1.0
+
+    def test_leave_request_from_non_member_ignored(self, sim, world,
+                                                   quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        stranger_msg = forged("stranger", ManeuverType.LEAVE_REQUEST,
+                              target="veh0")
+        vehicles[2].radio.send(stranger_msg)   # raw injection
+        sim.run_until(4.0)
+        assert events.count("leave_accepted") == 0
+        assert vehicles[0].leader_logic.registry.size == 3
+
+
+class TestJoinerEdgeCases:
+    def test_joiner_keeps_retrying_until_accept(self, sim, world,
+                                                quiet_channel, events):
+        from repro.platoon.dynamics import LongitudinalState
+        from repro.platoon.vehicle import Vehicle
+
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        # Block the join initially, then allow it.
+        veto = [True]
+        vehicles[0].leader_logic.join_validators.append(
+            lambda msg: not veto[0])
+        joiner = Vehicle(sim, world, quiet_channel, "joiner", events,
+                         initial=LongitudinalState(
+                             position=vehicles[-1].position - 60.0,
+                             speed=27.0))
+        logic = joiner.start_join("p1", "veh0")
+        sim.run_until(10.0)
+        assert logic.attempts >= 2
+        assert logic.accepted_at is None
+        veto[0] = False
+        sim.run_until(50.0)
+        assert logic.joined

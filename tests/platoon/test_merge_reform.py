@@ -1,0 +1,122 @@
+"""Tests for platoon merge and post-disband reformation."""
+
+import pytest
+
+from repro.platoon.platoon import PlatoonRole
+from repro.platoon.vehicle import VehicleConfig
+
+from tests.conftest import build_platoon
+
+
+class TestMerge:
+    def _two_platoons(self, sim, world, channel, events):
+        """Front platoon veh0..veh2, rear platoon r0..r2 behind it."""
+        from repro.platoon.dynamics import LongitudinalState
+        from repro.platoon.vehicle import Vehicle
+
+        front = build_platoon(sim, world, channel, events, n=3)
+        rear = []
+        base = front[-1].position - 60.0
+        for i in range(3):
+            vehicle = Vehicle(sim, world, channel, f"r{i}", events,
+                              initial=LongitudinalState(
+                                  position=base - i * 20.0, speed=27.0))
+            rear.append(vehicle)
+        rear_logic = rear[0].make_leader("p2")
+        for vehicle in rear[1:]:
+            vehicle.become_member("p2", "r0")
+            rear_logic.registry.members.append(vehicle.vehicle_id)
+        rear_logic.broadcast_roster()
+        return front, rear
+
+    def test_merge_absorbs_rear_platoon(self, sim, world, quiet_channel,
+                                        events):
+        front, rear = self._two_platoons(sim, world, quiet_channel, events)
+        sim.run_until(2.0)
+        rear[0].leader_logic.request_merge("veh0")
+        sim.run_until(6.0)
+        registry = front[0].leader_logic.registry
+        assert set(registry.members) == {"veh0", "veh1", "veh2",
+                                         "r0", "r1", "r2"}
+        assert rear[0].state.role is PlatoonRole.MEMBER
+        assert rear[0].state.leader_id == "veh0"
+        for vehicle in rear[1:]:
+            assert vehicle.state.platoon_id == "p1"
+            assert vehicle.state.leader_id == "veh0"
+        assert events.count("merge_accepted") == 1
+        assert events.count("merge_followed") == 2
+
+    def test_merge_refused_over_capacity(self, sim, world, quiet_channel,
+                                         events):
+        front, rear = self._two_platoons(sim, world, quiet_channel, events)
+        front[0].leader_logic.registry.max_members = 4
+        sim.run_until(2.0)
+        rear[0].leader_logic.request_merge("veh0")
+        sim.run_until(6.0)
+        assert events.count("merge_rejected") == 1
+        assert rear[0].state.role is PlatoonRole.LEADER
+        assert "r0" not in front[0].leader_logic.registry.members
+
+    def test_split_then_merge_restores_platoon(self, sim, world, quiet_channel,
+                                               events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)
+        vehicles[0].leader_logic.command_split(2)
+        sim.run_until(5.0)
+        assert vehicles[2].state.role is PlatoonRole.LEADER
+        vehicles[2].leader_logic.request_merge("veh0")
+        sim.run_until(9.0)
+        registry = vehicles[0].leader_logic.registry
+        assert set(registry.members) == {"veh0", "veh1", "veh2", "veh3"}
+        assert all(v.state.platoon_id == "p1" for v in vehicles[1:])
+
+
+class TestRosterOrdering:
+    def test_roster_sorted_by_claimed_position(self, sim, world, quiet_channel,
+                                               events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=4)
+        sim.run_until(2.0)   # leader hears everyone's beacons
+        logic = vehicles[0].leader_logic
+        logic.registry.members = ["veh0", "veh3", "veh1", "veh2"]  # scrambled
+        logic.broadcast_roster()
+        assert logic.registry.members == ["veh0", "veh1", "veh2", "veh3"]
+
+    def test_unheard_members_sort_to_tail(self, sim, world, quiet_channel,
+                                          events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(2.0)
+        logic = vehicles[0].leader_logic
+        logic.registry.members = ["veh0", "phantom", "veh1", "veh2"]
+        logic.broadcast_roster()
+        assert logic.registry.members == ["veh0", "veh1", "veh2", "phantom"]
+
+
+class TestReformation:
+    def test_rejoin_after_comm_loss(self, sim, world, quiet_channel, events):
+        config = VehicleConfig(rejoin_after_disband=True, rejoin_cooldown=2.0)
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3,
+                                 config=config)
+        sim.run_until(5.0)
+        # Silence the leader long enough to disband, then restore it.
+        vehicles[0].radio.disable()
+        sim.run_until(5.0 + config.disband_timeout + 1.5)
+        assert all(v.state.role is PlatoonRole.FREE for v in vehicles[1:])
+        vehicles[0].radio.enable()
+        sim.run_until(60.0)
+        assert events.count("rejoin_attempt") >= 2
+        registry = vehicles[0].leader_logic.registry
+        assert set(registry.members) == {"veh0", "veh1", "veh2"}
+        assert all(v.state.role is PlatoonRole.MEMBER for v in vehicles[1:])
+
+    def test_no_rejoin_without_policy(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(5.0)
+        # Silence longer than the leader's member-silence timeout: members
+        # disband AND the leader prunes them from its roster.
+        vehicles[0].radio.disable()
+        sim.run_until(13.0)
+        vehicles[0].radio.enable()
+        sim.run_until(40.0)
+        assert events.count("rejoin_attempt") == 0
+        assert events.count("members_pruned") == 1
+        assert vehicles[0].leader_logic.registry.size == 1

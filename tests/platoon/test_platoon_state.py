@@ -1,0 +1,105 @@
+"""Unit tests for platoon state and the membership registry."""
+
+import pytest
+
+from repro.platoon.platoon import (
+    MembershipRegistry,
+    PlatoonRole,
+    PlatoonState,
+)
+
+
+class TestPlatoonState:
+    def test_defaults_free(self):
+        state = PlatoonState()
+        assert state.role is PlatoonRole.FREE
+        assert not state.in_platoon
+
+    def test_in_platoon_roles(self):
+        state = PlatoonState(role=PlatoonRole.MEMBER)
+        assert state.in_platoon
+        state.role = PlatoonRole.LEADER
+        assert state.in_platoon
+        state.role = PlatoonRole.JOINER
+        assert not state.in_platoon
+
+    def test_index_and_predecessor(self):
+        state = PlatoonState(roster=["l", "m1", "m2"])
+        assert state.index_of("m1") == 1
+        assert state.predecessor_id("m2") == "m1"
+        assert state.predecessor_id("l") is None
+        assert state.predecessor_id("stranger") is None
+
+    def test_reset(self):
+        state = PlatoonState(role=PlatoonRole.MEMBER, platoon_id="p",
+                             leader_id="l", roster=["l", "m"], gap_factor=2.0)
+        state.reset()
+        assert state.role is PlatoonRole.FREE
+        assert state.platoon_id is None
+        assert state.roster == []
+        assert state.gap_factor == 1.0
+
+
+class TestRegistry:
+    def make(self, **kwargs):
+        return MembershipRegistry(platoon_id="p1", leader_id="l", **kwargs)
+
+    def test_leader_always_first_member(self):
+        registry = self.make()
+        assert registry.members == ["l"]
+        assert registry.size == 1
+
+    def test_queue_and_complete_join(self):
+        registry = self.make()
+        assert registry.queue_join("m1", now=0.0)
+        assert registry.complete_join("m1")
+        assert registry.members == ["l", "m1"]
+        assert "m1" not in registry.pending
+
+    def test_complete_without_pending_fails(self):
+        registry = self.make()
+        assert not registry.complete_join("stranger")
+
+    def test_duplicate_request_keeps_slot(self):
+        registry = self.make(max_pending=1)
+        assert registry.queue_join("m1", now=0.0)
+        assert registry.queue_join("m1", now=1.0)
+        assert len(registry.pending) == 1
+
+    def test_queue_capacity(self):
+        registry = self.make(max_pending=2)
+        assert registry.queue_join("a", 0.0)
+        assert registry.queue_join("b", 0.0)
+        assert not registry.queue_join("c", 0.0)
+        assert registry.rejected_queue == 1
+
+    def test_is_full(self):
+        registry = self.make(max_members=2)
+        registry.queue_join("m1", 0.0)
+        registry.complete_join("m1")
+        assert registry.is_full
+
+    def test_remove_member(self):
+        registry = self.make()
+        registry.queue_join("m1", 0.0)
+        registry.complete_join("m1")
+        assert registry.remove_member("m1")
+        assert registry.members == ["l"]
+
+    def test_leader_cannot_be_removed(self):
+        registry = self.make()
+        assert not registry.remove_member("l")
+
+    def test_expire_pending(self):
+        registry = self.make()
+        registry.queue_join("old", now=0.0)
+        registry.queue_join("new", now=10.0)
+        expired = registry.expire_pending(now=20.0, timeout=15.0)
+        assert expired == ["old"]
+        assert "new" in registry.pending
+
+    def test_abandon_join(self):
+        registry = self.make()
+        registry.queue_join("m1", 0.0)
+        registry.abandon_join("m1")
+        assert not registry.pending

@@ -1,0 +1,116 @@
+"""Unit tests for GPS, ranging and TPMS sensors."""
+
+import statistics
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.platoon.sensors import GpsReceiver, RangeSensor, TirePressureSensor
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=41)
+
+
+class TestGps:
+    def test_reads_truth_plus_noise(self, sim):
+        gps = GpsReceiver(sim, lambda: 500.0, noise_std=1.0)
+        reads = [gps.read() for _ in range(300)]
+        assert statistics.mean(reads) == pytest.approx(500.0, abs=0.3)
+        assert 0.5 < statistics.stdev(reads) < 1.5
+
+    def test_capture_overrides_reading(self, sim):
+        gps = GpsReceiver(sim, lambda: 500.0)
+        gps.capture(lambda truth, now: truth + 100.0)
+        assert gps.read() == pytest.approx(600.0)
+        assert gps.spoofed
+
+    def test_release_restores(self, sim):
+        gps = GpsReceiver(sim, lambda: 500.0, noise_std=0.0)
+        gps.capture(lambda truth, now: 0.0)
+        gps.release()
+        assert gps.read() == pytest.approx(500.0)
+        assert not gps.spoofed
+
+    def test_spoof_function_sees_time(self, sim):
+        gps = GpsReceiver(sim, lambda: 0.0)
+        gps.capture(lambda truth, now: now * 2.0)
+        sim.schedule(5.0, lambda: None)
+        sim.run_until(5.0)
+        assert gps.read() == pytest.approx(10.0)
+
+    def test_true_position_unaffected_by_spoof(self, sim):
+        gps = GpsReceiver(sim, lambda: 500.0)
+        gps.capture(lambda truth, now: 0.0)
+        assert gps.true_position() == 500.0
+
+    def test_capture_counter(self, sim):
+        gps = GpsReceiver(sim, lambda: 0.0)
+        gps.capture(lambda t, n: t)
+        gps.capture(lambda t, n: t)
+        assert gps.spoof_captures == 2
+
+
+class TestRangeSensor:
+    def test_reads_gap_with_noise(self, sim):
+        radar = RangeSensor(sim, noise_std=0.1)
+        reads = [radar.read(30.0) for _ in range(200)]
+        assert statistics.mean(reads) == pytest.approx(30.0, abs=0.05)
+
+    def test_none_when_no_target(self, sim):
+        assert RangeSensor(sim).read(None) is None
+
+    def test_none_beyond_max_range(self, sim):
+        radar = RangeSensor(sim, max_range=100.0)
+        assert radar.read(150.0) is None
+
+    def test_blinding(self, sim):
+        radar = RangeSensor(sim)
+        radar.blind()
+        assert radar.read(30.0) is None
+        assert radar.read_rate(1.0) is None
+        radar.restore()
+        assert radar.read(30.0) is not None
+
+    def test_bias_injection(self, sim):
+        radar = RangeSensor(sim, noise_std=0.0)
+        radar.inject_bias(lambda gap, now: gap + 5.0)
+        assert radar.read(30.0) == pytest.approx(35.0)
+
+    def test_restore_clears_bias(self, sim):
+        radar = RangeSensor(sim, noise_std=0.0)
+        radar.inject_bias(lambda gap, now: gap + 5.0)
+        radar.restore()
+        assert radar.read(30.0) == pytest.approx(30.0)
+
+    def test_never_reports_negative_gap(self, sim):
+        radar = RangeSensor(sim, noise_std=0.5)
+        assert all(radar.read(0.1) >= 0.0 for _ in range(100))
+
+
+class TestTpms:
+    def test_nominal_reading_no_warning(self, sim):
+        tpms = TirePressureSensor(sim)
+        reading = tpms.read()
+        assert not reading.warning
+        assert reading.pressure_kpa == pytest.approx(240.0, abs=15.0)
+
+    def test_low_pressure_spoof_warns(self, sim):
+        tpms = TirePressureSensor(sim)
+        tpms.spoof(90.0)
+        reading = tpms.read()
+        assert reading.warning
+        assert tpms.warnings_raised == 1
+
+    def test_high_pressure_spoof_warns(self, sim):
+        tpms = TirePressureSensor(sim)
+        tpms.spoof(400.0)
+        assert tpms.read().warning
+
+    def test_clear_spoof(self, sim):
+        tpms = TirePressureSensor(sim)
+        tpms.spoof(90.0)
+        tpms.clear_spoof()
+        assert not tpms.read().warning
+        assert not tpms.spoofed

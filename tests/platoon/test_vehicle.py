@@ -1,0 +1,180 @@
+"""Unit/integration tests for the Vehicle composition class."""
+
+import dataclasses
+
+import pytest
+
+from repro.net.messages import Beacon
+from repro.platoon.platoon import PlatoonRole
+from repro.platoon.vehicle import Vehicle, VehicleConfig
+from repro.platoon.dynamics import LongitudinalState
+
+from tests.conftest import build_platoon
+
+
+class TestBeaconing:
+    def test_members_learn_leader_state(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(1.0)
+        record = vehicles[2].beacon_kb.get("veh0")
+        assert record is not None
+        assert record.beacon.is_leader
+
+    def test_beacon_carries_platoon_fields(self, sim, world, quiet_channel,
+                                           events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        sim.run_until(1.0)
+        beacon = vehicles[0].beacon_kb["veh1"].beacon
+        assert beacon.platoon_id == "p1"
+        assert beacon.platoon_index == 1
+        assert not beacon.is_leader
+
+    def test_beacon_position_reflects_spoofed_gps(self, sim, world,
+                                                  quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        vehicles[0].gps.capture(lambda truth, now: truth + 50.0)
+        sim.run_until(1.0)
+        beacon = vehicles[1].beacon_kb["veh0"].beacon
+        assert beacon.position - vehicles[0].position > 40.0
+
+    def test_beacon_position_fn_override(self, sim, world, quiet_channel,
+                                         events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        vehicles[0].beacon_position_fn = lambda: 12345.0
+        sim.run_until(1.0)
+        assert vehicles[1].beacon_kb["veh0"].beacon.position == 12345.0
+
+    def test_fresh_beacon_respects_age_limit(self, sim, world, quiet_channel,
+                                             events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        sim.run_until(1.0)
+        assert vehicles[1].fresh_beacon("veh0") is not None
+        vehicles[0].radio.disable()
+        vehicles[0]._beacon_proc.stop()
+        sim.run_until(2.5)
+        assert vehicles[1].fresh_beacon("veh0") is None
+
+
+class TestDegradation:
+    def _silence_leader(self, leader):
+        leader._beacon_proc.stop()
+        leader.radio.disable()
+
+    def test_members_degrade_to_acc_when_beacons_stop(self, sim, world,
+                                                      quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(5.0)
+        assert vehicles[1].active_controller_name.startswith("CACC")
+        self._silence_leader(vehicles[0])
+        sim.run_until(6.5)
+        assert vehicles[1].active_controller_name == "ACC"
+        assert vehicles[1].degraded
+        assert events.count("controller_degraded") >= 1
+
+    def test_disband_after_sustained_leader_silence(self, sim, world,
+                                                    quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(5.0)
+        self._silence_leader(vehicles[0])
+        sim.run_until(5.0 + vehicles[1].config.disband_timeout + 1.0)
+        assert vehicles[1].state.role is PlatoonRole.FREE
+        assert vehicles[1].disbanded
+        assert events.count("platoon_disband") >= 1
+
+    def test_grace_period_for_fresh_platoon(self, sim, world, quiet_channel,
+                                            events):
+        # Right after formation nobody has heard the leader yet; members
+        # must NOT instantly disband (regression test).
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=8)
+        sim.run_until(1.0)
+        assert all(v.state.role is PlatoonRole.MEMBER for v in vehicles[1:])
+        assert events.count("platoon_disband") == 0
+
+    def test_hold_last_value_ablation_does_not_degrade(self, sim, world,
+                                                       quiet_channel, events):
+        config = VehicleConfig(degrade_on_stale=False)
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3,
+                                 config=config)
+        sim.run_until(5.0)
+        self._silence_leader(vehicles[0])
+        sim.run_until(7.0)
+        # Still running CACC on stale data instead of falling back.
+        assert vehicles[1].active_controller_name.startswith("CACC")
+
+    def test_controller_restored_event(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=3)
+        sim.run_until(5.0)
+        vehicles[0].radio.disable()
+        sim.run_until(6.5)
+        vehicles[0].radio.enable()
+        sim.run_until(9.0)
+        assert events.count("controller_restored") >= 1
+        assert not vehicles[1].degraded
+
+
+class TestRoles:
+    def test_make_leader(self, sim, world, quiet_channel, events):
+        vehicle = Vehicle(sim, world, quiet_channel, "solo", events)
+        vehicle.make_leader("pX", max_members=5)
+        assert vehicle.is_leader
+        assert vehicle.state.roster == ["solo"]
+        assert vehicle.leader_logic.registry.max_members == 5
+
+    def test_compromise_records_event(self, sim, world, quiet_channel, events):
+        vehicle = Vehicle(sim, world, quiet_channel, "v", events)
+        vehicle.compromise(by="testkit")
+        assert vehicle.compromised
+        assert events.count("vehicle_compromised") == 1
+
+    def test_leave_platoon_comm_loss_flags_disband(self, sim, world,
+                                                   quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        vehicles[1].leave_platoon(reason="comm_loss")
+        assert vehicles[1].disbanded
+        assert events.count("platoon_disband") == 1
+
+    def test_leave_platoon_normal_no_disband_flag(self, sim, world,
+                                                  quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        vehicles[1].leave_platoon(reason="left")
+        assert not vehicles[1].disbanded
+        assert events.count("platoon_left") == 1
+
+    def test_shutdown_removes_vehicle(self, sim, world, quiet_channel, events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        vehicles[1].shutdown()
+        assert "veh1" not in world
+        assert vehicles[1].radio not in quiet_channel.radios()
+
+
+class TestOutboundProcessors:
+    def test_processors_applied_in_order(self, sim, world, quiet_channel,
+                                         events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+        order = []
+
+        def first(msg):
+            order.append("first")
+            return msg
+
+        def second(msg):
+            order.append("second")
+            return msg
+
+        vehicles[0].outbound_processors.append(first)
+        vehicles[0].outbound_processors.append(second)
+        vehicles[0].send_beacon()
+        assert order == ["first", "second"]
+
+    def test_processor_can_rewrite_message(self, sim, world, quiet_channel,
+                                           events):
+        vehicles = build_platoon(sim, world, quiet_channel, events, n=2)
+
+        def falsify(msg):
+            if isinstance(msg, Beacon):
+                msg.speed = 99.0
+            return msg
+
+        vehicles[0].outbound_processors.insert(0, falsify)
+        sim.run_until(1.0)
+        assert vehicles[1].beacon_kb["veh0"].beacon.speed == 99.0

@@ -1,0 +1,71 @@
+"""Property-based tests on the control laws: convergence and safety
+envelopes from arbitrary initial perturbations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.platoon.controllers import (
+    AccController,
+    ControllerInputs,
+    PloegCaccController,
+)
+from repro.platoon.dynamics import LongitudinalState, VehicleDynamics, VehicleParams
+
+
+def _simulate_follower(controller, initial_gap, initial_speed,
+                       lead_speed=25.0, steps=1500, dt=0.1,
+                       cooperative=True):
+    """Follower behind a constant-speed lead; returns gap history."""
+    lead_pos = 1000.0
+    follower = VehicleDynamics(VehicleParams(),
+                               LongitudinalState(position=lead_pos - 4.5
+                                                 - initial_gap,
+                                                 speed=initial_speed))
+    gaps = []
+    for _ in range(steps):
+        lead_pos += lead_speed * dt
+        gap = lead_pos - 4.5 - follower.position
+        inputs = ControllerInputs(
+            own_speed=follower.speed, own_accel=follower.acceleration,
+            target_speed=lead_speed + (2.0 if not cooperative else 0.0),
+            gap=gap, gap_rate=lead_speed - follower.speed,
+            predecessor_speed=lead_speed if cooperative else None,
+            predecessor_accel=0.0 if cooperative else None,
+            leader_speed=lead_speed if cooperative else None,
+            leader_accel=0.0 if cooperative else None)
+        follower.step(dt, controller.compute(inputs))
+        gaps.append(gap)
+    return gaps
+
+
+class TestPloegConvergence:
+    @given(initial_gap=st.floats(min_value=8.0, max_value=80.0),
+           initial_speed=st.floats(min_value=18.0, max_value=32.0))
+    @settings(max_examples=25, deadline=None)
+    def test_converges_to_policy_gap_without_collision(self, initial_gap,
+                                                       initial_speed):
+        controller = PloegCaccController()
+        gaps = _simulate_follower(controller, initial_gap, initial_speed)
+        assert min(gaps) > 0.0, "collision"
+        desired = controller.desired_gap(25.0)
+        assert abs(gaps[-1] - desired) < 1.5
+
+    @given(initial_gap=st.floats(min_value=8.0, max_value=60.0))
+    @settings(max_examples=20, deadline=None)
+    def test_settles_no_sustained_oscillation(self, initial_gap):
+        gaps = _simulate_follower(PloegCaccController(), initial_gap, 25.0)
+        tail = gaps[-200:]
+        assert max(tail) - min(tail) < 1.0
+
+
+class TestAccConvergence:
+    @given(initial_gap=st.floats(min_value=10.0, max_value=100.0),
+           initial_speed=st.floats(min_value=18.0, max_value=30.0))
+    @settings(max_examples=25, deadline=None)
+    def test_radar_only_follower_is_safe(self, initial_gap, initial_speed):
+        controller = AccController()
+        gaps = _simulate_follower(controller, initial_gap, initial_speed,
+                                  cooperative=False)
+        assert min(gaps) > 0.0
+        desired = controller.desired_gap(25.0)
+        # ACC converges from above or holds the cruise cap from below.
+        assert gaps[-1] > desired * 0.5

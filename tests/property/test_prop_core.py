@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.channel import ChannelConfig, RadioChannel, dbm_to_mw, mw_to_dbm
+from repro.net.messages import Beacon, Message
+from repro.net.simulator import Simulator
+from repro.platoon.dynamics import LongitudinalState, VehicleDynamics, VehicleParams
+from repro.security.crypto import (
+    NonceWindow,
+    derive_key,
+    hmac_tag,
+    hmac_verify,
+)
+from repro.security.trust import TrustManager
+from repro.analysis.tables import format_table
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-1e6, max_value=1e6)
+
+
+class TestSimulatorProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                           min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator(seed=0)
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run_until(101.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestDynamicsProperties:
+    @given(commands=st.lists(st.floats(min_value=-10.0, max_value=10.0),
+                             min_size=1, max_size=100),
+           v0=st.floats(min_value=0.0, max_value=40.0))
+    @settings(max_examples=60, deadline=None)
+    def test_speed_always_within_physical_bounds(self, commands, v0):
+        params = VehicleParams()
+        dyn = VehicleDynamics(params, LongitudinalState(speed=v0))
+        for u in commands:
+            dyn.step(0.1, u)
+            assert 0.0 <= dyn.speed <= params.max_speed + 1e-9
+            assert -params.max_decel - 1e-9 <= dyn.acceleration \
+                <= params.max_accel + 1e-9
+
+    @given(commands=st.lists(st.floats(min_value=-10.0, max_value=10.0),
+                             min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_position_never_decreases(self, commands):
+        dyn = VehicleDynamics(VehicleParams(), LongitudinalState(speed=10.0))
+        last = dyn.position
+        for u in commands:
+            dyn.step(0.1, u)
+            assert dyn.position >= last - 1e-9
+            last = dyn.position
+
+
+class TestChannelProperties:
+    @given(dbm=st.floats(min_value=-120.0, max_value=40.0))
+    @settings(max_examples=50, deadline=None)
+    def test_dbm_mw_roundtrip(self, dbm):
+        assert mw_to_dbm(dbm_to_mw(dbm)) == pytest_approx(dbm)
+
+    @given(d1=st.floats(min_value=1.0, max_value=2000.0),
+           d2=st.floats(min_value=1.0, max_value=2000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_path_loss_monotone(self, d1, d2):
+        channel = RadioChannel(Simulator(seed=0))
+        if d1 <= d2:
+            assert channel.path_loss_db(d1) <= channel.path_loss_db(d2)
+        else:
+            assert channel.path_loss_db(d1) >= channel.path_loss_db(d2)
+
+
+def pytest_approx(x, tol=1e-6):
+    class _Approx:
+        def __eq__(self, other):
+            return abs(other - x) <= tol * max(1.0, abs(x))
+
+    return _Approx()
+
+
+class TestCryptoProperties:
+    @given(key=st.binary(min_size=1, max_size=64),
+           data=st.binary(max_size=256))
+    @settings(max_examples=60, deadline=None)
+    def test_hmac_roundtrip_any_input(self, key, data):
+        assert hmac_verify(key, data, hmac_tag(key, data))
+
+    @given(key=st.binary(min_size=1, max_size=64),
+           data=st.binary(min_size=1, max_size=256),
+           flip=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_hmac_detects_any_single_byte_tamper(self, key, data, flip):
+        tag = hmac_tag(key, data)
+        index = flip % len(data)
+        tampered = data[:index] + bytes([data[index] ^ 0x01]) + data[index + 1:]
+        assert not hmac_verify(key, tampered, tag)
+
+    @given(master=st.binary(min_size=1, max_size=32),
+           ctx_a=st.text(max_size=20), ctx_b=st.text(max_size=20),
+           length=st.integers(min_value=1, max_value=96))
+    @settings(max_examples=50, deadline=None)
+    def test_derive_key_length_and_separation(self, master, ctx_a, ctx_b,
+                                              length):
+        a = derive_key(master, ctx_a, length)
+        assert len(a) == length
+        if ctx_a != ctx_b and length >= 8:
+            assert a != derive_key(master, ctx_b, length)
+
+    @given(nonces=st.lists(st.integers(min_value=0, max_value=10_000),
+                           min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_nonce_window_never_accepts_twice(self, nonces):
+        window = NonceWindow(window=64)
+        accepted = []
+        for nonce in nonces:
+            if window.accept("s", nonce):
+                accepted.append(nonce)
+        assert len(accepted) == len(set(accepted))
+
+
+class TestMessageProperties:
+    @given(sender=st.text(min_size=1, max_size=16),
+           t=st.floats(min_value=0.0, max_value=1e5),
+           position=finite_floats, speed=finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_signing_bytes_deterministic_and_json_safe(self, sender, t,
+                                                       position, speed):
+        a = Beacon(sender_id=sender, timestamp=t, seq=1,
+                   position=position, speed=speed)
+        b = Beacon(sender_id=sender, timestamp=t, seq=1,
+                   position=position, speed=speed)
+        assert a.signing_bytes() == b.signing_bytes()
+        assert a.size_bits() > 0
+
+    @given(position=finite_floats, delta=st.floats(min_value=1e-3,
+                                                   max_value=1e3))
+    @settings(max_examples=40, deadline=None)
+    def test_position_change_always_changes_signing_bytes(self, position,
+                                                          delta):
+        a = Beacon(sender_id="v", timestamp=1.0, seq=1, position=position)
+        b = Beacon(sender_id="v", timestamp=1.0, seq=1,
+                   position=position + delta)
+        assert a.signing_bytes() != b.signing_bytes()
+
+
+class TestTrustProperties:
+    @given(updates=st.lists(st.tuples(st.booleans(),
+                                      st.floats(min_value=0.1, max_value=5.0)),
+                            max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_trust_always_in_unit_interval(self, updates):
+        trust = TrustManager("o")
+        for positive, weight in updates:
+            if positive:
+                trust.report_positive("s", now=0.0, weight=weight)
+            else:
+                trust.report_negative("s", now=0.0, weight=weight)
+            assert 0.0 < trust.trust("s", now=0.0) < 1.0
+
+    @given(n_pos=st.integers(min_value=0, max_value=50),
+           n_neg=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_more_positives_never_lower_trust(self, n_pos, n_neg):
+        base = TrustManager("o")
+        more = TrustManager("o")
+        for _ in range(n_neg):
+            base.report_negative("s", now=0.0)
+            more.report_negative("s", now=0.0)
+        for _ in range(n_pos):
+            base.report_positive("s", now=0.0)
+            more.report_positive("s", now=0.0)
+        more.report_positive("s", now=0.0)
+        assert more.trust("s", now=0.0) >= base.trust("s", now=0.0)
+
+
+class TestTableProperties:
+    @given(rows=st.lists(st.lists(st.one_of(st.text(max_size=60),
+                                            st.integers(), st.none()),
+                                  min_size=1, max_size=4),
+                         max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_format_table_never_raises_and_aligns(self, rows):
+        out = format_table(["a", "b", "c", "d"], rows)
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1

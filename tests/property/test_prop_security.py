@@ -1,0 +1,80 @@
+"""Property-based tests for the security substrate (RSA, key agreement,
+PKI, registry invariants)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.platoon.platoon import MembershipRegistry
+from repro.security.crypto import generate_keypair, sign, verify
+from repro.security.keys import KeyAgreementConfig, agree_keys
+
+# One shared small keypair: RSA keygen is the expensive part.
+_KP = generate_keypair(random.Random(2024), bits=192)
+
+
+class TestRsaProperties:
+    @given(data=st.binary(min_size=0, max_size=512))
+    @settings(max_examples=40, deadline=None)
+    def test_sign_verify_roundtrip_any_data(self, data):
+        assert verify(_KP.public, data, sign(_KP, data))
+
+    @given(data=st.binary(min_size=1, max_size=256),
+           index=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_any_tamper_breaks_signature(self, data, index):
+        sig = sign(_KP, data)
+        i = index % len(data)
+        tampered = data[:i] + bytes([data[i] ^ 0xFF]) + data[i + 1:]
+        if tampered != data:
+            assert not verify(_KP.public, tampered, sig)
+
+    @given(garbage=st.binary(min_size=1, max_size=48))
+    @settings(max_examples=40, deadline=None)
+    def test_random_bytes_never_verify(self, garbage):
+        assert not verify(_KP.public, b"message", garbage)
+
+
+class TestKeyAgreementProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_agreement_implies_identical_keys(self, seed):
+        result = agree_keys(random.Random(seed),
+                            KeyAgreementConfig(snr_db=20.0, samples=256))
+        if result.agreed:
+            assert result.alice_key == result.bob_key
+            assert result.key_bits > 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_key_never_longer_than_material(self, seed):
+        result = agree_keys(random.Random(seed),
+                            KeyAgreementConfig(snr_db=15.0, samples=256))
+        assert result.key_bits <= result.kept_after_quantization
+        assert 0.0 <= result.mismatch_rate_raw <= 1.0
+        assert 0.0 <= result.eavesdropper_bit_agreement <= 1.0
+
+
+class TestRegistryProperties:
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["request", "complete", "remove"]),
+                  st.integers(min_value=0, max_value=9)),
+        max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_registry_invariants_under_any_op_sequence(self, ops):
+        registry = MembershipRegistry(platoon_id="p", leader_id="leader",
+                                      max_members=5, max_pending=3)
+        for op, i in ops:
+            vid = f"veh{i}"
+            if op == "request":
+                registry.queue_join(vid, now=0.0)
+            elif op == "complete":
+                registry.complete_join(vid)
+            else:
+                registry.remove_member(vid)
+            # Invariants:
+            assert registry.members[0] == "leader"
+            assert len(registry.members) == len(set(registry.members))
+            assert registry.size <= registry.max_members
+            assert len(registry.pending) <= registry.max_pending
+            assert "leader" not in registry.pending

@@ -1,0 +1,156 @@
+"""Tests for the TARA risk framework."""
+
+import pytest
+
+from repro.core import taxonomy
+from repro.risk import (
+    AttackFeasibility,
+    DamageScenario,
+    FeasibilityRating,
+    ImpactRating,
+    RiskLevel,
+    ThreatScenario,
+    build_platoon_tara,
+    format_risk_report,
+    risk_level,
+)
+
+
+class TestFeasibility:
+    def test_factor_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AttackFeasibility(elapsed_time=4, expertise=0, knowledge=0,
+                              window=0, equipment=0)
+        with pytest.raises(ValueError):
+            AttackFeasibility(elapsed_time=0, expertise=-1, knowledge=0,
+                              window=0, equipment=0)
+
+    def test_trivial_attack_high_feasibility(self):
+        trivial = AttackFeasibility(0, 0, 0, 0, 0)
+        assert trivial.rating() is FeasibilityRating.HIGH
+
+    def test_heroic_attack_very_low_feasibility(self):
+        heroic = AttackFeasibility(3, 3, 3, 3, 3)
+        assert heroic.rating() is FeasibilityRating.VERY_LOW
+
+    def test_rating_monotone_in_score(self):
+        ratings = []
+        for total in range(0, 16, 3):
+            spread = [min(3, max(0, total - 3 * i)) for i in range(5)]
+            feas = AttackFeasibility(*spread)
+            ratings.append(feas.rating())
+        assert ratings == sorted(ratings, reverse=True)
+
+
+class TestRiskMatrix:
+    def test_negligible_impact_always_minimal(self):
+        for feas in FeasibilityRating:
+            assert risk_level(ImpactRating.NEGLIGIBLE, feas) is RiskLevel.MINIMAL
+
+    def test_severe_and_high_is_critical(self):
+        assert risk_level(ImpactRating.SEVERE,
+                          FeasibilityRating.HIGH) is RiskLevel.CRITICAL
+
+    def test_monotone_in_feasibility(self):
+        for impact in ImpactRating:
+            levels = [risk_level(impact, f) for f in FeasibilityRating]
+            assert levels == sorted(levels)
+
+    def test_monotone_in_impact(self):
+        for feas in FeasibilityRating:
+            levels = [risk_level(i, feas) for i in ImpactRating]
+            assert levels == sorted(levels)
+
+
+class TestDamage:
+    def test_overall_impact_is_max(self):
+        damage = DamageScenario("d", "x", safety=ImpactRating.MODERATE,
+                                financial=ImpactRating.SEVERE,
+                                operational=ImpactRating.NEGLIGIBLE,
+                                privacy=ImpactRating.MAJOR)
+        assert damage.overall_impact() is ImpactRating.SEVERE
+
+
+class TestPlatoonTara:
+    def test_covers_all_table2_threats(self):
+        assessment = build_platoon_tara()
+        assert assessment.coverage() == []
+
+    def test_ranking_highest_first(self):
+        ranked = build_platoon_tara().ranked()
+        risks = [int(r.risk) for r in ranked]
+        assert risks == sorted(risks, reverse=True)
+
+    def test_jamming_ranks_high(self):
+        # The paper calls jamming "possibly the most straightforward way"
+        # to hurt a platoon: trivial feasibility, severe operational impact.
+        assessment = build_platoon_tara()
+        jam = assessment.scenario_for("jamming")
+        assert jam.risk() >= RiskLevel.HIGH
+
+    def test_eavesdropping_privacy_driven(self):
+        scenario = build_platoon_tara().scenario_for("eavesdropping")
+        assert scenario.damage.privacy is ImpactRating.SEVERE
+        assert scenario.damage.safety is ImpactRating.NEGLIGIBLE
+
+    def test_duplicate_keys_rejected(self):
+        from repro.risk.assessment import RiskAssessment
+
+        base = build_platoon_tara().scenarios
+        with pytest.raises(ValueError):
+            RiskAssessment(base + [base[0]])
+
+    def test_unknown_threat_rejected(self):
+        from repro.risk.assessment import RiskAssessment
+
+        bogus = ThreatScenario(
+            key="TS-X", threat_key="nonexistent",
+            damage=DamageScenario("d", "x", ImpactRating.MAJOR,
+                                  ImpactRating.MAJOR, ImpactRating.MAJOR,
+                                  ImpactRating.MAJOR),
+            feasibility=AttackFeasibility(0, 0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            RiskAssessment([bogus])
+
+    def test_at_or_above_filter(self):
+        assessment = build_platoon_tara()
+        high = assessment.at_or_above(RiskLevel.HIGH)
+        assert high
+        assert all(s.risk() >= RiskLevel.HIGH for s in high)
+
+
+class TestCalibration:
+    def test_measured_ratio_promotes_operational_impact(self):
+        assessment = build_platoon_tara()
+        scenario = assessment.scenario_for("dos")
+        before = scenario.damage.operational
+        adjustments = assessment.calibrate({"dos": 10.0})
+        scenario = assessment.scenario_for("dos")
+        assert scenario.measured_impact == 10.0
+        if before < ImpactRating.SEVERE:
+            assert adjustments
+            assert scenario.damage.operational is ImpactRating.SEVERE
+
+    def test_small_ratio_no_adjustment(self):
+        assessment = build_platoon_tara()
+        adjustments = assessment.calibrate({"jamming": 1.01})
+        assert adjustments == []
+
+    def test_unknown_threats_ignored(self):
+        assessment = build_platoon_tara()
+        assert assessment.calibrate({"zeppelin": 100.0}) == []
+
+
+class TestReport:
+    def test_report_mentions_every_scenario(self):
+        assessment = build_platoon_tara()
+        report = format_risk_report(assessment)
+        for scenario in assessment.scenarios:
+            assert scenario.key in report
+        for threat_key in ("Jamming", "Malware", "Sybil"):
+            assert threat_key in report
+
+    def test_report_shows_measured_column(self):
+        assessment = build_platoon_tara()
+        assessment.calibrate({"jamming": 7.5})
+        assert "7.5x" in format_risk_report(assessment)

@@ -1,0 +1,156 @@
+"""Unit tests for the from-scratch crypto primitives."""
+
+import random
+
+import pytest
+
+from repro.security.crypto import (
+    NonceGenerator,
+    NonceWindow,
+    derive_key,
+    generate_keypair,
+    hmac_tag,
+    hmac_verify,
+    sha256,
+    sign,
+    verify,
+    _is_probable_prime,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(random.Random(99), bits=256)
+
+
+class TestHmac:
+    def test_roundtrip(self):
+        key = b"k" * 32
+        tag = hmac_tag(key, b"hello")
+        assert hmac_verify(key, b"hello", tag)
+
+    def test_tampered_data_fails(self):
+        key = b"k" * 32
+        tag = hmac_tag(key, b"hello")
+        assert not hmac_verify(key, b"hellO", tag)
+
+    def test_wrong_key_fails(self):
+        tag = hmac_tag(b"k" * 32, b"hello")
+        assert not hmac_verify(b"j" * 32, b"hello", tag)
+
+    def test_none_tag_fails(self):
+        assert not hmac_verify(b"k" * 32, b"hello", None)
+
+    def test_tag_is_32_bytes(self):
+        assert len(hmac_tag(b"k", b"d")) == 32
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        assert derive_key(b"m", "ctx") == derive_key(b"m", "ctx")
+
+    def test_context_separation(self):
+        assert derive_key(b"m", "a") != derive_key(b"m", "b")
+
+    def test_length_control(self):
+        assert len(derive_key(b"m", "ctx", length=48)) == 48
+        assert len(derive_key(b"m", "ctx", length=7)) == 7
+
+    def test_long_output_not_repeating(self):
+        out = derive_key(b"m", "ctx", length=64)
+        assert out[:32] != out[32:]
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        rng = random.Random(0)
+        for p in (2, 3, 5, 104729, 2 ** 31 - 1):
+            assert _is_probable_prime(p, rng)
+
+    def test_known_composites(self):
+        rng = random.Random(0)
+        for n in (1, 4, 561, 104729 * 3, 2 ** 32):
+            assert not _is_probable_prime(n, rng)
+
+    def test_carmichael_number_rejected(self):
+        # 561 = 3*11*17 fools Fermat but not Miller-Rabin.
+        assert not _is_probable_prime(561, random.Random(5))
+
+
+class TestRsaSignatures:
+    def test_sign_verify_roundtrip(self, keypair):
+        sig = sign(keypair, b"platoon message")
+        assert verify(keypair.public, b"platoon message", sig)
+
+    def test_tampered_message_fails(self, keypair):
+        sig = sign(keypair, b"platoon message")
+        assert not verify(keypair.public, b"platoon messagE", sig)
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(random.Random(123), bits=256)
+        sig = sign(other, b"msg")
+        assert not verify(keypair.public, b"msg", sig)
+
+    def test_none_signature_fails(self, keypair):
+        assert not verify(keypair.public, b"msg", None)
+
+    def test_garbage_signature_fails(self, keypair):
+        assert not verify(keypair.public, b"msg", b"\x00" * 32)
+        assert not verify(keypair.public, b"msg", b"\xff" * 64)
+
+    def test_signature_deterministic(self, keypair):
+        assert sign(keypair, b"m") == sign(keypair, b"m")
+
+    def test_keygen_deterministic_from_seed(self):
+        a = generate_keypair(random.Random(7), bits=128)
+        b = generate_keypair(random.Random(7), bits=128)
+        assert a.public.n == b.public.n
+
+    def test_modulus_has_requested_bits(self, keypair):
+        assert 250 <= keypair.public.n.bit_length() <= 256
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(random.Random(1), bits=32)
+
+    def test_fingerprint_stable(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 16
+
+
+class TestNonces:
+    def test_generator_monotone(self):
+        gen = NonceGenerator()
+        values = [gen.next() for _ in range(5)]
+        assert values == sorted(set(values))
+
+    def test_window_accepts_increasing(self):
+        window = NonceWindow()
+        assert all(window.accept("a", n) for n in range(10))
+
+    def test_window_rejects_duplicate(self):
+        window = NonceWindow()
+        assert window.accept("a", 5)
+        assert not window.accept("a", 5)
+
+    def test_window_accepts_out_of_order_within_window(self):
+        window = NonceWindow(window=10)
+        assert window.accept("a", 10)
+        assert window.accept("a", 7)     # late but inside the window
+        assert not window.accept("a", 7)  # only once
+
+    def test_window_rejects_too_old(self):
+        window = NonceWindow(window=10)
+        assert window.accept("a", 100)
+        assert not window.accept("a", 80)
+
+    def test_windows_are_per_sender(self):
+        window = NonceWindow()
+        assert window.accept("a", 5)
+        assert window.accept("b", 5)
+
+    def test_none_nonce_rejected(self):
+        assert not NonceWindow().accept("a", None)
+
+    def test_sha256_known_vector(self):
+        assert sha256(b"abc").hex().startswith("ba7816bf")

@@ -1,0 +1,116 @@
+"""Unit tests for reciprocal-fading key agreement."""
+
+import random
+
+import pytest
+
+from repro.security.keys import (
+    KeyAgreementConfig,
+    agree_keys,
+    key_rate_vs_snr,
+    _quantize,
+    _reconcile,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(77)
+
+
+class TestReciprocity:
+    def test_correlation_increases_with_snr(self):
+        low = KeyAgreementConfig(snr_db=0.0).reciprocity()
+        high = KeyAgreementConfig(snr_db=30.0).reciprocity()
+        assert 0 < low < high < 1
+
+    def test_high_snr_near_one(self):
+        assert KeyAgreementConfig(snr_db=40.0).reciprocity() > 0.999
+
+
+class TestQuantizer:
+    def test_guard_band_drops_middle(self):
+        samples = [-2.0, -0.05, 0.05, 2.0]
+        bits = _quantize(samples, alpha=0.5)
+        assert bits == {0: 0, 3: 1}
+
+    def test_zero_alpha_keeps_everything(self):
+        samples = [-1.0, 1.0, -2.0, 2.0]
+        bits = _quantize(samples, alpha=0.0)
+        assert len(bits) == 4
+
+
+class TestReconciliation:
+    def test_agreeing_blocks_kept(self):
+        a = [1, 0, 1, 1, 0, 0, 1, 0]
+        kept_a, kept_b, leaked = _reconcile(a, list(a), block_size=4)
+        assert kept_a == a
+        assert leaked == 2
+
+    def test_disagreeing_block_dropped(self):
+        a = [1, 0, 1, 1, 0, 0, 1, 0]
+        b = list(a)
+        b[1] ^= 1   # flip one bit in the first block
+        kept_a, kept_b, leaked = _reconcile(a, b, block_size=4)
+        assert kept_a == a[4:]
+        assert leaked == 2
+
+    def test_even_number_of_errors_slips_through_parity(self):
+        # Documented limitation of single-round parity: two flips in one
+        # block keep the same parity and survive.
+        a = [1, 0, 1, 1]
+        b = [0, 1, 1, 1]
+        kept_a, kept_b, _ = _reconcile(a, b, block_size=4)
+        assert kept_a != kept_b
+
+
+class TestAgreement:
+    def test_high_snr_parties_agree(self, rng):
+        result = agree_keys(rng, KeyAgreementConfig(snr_db=25.0, samples=512))
+        assert result.agreed
+        assert result.key_bits > 64
+        assert result.alice_key == result.bob_key
+
+    def test_eavesdropper_near_coin_flip(self, rng):
+        result = agree_keys(rng, KeyAgreementConfig(snr_db=25.0, samples=512))
+        assert 0.35 < result.eavesdropper_bit_agreement < 0.65
+        assert not result.eavesdropper_key_match
+
+    def test_reconciliation_reduces_mismatch(self, rng):
+        result = agree_keys(rng, KeyAgreementConfig(snr_db=12.0, samples=1024))
+        assert result.mismatch_rate_reconciled <= result.mismatch_rate_raw
+
+    def test_low_snr_raw_mismatch_higher(self):
+        rng_lo, rng_hi = random.Random(1), random.Random(1)
+        lo = agree_keys(rng_lo, KeyAgreementConfig(snr_db=3.0, samples=1024))
+        hi = agree_keys(rng_hi, KeyAgreementConfig(snr_db=25.0, samples=1024))
+        assert lo.mismatch_rate_raw > hi.mismatch_rate_raw
+
+    def test_key_rate_bounded_by_samples(self, rng):
+        cfg = KeyAgreementConfig(snr_db=25.0, samples=256)
+        result = agree_keys(rng, cfg)
+        assert 0 < result.key_rate_bits_per_sample <= 1.0
+
+    def test_leakage_accounted(self, rng):
+        result = agree_keys(rng, KeyAgreementConfig(snr_db=25.0, samples=512))
+        assert result.leaked_bits > 0
+        # Final key shorter than kept bits by at least the leakage.
+        assert result.key_bits <= result.kept_after_quantization - result.leaked_bits
+
+    def test_deterministic_given_rng(self):
+        a = agree_keys(random.Random(5), KeyAgreementConfig(snr_db=20.0))
+        b = agree_keys(random.Random(5), KeyAgreementConfig(snr_db=20.0))
+        assert a.alice_key == b.alice_key
+        assert a.key_bits == b.key_bits
+
+
+class TestSweep:
+    def test_sweep_rows_have_expected_shape(self, rng):
+        rows = key_rate_vs_snr(rng, [0.0, 10.0, 25.0], sessions=3)
+        assert [r["snr_db"] for r in rows] == [0.0, 10.0, 25.0]
+        assert all(0.0 <= r["agreement_rate"] <= 1.0 for r in rows)
+
+    def test_agreement_rate_improves_with_snr(self, rng):
+        rows = key_rate_vs_snr(rng, [0.0, 30.0], sessions=6)
+        assert rows[-1]["agreement_rate"] >= rows[0]["agreement_rate"]
+        assert rows[-1]["mean_raw_mismatch"] < rows[0]["mean_raw_mismatch"]

@@ -1,0 +1,135 @@
+"""Unit tests for the certificate authority and PKI."""
+
+import random
+
+import pytest
+
+from repro.security.crypto import sign
+from repro.security.pki import Certificate, CertificateAuthority
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(rng=random.Random(1), bits=256,
+                                cert_lifetime=1000.0)
+
+
+class TestEnrollment:
+    def test_enroll_returns_valid_cert(self, ca):
+        _, cert = ca.enroll("vehA", now=0.0)
+        assert ca.validate_certificate(cert, now=10.0)
+        assert cert.subject_id == "vehA"
+
+    def test_enroll_is_idempotent(self, ca):
+        kp1, c1 = ca.enroll("vehB", now=0.0)
+        kp2, c2 = ca.enroll("vehB", now=5.0)
+        assert kp1.public.n == kp2.public.n
+        assert c1.serial == c2.serial
+
+    def test_serials_unique(self, ca):
+        _, c1 = ca.enroll("vehC", now=0.0)
+        _, c2 = ca.enroll("vehD", now=0.0)
+        assert c1.serial != c2.serial
+
+    def test_keypair_lookup(self, ca):
+        keypair, _ = ca.enroll("vehE", now=0.0)
+        assert ca.keypair_of("vehE").d == keypair.d
+        assert ca.keypair_of("nobody") is None
+
+
+class TestValidation:
+    def test_expired_cert_rejected(self, ca):
+        _, cert = ca.enroll("vehF", now=0.0)
+        assert not ca.validate_certificate(cert, now=2000.0)
+
+    def test_not_yet_valid_rejected(self):
+        fresh = CertificateAuthority(rng=random.Random(2), bits=256)
+        _, cert = fresh.enroll("veh", now=100.0)
+        assert not fresh.validate_certificate(cert, now=50.0)
+
+    def test_none_rejected(self, ca):
+        assert not ca.validate_certificate(None, now=0.0)
+
+    def test_forged_signature_rejected(self, ca):
+        _, cert = ca.enroll("vehG", now=0.0)
+        forged = Certificate(**{**cert.__dict__, "signature": b"\x01" * 64})
+        assert not ca.validate_certificate(forged, now=1.0)
+
+    def test_self_signed_cert_rejected(self, ca):
+        rng = random.Random(3)
+        from repro.security.crypto import generate_keypair
+
+        keypair = generate_keypair(rng, bits=256)
+        cert = Certificate(subject_id="rogue", public_key=keypair.public,
+                           issuer_id=ca.ca_id, serial=9999,
+                           valid_from=0.0, valid_until=1e9)
+        cert = Certificate(**{**cert.__dict__,
+                              "signature": sign(keypair, cert.signed_bytes())})
+        assert not ca.validate_certificate(cert, now=1.0)
+
+    def test_wrong_issuer_rejected(self, ca):
+        _, cert = ca.enroll("vehH", now=0.0)
+        relabeled = Certificate(**{**cert.__dict__, "issuer_id": "OTHER"})
+        assert not ca.validate_certificate(relabeled, now=1.0)
+
+    def test_subject_swap_rejected(self, ca):
+        # Identity binding: changing the subject invalidates the signature.
+        _, cert = ca.enroll("vehI", now=0.0)
+        swapped = Certificate(**{**cert.__dict__, "subject_id": "vehX"})
+        assert not ca.validate_certificate(swapped, now=1.0)
+
+
+class TestRevocation:
+    def test_revoked_cert_rejected(self):
+        ca = CertificateAuthority(rng=random.Random(4), bits=256)
+        _, cert = ca.enroll("victim", now=0.0)
+        assert ca.validate_certificate(cert, now=1.0)
+        ca.revoke("victim")
+        assert not ca.validate_certificate(cert, now=1.0)
+        assert ca.is_revoked("victim")
+        assert "victim" in ca.crl()
+
+    def test_unrevoked_unaffected(self):
+        ca = CertificateAuthority(rng=random.Random(5), bits=256)
+        _, cert = ca.enroll("bystander", now=0.0)
+        ca.revoke("victim")
+        assert ca.validate_certificate(cert, now=1.0)
+
+
+class TestPseudonyms:
+    def test_issue_and_validate(self):
+        ca = CertificateAuthority(rng=random.Random(6), bits=256)
+        ca.enroll("veh", now=0.0)
+        pseudonyms = ca.issue_pseudonyms("veh", count=3, now=0.0)
+        assert len(pseudonyms) == 3
+        for _, cert in pseudonyms:
+            assert cert.is_pseudonym
+            assert ca.validate_certificate(cert, now=1.0)
+
+    def test_pseudonyms_unlinkable_without_ca(self):
+        ca = CertificateAuthority(rng=random.Random(7), bits=256)
+        ca.enroll("veh", now=0.0)
+        (_, c1), (_, c2) = ca.issue_pseudonyms("veh", count=2, now=0.0)
+        # Nothing in the public certificates links them to each other or
+        # to the enrolment identity.
+        assert c1.subject_id != c2.subject_id
+        assert "veh" not in c1.subject_id and "veh" not in c2.subject_id
+        assert c1.public_key.n != c2.public_key.n
+
+    def test_ca_can_resolve(self):
+        ca = CertificateAuthority(rng=random.Random(8), bits=256)
+        ca.enroll("veh", now=0.0)
+        (_, cert), = ca.issue_pseudonyms("veh", count=1, now=0.0)
+        assert ca.resolve_pseudonym(cert.subject_id) == "veh"
+
+    def test_revoking_identity_revokes_pseudonyms(self):
+        ca = CertificateAuthority(rng=random.Random(9), bits=256)
+        ca.enroll("veh", now=0.0)
+        (_, cert), = ca.issue_pseudonyms("veh", count=1, now=0.0)
+        ca.revoke("veh")
+        assert not ca.validate_certificate(cert, now=1.0)
+
+    def test_pseudonyms_require_enrollment(self):
+        ca = CertificateAuthority(rng=random.Random(10), bits=256)
+        with pytest.raises(KeyError):
+            ca.issue_pseudonyms("stranger", count=1)

@@ -1,0 +1,99 @@
+"""Unit tests for beta-reputation trust management."""
+
+import pytest
+
+from repro.security.trust import TrustConfig, TrustManager
+
+
+@pytest.fixture
+def trust():
+    return TrustManager("observer")
+
+
+class TestBasics:
+    def test_unknown_subject_neutral(self, trust):
+        assert trust.trust("stranger", now=0.0) == pytest.approx(0.5)
+
+    def test_self_trust_is_one(self, trust):
+        assert trust.trust("observer", now=0.0) == 1.0
+
+    def test_positive_experience_raises(self, trust):
+        for _ in range(5):
+            trust.report_positive("good", now=0.0)
+        assert trust.trust("good", now=0.0) > 0.7
+
+    def test_negative_experience_lowers(self, trust):
+        for _ in range(5):
+            trust.report_negative("bad", now=0.0)
+        assert trust.trust("bad", now=0.0) < 0.3
+
+    def test_trust_bounded(self, trust):
+        for _ in range(1000):
+            trust.report_positive("saint", now=0.0)
+            trust.report_negative("devil", now=0.0)
+        assert 0.0 < trust.trust("devil", now=0.0) < trust.trust("saint", now=0.0) < 1.0
+
+    def test_thresholds(self, trust):
+        for _ in range(10):
+            trust.report_positive("good", now=0.0)
+            trust.report_negative("bad", now=0.0)
+        assert trust.is_trusted("good", now=0.0)
+        assert trust.is_distrusted("bad", now=0.0)
+        assert not trust.is_distrusted("good", now=0.0)
+
+
+class TestDecay:
+    def test_old_behaviour_washes_out(self):
+        trust = TrustManager("o", TrustConfig(decay_half_life=10.0))
+        for _ in range(10):
+            trust.report_negative("redeemed", now=0.0)
+        early = trust.trust("redeemed", now=0.0)
+        late = trust.trust("redeemed", now=200.0)
+        assert late > early
+        assert late == pytest.approx(0.5, abs=0.05)
+
+    def test_on_off_attacker_cannot_bank_goodwill(self):
+        trust = TrustManager("o", TrustConfig(decay_half_life=20.0))
+        for t in range(20):
+            trust.report_positive("onoff", now=float(t))
+        banked = trust.trust("onoff", now=20.0)
+        for t in range(20, 30):
+            trust.report_negative("onoff", now=float(t), weight=2.0)
+        after = trust.trust("onoff", now=30.0)
+        assert after < banked
+        assert after < 0.5
+
+
+class TestRecommendations:
+    def test_recommendations_blend(self, trust):
+        for _ in range(5):
+            trust.report_positive("recommender", now=0.0)
+        direct = trust.trust("subject", now=0.0)
+        blended = trust.trust("subject", now=0.0,
+                              recommendations={"recommender": 1.0})
+        assert blended > direct
+
+    def test_distrusted_recommender_discounted(self, trust):
+        for _ in range(10):
+            trust.report_negative("liar", now=0.0)
+            trust.report_positive("honest", now=0.0)
+        badmouth = trust.trust("subject", now=0.0,
+                               recommendations={"liar": 0.0})
+        praised = trust.trust("subject", now=0.0,
+                              recommendations={"honest": 1.0})
+        # The honest recommender moves the needle more than the liar.
+        assert abs(praised - 0.5) > abs(badmouth - 0.5) * 0.5
+        assert praised > badmouth
+
+    def test_self_and_subject_recommendations_ignored(self, trust):
+        base = trust.trust("subject", now=0.0)
+        rigged = trust.trust("subject", now=0.0,
+                             recommendations={"subject": 1.0, "observer": 1.0})
+        assert rigged == pytest.approx(base)
+
+    def test_snapshot(self, trust):
+        trust.report_positive("a", now=0.0)
+        trust.report_negative("b", now=0.0)
+        snap = trust.snapshot(now=0.0)
+        assert set(snap) == {"a", "b"}
+        assert snap["a"] > snap["b"]

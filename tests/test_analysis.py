@@ -1,0 +1,42 @@
+"""Tests for ASCII table rendering."""
+
+from repro.analysis.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        assert "a" in out and "bb" in out
+        assert "1" in out and "4" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_truncation(self):
+        out = format_table(["col"], [["x" * 100]], max_col_width=10)
+        assert "x" * 100 not in out
+        assert "…" in out
+
+    def test_none_renders_empty(self):
+        out = format_table(["a", "b"], [[None, 1]])
+        assert "None" not in out
+
+    def test_ragged_rows_padded(self):
+        out = format_table(["a", "b", "c"], [[1], [1, 2, 3]])
+        assert out.count("|") > 0   # renders without raising
+
+    def test_alignment_consistent(self):
+        out = format_table(["name", "value"], [["x", 1], ["longer", 22]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv({"a": 1, "longer_key": 2})
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert "(empty)" in format_kv({})

@@ -1,0 +1,51 @@
+"""Unit tests for the shared event log."""
+
+from repro.events import EventLog
+
+
+class TestEventLog:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(1.0, "join", "veh0", requester="j")
+        log.record(2.0, "leave", "veh1")
+        log.record(3.0, "join", "veh0", requester="k")
+        assert log.count("join") == 2
+        assert len(log.of_kind("join", "leave")) == 3
+        assert log.first("join").data["requester"] == "j"
+        assert log.last("join").data["requester"] == "k"
+
+    def test_from_source(self):
+        log = EventLog()
+        log.record(1.0, "a", "x")
+        log.record(2.0, "b", "y")
+        assert [e.kind for e in log.from_source("y")] == ["b"]
+
+    def test_between(self):
+        log = EventLog()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.record(t, "tick", "s")
+        assert len(log.between(2.0, 3.0)) == 2
+
+    def test_missing_queries_return_empty(self):
+        log = EventLog()
+        assert log.first("nope") is None
+        assert log.last("nope") is None
+        assert log.count("nope") == 0
+
+    def test_iteration_and_len(self):
+        log = EventLog()
+        log.record(1.0, "a", "s")
+        log.record(2.0, "b", "s")
+        assert len(log) == 2
+        assert [e.kind for e in log] == ["a", "b"]
+
+    def test_data_is_copied(self):
+        log = EventLog()
+        payload = {"k": 1}
+        event = log.record(1.0, "a", "s", **payload)
+        payload["k"] = 2
+        assert event.data["k"] == 1
+
+    def test_repr_mentions_kind(self):
+        log = EventLog()
+        assert "boom" in repr(log.record(1.0, "boom", "s"))

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples must stay runnable."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run([sys.executable, str(EXAMPLES / name), *args],
+                          capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "SP-VLC keeps" in proc.stdout
+        assert "disbands" in proc.stdout
+
+    def test_key_agreement_demo(self):
+        proc = run_example("key_agreement_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "keys agree" in proc.stdout
+        assert "coin flip" in proc.stdout
+
+    def test_attack_campaign_quick(self):
+        proc = run_example("attack_campaign.py", "--quick")
+        assert proc.returncode == 0, proc.stderr
+        assert "Canonical platoon attack campaign" in proc.stdout
+
+    def test_risk_report_quick(self):
+        proc = run_example("risk_report.py", "--quick")
+        assert proc.returncode == 0, proc.stderr
+        assert "TARA" in proc.stdout

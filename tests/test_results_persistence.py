@@ -1,0 +1,104 @@
+"""Tests for campaign-result persistence and regression diffing."""
+
+import pytest
+
+from repro.analysis.results import (
+    diff_catalogues,
+    load_records,
+    save_records,
+)
+from repro.core.campaign import MatrixCell, ThreatOutcome
+
+
+def outcome(**overrides):
+    defaults = dict(threat_key="jamming", variant="barrage",
+                    metric_name="degraded_fraction", baseline_value=0.0,
+                    attacked_value=0.87, effect_present=True,
+                    attack_observables={"power_dbm": 30.0})
+    defaults.update(overrides)
+    return ThreatOutcome(**defaults)
+
+
+class TestRoundTrip:
+    def test_threat_catalogue_roundtrip(self, tmp_path):
+        records = [outcome(), outcome(threat_key="dos", attacked_value=0.0,
+                                      baseline_value=1.0)]
+        path = save_records(tmp_path / "catalogue.json", "threat_catalogue",
+                            records)
+        kind, loaded = load_records(path)
+        assert kind == "threat_catalogue"
+        assert len(loaded) == 2
+        assert loaded[0].threat_key == "jamming"
+        assert loaded[0].attacked_value == pytest.approx(0.87)
+        assert loaded[0].attack_observables == {"power_dbm": 30.0}
+
+    def test_matrix_roundtrip(self, tmp_path):
+        cells = [MatrixCell("secret_public_keys", "replay", "gap_open_time_s",
+                            28.0, 36.0, 24.0)]
+        path = save_records(tmp_path / "matrix.json", "defense_matrix", cells)
+        kind, loaded = load_records(path)
+        assert kind == "defense_matrix"
+        assert loaded[0].mitigation == pytest.approx(1.5)
+
+    def test_wrong_kind_rejected_on_save(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_records(tmp_path / "x.json", "defense_matrix", [outcome()])
+        with pytest.raises(ValueError):
+            save_records(tmp_path / "x.json", "nonsense", [outcome()])
+
+    def test_bad_format_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other/9", "kind": "metrics", '
+                        '"records": []}')
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_unknown_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "platoonsec-results/1", '
+                        '"kind": "threat_catalogue", '
+                        '"records": [{"surprise": 1}]}')
+        with pytest.raises(ValueError):
+            load_records(path)
+
+
+class TestDiff:
+    def test_identical_runs_clean(self):
+        assert diff_catalogues([outcome()], [outcome()]) == []
+
+    def test_effect_disappearance_flagged(self):
+        problems = diff_catalogues([outcome()],
+                                   [outcome(effect_present=False)])
+        assert problems and "disappeared" in problems[0]
+
+    def test_shrunken_impact_flagged(self):
+        problems = diff_catalogues([outcome(attacked_value=0.87)],
+                                   [outcome(attacked_value=0.30)])
+        assert problems and "shrank" in problems[0]
+
+    def test_small_drift_tolerated(self):
+        assert diff_catalogues([outcome(attacked_value=0.87)],
+                               [outcome(attacked_value=0.80)]) == []
+
+    def test_new_threats_ignored(self):
+        assert diff_catalogues([], [outcome()]) == []
+
+    def test_stronger_impact_not_flagged(self):
+        assert diff_catalogues([outcome(attacked_value=0.5)],
+                               [outcome(attacked_value=0.9)]) == []
+
+
+class TestEndToEnd:
+    def test_save_real_campaign(self, tmp_path):
+        from repro.core.campaign import run_threat_experiment, threat_experiment
+        from repro.core.scenario import ScenarioConfig
+
+        config = ScenarioConfig(n_vehicles=5, duration=35.0, warmup=8.0,
+                                seed=606)
+        result = run_threat_experiment(threat_experiment("eavesdropping",
+                                                         config))
+        path = save_records(tmp_path / "run.json", "threat_catalogue",
+                            [result])
+        _, loaded = load_records(path)
+        assert loaded[0].effect_present
+        assert diff_catalogues(loaded, [result]) == []
