@@ -30,6 +30,20 @@ _log_initialized = False
 BENCH_CONFIG = ScenarioConfig(n_vehicles=8, duration=90.0, warmup=10.0,
                               seed=2021)
 
+# Campaign-engine knobs for the T2/T3 table benches: REPRO_BENCH_WORKERS
+# fans episodes over a process pool, REPRO_BENCH_CACHE reuses episode
+# results across harness runs.  Both default to the plain serial,
+# uncached behaviour so timings stay comparable.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def bench_runner():
+    """A campaign runner configured from the bench environment knobs."""
+    from repro.core.runner import CampaignRunner
+
+    return CampaignRunner(workers=BENCH_WORKERS, cache_dir=BENCH_CACHE_DIR)
+
 
 def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]],
          notes: Optional[str] = None) -> str:

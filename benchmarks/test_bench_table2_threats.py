@@ -6,16 +6,22 @@ metric (baseline vs attacked) and the verdict that the paper-claimed
 effect materialised.
 """
 
+import sys
+
 import pytest
 
 from repro.core import taxonomy
 from repro.core.campaign import run_threat_catalogue
 
-from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+from benchmarks._util import BENCH_CONFIG, bench_runner, emit, fmt, run_once
 
 
 def test_table2_threat_catalogue(benchmark):
-    outcomes = run_once(benchmark, lambda: run_threat_catalogue(BENCH_CONFIG))
+    runner = bench_runner()
+    outcomes = run_once(benchmark,
+                        lambda: run_threat_catalogue(BENCH_CONFIG,
+                                                     runner=runner))
+    print(runner.report().summary(), file=sys.stderr)
     rows = []
     for outcome in outcomes:
         threat = taxonomy.THREATS[outcome.threat_key]

@@ -5,9 +5,15 @@ This is the paper's Table II turned into an experiment: every catalogued
 threat executed against the same 8-truck motorway platoon, reporting the
 compromised security attribute and the measured impact vs baseline.
 
+The campaign executes through the parallel campaign engine: use
+``--workers N`` to fan episodes over a process pool and ``--cache-dir``
+to reuse episode results across invocations (identical results either
+way, thanks to per-experiment seed derivation).
+
 Usage::
 
-    python examples/attack_campaign.py [--quick]
+    python examples/attack_campaign.py [--quick] [--workers N]
+                                       [--cache-dir DIR]
 """
 
 import argparse
@@ -16,12 +22,17 @@ from repro import ScenarioConfig
 from repro.analysis.tables import format_table
 from repro.core import taxonomy
 from repro.core.campaign import run_threat_catalogue
+from repro.core.runner import CampaignRunner
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="shorter episodes (smoke-test mode)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker-pool size (1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent episode-cache directory")
     args = parser.parse_args()
 
     config = ScenarioConfig(
@@ -31,9 +42,11 @@ def main() -> None:
 
     print(f"running {len(taxonomy.THREATS)} attack experiments "
           f"({config.duration:.0f}s episodes, trucks at "
-          f"{config.initial_speed * 3.6:.0f} km/h)...\n")
+          f"{config.initial_speed * 3.6:.0f} km/h, "
+          f"workers={args.workers})...\n")
 
-    outcomes = run_threat_catalogue(config)
+    runner = CampaignRunner(workers=args.workers, cache_dir=args.cache_dir)
+    outcomes = run_threat_catalogue(config, runner=runner)
 
     rows = []
     for outcome in outcomes:
@@ -54,7 +67,8 @@ def main() -> None:
         rows, title="Canonical platoon attack campaign"))
 
     confirmed = sum(1 for o in outcomes if o.effect_present)
-    print(f"\n{confirmed}/{len(outcomes)} catalogued effects reproduced.")
+    print(f"\n{runner.report().summary()}")
+    print(f"{confirmed}/{len(outcomes)} catalogued effects reproduced.")
     if args.quick and confirmed < len(outcomes):
         print("(--quick episodes are too short for the join/replay "
               "experiments; run without --quick for the full campaign.)")

@@ -9,6 +9,11 @@ Commands
     Run the full Table II campaign.
 ``matrix [mechanism]``
     Run the Table III defence matrix (optionally one mechanism row).
+
+The campaign commands (``catalogue``, ``matrix``) execute through the
+campaign engine: ``--workers N`` fans episodes over a process pool,
+``--cache-dir DIR`` persists/reuses episode results across invocations,
+and ``--report`` prints the per-unit cache/timing breakdown.
 ``taxonomy``
     Print Tables I/II/III from the machine-readable taxonomy and verify
     the implementation registry.
@@ -25,17 +30,28 @@ from repro.analysis.tables import format_table
 from repro.core import taxonomy
 from repro.core.campaign import (
     run_defense_matrix,
-    run_matrix_cell,
     run_threat_catalogue,
     run_threat_experiment,
     threat_experiment,
 )
+from repro.core.runner import CampaignRunner
 from repro.core.scenario import ScenarioConfig
 
 
 def _base_config(args) -> ScenarioConfig:
     return ScenarioConfig(n_vehicles=args.vehicles, duration=args.duration,
                           warmup=10.0, seed=args.seed, trucks=args.trucks)
+
+
+def _make_runner(args) -> CampaignRunner:
+    return CampaignRunner(workers=args.workers, cache_dir=args.cache_dir)
+
+
+def _print_report(runner: CampaignRunner, args) -> None:
+    report = runner.report()
+    if args.report:
+        print(report.format())
+    print(report.summary())
 
 
 def cmd_attack(args) -> int:
@@ -53,7 +69,8 @@ def cmd_attack(args) -> int:
 
 
 def cmd_catalogue(args) -> int:
-    outcomes = run_threat_catalogue(_base_config(args))
+    runner = _make_runner(args)
+    outcomes = run_threat_catalogue(_base_config(args), runner=runner)
     rows = [[o.threat_key, o.variant, o.metric_name,
              round(o.baseline_value, 3), round(o.attacked_value, 3),
              "CONFIRMED" if o.effect_present else "no effect"]
@@ -61,16 +78,15 @@ def cmd_catalogue(args) -> int:
     print(format_table(["threat", "variant", "metric", "baseline",
                         "attacked", "effect"], rows,
                        title="Table II campaign"))
+    _print_report(runner, args)
     return 0 if all(o.effect_present for o in outcomes) else 1
 
 
 def cmd_matrix(args) -> int:
-    if args.mechanism:
-        mechanism = taxonomy.MECHANISMS[args.mechanism]
-        cells = [run_matrix_cell(args.mechanism, threat, _base_config(args))
-                 for threat in mechanism.attack_targets]
-    else:
-        cells = run_defense_matrix(_base_config(args))
+    runner = _make_runner(args)
+    mechanisms = [args.mechanism] if args.mechanism else None
+    cells = run_defense_matrix(_base_config(args), mechanisms=mechanisms,
+                               runner=runner)
     rows = [[c.mechanism_key, c.threat_key, c.metric_name,
              round(c.baseline_value, 3), round(c.attacked_value, 3),
              round(c.defended_value, 3),
@@ -79,6 +95,7 @@ def cmd_matrix(args) -> int:
     print(format_table(["mechanism", "threat", "metric", "baseline",
                         "attacked", "defended", "mitigation"], rows,
                        title="Table III defence matrix"))
+    _print_report(runner, args)
     return 0
 
 
@@ -121,6 +138,12 @@ def main(argv=None) -> int:
     parser.add_argument("--duration", type=float, default=90.0)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--trucks", action="store_true")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker-pool size (1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent episode-cache directory")
+    parser.add_argument("--report", action="store_true",
+                        help="print the per-unit campaign report")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_attack = sub.add_parser("attack", help="run one Table II experiment")

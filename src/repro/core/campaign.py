@@ -10,12 +10,42 @@ mitigation factor.
 
 These functions are what the T2/T3 benches (and the attack-campaign
 example) call; tests pin their semantics.
+
+Campaign execution and seed derivation
+--------------------------------------
+:func:`run_threat_catalogue` and :func:`run_defense_matrix` execute
+through the :class:`~repro.core.runner.CampaignRunner` engine: episodes
+are content-hashed and memoised (each distinct baseline/attacked
+configuration runs exactly once per campaign), optionally persisted to a
+JSON cache directory, and fanned out over a process pool when
+``workers > 1``.  Serial (``workers=1``) and parallel runs produce
+bit-identical outcomes.
+
+Seeds follow an explicit derivation scheme: the campaign's *root seed*
+is ``base_config.seed``, and every experiment unit runs with
+``derive_seed(root_seed, threat_key, variant)`` (SHA-256 based, stable
+across processes and Python versions -- see
+:func:`repro.core.runner.derive_seed`).  Baseline, attacked and defended
+episodes of the same (threat, variant) share one derived seed, so their
+metrics stay directly comparable, while distinct threats draw from
+decorrelated random streams.  Any unit can therefore be rerun
+bit-identically in isolation from ``(root_seed, threat_key, variant)``
+alone.  The direct helpers :func:`run_threat_experiment` and
+:func:`run_matrix_cell` run whatever seed their config carries, without
+derivation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
+
+from repro.core.runner import (
+    CampaignRunner,
+    EpisodeRecord,
+    EpisodeSpec,
+    derive_seed,
+)
 
 from repro.core.scenario import (
     Scenario,
@@ -214,6 +244,11 @@ def make_defenses(mechanism_key: str) -> tuple[list, dict]:
 # Campaign runners
 # --------------------------------------------------------------------------
 
+#: Tolerance below which a metric delta/baseline counts as zero for the
+#: ratio guards (floating-point noise, not a real effect).
+_EPS = 1e-9
+
+
 @dataclass
 class ThreatOutcome:
     threat_key: str
@@ -226,7 +261,7 @@ class ThreatOutcome:
 
     @property
     def impact_ratio(self) -> Optional[float]:
-        if self.baseline_value == 0:
+        if abs(self.baseline_value) < _EPS:
             return None
         return self.attacked_value / self.baseline_value
 
@@ -255,13 +290,100 @@ def run_threat_experiment(experiment: ThreatExperiment) -> ThreatOutcome:
                          attack_observables=observables)
 
 
+# --------------------------------------------------------------------------
+# Engine-backed campaign planning and execution
+# --------------------------------------------------------------------------
+
+@dataclass
+class PlannedExperiment:
+    """A threat experiment resolved into runnable, memoisable episode specs."""
+
+    experiment: ThreatExperiment
+    baseline: EpisodeSpec
+    attacked: EpisodeSpec
+    defended: Optional[EpisodeSpec] = None
+    mechanism_key: Optional[str] = None
+
+
+def plan_threat_experiment(threat_key: str,
+                           base_config: Optional[ScenarioConfig] = None,
+                           variant: Optional[str] = None,
+                           mechanism_key: Optional[str] = None
+                           ) -> PlannedExperiment:
+    """Resolve one (threat, variant[, mechanism]) into episode specs.
+
+    The spec config is fully resolved: the experiment's scenario
+    overrides, the mechanism's config requirements, and the derived
+    per-experiment seed (``derive_seed(root, threat_key, variant)`` with
+    the root taken from ``base_config.seed``).  Baseline/attacked/
+    defended specs share the config, so their metrics are comparable and
+    the runner can share baselines across mechanisms with identical
+    requirements.
+    """
+    base = base_config or ScenarioConfig(duration=90.0)
+    experiment = threat_experiment(threat_key, base, variant=variant)
+    requirements: dict = {}
+    if mechanism_key is not None:
+        _, requirements = make_defenses(mechanism_key)
+    seed = derive_seed(base.seed, threat_key, experiment.variant)
+    config = experiment.config.with_overrides(seed=seed, **requirements)
+    baseline = EpisodeSpec(threat_key, experiment.variant, "baseline", config)
+    attacked = EpisodeSpec(threat_key, experiment.variant, "attacked", config)
+    defended = None
+    if mechanism_key is not None:
+        defended = EpisodeSpec(threat_key, experiment.variant, "defended",
+                               config, mechanism_key)
+    return PlannedExperiment(experiment=experiment, baseline=baseline,
+                             attacked=attacked, defended=defended,
+                             mechanism_key=mechanism_key)
+
+
+def _verdict(experiment: ThreatExperiment, baseline_value: float,
+             attacked_value: float) -> bool:
+    if experiment.lower_is_better:
+        return attacked_value > baseline_value + _EPS
+    return attacked_value < baseline_value - _EPS
+
+
+def _outcome_from_records(experiment: ThreatExperiment,
+                          baseline: EpisodeRecord,
+                          attacked: EpisodeRecord) -> ThreatOutcome:
+    baseline_value = baseline.extract_metric(experiment.metric_name)
+    attacked_value = attacked.extract_metric(experiment.metric_name)
+    return ThreatOutcome(threat_key=experiment.threat_key,
+                         variant=experiment.variant,
+                         metric_name=experiment.metric_name,
+                         baseline_value=baseline_value,
+                         attacked_value=attacked_value,
+                         effect_present=_verdict(experiment, baseline_value,
+                                                 attacked_value),
+                         attack_observables=attacked.prefixed_observables())
+
+
 def run_threat_catalogue(base_config: Optional[ScenarioConfig] = None,
-                         threats: Optional[Sequence[str]] = None
+                         threats: Optional[Sequence[str]] = None,
+                         *,
+                         workers: int = 1,
+                         cache_dir=None,
+                         runner: Optional[CampaignRunner] = None
                          ) -> list[ThreatOutcome]:
-    """Table II campaign: every catalogued threat, baseline vs attacked."""
+    """Table II campaign: every catalogued threat, baseline vs attacked.
+
+    Executes through the campaign engine: pass ``workers``/``cache_dir``
+    (or a preconfigured ``runner``, which wins) to parallelise and to
+    persist/reuse episode results.  Results are independent of the
+    worker count.
+    """
     keys = list(threats) if threats is not None else list(taxonomy.THREATS)
-    return [run_threat_experiment(threat_experiment(key, base_config))
-            for key in keys]
+    engine = runner if runner is not None else CampaignRunner(
+        workers=workers, cache_dir=cache_dir)
+    plans = [plan_threat_experiment(key, base_config) for key in keys]
+    specs = [spec for plan in plans for spec in (plan.baseline, plan.attacked)]
+    records = engine.run(specs)
+    return [_outcome_from_records(plan.experiment,
+                                  records[plan.baseline.key],
+                                  records[plan.attacked.key])
+            for plan in plans]
 
 
 @dataclass
@@ -281,27 +403,42 @@ class MatrixCell:
         defence made it worse.  ``None`` when the attack had no effect.
         """
         delta_attack = self.attacked_value - self.baseline_value
-        if abs(delta_attack) < 1e-9:
+        if abs(delta_attack) < _EPS:
             return None
         return (self.attacked_value - self.defended_value) / delta_attack
 
 
+def _matrix_variant(mechanism_key: str, threat_key: str,
+                    variant: Optional[str] = None) -> Optional[str]:
+    """Matrix cells use the graded variants so mitigation is a ratio, not
+    a boolean: entrance gaps for fake manoeuvres, GPS capture for the
+    onboard-security sensor cell."""
+    if variant is not None:
+        return variant
+    if threat_key == "fake_maneuver":
+        return "entrance"
+    if threat_key == "sensor_spoofing" and mechanism_key == "onboard_security":
+        return "gps"
+    return None
+
+
 def run_matrix_cell(mechanism_key: str, threat_key: str,
                     base_config: Optional[ScenarioConfig] = None,
-                    variant: Optional[str] = None) -> MatrixCell:
-    """One Table III cell: attack impact with the mechanism off vs on."""
+                    variant: Optional[str] = None,
+                    baseline: Optional[ScenarioResult] = None) -> MatrixCell:
+    """One Table III cell: attack impact with the mechanism off vs on.
+
+    ``baseline`` accepts a precomputed baseline :class:`ScenarioResult`
+    for this cell's config (as returned by a previous cell sharing the
+    same threat/requirements), skipping the redundant baseline episode.
+    """
     defenses, requirements = make_defenses(mechanism_key)
     base = base_config or ScenarioConfig(duration=90.0)
-    # Matrix cells use the graded variants so mitigation is a ratio, not a
-    # boolean: entrance gaps for fake manoeuvres, oscillation for replay.
-    if variant is None and threat_key == "fake_maneuver":
-        variant = "entrance"
-    if variant is None and threat_key == "sensor_spoofing" \
-            and mechanism_key == "onboard_security":
-        variant = "gps"
+    variant = _matrix_variant(mechanism_key, threat_key, variant)
     experiment = threat_experiment(threat_key, base, variant=variant)
     config = experiment.config.with_overrides(**requirements)
-    baseline = run_episode(config, setup_hooks=experiment.hooks)
+    if baseline is None:
+        baseline = run_episode(config, setup_hooks=experiment.hooks)
     attacked = run_episode(config, attacks=experiment.make_attacks(),
                            setup_hooks=experiment.hooks)
     defenses_fresh, _ = make_defenses(mechanism_key)
@@ -316,13 +453,41 @@ def run_matrix_cell(mechanism_key: str, threat_key: str,
 
 
 def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
-                       mechanisms: Optional[Sequence[str]] = None
+                       mechanisms: Optional[Sequence[str]] = None,
+                       *,
+                       workers: int = 1,
+                       cache_dir=None,
+                       runner: Optional[CampaignRunner] = None
                        ) -> list[MatrixCell]:
-    """Table III campaign: each mechanism against each threat it targets."""
+    """Table III campaign: each mechanism against each threat it targets.
+
+    Executes through the campaign engine: every distinct baseline and
+    attacked episode runs exactly once per campaign (mechanisms whose
+    config requirements agree share them), and ``workers > 1`` fans the
+    remaining units over a process pool without changing any value.
+    """
     keys = list(mechanisms) if mechanisms is not None else list(taxonomy.MECHANISMS)
-    cells: list[MatrixCell] = []
+    engine = runner if runner is not None else CampaignRunner(
+        workers=workers, cache_dir=cache_dir)
+    plans: list[PlannedExperiment] = []
     for mechanism_key in keys:
         mechanism = taxonomy.MECHANISMS[mechanism_key]
         for threat_key in mechanism.attack_targets:
-            cells.append(run_matrix_cell(mechanism_key, threat_key, base_config))
+            plans.append(plan_threat_experiment(
+                threat_key, base_config,
+                variant=_matrix_variant(mechanism_key, threat_key),
+                mechanism_key=mechanism_key))
+    specs = [spec for plan in plans
+             for spec in (plan.baseline, plan.attacked, plan.defended)]
+    records = engine.run(specs)
+    cells: list[MatrixCell] = []
+    for plan in plans:
+        metric = plan.experiment.metric_name
+        cells.append(MatrixCell(
+            mechanism_key=plan.mechanism_key,
+            threat_key=plan.experiment.threat_key,
+            metric_name=metric,
+            baseline_value=records[plan.baseline.key].extract_metric(metric),
+            attacked_value=records[plan.attacked.key].extract_metric(metric),
+            defended_value=records[plan.defended.key].extract_metric(metric)))
     return cells

@@ -1,0 +1,398 @@
+"""Campaign execution engine: parallel fan-out, memoised episodes, seeds.
+
+The Table II/III campaigns decompose into *experiment units*: single
+episodes described declaratively by an :class:`EpisodeSpec` (threat,
+variant, role, fully-resolved :class:`ScenarioConfig`, and -- for
+defended episodes -- the Table III mechanism key).  The
+:class:`CampaignRunner` executes a batch of specs:
+
+* **Fan-out** -- units run on a ``ProcessPoolExecutor`` worker pool
+  (``workers=N``); ``N=1`` falls back to a plain serial loop in-process.
+* **Memoisation** -- every spec is content-hashed (threat, variant, role,
+  mechanism, canonical config JSON); identical units execute exactly
+  once per runner and results are shared.  With ``cache_dir`` set,
+  records persist as one JSON file per spec hash and survive across
+  processes; corrupt or stale files are treated as cache misses and
+  recomputed, never raised.
+* **Determinism** -- specs carry an explicit per-experiment seed derived
+  via :func:`derive_seed`, so any unit reruns bit-identically in
+  isolation, serially or on any worker.
+* **Accounting** -- each requested unit yields a :class:`UnitReport`
+  (cache hit/miss, source, wall time, start/finish timestamps);
+  :meth:`CampaignRunner.report` aggregates them into a :class:`RunReport`
+  the CLI prints.
+
+Workers return :class:`EpisodeRecord` -- a slim, JSON-serialisable
+projection of a :class:`~repro.core.scenario.ScenarioResult` (metric
+fields, attack/defence observables) -- rather than the full result, so
+records are cheap to ship between processes and round-trip losslessly
+through the disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.scenario import ScenarioConfig, run_episode
+
+CACHE_FORMAT = "platoonsec-episode-cache/1"
+
+ROLES = ("baseline", "attacked", "defended")
+
+_SEED_SPACE = 2 ** 32
+
+
+def derive_seed(root_seed: int, *components: Any) -> int:
+    """Derive a per-experiment seed from a root seed and labels.
+
+    The derivation is a SHA-256 of ``root|component|component|...`` taken
+    modulo 2**32: stable across processes, platforms and Python versions
+    (no reliance on ``hash()``), and sensitive to every component, so
+    e.g. ``derive_seed(42, "jamming", "barrage-30dBm")`` names one
+    reproducible episode stream forever.
+    """
+    material = "|".join([str(int(root_seed))] + [str(c) for c in components])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a value into plain-JSON types (sets become sorted lists)."""
+    if isinstance(value, (set, frozenset)):
+        try:
+            return sorted(value)
+        except TypeError:
+            return sorted(value, key=repr)
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()          # numpy scalars
+    return str(value)
+
+
+def _roundtrip(value: Any) -> Any:
+    """Normalise nested data through JSON so computed records compare
+    equal to records reloaded from the disk cache (tuples -> lists)."""
+    return json.loads(json.dumps(value, default=_jsonable))
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """One runnable, hashable experiment unit.
+
+    ``config`` is the fully-resolved scenario configuration (threat
+    overrides and mechanism requirements applied, per-experiment seed
+    already derived).  Workers rebuild attacks, hooks and defences from
+    ``(threat_key, variant, mechanism_key, config)`` alone, so a spec is
+    picklable and self-contained.
+    """
+
+    threat_key: str
+    variant: str
+    role: str
+    config: ScenarioConfig
+    mechanism_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"unknown role {self.role!r}; expected one of {ROLES}")
+        if (self.role == "defended") != (self.mechanism_key is not None):
+            raise ValueError("mechanism_key must be set exactly for 'defended' specs")
+
+    @property
+    def key(self) -> str:
+        """Content hash identifying this unit for memoisation."""
+        payload = {
+            "threat": self.threat_key,
+            "variant": self.variant,
+            "role": self.role,
+            "mechanism": self.mechanism_key,
+            "config": self.config.canonical_dict(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class EpisodeRecord:
+    """Slim, JSON-serialisable result of one episode."""
+
+    spec_key: str
+    threat_key: str
+    variant: str
+    role: str
+    mechanism_key: Optional[str]
+    seed: int
+    metrics: dict
+    attack_observables: list = field(default_factory=list)
+    defense_observables: dict = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    def extract_metric(self, name: str) -> float:
+        """Headline-metric lookup mirroring ``campaign._extract``:
+        metric fields first, then attack observables, else 0.0."""
+        if name in self.metrics:
+            value = self.metrics[name]
+            return float(value) if value is not None else 0.0
+        for entry in self.attack_observables:
+            observables = entry["observables"]
+            if name in observables:
+                value = observables[name]
+                if isinstance(value, bool):
+                    return 1.0 if value else 0.0
+                return float(value) if value is not None else 0.0
+        return 0.0
+
+    def prefixed_observables(self) -> dict:
+        out: dict = {}
+        for entry in self.attack_observables:
+            out.update({f"{entry['attack']}.{k}": v
+                        for k, v in entry["observables"].items()})
+        return out
+
+
+def record_from_result(spec: EpisodeSpec, result, wall_time: float) -> EpisodeRecord:
+    """Project a full ScenarioResult down to a cacheable record."""
+    return EpisodeRecord(
+        spec_key=spec.key,
+        threat_key=spec.threat_key,
+        variant=spec.variant,
+        role=spec.role,
+        mechanism_key=spec.mechanism_key,
+        seed=spec.config.seed,
+        metrics=_roundtrip(dataclasses.asdict(result.metrics)),
+        attack_observables=_roundtrip(
+            [{"attack": report.attack_name, "observables": dict(report.observables)}
+             for report in result.attack_reports]),
+        defense_observables=_roundtrip(result.defense_observables),
+        wall_time=wall_time,
+    )
+
+
+def _execute_spec(spec: EpisodeSpec) -> EpisodeRecord:
+    """Run one unit (top-level so worker processes can unpickle it)."""
+    from repro.core.campaign import make_defenses, threat_experiment
+
+    start = time.perf_counter()
+    experiment = threat_experiment(spec.threat_key, spec.config,
+                                   variant=spec.variant)
+    attacks = (experiment.make_attacks()
+               if spec.role in ("attacked", "defended") else ())
+    defenses = (make_defenses(spec.mechanism_key)[0]
+                if spec.role == "defended" else ())
+    result = run_episode(experiment.config, attacks=attacks, defenses=defenses,
+                         setup_hooks=experiment.hooks)
+    return record_from_result(spec, result, time.perf_counter() - start)
+
+
+# --------------------------------------------------------------------------
+# Run accounting
+# --------------------------------------------------------------------------
+
+@dataclass
+class UnitReport:
+    """Timing/provenance of one *requested* unit (duplicates included)."""
+
+    key: str
+    threat_key: str
+    variant: str
+    role: str
+    mechanism_key: Optional[str]
+    cache_hit: bool
+    source: str                 # "computed" | "memory" | "disk"
+    wall_time: float            # episode compute time (0.0 for hits)
+    started: float              # epoch seconds
+    finished: float
+
+
+@dataclass
+class RunReport:
+    """Aggregate view over every unit a runner has executed so far."""
+
+    workers: int
+    units: List[UnitReport] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for u in self.units if u.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for u in self.units if not u.cache_hit)
+
+    @property
+    def computed(self) -> int:
+        return self.cache_misses
+
+    @property
+    def episode_time(self) -> float:
+        """Total in-worker episode compute time (> wall_time when parallel)."""
+        return sum(u.wall_time for u in self.units)
+
+    def summary(self) -> str:
+        return (f"campaign: {len(self.units)} units "
+                f"({self.computed} computed, {self.cache_hits} cache hits) "
+                f"in {self.wall_time:.1f}s wall "
+                f"({self.episode_time:.1f}s episode time, "
+                f"workers={self.workers})")
+
+    def format(self) -> str:
+        from repro.analysis.tables import format_table
+
+        rows = [[u.role, u.threat_key, u.variant, u.mechanism_key or "-",
+                 "hit" if u.cache_hit else "miss", u.source,
+                 round(u.wall_time, 2)] for u in self.units]
+        return format_table(
+            ["role", "threat", "variant", "mechanism", "cache", "source",
+             "wall [s]"], rows, title="campaign unit report")
+
+
+# --------------------------------------------------------------------------
+# The runner
+# --------------------------------------------------------------------------
+
+class CampaignRunner:
+    """Executes experiment units with memoisation and optional fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Worker-pool size.  ``1`` (the default) runs everything serially
+        in-process; ``N > 1`` fans cache misses out over a
+        ``ProcessPoolExecutor``.
+    cache_dir:
+        Optional directory for the persistent episode cache (one JSON
+        file per spec hash).  Unreadable, corrupt or stale files fall
+        back to recomputation -- they never raise.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self.workers = max(1, int(workers or 1))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            except FileExistsError:
+                raise ValueError(
+                    f"cache dir {self.cache_dir} exists and is not a "
+                    f"directory") from None
+        self._memory: Dict[str, EpisodeRecord] = {}
+        self._units: List[UnitReport] = []
+        self._wall_time = 0.0
+
+    # ----------------------------------------------------------- execution
+
+    def run(self, specs: Sequence[EpisodeSpec]) -> Dict[str, EpisodeRecord]:
+        """Execute a batch of units; return records keyed by spec hash.
+
+        Every requested spec produces one :class:`UnitReport`; duplicate
+        and previously-seen specs are cache hits.  The returned mapping
+        covers every distinct key in ``specs``.
+        """
+        batch_start = time.perf_counter()
+        requested = [(spec.key, spec) for spec in specs]
+
+        # Resolve hits and collect distinct misses in request order.
+        to_compute: List[tuple] = []
+        sources: Dict[str, str] = {}
+        for key, spec in requested:
+            if key in sources:
+                continue
+            if key in self._memory:
+                sources[key] = "memory"
+            else:
+                record = self._load_cached(key)
+                if record is not None:
+                    self._memory[key] = record
+                    sources[key] = "disk"
+                else:
+                    sources[key] = "computed"
+                    to_compute.append((key, spec))
+
+        computed = self._compute(to_compute)
+        for key, record in computed.items():
+            self._memory[key] = record
+            self._store_cached(key, record)
+
+        now = time.time()
+        seen: set = set()
+        for key, spec in requested:
+            first_request = key not in seen
+            seen.add(key)
+            source = sources[key] if first_request else "memory"
+            is_hit = source != "computed" or not first_request
+            record = self._memory[key]
+            wall = record.wall_time if (source == "computed" and first_request) \
+                else 0.0
+            self._units.append(UnitReport(
+                key=key, threat_key=spec.threat_key, variant=spec.variant,
+                role=spec.role, mechanism_key=spec.mechanism_key,
+                cache_hit=is_hit, source=source, wall_time=wall,
+                started=now, finished=now))
+
+        self._wall_time += time.perf_counter() - batch_start
+        return {key: self._memory[key] for key, _ in requested}
+
+    def _compute(self, to_compute: Sequence[tuple]) -> Dict[str, EpisodeRecord]:
+        if not to_compute:
+            return {}
+        if self.workers == 1 or len(to_compute) == 1:
+            return {key: _execute_spec(spec) for key, spec in to_compute}
+        results: Dict[str, EpisodeRecord] = {}
+        pool_size = min(self.workers, len(to_compute))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {pool.submit(_execute_spec, spec): key
+                       for key, spec in to_compute}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results[futures[future]] = future.result()
+        return results
+
+    # --------------------------------------------------------- disk cache
+
+    def _cache_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def _load_cached(self, key: str) -> Optional[EpisodeRecord]:
+        path = self._cache_path(key)
+        if path is None:
+            return None
+        try:
+            data = json.loads(path.read_text())
+            if data.get("format") != CACHE_FORMAT or data.get("key") != key:
+                return None
+            raw = data["record"]
+            field_names = [f.name for f in dataclasses.fields(EpisodeRecord)]
+            return EpisodeRecord(**{name: raw[name] for name in field_names})
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _store_cached(self, key: str, record: EpisodeRecord) -> None:
+        path = self._cache_path(key)
+        if path is None:
+            return
+        payload = {"format": CACHE_FORMAT, "key": key,
+                   "record": dataclasses.asdict(record)}
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=1))
+            tmp.replace(path)
+        except OSError:
+            pass
+
+    # ---------------------------------------------------------- reporting
+
+    def report(self) -> RunReport:
+        return RunReport(workers=self.workers, units=list(self._units),
+                         wall_time=self._wall_time)

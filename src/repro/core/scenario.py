@@ -18,12 +18,15 @@ The canonical episode (used by Table II / Table III benches):
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.events import EventLog
 from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.messages import reset_message_seq
 from repro.net.simulator import Simulator
 from repro.net.vlc import VlcChannel, VlcConfig
 from repro.platoon.dynamics import LongitudinalState, VehicleParams
@@ -71,6 +74,21 @@ class ScenarioConfig:
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         return replace(self, **kwargs)
 
+    def canonical_dict(self) -> dict:
+        """Plain-JSON view of the config (tuples become lists).
+
+        This is the identity the campaign runner content-hashes for
+        episode memoisation: two configs with equal canonical dicts
+        describe the same episode.
+        """
+        return json.loads(json.dumps(asdict(self), sort_keys=True))
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over :meth:`canonical_dict`."""
+        blob = json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class ScenarioResult:
@@ -96,6 +114,11 @@ class Scenario:
     def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
         self.config = config or ScenarioConfig()
         cfg = self.config
+
+        # Message sequence numbers are signed (and hence sized) content;
+        # restart the stream so every episode is independent of whatever
+        # ran earlier in this process.
+        reset_message_seq()
 
         self.sim = Simulator(seed=cfg.seed)
         self.world = World()

@@ -59,6 +59,19 @@ def _next_seq() -> int:
     return next(_msg_seq)
 
 
+def reset_message_seq() -> None:
+    """Restart the process-wide sequence counter.
+
+    ``seq`` is covered by :meth:`Message.signing_bytes`, so its decimal
+    width feeds :meth:`Message.size_bits` and therefore airtime.  Episodes
+    must call this at construction time: otherwise the counter carries
+    over from earlier episodes in the same process and identically-seeded
+    runs diverge at the MAC layer.
+    """
+    global _msg_seq
+    _msg_seq = itertools.count(1)
+
+
 @dataclass
 class Message:
     """Base class for all over-the-air messages.

@@ -409,6 +409,7 @@ class JoinerLogic:
         self.requested_at: Optional[float] = None
         self.accepted_at: Optional[float] = None
         self.completed_at: Optional[float] = None
+        self.complete_sent_at: Optional[float] = None
         self.attempts = 0
         # Send JOIN_COMPLETE once the radar tracks the tail at moderate
         # range; the member CACC then closes the remaining distance.  (The
@@ -433,9 +434,27 @@ class JoinerLogic:
         elif msg.maneuver is ManeuverType.JOIN_REJECT and msg.target_id == v.vehicle_id:
             v.events.record(v.sim.now, "joiner_rejected", v.vehicle_id)
 
+    def _send_complete(self) -> None:
+        v = self.vehicle
+        self.complete_sent_at = v.sim.now
+        done = ManeuverMessage(sender_id=v.vehicle_id, timestamp=v.sim.now,
+                               maneuver=ManeuverType.JOIN_COMPLETE,
+                               platoon_id=self.platoon_id,
+                               target_id=self.leader_id)
+        v.send(done)
+
     def tick(self) -> None:
         v = self.vehicle
         if self.joined:
+            # JOIN_COMPLETE rides the same lossy channel as everything
+            # else; keep resending until the leader's roster broadcast
+            # confirms membership (the leader ignores duplicates once the
+            # join is registered).
+            confirmed = v.vehicle_id in (v.state.roster or ())
+            if (not confirmed and self.complete_sent_at is not None
+                    and v.sim.now - self.complete_sent_at
+                    >= self.retry_interval):
+                self._send_complete()
             return
         if self.accepted_at is None:
             # Keep (re)requesting until somebody answers.
@@ -453,11 +472,7 @@ class JoinerLogic:
         gap = v.last_radar_gap
         if gap is not None and gap <= self.join_complete_gap:
             self.completed_at = v.sim.now
-            done = ManeuverMessage(sender_id=v.vehicle_id, timestamp=v.sim.now,
-                                   maneuver=ManeuverType.JOIN_COMPLETE,
-                                   platoon_id=self.platoon_id,
-                                   target_id=self.leader_id)
-            v.send(done)
+            self._send_complete()
             v.become_member(self.platoon_id, self.leader_id)
             v.events.record(v.sim.now, "joiner_completed", v.vehicle_id,
                             latency=self.completed_at - (self.requested_at or 0.0))

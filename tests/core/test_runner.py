@@ -1,0 +1,268 @@
+"""Tests for the campaign execution engine (`repro.core.runner`).
+
+Covers cache hit/miss accounting, worker-pool vs serial equivalence,
+seed-derivation stability, disk-cache persistence, and corrupt/stale
+cache-file handling (recompute, never crash).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import taxonomy
+from repro.core.campaign import (
+    plan_threat_experiment,
+    run_defense_matrix,
+    run_threat_catalogue,
+    threat_experiment,
+)
+from repro.core.runner import (
+    CACHE_FORMAT,
+    CampaignRunner,
+    EpisodeSpec,
+    derive_seed,
+)
+from repro.core.scenario import ScenarioConfig
+
+# Small episodes: the engine behaviour under test is identical at any size.
+TINY = ScenarioConfig(n_vehicles=4, duration=30.0, warmup=6.0, seed=7)
+
+
+class TestDeriveSeed:
+    def test_stable_pinned_values(self):
+        # Pinned forever: changing the derivation silently reshuffles every
+        # campaign's random streams.
+        assert derive_seed(42, "jamming", "barrage-30dBm") == 1413091112
+        assert derive_seed(42, "replay", "gap-command-replay") == 3032503620
+        assert derive_seed(0, "jamming", "barrage-30dBm") == 3610327037
+
+    def test_deterministic_and_in_range(self):
+        for root in (0, 1, 42, 2**31):
+            a = derive_seed(root, "threat", "variant")
+            b = derive_seed(root, "threat", "variant")
+            assert a == b
+            assert 0 <= a < 2**32
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(42, "jamming", "barrage-30dBm")
+        assert derive_seed(43, "jamming", "barrage-30dBm") != base
+        assert derive_seed(42, "replay", "barrage-30dBm") != base
+        assert derive_seed(42, "jamming", "other") != base
+
+
+class TestEpisodeSpec:
+    def test_key_stable_and_config_sensitive(self):
+        spec = EpisodeSpec("jamming", "barrage-30dBm", "baseline", TINY)
+        assert spec.key == EpisodeSpec("jamming", "barrage-30dBm",
+                                       "baseline", TINY).key
+        reseeded = EpisodeSpec("jamming", "barrage-30dBm", "baseline",
+                               TINY.with_overrides(seed=8))
+        assert reseeded.key != spec.key
+        attacked = EpisodeSpec("jamming", "barrage-30dBm", "attacked", TINY)
+        assert attacked.key != spec.key
+
+    def test_defended_requires_mechanism(self):
+        with pytest.raises(ValueError):
+            EpisodeSpec("jamming", "v", "defended", TINY)
+        with pytest.raises(ValueError):
+            EpisodeSpec("jamming", "v", "baseline", TINY,
+                        mechanism_key="secret_public_keys")
+        with pytest.raises(ValueError):
+            EpisodeSpec("jamming", "v", "bogus", TINY)
+
+    def test_worker_reconstruction_is_idempotent(self):
+        # Workers rebuild the experiment from the spec's resolved config;
+        # for every catalogued threat that rebuild must be a fixed point,
+        # otherwise the content hash would alias distinct episodes.
+        for key in taxonomy.THREATS:
+            plan = plan_threat_experiment(key, TINY)
+            rebuilt = threat_experiment(key, plan.baseline.config,
+                                        variant=plan.baseline.variant)
+            assert rebuilt.config == plan.baseline.config, key
+
+
+class TestPlanning:
+    def test_seed_derived_from_root(self):
+        plan = plan_threat_experiment("jamming", TINY)
+        expected = derive_seed(TINY.seed, "jamming", plan.experiment.variant)
+        assert plan.baseline.config.seed == expected
+        assert plan.attacked.config.seed == expected
+
+    def test_mechanism_requirements_applied(self):
+        plan = plan_threat_experiment("jamming", TINY,
+                                      mechanism_key="hybrid_communications")
+        assert plan.baseline.config.with_vlc is True
+        assert plan.defended is not None
+        assert plan.defended.mechanism_key == "hybrid_communications"
+
+    def test_shared_config_across_roles(self):
+        plan = plan_threat_experiment("falsification", TINY,
+                                      mechanism_key="trust_management")
+        assert plan.baseline.config == plan.attacked.config
+        assert plan.attacked.config == plan.defended.config
+
+
+class TestCacheAccounting:
+    def test_first_run_all_misses_rerun_all_hits(self):
+        runner = CampaignRunner()
+        first = run_threat_catalogue(TINY, threats=["jamming"], runner=runner)
+        report = runner.report()
+        assert len(report.units) == 2
+        assert report.computed == 2 and report.cache_hits == 0
+        second = run_threat_catalogue(TINY, threats=["jamming"], runner=runner)
+        report = runner.report()
+        assert len(report.units) == 4
+        assert report.computed == 2 and report.cache_hits == 2
+        assert first == second
+
+    def test_no_key_computed_twice(self):
+        runner = CampaignRunner()
+        run_defense_matrix(TINY, mechanisms=["secret_public_keys",
+                                             "control_algorithms"],
+                           runner=runner)
+        computed = [u.key for u in runner.report().units if not u.cache_hit]
+        assert len(computed) == len(set(computed))
+
+    def test_matrix_baselines_shared_across_mechanisms(self):
+        # secret_public_keys and control_algorithms have no config
+        # requirements, so their shared threats (replay, fake_maneuver)
+        # reuse one baseline + one attacked episode each.
+        runner = CampaignRunner()
+        cells = run_defense_matrix(TINY, mechanisms=["secret_public_keys",
+                                                     "control_algorithms"],
+                                   runner=runner)
+        assert len(cells) == 7          # 3 + 4 targets
+        report = runner.report()
+        assert len(report.units) == 21  # 3 roles per cell
+        baseline_units = [u for u in report.units if u.role == "baseline"]
+        distinct = {u.key for u in baseline_units}
+        computed = [u for u in baseline_units if not u.cache_hit]
+        assert len(computed) == len(distinct) == 5
+        assert report.cache_hits == 4   # replay + fake_maneuver, both roles
+
+    def test_wall_time_recorded_for_computed_units(self):
+        runner = CampaignRunner()
+        run_threat_catalogue(TINY, threats=["jamming"], runner=runner)
+        for unit in runner.report().units:
+            assert unit.wall_time > 0.0
+            assert unit.finished >= unit.started
+
+
+class TestSerialParallelEquivalence:
+    def test_catalogue_identical_across_worker_counts(self):
+        serial = run_threat_catalogue(TINY, threats=["jamming",
+                                                     "falsification"])
+        parallel = run_threat_catalogue(TINY, threats=["jamming",
+                                                       "falsification"],
+                                        workers=2)
+        assert serial == parallel
+
+    def test_matrix_identical_across_worker_counts(self):
+        serial = run_defense_matrix(TINY, mechanisms=["onboard_security"])
+        parallel = run_defense_matrix(TINY, mechanisms=["onboard_security"],
+                                      workers=2)
+        assert serial == parallel
+
+
+class TestDiskCache:
+    def test_persists_across_runner_instances(self, tmp_path):
+        first = run_threat_catalogue(TINY, threats=["jamming"],
+                                     cache_dir=tmp_path)
+        assert list(tmp_path.glob("*.json"))
+        fresh = CampaignRunner(cache_dir=tmp_path)
+        second = run_threat_catalogue(TINY, threats=["jamming"], runner=fresh)
+        report = fresh.report()
+        assert report.computed == 0 and report.cache_hits == 2
+        assert {u.source for u in report.units} == {"disk"}
+        assert first == second
+
+    def test_corrupt_cache_file_recomputes(self, tmp_path):
+        reference = run_threat_catalogue(TINY, threats=["jamming"],
+                                         cache_dir=tmp_path)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{ this is not json")
+        fresh = CampaignRunner(cache_dir=tmp_path)
+        recovered = run_threat_catalogue(TINY, threats=["jamming"],
+                                         runner=fresh)
+        assert fresh.report().computed == 2
+        assert recovered == reference
+        # The corrupt files were overwritten with good records.
+        again = CampaignRunner(cache_dir=tmp_path)
+        run_threat_catalogue(TINY, threats=["jamming"], runner=again)
+        assert again.report().cache_hits == 2
+
+    def test_stale_format_recomputes(self, tmp_path):
+        run_threat_catalogue(TINY, threats=["jamming"], cache_dir=tmp_path)
+        for path in tmp_path.glob("*.json"):
+            data = json.loads(path.read_text())
+            data["format"] = "platoonsec-episode-cache/0"
+            path.write_text(json.dumps(data))
+        fresh = CampaignRunner(cache_dir=tmp_path)
+        run_threat_catalogue(TINY, threats=["jamming"], runner=fresh)
+        assert fresh.report().computed == 2
+
+    def test_key_mismatch_recomputes(self, tmp_path):
+        run_threat_catalogue(TINY, threats=["jamming"], cache_dir=tmp_path)
+        paths = sorted(tmp_path.glob("*.json"))
+        # Swap one record under another record's filename: the embedded
+        # key no longer matches, so the entry must be treated as a miss.
+        data = json.loads(paths[0].read_text())
+        paths[1].write_text(json.dumps(data))
+        fresh = CampaignRunner(cache_dir=tmp_path)
+        run_threat_catalogue(TINY, threats=["jamming"], runner=fresh)
+        assert fresh.report().computed == 1
+
+    def test_cached_records_equal_computed_records(self, tmp_path):
+        runner = CampaignRunner(cache_dir=tmp_path)
+        plan = plan_threat_experiment("jamming", TINY)
+        computed = runner.run([plan.baseline])[plan.baseline.key]
+        fresh = CampaignRunner(cache_dir=tmp_path)
+        loaded = fresh.run([plan.baseline])[plan.baseline.key]
+        assert loaded == computed
+
+
+class TestRunReport:
+    def test_summary_and_format(self):
+        runner = CampaignRunner(workers=1)
+        run_threat_catalogue(TINY, threats=["jamming"], runner=runner)
+        report = runner.report()
+        assert "2 units" in report.summary()
+        assert "2 computed" in report.summary()
+        table = report.format()
+        assert "jamming" in table and "baseline" in table
+
+
+@pytest.mark.slow
+class TestDefaultMatrixParallel:
+    """The ISSUE acceptance check: the full default matrix, workers=4 vs
+    serial -- identical cells, every distinct baseline computed once, and
+    a parallel wall-time win."""
+
+    CONFIG = ScenarioConfig(n_vehicles=5, duration=40.0, warmup=8.0, seed=11)
+
+    def test_parallel_matrix_identical_and_faster(self):
+        serial_runner = CampaignRunner(workers=1)
+        serial_cells = run_defense_matrix(self.CONFIG, runner=serial_runner)
+        parallel_runner = CampaignRunner(workers=4)
+        parallel_cells = run_defense_matrix(self.CONFIG,
+                                            runner=parallel_runner)
+        assert serial_cells == parallel_cells
+
+        for report in (serial_runner.report(), parallel_runner.report()):
+            baseline_units = [u for u in report.units if u.role == "baseline"]
+            computed = [u for u in baseline_units if not u.cache_hit]
+            assert len(computed) == len({u.key for u in baseline_units})
+            computed_keys = [u.key for u in report.units if not u.cache_hit]
+            assert len(computed_keys) == len(set(computed_keys))
+            assert report.cache_hits > 0
+
+        # The wall-time win needs actual parallel hardware; on a
+        # single-core machine the pool can only add overhead.
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except AttributeError:
+            cores = os.cpu_count() or 1
+        if cores >= 2:
+            assert parallel_runner.report().wall_time \
+                < serial_runner.report().wall_time
