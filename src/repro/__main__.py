@@ -13,7 +13,12 @@ Commands
 The campaign commands (``catalogue``, ``matrix``) execute through the
 campaign engine: ``--workers N`` fans episodes over a process pool,
 ``--cache-dir DIR`` persists/reuses episode results across invocations,
-and ``--report`` prints the per-unit cache/timing breakdown.
+``--trace-dir DIR`` streams one schema-versioned JSONL trace per
+computed unit (named by content hash), ``--profile`` enables profiling
+spans and prints the aggregated counters/timers, and ``--report``
+prints the per-unit cache/timing breakdown.
+``tracediff <a> <b>``
+    Compare two trace files and name the first divergent record.
 ``taxonomy``
     Print Tables I/II/III from the machine-readable taxonomy and verify
     the implementation registry.
@@ -26,6 +31,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analysis.tables import format_table
 from repro.core import taxonomy
 from repro.core.campaign import (
@@ -44,13 +50,16 @@ def _base_config(args) -> ScenarioConfig:
 
 
 def _make_runner(args) -> CampaignRunner:
-    return CampaignRunner(workers=args.workers, cache_dir=args.cache_dir)
+    return CampaignRunner(workers=args.workers, cache_dir=args.cache_dir,
+                          trace_dir=args.trace_dir)
 
 
 def _print_report(runner: CampaignRunner, args) -> None:
     report = runner.report()
     if args.report:
         print(report.format())
+    if args.profile:
+        print(report.format_observability())
     print(report.summary())
 
 
@@ -65,12 +74,28 @@ def cmd_attack(args) -> int:
           "CONFIRMED" if outcome.effect_present else "no effect"]]))
     for key, value in sorted(outcome.attack_observables.items()):
         print(f"  {key} = {value}")
+    if args.profile:
+        print(obs.format_snapshot(obs.get_registry().snapshot(),
+                                  title="episode observability"))
     return 0 if outcome.effect_present else 1
 
 
 def cmd_catalogue(args) -> int:
+    threats = None
+    if args.only is not None:
+        threats = [key for key in args.only.split(",") if key]
+        unknown = [key for key in threats if key not in taxonomy.THREATS]
+        if unknown:
+            print(f"error: unknown threats {unknown}; expected from "
+                  f"{sorted(taxonomy.THREATS)}", file=sys.stderr)
+            return 2
+        if not threats:
+            print("error: empty campaign -- no threats selected",
+                  file=sys.stderr)
+            return 2
     runner = _make_runner(args)
-    outcomes = run_threat_catalogue(_base_config(args), runner=runner)
+    outcomes = run_threat_catalogue(_base_config(args), threats=threats,
+                                    runner=runner)
     rows = [[o.threat_key, o.variant, o.metric_name,
              round(o.baseline_value, 3), round(o.attacked_value, 3),
              "CONFIRMED" if o.effect_present else "no effect"]
@@ -132,6 +157,18 @@ def cmd_risk(args) -> int:
     return 0
 
 
+def cmd_tracediff(args) -> int:
+    from repro.analysis.tracediff import diff_traces
+
+    try:
+        diff = diff_traces(args.trace_a, args.trace_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(diff.format())
+    return 0 if diff.identical else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--vehicles", type=int, default=8)
@@ -142,6 +179,11 @@ def main(argv=None) -> int:
                         help="campaign worker-pool size (1 = serial)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent episode-cache directory")
+    parser.add_argument("--trace-dir", default=None,
+                        help="directory for per-unit JSONL episode traces")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable profiling spans and print the "
+                             "aggregated counters/timers")
     parser.add_argument("--report", action="store_true",
                         help="print the per-unit campaign report")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -151,13 +193,21 @@ def main(argv=None) -> int:
     p_attack.add_argument("--variant", default=None)
     p_attack.set_defaults(fn=cmd_attack)
 
-    sub.add_parser("catalogue", help="run the full Table II campaign") \
-        .set_defaults(fn=cmd_catalogue)
+    p_cat = sub.add_parser("catalogue", help="run the full Table II campaign")
+    p_cat.add_argument("--only", default=None,
+                       help="comma-separated threat subset to run")
+    p_cat.set_defaults(fn=cmd_catalogue)
 
     p_matrix = sub.add_parser("matrix", help="run the Table III matrix")
     p_matrix.add_argument("mechanism", nargs="?", default=None,
                           choices=sorted(taxonomy.MECHANISMS))
     p_matrix.set_defaults(fn=cmd_matrix)
+
+    p_diff = sub.add_parser("tracediff",
+                            help="compare two JSONL episode traces")
+    p_diff.add_argument("trace_a")
+    p_diff.add_argument("trace_b")
+    p_diff.set_defaults(fn=cmd_tracediff)
 
     sub.add_parser("taxonomy", help="print the machine-readable tables") \
         .set_defaults(fn=cmd_taxonomy)
@@ -165,7 +215,15 @@ def main(argv=None) -> int:
         .set_defaults(fn=cmd_risk)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    if args.profile:
+        obs.set_profiling(True)
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        # Runner construction errors (unwritable trace/cache dirs) are
+        # user errors, not crashes: report and exit with a distinct code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

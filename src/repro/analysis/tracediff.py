@@ -1,0 +1,96 @@
+"""Trace comparison: find the first divergent event between two traces.
+
+"Serial vs parallel bit-identical" and golden-regression failures are
+opaque as bare asserts: *something* differed, somewhere in a 45-second
+episode.  ``tracediff`` loads two JSONL traces (see
+:mod:`repro.obs.trace`) and names the first record where they diverge --
+the simulation time, record type and both payloads -- turning a failed
+determinism check into an actionable pointer at the first misbehaving
+component.
+
+Exposed both as a library (:func:`diff_traces`, :func:`first_divergence`)
+and through the CLI (``python -m repro tracediff A B``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.obs.trace import load_trace
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def first_divergence(a: Sequence[dict], b: Sequence[dict]) -> Optional[int]:
+    """Index of the first record where the two sequences differ.
+
+    Records compare by canonical JSON (key order never matters).  If one
+    sequence is a strict prefix of the other, the divergence index is
+    the length of the shorter one.  ``None`` means identical.
+    """
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        if ra != rb and _canonical(ra) != _canonical(rb):
+            return i
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of comparing two trace files."""
+
+    path_a: str
+    path_b: str
+    n_records_a: int
+    n_records_b: int
+    headers_equal: bool
+    index: Optional[int]          # first divergent record; None = identical
+    record_a: Optional[dict] = None
+    record_b: Optional[dict] = None
+
+    @property
+    def identical(self) -> bool:
+        return self.index is None
+
+    def format(self) -> str:
+        if self.identical:
+            note = "" if self.headers_equal else \
+                " (headers differ; bodies agree)"
+            return (f"traces identical: {self.n_records_a} records"
+                    f"{note}\n  a: {self.path_a}\n  b: {self.path_b}")
+        lines = [f"first divergence at record #{self.index} "
+                 f"(of {self.n_records_a} vs {self.n_records_b})"]
+        for label, record in (("a", self.record_a), ("b", self.record_b)):
+            if record is None:
+                lines.append(f"  {label}: <no record -- trace ended>")
+            else:
+                what = record.get("kind") or record.get("type")
+                lines.append(f"  {label}: t={record.get('t')} {what} "
+                             f"{_canonical(record)}")
+        return "\n".join(lines)
+
+
+def diff_traces(path_a: Union[str, Path],
+                path_b: Union[str, Path]) -> TraceDiff:
+    """Load two trace files and locate their first divergent record.
+
+    Headers are compared informationally (different seeds *should* have
+    different headers); the divergence index is over bodies only.
+    """
+    header_a, records_a = load_trace(path_a)
+    header_b, records_b = load_trace(path_b)
+    index = first_divergence(records_a, records_b)
+    record_a = record_b = None
+    if index is not None:
+        record_a = records_a[index] if index < len(records_a) else None
+        record_b = records_b[index] if index < len(records_b) else None
+    return TraceDiff(path_a=str(path_a), path_b=str(path_b),
+                     n_records_a=len(records_a), n_records_b=len(records_b),
+                     headers_equal=(header_a == header_b),
+                     index=index, record_a=record_a, record_b=record_b)

@@ -46,6 +46,7 @@ from repro.core.runner import (
     EpisodeSpec,
     derive_seed,
 )
+from repro.obs import registry as obs
 
 from repro.core.scenario import (
     Scenario,
@@ -365,20 +366,23 @@ def run_threat_catalogue(base_config: Optional[ScenarioConfig] = None,
                          *,
                          workers: int = 1,
                          cache_dir=None,
+                         trace_dir=None,
                          runner: Optional[CampaignRunner] = None
                          ) -> list[ThreatOutcome]:
     """Table II campaign: every catalogued threat, baseline vs attacked.
 
-    Executes through the campaign engine: pass ``workers``/``cache_dir``
-    (or a preconfigured ``runner``, which wins) to parallelise and to
-    persist/reuse episode results.  Results are independent of the
-    worker count.
+    Executes through the campaign engine: pass ``workers``/``cache_dir``/
+    ``trace_dir`` (or a preconfigured ``runner``, which wins) to
+    parallelise, to persist/reuse episode results, and to stream
+    per-unit JSONL traces.  Results are independent of the worker count.
     """
     keys = list(threats) if threats is not None else list(taxonomy.THREATS)
     engine = runner if runner is not None else CampaignRunner(
-        workers=workers, cache_dir=cache_dir)
-    plans = [plan_threat_experiment(key, base_config) for key in keys]
-    specs = [spec for plan in plans for spec in (plan.baseline, plan.attacked)]
+        workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+    with obs.timed("campaign.plan"):
+        plans = [plan_threat_experiment(key, base_config) for key in keys]
+        specs = [spec for plan in plans
+                 for spec in (plan.baseline, plan.attacked)]
     records = engine.run(specs)
     return [_outcome_from_records(plan.experiment,
                                   records[plan.baseline.key],
@@ -457,6 +461,7 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
                        *,
                        workers: int = 1,
                        cache_dir=None,
+                       trace_dir=None,
                        runner: Optional[CampaignRunner] = None
                        ) -> list[MatrixCell]:
     """Table III campaign: each mechanism against each threat it targets.
@@ -468,17 +473,18 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
     """
     keys = list(mechanisms) if mechanisms is not None else list(taxonomy.MECHANISMS)
     engine = runner if runner is not None else CampaignRunner(
-        workers=workers, cache_dir=cache_dir)
-    plans: list[PlannedExperiment] = []
-    for mechanism_key in keys:
-        mechanism = taxonomy.MECHANISMS[mechanism_key]
-        for threat_key in mechanism.attack_targets:
-            plans.append(plan_threat_experiment(
-                threat_key, base_config,
-                variant=_matrix_variant(mechanism_key, threat_key),
-                mechanism_key=mechanism_key))
-    specs = [spec for plan in plans
-             for spec in (plan.baseline, plan.attacked, plan.defended)]
+        workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+    with obs.timed("campaign.plan"):
+        plans: list[PlannedExperiment] = []
+        for mechanism_key in keys:
+            mechanism = taxonomy.MECHANISMS[mechanism_key]
+            for threat_key in mechanism.attack_targets:
+                plans.append(plan_threat_experiment(
+                    threat_key, base_config,
+                    variant=_matrix_variant(mechanism_key, threat_key),
+                    mechanism_key=mechanism_key))
+        specs = [spec for plan in plans
+                 for spec in (plan.baseline, plan.attacked, plan.defended)]
     records = engine.run(specs)
     cells: list[MatrixCell] = []
     for plan in plans:

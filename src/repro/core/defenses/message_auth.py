@@ -28,6 +28,7 @@ from typing import Optional
 
 from repro.core.defense import Defense
 from repro.net.messages import Message, MessageType
+from repro.obs import registry as obs
 from repro.security.crypto import NonceGenerator, hmac_tag, hmac_verify
 from repro.security.pki import CertificateAuthority
 from repro.security.crypto import sign as rsa_sign
@@ -86,8 +87,10 @@ class GroupKeyAuthDefense(Defense):
             return True
         if hmac_verify(self.group_key, msg.signing_bytes(), msg.auth_tag):
             self.verified += 1
+            obs.inc("crypto.verified")
             return True
         self.rejected += 1
+        obs.inc("crypto.rejected")
         return False
 
     def observables(self) -> dict:

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.events import EventLog
+from repro.obs import registry as obs
 from repro.platoon.platoon import PlatoonRole
 
 if TYPE_CHECKING:
@@ -77,6 +78,7 @@ class MetricsCollector:
                                         initial_delay=sample_period)
 
     def _sample(self) -> None:
+        obs.inc("metrics.samples")
         world = self.scenario.world
         now = self.scenario.sim.now
         for pair in world.collisions():

@@ -21,6 +21,13 @@ defended episodes -- the Table III mechanism key).  The
   (cache hit/miss, source, wall time, start/finish timestamps);
   :meth:`CampaignRunner.report` aggregates them into a :class:`RunReport`
   the CLI prints.
+* **Observability** -- every computed episode runs against an isolated
+  :class:`~repro.obs.registry.MetricsRegistry`; workers serialise the
+  snapshot back inside the record and the runner merges snapshots across
+  the pool (counters sum, timers merge) into the run report, alongside
+  the runner's own per-phase wall time.  With ``trace_dir`` set, each
+  computed unit also streams a JSONL trace named by its content hash
+  (see :mod:`repro.obs.trace`).
 
 Workers return :class:`EpisodeRecord` -- a slim, JSON-serialisable
 projection of a :class:`~repro.core.scenario.ScenarioResult` (metric
@@ -41,8 +48,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.scenario import ScenarioConfig, run_episode
+from repro.obs import registry as obs
+from repro.obs.trace import trace_filename
 
-CACHE_FORMAT = "platoonsec-episode-cache/1"
+# /2 added the per-episode observability snapshot to EpisodeRecord;
+# /1 files are treated as stale and recomputed.
+CACHE_FORMAT = "platoonsec-episode-cache/2"
 
 ROLES = ("baseline", "attacked", "defended")
 
@@ -132,6 +143,10 @@ class EpisodeRecord:
     attack_observables: list = field(default_factory=list)
     defense_observables: dict = field(default_factory=dict)
     wall_time: float = 0.0
+    # Per-episode observability snapshot (counters/gauges/timers) from
+    # the worker's isolated MetricsRegistry; the runner aggregates these
+    # across the pool into its run report.
+    observability: dict = field(default_factory=dict)
 
     def extract_metric(self, name: str) -> float:
         """Headline-metric lookup mirroring ``campaign._extract``:
@@ -156,7 +171,8 @@ class EpisodeRecord:
         return out
 
 
-def record_from_result(spec: EpisodeSpec, result, wall_time: float) -> EpisodeRecord:
+def record_from_result(spec: EpisodeSpec, result, wall_time: float,
+                       observability: Optional[dict] = None) -> EpisodeRecord:
     """Project a full ScenarioResult down to a cacheable record."""
     return EpisodeRecord(
         spec_key=spec.key,
@@ -171,23 +187,44 @@ def record_from_result(spec: EpisodeSpec, result, wall_time: float) -> EpisodeRe
              for report in result.attack_reports]),
         defense_observables=_roundtrip(result.defense_observables),
         wall_time=wall_time,
+        observability=_roundtrip(observability or {}),
     )
 
 
-def _execute_spec(spec: EpisodeSpec) -> EpisodeRecord:
-    """Run one unit (top-level so worker processes can unpickle it)."""
+def _execute_spec(spec: EpisodeSpec, trace_dir: Optional[str] = None,
+                  profile: bool = False) -> EpisodeRecord:
+    """Run one unit (top-level so worker processes can unpickle it).
+
+    The episode runs against a fresh isolated
+    :class:`~repro.obs.registry.MetricsRegistry`; its snapshot travels
+    back to the parent inside the record.  With ``trace_dir`` set, the
+    episode streams a JSONL trace named by the spec's content hash.
+    """
     from repro.core.campaign import make_defenses, threat_experiment
 
-    start = time.perf_counter()
-    experiment = threat_experiment(spec.threat_key, spec.config,
-                                   variant=spec.variant)
-    attacks = (experiment.make_attacks()
-               if spec.role in ("attacked", "defended") else ())
-    defenses = (make_defenses(spec.mechanism_key)[0]
-                if spec.role == "defended" else ())
-    result = run_episode(experiment.config, attacks=attacks, defenses=defenses,
-                         setup_hooks=experiment.hooks)
-    return record_from_result(spec, result, time.perf_counter() - start)
+    trace_path = (Path(trace_dir) / trace_filename(spec.key)
+                  if trace_dir is not None else None)
+    obs.set_profiling(profile)
+    with obs.isolated_registry() as registry:
+        start = time.perf_counter()
+        experiment = threat_experiment(spec.threat_key, spec.config,
+                                       variant=spec.variant)
+        attacks = (experiment.make_attacks()
+                   if spec.role in ("attacked", "defended") else ())
+        defenses = (make_defenses(spec.mechanism_key)[0]
+                    if spec.role == "defended" else ())
+        result = run_episode(experiment.config, attacks=attacks,
+                             defenses=defenses,
+                             setup_hooks=experiment.hooks,
+                             trace_path=trace_path,
+                             trace_meta={"spec_key": spec.key,
+                                         "threat": spec.threat_key,
+                                         "variant": spec.variant,
+                                         "role": spec.role,
+                                         "mechanism": spec.mechanism_key})
+        wall = time.perf_counter() - start
+        snapshot = registry.snapshot()
+    return record_from_result(spec, result, wall, observability=snapshot)
 
 
 # --------------------------------------------------------------------------
@@ -212,11 +249,21 @@ class UnitReport:
 
 @dataclass
 class RunReport:
-    """Aggregate view over every unit a runner has executed so far."""
+    """Aggregate view over every unit a runner has executed so far.
+
+    ``counters``/``timers`` aggregate the per-episode observability
+    snapshots of every *computed* unit across the worker pool (cache
+    hits contribute nothing -- their numbers were counted by whichever
+    run computed them).  ``phases`` is the runner's own per-phase wall
+    time: hit/miss resolution, episode compute, result bookkeeping.
+    """
 
     workers: int
     units: List[UnitReport] = field(default_factory=list)
     wall_time: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    timers: Dict[str, dict] = field(default_factory=dict)
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -236,11 +283,14 @@ class RunReport:
         return sum(u.wall_time for u in self.units)
 
     def summary(self) -> str:
+        phases = ", ".join(f"{name} {seconds:.2f}s"
+                           for name, seconds in self.phases.items())
         return (f"campaign: {len(self.units)} units "
                 f"({self.computed} computed, {self.cache_hits} cache hits) "
                 f"in {self.wall_time:.1f}s wall "
                 f"({self.episode_time:.1f}s episode time, "
-                f"workers={self.workers})")
+                f"workers={self.workers}"
+                + (f"; phases: {phases}" if phases else "") + ")")
 
     def format(self) -> str:
         from repro.analysis.tables import format_table
@@ -251,6 +301,20 @@ class RunReport:
         return format_table(
             ["role", "threat", "variant", "mechanism", "cache", "source",
              "wall [s]"], rows, title="campaign unit report")
+
+    def format_observability(self) -> str:
+        """Aggregated cross-worker counters/timers + runner phase times."""
+        snap = {"counters": self.counters, "timers": self.timers}
+        parts = [obs.format_snapshot(snap, title="campaign observability")]
+        if self.phases:
+            from repro.analysis.tables import format_table
+
+            parts.append(format_table(
+                ["phase", "wall [s]"],
+                [[name, round(seconds, 4)]
+                 for name, seconds in self.phases.items()],
+                title="runner phases"))
+        return "\n".join(parts)
 
 
 # --------------------------------------------------------------------------
@@ -270,10 +334,17 @@ class CampaignRunner:
         Optional directory for the persistent episode cache (one JSON
         file per spec hash).  Unreadable, corrupt or stale files fall
         back to recomputation -- they never raise.
+    trace_dir:
+        Optional directory for persistent episode traces: every
+        *computed* unit writes one JSONL trace named by its content hash
+        (cache hits skip the episode, so they write no trace).  The
+        directory must be creatable and writable; anything else raises
+        ``ValueError`` up front rather than losing traces mid-campaign.
     """
 
     def __init__(self, workers: int = 1,
-                 cache_dir: Optional[Union[str, Path]] = None) -> None:
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 trace_dir: Optional[Union[str, Path]] = None) -> None:
         self.workers = max(1, int(workers or 1))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
@@ -283,9 +354,22 @@ class CampaignRunner:
                 raise ValueError(
                     f"cache dir {self.cache_dir} exists and is not a "
                     f"directory") from None
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            try:
+                self.trace_dir.mkdir(parents=True, exist_ok=True)
+                probe = self.trace_dir / ".write-probe"
+                probe.write_text("")
+                probe.unlink()
+            except OSError as exc:
+                raise ValueError(
+                    f"trace dir {self.trace_dir} is not writable: "
+                    f"{exc}") from None
         self._memory: Dict[str, EpisodeRecord] = {}
         self._units: List[UnitReport] = []
         self._wall_time = 0.0
+        self._obs = obs.MetricsRegistry()
+        self._phases: Dict[str, float] = {}
 
     # ----------------------------------------------------------- execution
 
@@ -300,6 +384,7 @@ class CampaignRunner:
         requested = [(spec.key, spec) for spec in specs]
 
         # Resolve hits and collect distinct misses in request order.
+        phase_start = time.perf_counter()
         to_compute: List[tuple] = []
         sources: Dict[str, str] = {}
         for key, spec in requested:
@@ -315,11 +400,20 @@ class CampaignRunner:
                 else:
                     sources[key] = "computed"
                     to_compute.append((key, spec))
+        self._add_phase("resolve", time.perf_counter() - phase_start)
 
+        phase_start = time.perf_counter()
         computed = self._compute(to_compute)
+        self._add_phase("compute", time.perf_counter() - phase_start)
+
+        phase_start = time.perf_counter()
         for key, record in computed.items():
             self._memory[key] = record
             self._store_cached(key, record)
+            # Aggregate per-episode observability across the pool --
+            # computed units only, so cache hits never double-count.
+            if record.observability:
+                self._obs.merge_snapshot(record.observability)
 
         now = time.time()
         seen: set = set()
@@ -336,19 +430,27 @@ class CampaignRunner:
                 role=spec.role, mechanism_key=spec.mechanism_key,
                 cache_hit=is_hit, source=source, wall_time=wall,
                 started=now, finished=now))
+        self._add_phase("record", time.perf_counter() - phase_start)
 
         self._wall_time += time.perf_counter() - batch_start
         return {key: self._memory[key] for key, _ in requested}
 
+    def _add_phase(self, name: str, seconds: float) -> None:
+        self._phases[name] = self._phases.get(name, 0.0) + seconds
+
     def _compute(self, to_compute: Sequence[tuple]) -> Dict[str, EpisodeRecord]:
         if not to_compute:
             return {}
+        trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
+        profile = obs.profiling_enabled()
         if self.workers == 1 or len(to_compute) == 1:
-            return {key: _execute_spec(spec) for key, spec in to_compute}
+            return {key: _execute_spec(spec, trace_dir, profile)
+                    for key, spec in to_compute}
         results: Dict[str, EpisodeRecord] = {}
         pool_size = min(self.workers, len(to_compute))
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {pool.submit(_execute_spec, spec): key
+            futures = {pool.submit(_execute_spec, spec, trace_dir,
+                                   profile): key
                        for key, spec in to_compute}
             pending = set(futures)
             while pending:
@@ -394,5 +496,9 @@ class CampaignRunner:
     # ---------------------------------------------------------- reporting
 
     def report(self) -> RunReport:
+        snap = self._obs.snapshot()
         return RunReport(workers=self.workers, units=list(self._units),
-                         wall_time=self._wall_time)
+                         wall_time=self._wall_time,
+                         counters=snap["counters"],
+                         timers=snap["timers"],
+                         phases=dict(self._phases))

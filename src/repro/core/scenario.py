@@ -25,6 +25,8 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.events import EventLog
+from repro.obs import registry as obs
+from repro.obs.trace import TraceRecorder, write_trace
 from repro.net.channel import ChannelConfig, RadioChannel
 from repro.net.messages import reset_message_seq
 from repro.net.simulator import Simulator
@@ -249,18 +251,28 @@ class Scenario:
         if self._ran:
             raise RuntimeError("scenario already ran; build a fresh one")
         self._ran = True
-        for defense in self.defenses:
-            defense.setup(self)
-        # Initial roster broadcast happens only now, after the defences'
-        # outbound signing processors are installed.
-        self.leader_logic.broadcast_roster()
-        for attack in self.attacks:
-            attack.setup(self)
-        self.sim.run_until(self.config.duration)
-        self.metrics_collector.stop()
-        metrics = self.metrics_collector.compute(warmup=self.config.warmup)
-        reports = [attack.report() for attack in self.attacks]
-        defense_obs = {d.name: d.observables() for d in self.defenses}
+        with obs.span("episode"):
+            with obs.timed("episode.setup"):
+                for defense in self.defenses:
+                    defense.setup(self)
+                # Initial roster broadcast happens only now, after the
+                # defences' outbound signing processors are installed.
+                self.leader_logic.broadcast_roster()
+                for attack in self.attacks:
+                    attack.setup(self)
+            self.sim.run_until(self.config.duration)
+            self.metrics_collector.stop()
+            with obs.timed("episode.metrics"):
+                metrics = self.metrics_collector.compute(
+                    warmup=self.config.warmup)
+            reports = [attack.report() for attack in self.attacks]
+            defense_obs = {d.name: d.observables() for d in self.defenses}
+        # Fold episode-level outcomes into the process registry so run
+        # reports can aggregate them across workers.
+        obs.inc("episodes.run")
+        obs.inc("detections", self.events.count("detection"))
+        obs.inc("disbands", self.events.count("platoon_disband"))
+        obs.inc("collisions", metrics.collisions)
         return ScenarioResult(config=self.config, metrics=metrics,
                               attack_reports=reports,
                               defense_observables=defense_obs,
@@ -270,22 +282,40 @@ class Scenario:
 def run_episode(config: Optional[ScenarioConfig] = None,
                 attacks: Sequence["Attack"] = (),
                 defenses: Sequence["Defense"] = (),
-                setup_hooks: Sequence = ()) -> ScenarioResult:
+                setup_hooks: Sequence = (),
+                trace_path=None,
+                trace_meta: Optional[dict] = None) -> ScenarioResult:
     """One-call episode: build, arm, run.  The workhorse of every bench.
 
     ``setup_hooks`` are callables ``hook(scenario)`` executed after the
     scenario is built but before it runs -- benches use them to script
     extra legitimate traffic (e.g. periodic gap-open/close commands for
     the replay experiment).
+
+    With ``trace_path`` set, a :class:`~repro.obs.trace.TraceRecorder`
+    samples the episode and the merged event/sample stream is written as
+    a schema-versioned JSONL trace after the run; ``trace_meta``
+    supplies the campaign-unit identity for the trace header (seed and
+    config hash are filled in from the scenario when absent).
     """
     scenario = Scenario(config)
+    recorder = TraceRecorder(scenario) if trace_path is not None else None
     for hook in setup_hooks:
         hook(scenario)
     for defense in defenses:
         scenario.add_defense(defense)
     for attack in attacks:
         scenario.add_attack(attack)
-    return scenario.run()
+    result = scenario.run()
+    if recorder is not None:
+        recorder.stop()
+        meta = dict(trace_meta or {})
+        meta.setdefault("seed", scenario.config.seed)
+        meta.setdefault("config_hash", scenario.config.content_hash())
+        with obs.timed("episode.trace_write"):
+            write_trace(trace_path, recorder.records(), meta=meta,
+                        sample_period=recorder.sample_period)
+    return result
 
 
 def gap_cycle_hook(member_index: int = 2, period: float = 12.0,

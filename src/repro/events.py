@@ -12,6 +12,49 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 
+def coerce_jsonable(value: Any) -> Any:
+    """Coerce a value into plain-JSON types.
+
+    Event payloads end up in persistent JSONL traces and cached episode
+    records, so everything recorded must serialise: numpy scalars (the
+    metrics layer hands those around) unwrap via ``.item()``, sets sort
+    into lists, tuples become lists, mappings recurse.  Anything else
+    falls back to ``repr`` rather than raising at trace-write time.
+    """
+    # Exact-type check: numpy's float64 *subclasses* float (and would
+    # sneak through an isinstance test still wrapped), so only genuinely
+    # plain values take the fast path.
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if hasattr(value, "item") and not isinstance(value, bytes):
+        try:
+            item = value.item()                    # numpy scalars unwrap
+        except (TypeError, ValueError):
+            pass
+        else:
+            if item is not value:
+                return coerce_jsonable(item)
+    if isinstance(value, bool):
+        return bool(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, str):
+        return str(value)
+    if isinstance(value, dict):
+        return {str(k): coerce_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [coerce_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        try:
+            ordered = sorted(value)
+        except TypeError:
+            ordered = sorted(value, key=repr)
+        return [coerce_jsonable(v) for v in ordered]
+    return repr(value)
+
+
 @dataclass(frozen=True)
 class LoggedEvent:
     time: float
@@ -24,13 +67,20 @@ class LoggedEvent:
 
 
 class EventLog:
-    """Append-only event record with simple query helpers."""
+    """Append-only event record with simple query helpers.
+
+    Payload values are coerced to plain-JSON types *at record time* (see
+    :func:`coerce_jsonable`): a numpy scalar slipped into ``data`` used
+    to poison every later consumer that serialises the log (traces, the
+    episode cache); now it is unwrapped before it is stored.
+    """
 
     def __init__(self) -> None:
         self._events: list[LoggedEvent] = []
 
     def record(self, time: float, kind: str, source: str, **data: Any) -> LoggedEvent:
-        event = LoggedEvent(time=time, kind=kind, source=source, data=dict(data))
+        event = LoggedEvent(time=float(time), kind=kind, source=source,
+                            data={k: coerce_jsonable(v) for k, v in data.items()})
         self._events.append(event)
         return event
 

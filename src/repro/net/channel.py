@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from repro.net.messages import Message
 from repro.net.simulator import Simulator
+from repro.obs import registry as obs
 
 if TYPE_CHECKING:
     from repro.net.radio import Radio
@@ -217,6 +218,7 @@ class RadioChannel:
         power = sender.tx_power_dbm if sender.tx_power_dbm is not None else cfg.tx_power_dbm
 
         self.stats.transmissions += 1
+        obs.inc("frames.sent")
         self._reap_active(now)
         self._active.append(_ActiveTransmission(sender, power, now, now + duration))
         for observer in self._tx_observers:
@@ -241,11 +243,14 @@ class RadioChannel:
                 delay = duration + distance / cfg.propagation_speed
                 self.sim.schedule(delay, receiver.deliver, msg)
                 self.stats.delivered += 1
+                obs.inc("frames.delivered")
             else:
                 if interference_mw > noise_mw * 0.1:
                     self.stats.lost_interference += 1
+                    obs.inc("frames.jammed")
                 else:
                     self.stats.lost_noise += 1
+                    obs.inc("frames.lost_noise")
 
     def _reception_success(self, sinr_db: float) -> bool:
         """Logistic packet-success probability around the SINR threshold."""

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.net.messages import Message
 from repro.net.simulator import Simulator
+from repro.obs import registry as obs
 
 if TYPE_CHECKING:
     from repro.net.channel import RadioChannel
@@ -69,6 +70,7 @@ class CsmaMac:
         self.stats.enqueued += 1
         if len(self._queue) >= self.config.queue_capacity:
             self.stats.dropped_queue_full += 1
+            obs.inc("mac.dropped_queue_full")
             return False
         self._queue.append(msg)
         if not self._transmitting:
@@ -96,6 +98,7 @@ class CsmaMac:
         if self.channel.channel_busy(self.radio):
             if retries_left <= 0:
                 self.stats.dropped_retry_limit += 1
+                obs.inc("mac.dropped_retry_limit")
                 self._pop_and_continue()
                 return
             self.stats.total_backoffs += 1

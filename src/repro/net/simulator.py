@@ -21,8 +21,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+from repro.obs import registry as obs
 
 
 class SimulationError(RuntimeError):
@@ -145,10 +148,20 @@ class Simulator:
         return PeriodicProcess(self, interval, callback, jitter=jitter).start(initial_delay)
 
     def run_until(self, t_end: float) -> None:
-        """Process events until the clock reaches ``t_end`` (inclusive)."""
+        """Process events until the clock reaches ``t_end`` (inclusive).
+
+        The loop is the simulation's hottest path, so observability is
+        tiered: the event counter and the loop-level ``sim.run`` timer
+        are always on (one increment per call), while per-callback
+        timing -- one clock read per event, attributed to the callback's
+        qualified name -- only runs under ``obs.set_profiling(True)``.
+        """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        processed_before = self._events_processed
+        wall_start = time.perf_counter()
+        profiling = obs.profiling_enabled()
         try:
             while self._queue and self._queue[0].time <= t_end:
                 event = heapq.heappop(self._queue)
@@ -156,10 +169,19 @@ class Simulator:
                     continue
                 self._now = event.time
                 self._events_processed += 1
-                event.callback(*event.args)
+                if profiling:
+                    t0 = time.perf_counter()
+                    event.callback(*event.args)
+                    name = getattr(event.callback, "__qualname__",
+                                   type(event.callback).__name__)
+                    obs.observe(f"sim.cb.{name}", time.perf_counter() - t0)
+                else:
+                    event.callback(*event.args)
             self._now = max(self._now, t_end)
         finally:
             self._running = False
+            obs.inc("sim.events", self._events_processed - processed_before)
+            obs.observe("sim.run", time.perf_counter() - wall_start)
 
     def run(self, duration: float) -> None:
         """Process events for ``duration`` seconds of simulated time."""

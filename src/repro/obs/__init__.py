@@ -1,0 +1,62 @@
+"""Structured observability: traces, metrics registry, profiling spans.
+
+``repro.obs`` is the observability substrate threaded through the
+simulator, platoon, defences and campaign runner:
+
+* :mod:`repro.obs.registry` -- a process-local
+  :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges and
+  timers, with mergeable snapshots so campaign workers ship their
+  numbers back to the parent for cross-pool aggregation.
+* :mod:`repro.obs.trace` -- persistent, schema-versioned JSONL episode
+  traces (event log + periodic channel/MAC/platoon samples), one file
+  per campaign unit, named by the unit's content hash and byte-stable
+  for a fixed seed.
+
+The companion analysis tool lives in :mod:`repro.analysis.tracediff`.
+"""
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    format_snapshot,
+    get_registry,
+    inc,
+    isolated_registry,
+    observe,
+    profiling_enabled,
+    set_gauge,
+    set_profiling,
+    span,
+    timed,
+)
+from repro.obs.trace import (
+    DEFAULT_SAMPLE_PERIOD,
+    SCHEMA_VERSION,
+    TRACE_FORMAT,
+    TraceRecorder,
+    load_trace,
+    trace_body_bytes,
+    trace_filename,
+    write_trace,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLE_PERIOD",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "TRACE_FORMAT",
+    "TraceRecorder",
+    "format_snapshot",
+    "get_registry",
+    "inc",
+    "isolated_registry",
+    "load_trace",
+    "observe",
+    "profiling_enabled",
+    "set_gauge",
+    "set_profiling",
+    "span",
+    "timed",
+    "trace_body_bytes",
+    "trace_filename",
+    "write_trace",
+]

@@ -1,0 +1,228 @@
+"""Process-local metrics registry: counters, gauges and timers.
+
+Every serving stack carries a counters/timers substrate; this is ours.
+Hot paths (the channel, the MAC, the simulator loop, defences) increment
+named counters through the module-level helpers; profiling spans wrap the
+expensive phases.  The registry is *process-local*: campaign workers run
+each episode against a fresh isolated registry (see
+:func:`isolated_registry`), snapshot it, and ship the snapshot back to
+the parent inside the episode record, where the
+:class:`~repro.core.runner.CampaignRunner` aggregates snapshots across
+the pool -- counters sum, timers merge -- into its run report.
+
+Snapshots are plain-JSON dicts so they survive pickling, the episode
+disk cache, and cross-process transport unchanged::
+
+    {"counters": {...}, "gauges": {...},
+     "timers": {name: {"total": s, "count": n, "max": s}}}
+
+Profiling (per-callback timing in the simulator loop) is off by default
+because it costs a clock read per event; enable it with
+:func:`set_profiling` (the CLI's ``--profile`` flag does).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+SNAPSHOT_VERSION = 1
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timers with mergeable snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        # timer name -> [total_seconds, count, max_seconds]
+        self._timers: Dict[str, list] = {}
+        self._span_stack: list[str] = []
+
+    # ----------------------------------------------------------- counters
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------- gauges
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    # ------------------------------------------------------------- timers
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timed interval under ``name``."""
+        entry = self._timers.get(name)
+        if entry is None:
+            self._timers[name] = [seconds, 1, seconds]
+        else:
+            entry[0] += seconds
+            entry[1] += 1
+            if seconds > entry[2]:
+                entry[2] = seconds
+
+    def timer_total(self, name: str) -> float:
+        entry = self._timers.get(name)
+        return entry[0] if entry else 0.0
+
+    def timer_count(self, name: str) -> int:
+        entry = self._timers.get(name)
+        return entry[1] if entry else 0
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Time a block and record it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Hierarchical timing: nested spans record dotted paths.
+
+        ``span("run")`` containing ``span("compute")`` records timers
+        ``run`` and ``run.compute``, so a profile reads as a call tree.
+        """
+        self._span_stack.append(name)
+        full = ".".join(self._span_stack)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(full, time.perf_counter() - start)
+            self._span_stack.pop()
+
+    # ---------------------------------------------------- snapshot / merge
+
+    def snapshot(self) -> dict:
+        """Plain-JSON view of everything recorded so far."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "timers": {name: {"total": entry[0], "count": entry[1],
+                              "max": entry[2]}
+                       for name, entry in self._timers.items()},
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and timer totals/counts *sum*; timer maxima and gauges
+        take the max (gauges are last-known-value locally, but across
+        processes there is no ordering, so max is the honest merge).
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            current = self._gauges.get(name)
+            self._gauges[name] = value if current is None \
+                else max(current, value)
+        for name, stat in snap.get("timers", {}).items():
+            entry = self._timers.setdefault(name, [0.0, 0, 0.0])
+            entry[0] += stat["total"]
+            entry[1] += stat["count"]
+            if stat["max"] > entry[2]:
+                entry[2] = stat["max"]
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._span_stack.clear()
+
+
+# --------------------------------------------------------------------------
+# Process-global active registry + module-level hot-path helpers
+# --------------------------------------------------------------------------
+
+_active = MetricsRegistry()
+_profiling = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active process-local registry."""
+    return _active
+
+
+@contextmanager
+def isolated_registry() -> Iterator[MetricsRegistry]:
+    """Swap in a fresh registry for the duration of the block.
+
+    Campaign workers run each episode inside one of these so per-episode
+    observability is captured cleanly (and snapshotted into the episode
+    record) without polluting -- or being polluted by -- whatever else
+    ran in this process.
+    """
+    global _active
+    previous = _active
+    fresh = MetricsRegistry()
+    _active = fresh
+    try:
+        yield fresh
+    finally:
+        _active = previous
+
+
+def set_profiling(enabled: bool) -> None:
+    """Globally enable/disable per-callback profiling in hot loops."""
+    global _profiling
+    _profiling = bool(enabled)
+
+
+def profiling_enabled() -> bool:
+    return _profiling
+
+
+def inc(name: str, amount: float = 1) -> None:
+    _active.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    _active.set_gauge(name, value)
+
+
+def observe(name: str, seconds: float) -> None:
+    _active.observe(name, seconds)
+
+
+def timed(name: str):
+    return _active.timed(name)
+
+
+def span(name: str):
+    return _active.span(name)
+
+
+def format_snapshot(snap: dict, title: str = "observability") -> str:
+    """Human-readable counters/timers table for the CLI's ``--profile``."""
+    from repro.analysis.tables import format_table
+
+    counter_rows = [[name, round(value, 6) if isinstance(value, float)
+                     else value]
+                    for name, value in sorted(snap.get("counters", {}).items())]
+    timer_rows = [[name, stat["count"], round(stat["total"], 4),
+                   round(stat["total"] / stat["count"], 6) if stat["count"]
+                   else 0.0, round(stat["max"], 6)]
+                  for name, stat in sorted(snap.get("timers", {}).items())]
+    parts = []
+    if counter_rows:
+        parts.append(format_table(["counter", "value"], counter_rows,
+                                  title=f"{title}: counters"))
+    if timer_rows:
+        parts.append(format_table(
+            ["timer", "count", "total [s]", "mean [s]", "max [s]"],
+            timer_rows, title=f"{title}: timers"))
+    if not parts:
+        return f"{title}: (empty)"
+    return "\n".join(parts)

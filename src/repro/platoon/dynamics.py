@@ -16,7 +16,10 @@ negative (no reversing on the motorway).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+
+from repro.obs import registry as obs
 
 
 @dataclass
@@ -87,6 +90,8 @@ class VehicleDynamics:
         """
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
+        obs.inc("dynamics.steps")
+        t0 = time.perf_counter() if obs.profiling_enabled() else None
         p = self.params
         s = self.state
         u = self.clamp_command(u)
@@ -110,4 +115,6 @@ class VehicleDynamics:
 
         self._last_jerk = (new_accel - s.acceleration) / dt
         self.state = LongitudinalState(new_position, new_speed, new_accel)
+        if t0 is not None:
+            obs.observe("dynamics.step", time.perf_counter() - t0)
         return self.state

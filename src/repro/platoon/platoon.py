@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import registry as obs
+
 
 class PlatoonRole(enum.Enum):
     FREE = "free"        # not platooning; human-driven cruise/ACC
@@ -111,8 +113,10 @@ class MembershipRegistry:
             return True  # duplicate request, keep original slot
         if not self.can_queue_join():
             self.rejected_queue += 1
+            obs.inc("platoon.joins_rejected_queue")
             return False
         self.pending[requester_id] = PendingJoin(requester_id, now)
+        obs.inc("platoon.joins_queued")
         return True
 
     def complete_join(self, requester_id: str) -> bool:
@@ -125,8 +129,10 @@ class MembershipRegistry:
             # Several accepted joins can be in flight at once; capacity is
             # re-checked at completion so pipelined joins cannot overshoot.
             self.rejected_full += 1
+            obs.inc("platoon.joins_rejected_full")
             return False
         self.members.append(requester_id)
+        obs.inc("platoon.joins_completed")
         return True
 
     def abandon_join(self, requester_id: str) -> None:

@@ -3,6 +3,9 @@
 import pytest
 
 from repro.__main__ import main
+from repro.obs.trace import load_trace, write_trace
+
+FAST = ["--duration", "30", "--vehicles", "4", "--seed", "7"]
 
 
 class TestCli:
@@ -54,3 +57,86 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliObservability:
+    """The --trace-dir / --profile / --report surface and the tracediff
+    subcommand, including the error paths (empty campaign, unknown
+    threats, unwritable trace directory, missing trace file)."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_profiling(self):
+        from repro import obs
+
+        yield
+        obs.set_profiling(False)
+
+    def test_trace_dir_writes_loadable_traces(self, tmp_path, capsys):
+        code = main(FAST + ["--trace-dir", str(tmp_path),
+                            "catalogue", "--only", "jamming"])
+        assert code == 0
+        paths = sorted(tmp_path.glob("*.trace.jsonl"))
+        assert len(paths) == 2                   # baseline + attacked
+        for path in paths:
+            header, records = load_trace(path)
+            assert header["threat"] == "jamming"
+            assert len(records) == header["n_records"] > 0
+
+    def test_trace_dir_with_workers_and_report(self, tmp_path, capsys):
+        code = main(FAST + ["--workers", "2", "--trace-dir", str(tmp_path),
+                            "--report", "catalogue", "--only", "jamming"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len(list(tmp_path.glob("*.trace.jsonl"))) == 2
+        assert "campaign unit report" in out
+        assert "workers=2" in out
+
+    def test_profile_prints_observability(self, capsys):
+        code = main(FAST + ["--profile", "catalogue", "--only", "jamming"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign observability: counters" in out
+        assert "frames.sent" in out
+        assert "runner phase" in out
+
+    def test_profile_on_single_attack(self, capsys):
+        code = main(FAST + ["--profile", "attack", "jamming"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "episode observability" in out
+
+    def test_empty_campaign_rejected(self, capsys):
+        assert main(FAST + ["catalogue", "--only", ""]) == 2
+        assert "empty campaign" in capsys.readouterr().err
+
+    def test_unknown_threat_subset_rejected(self, capsys):
+        assert main(FAST + ["catalogue", "--only", "jamming,quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown threats" in err and "quantum" in err
+
+    def test_unwritable_trace_dir_is_a_clean_error(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file in the way")
+        code = main(FAST + ["--trace-dir", str(blocker / "sub"),
+                            "catalogue", "--only", "jamming"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tracediff_identical_and_divergent(self, tmp_path, capsys):
+        records = [{"t": 0.0, "type": "event", "kind": "start",
+                    "source": "sim", "data": {}},
+                   {"t": 1.0, "type": "sample", "channel": {"tx": 5}}]
+        changed = [records[0],
+                   {"t": 1.0, "type": "sample", "channel": {"tx": 6}}]
+        a = write_trace(tmp_path / "a.jsonl", records)
+        b = write_trace(tmp_path / "b.jsonl", list(records))
+        c = write_trace(tmp_path / "c.jsonl", changed)
+        assert main(["tracediff", str(a), str(b)]) == 0
+        assert "traces identical" in capsys.readouterr().out
+        assert main(["tracediff", str(a), str(c)]) == 1
+        assert "first divergence at record #1" in capsys.readouterr().out
+
+    def test_tracediff_missing_file(self, tmp_path, capsys):
+        a = write_trace(tmp_path / "a.jsonl", [])
+        assert main(["tracediff", str(a), str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

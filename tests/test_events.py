@@ -1,6 +1,10 @@
 """Unit tests for the shared event log."""
 
-from repro.events import EventLog
+import json
+
+import pytest
+
+from repro.events import EventLog, coerce_jsonable
 
 
 class TestEventLog:
@@ -49,3 +53,46 @@ class TestEventLog:
     def test_repr_mentions_kind(self):
         log = EventLog()
         assert "boom" in repr(log.record(1.0, "boom", "s"))
+
+
+class TestJsonCoercion:
+    """Regression: event payloads are coerced to plain-JSON types at
+    record time, so a numpy scalar (or any exotic value) can no longer
+    poison trace files or cached episode records downstream."""
+
+    def test_plain_values_pass_through_unchanged(self):
+        for value in (None, True, 3, 2.5, "s", [1, 2], {"k": "v"}):
+            assert coerce_jsonable(value) == value
+
+    def test_numpy_scalars_unwrap_at_record_time(self):
+        np = pytest.importorskip("numpy")
+        log = EventLog()
+        event = log.record(np.float64(1.5), "gap", "veh0",
+                           gap=np.float64(12.25), count=np.int64(3),
+                           degraded=np.bool_(True))
+        assert type(event.time) is float
+        assert type(event.data["gap"]) is float and event.data["gap"] == 12.25
+        assert type(event.data["count"]) is int and event.data["count"] == 3
+        assert type(event.data["degraded"]) is bool
+        json.dumps(event.data)          # must not raise
+
+    def test_containers_recurse(self):
+        np = pytest.importorskip("numpy")
+        coerced = coerce_jsonable({"pair": (np.int64(1), np.float64(2.0)),
+                                   "nested": {"x": np.float32(0.5)}})
+        assert coerced == {"pair": [1, 2.0], "nested": {"x": 0.5}}
+        json.dumps(coerced)
+
+    def test_sets_become_sorted_lists(self):
+        assert coerce_jsonable({"veh2", "veh0", "veh1"}) \
+            == ["veh0", "veh1", "veh2"]
+
+    def test_unserialisable_objects_fall_back_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<Opaque>"
+
+        log = EventLog()
+        event = log.record(1.0, "a", "s", obj=Opaque())
+        assert event.data["obj"] == "<Opaque>"
+        json.dumps(event.data)
