@@ -12,48 +12,60 @@ Series:
   the DESIGN.md design-choice bench.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.core.attacks import JammingAttack
 from repro.core.scenario import run_episode
 from repro.platoon.vehicle import VehicleConfig
 
-from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+from benchmarks._util import BENCH_CONFIG, bench_runner, emit, fmt, run_once
 
 
 def test_e4_power_sweep(benchmark):
-    def experiment():
-        rows = []
-        base = run_episode(BENCH_CONFIG)
-        rows.append(["(no jammer)", fmt(base.metrics.mac_drop_ratio),
-                     fmt(base.metrics.degraded_fraction),
-                     base.metrics.disbands, base.metrics.members_remaining,
-                     fmt(base.metrics.fuel_proxy, 1)])
-        for power in (-10.0, 0.0, 10.0, 20.0, 30.0):
-            result = run_episode(BENCH_CONFIG, attacks=[JammingAttack(
-                start_time=10.0, power_dbm=power)])
-            rows.append([f"{power:.0f} dBm", fmt(result.metrics.mac_drop_ratio),
-                         fmt(result.metrics.degraded_fraction),
-                         result.metrics.disbands,
-                         result.metrics.members_remaining,
-                         fmt(result.metrics.fuel_proxy, 1)])
-        return rows, base
+    """The jammer power dose-response, regenerated through the declarative
+    sweep engine (``repro.sweep``): the jamming-intensity preset axis at
+    the canonical bench scenario, with the acceptance assertion that the
+    curve is monotone non-decreasing along the intensity axis."""
+    from repro.sweep import PRESETS, run_sweep
 
-    rows, base = run_once(benchmark, experiment)
-    emit("E4 -- jammer power sweep (chase jammer, always on)",
-         ["Jammer", "MAC drop ratio", "Degraded fraction", "Disbands",
-          "Members left", "Fuel proxy"], rows,
+    spec = PRESETS["jamming-intensity"].resolved(
+        root_seed=BENCH_CONFIG.seed, seed_replicates=1,
+        base_defaults={"n_vehicles": BENCH_CONFIG.n_vehicles,
+                       "duration": BENCH_CONFIG.duration,
+                       "warmup": BENCH_CONFIG.warmup})
+
+    def experiment():
+        return run_sweep(spec, runner=bench_runner())
+
+    result = run_once(benchmark, experiment)
+    rows = [[point.label, fmt(point.baseline["mean"]),
+             fmt(point.attacked["mean"]),
+             fmt(point.impact_ratio["mean"], 2) if point.impact_ratio
+             else "n/a",
+             fmt(point.disband_rate, 2)]
+            for point in result.points]
+    for estimate in result.thresholds:
+        rows.append([f"threshold {estimate.response} >= {estimate.level:g}",
+                     "", "", "",
+                     "never" if estimate.crossing is None
+                     else f"at {estimate.crossing:g}"])
+    emit("E4 -- jammer power dose-response (sweep engine, "
+         "jamming-intensity preset)",
+         ["Point", "Baseline degraded", "Attacked degraded", "Impact ratio",
+          "Disband rate"], rows,
          notes="Shape: a threshold in jammer power beyond which the platoon "
-               "degrades and then disbands; fuel rises as drag savings "
-               "vanish ('all savings are lost').")
-    weak = rows[1]      # -10 dBm
-    strong = rows[-1]   # 30 dBm
-    assert float(weak[2]) < 0.2
-    assert float(strong[2]) > 0.5
-    assert strong[3] >= 5                      # disbanded
-    assert float(strong[5]) > float(rows[0][5])  # fuel savings lost
+               "degrades and then disbands ('all savings are lost').")
+    curve = result.curve
+    assert curve is not None and len(curve.xs) == 5
+    # Acceptance: monotone non-decreasing dose-response in impact ratio
+    # along the intensity axis (attacked response where the clean baseline
+    # is exactly zero and no ratio is defined).
+    attacked = curve.series("attacked_mean")
+    assert all(a <= b for a, b in zip(attacked, attacked[1:]))
+    ratios = [r for r in curve.series("impact_ratio_mean") if r is not None]
+    assert all(a <= b for a, b in zip(ratios, ratios[1:]))
+    assert attacked[0] < 0.2 and attacked[-1] > 0.5
+    assert result.points[-1].disband_rate == 1.0   # 30 dBm disbands
 
 
 def test_e4_duty_cycle_sweep(benchmark):

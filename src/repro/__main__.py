@@ -17,6 +17,14 @@ campaign engine: ``--workers N`` fans episodes over a process pool,
 computed unit (named by content hash), ``--profile`` enables profiling
 spans and prints the aggregated counters/timers, and ``--report``
 prints the per-unit cache/timing breakdown.
+``sweep <specfile.json|preset>``
+    Expand a declarative parameter sweep (grid/seeded-random axes over
+    scenario, channel, vehicle or attack/defence parameters, with
+    ``seed_replicates`` per point) through the campaign engine, print
+    the dose-response table and threshold estimates, and -- with
+    ``--out-dir`` -- write the byte-deterministic ``platoonsec-sweep/1``
+    JSON + CSV artifacts.  ``sweep --list-presets`` names the shipped
+    presets.
 ``tracediff <a> <b>``
     Compare two trace files and name the first divergent record.
 ``taxonomy``
@@ -80,6 +88,13 @@ def cmd_attack(args) -> int:
     return 0 if outcome.effect_present else 1
 
 
+def _pm(value: float, std: float, replicates: int, digits: int = 3) -> str:
+    """``mean±std`` when replicated, plain value otherwise."""
+    if replicates > 1:
+        return f"{round(value, digits)}±{round(std, digits)}"
+    return str(round(value, digits))
+
+
 def cmd_catalogue(args) -> int:
     threats = None
     if args.only is not None:
@@ -95,9 +110,11 @@ def cmd_catalogue(args) -> int:
             return 2
     runner = _make_runner(args)
     outcomes = run_threat_catalogue(_base_config(args), threats=threats,
+                                    seed_replicates=args.seed_replicates or 1,
                                     runner=runner)
     rows = [[o.threat_key, o.variant, o.metric_name,
-             round(o.baseline_value, 3), round(o.attacked_value, 3),
+             _pm(o.baseline_value, o.baseline_std, o.replicates),
+             _pm(o.attacked_value, o.attacked_std, o.replicates),
              "CONFIRMED" if o.effect_present else "no effect"]
             for o in outcomes]
     print(format_table(["threat", "variant", "metric", "baseline",
@@ -111,16 +128,83 @@ def cmd_matrix(args) -> int:
     runner = _make_runner(args)
     mechanisms = [args.mechanism] if args.mechanism else None
     cells = run_defense_matrix(_base_config(args), mechanisms=mechanisms,
+                               seed_replicates=args.seed_replicates or 1,
                                runner=runner)
     rows = [[c.mechanism_key, c.threat_key, c.metric_name,
-             round(c.baseline_value, 3), round(c.attacked_value, 3),
-             round(c.defended_value, 3),
+             _pm(c.baseline_value, c.baseline_std, c.replicates),
+             _pm(c.attacked_value, c.attacked_std, c.replicates),
+             _pm(c.defended_value, c.defended_std, c.replicates),
              round(c.mitigation, 2) if c.mitigation is not None else "n/a"]
             for c in cells]
     print(format_table(["mechanism", "threat", "metric", "baseline",
                         "attacked", "defended", "mitigation"], rows,
                        title="Table III defence matrix"))
     _print_report(runner, args)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep import PRESETS, SweepEngine, load_sweep_spec
+    from repro.sweep.artifacts import write_sweep_artifacts
+
+    if args.list_presets:
+        rows = [[spec.name, spec.threat,
+                 ", ".join(axis.path for axis in spec.axes),
+                 spec.seed_replicates]
+                for spec in PRESETS.values()]
+        print(format_table(["preset", "threat", "axes", "replicates"], rows,
+                           title="shipped sweep presets"))
+        return 0
+    if args.spec is None:
+        print("error: sweep needs a spec file or preset name "
+              "(see 'sweep --list-presets')", file=sys.stderr)
+        return 2
+    if args.spec in PRESETS:
+        spec = PRESETS[args.spec]
+    else:
+        from pathlib import Path
+
+        if not Path(args.spec).exists():
+            print(f"error: {args.spec!r} is neither a shipped preset "
+                  f"({sorted(PRESETS)}) nor a spec file", file=sys.stderr)
+            return 2
+        spec = load_sweep_spec(args.spec)
+    spec = spec.resolved(
+        root_seed=args.seed,
+        seed_replicates=args.seed_replicates,
+        base_defaults={"n_vehicles": args.vehicles,
+                       "duration": args.duration,
+                       "warmup": 10.0, "trucks": args.trucks})
+    engine = SweepEngine(runner=_make_runner(args))
+    result = engine.run(spec)
+    rows = []
+    for point in result.points:
+        rows.append([
+            point.label,
+            _pm(point.baseline["mean"], point.baseline["std"],
+                point.replicates),
+            _pm(point.attacked["mean"], point.attacked["std"],
+                point.replicates),
+            (round(point.impact_ratio["mean"], 2)
+             if point.impact_ratio else "n/a"),
+            round(point.effect_rate, 2),
+            round(point.disband_rate, 2),
+            round(point.detection_rate, 2),
+        ])
+    print(format_table(
+        ["point", f"baseline {result.points[0].metric}" if result.points
+         else "baseline", "attacked", "impact ratio", "effect rate",
+         "disband rate", "detection rate"], rows,
+        title=f"sweep {spec.name} ({spec.seed_replicates} replicate(s) "
+              f"per point, root seed {spec.root_seed})"))
+    for estimate in result.thresholds:
+        where = ("never reached" if estimate.crossing is None
+                 else f"first crossed at {estimate.crossing:g}")
+        print(f"threshold {estimate.response} >= {estimate.level:g}: {where}")
+    if args.out_dir is not None:
+        paths = write_sweep_artifacts(result, args.out_dir)
+        print(f"artifacts: {paths['json']} {paths['csv']}")
+    _print_report(engine.runner, args)
     return 0
 
 
@@ -186,6 +270,9 @@ def main(argv=None) -> int:
                              "aggregated counters/timers")
     parser.add_argument("--report", action="store_true",
                         help="print the per-unit campaign report")
+    parser.add_argument("--seed-replicates", type=int, default=None,
+                        help="run every campaign unit / sweep point at N "
+                             "derived seeds and report mean±std")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_attack = sub.add_parser("attack", help="run one Table II experiment")
@@ -202,6 +289,17 @@ def main(argv=None) -> int:
     p_matrix.add_argument("mechanism", nargs="?", default=None,
                           choices=sorted(taxonomy.MECHANISMS))
     p_matrix.set_defaults(fn=cmd_matrix)
+
+    p_sweep = sub.add_parser("sweep",
+                             help="run a declarative parameter sweep")
+    p_sweep.add_argument("spec", nargs="?", default=None,
+                         help="sweep spec JSON file or preset name")
+    p_sweep.add_argument("--out-dir", default=None,
+                         help="write the platoonsec-sweep/1 JSON + CSV "
+                              "artifacts into this directory")
+    p_sweep.add_argument("--list-presets", action="store_true",
+                         help="list the shipped sweep presets and exit")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_diff = sub.add_parser("tracediff",
                             help="compare two JSONL episode traces")

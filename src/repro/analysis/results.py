@@ -24,6 +24,7 @@ from typing import Any, Iterable, Optional, Union
 
 from repro.core.campaign import MatrixCell, ThreatOutcome
 from repro.core.metrics import ScenarioMetrics
+from repro.sweep.aggregate import SweepPointSummary
 
 FORMAT = "platoonsec-results/1"
 
@@ -31,6 +32,8 @@ _KINDS = {
     "threat_catalogue": ThreatOutcome,
     "defense_matrix": MatrixCell,
     "metrics": ScenarioMetrics,
+    # Aggregated sweep points (repro.sweep): one record per grid point.
+    "sweep_points": SweepPointSummary,
 }
 
 

@@ -44,6 +44,7 @@ from repro.core.runner import (
     CampaignRunner,
     EpisodeRecord,
     EpisodeSpec,
+    derive_replicate_seed,
     derive_seed,
 )
 from repro.obs import registry as obs
@@ -259,6 +260,11 @@ class ThreatOutcome:
     attacked_value: float
     effect_present: bool
     attack_observables: dict = field(default_factory=dict)
+    # Replicate statistics: with ``seed_replicates > 1`` the value fields
+    # above hold the replicate means and these carry the spread.
+    baseline_std: float = 0.0
+    attacked_std: float = 0.0
+    replicates: int = 1
 
     @property
     def impact_ratio(self) -> Optional[float]:
@@ -309,8 +315,8 @@ class PlannedExperiment:
 def plan_threat_experiment(threat_key: str,
                            base_config: Optional[ScenarioConfig] = None,
                            variant: Optional[str] = None,
-                           mechanism_key: Optional[str] = None
-                           ) -> PlannedExperiment:
+                           mechanism_key: Optional[str] = None,
+                           replicate: int = 0) -> PlannedExperiment:
     """Resolve one (threat, variant[, mechanism]) into episode specs.
 
     The spec config is fully resolved: the experiment's scenario
@@ -319,14 +325,16 @@ def plan_threat_experiment(threat_key: str,
     the root taken from ``base_config.seed``).  Baseline/attacked/
     defended specs share the config, so their metrics are comparable and
     the runner can share baselines across mechanisms with identical
-    requirements.
+    requirements.  ``replicate`` selects a decorrelated seed stream for
+    replicated campaigns; replicate 0 is the canonical derivation.
     """
     base = base_config or ScenarioConfig(duration=90.0)
     experiment = threat_experiment(threat_key, base, variant=variant)
     requirements: dict = {}
     if mechanism_key is not None:
         _, requirements = make_defenses(mechanism_key)
-    seed = derive_seed(base.seed, threat_key, experiment.variant)
+    seed = derive_replicate_seed(base.seed, threat_key, experiment.variant,
+                                 replicate)
     config = experiment.config.with_overrides(seed=seed, **requirements)
     baseline = EpisodeSpec(threat_key, experiment.variant, "baseline", config)
     attacked = EpisodeSpec(threat_key, experiment.variant, "attacked", config)
@@ -367,6 +375,7 @@ def run_threat_catalogue(base_config: Optional[ScenarioConfig] = None,
                          workers: int = 1,
                          cache_dir=None,
                          trace_dir=None,
+                         seed_replicates: int = 1,
                          runner: Optional[CampaignRunner] = None
                          ) -> list[ThreatOutcome]:
     """Table II campaign: every catalogued threat, baseline vs attacked.
@@ -375,19 +384,55 @@ def run_threat_catalogue(base_config: Optional[ScenarioConfig] = None,
     ``trace_dir`` (or a preconfigured ``runner``, which wins) to
     parallelise, to persist/reuse episode results, and to stream
     per-unit JSONL traces.  Results are independent of the worker count.
+
+    ``seed_replicates=N`` runs every threat at N derived seeds (sweep
+    aggregation semantics: replicate 0 is the canonical stream) and
+    reports the replicate mean in ``baseline_value``/``attacked_value``
+    with the spread in ``baseline_std``/``attacked_std``; the verdict is
+    taken on the means.
     """
+    if seed_replicates < 1:
+        raise ValueError("seed_replicates must be >= 1")
     keys = list(threats) if threats is not None else list(taxonomy.THREATS)
     engine = runner if runner is not None else CampaignRunner(
         workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
     with obs.timed("campaign.plan"):
-        plans = [plan_threat_experiment(key, base_config) for key in keys]
-        specs = [spec for plan in plans
+        plans = [[plan_threat_experiment(key, base_config, replicate=r)
+                  for r in range(seed_replicates)] for key in keys]
+        specs = [spec for reps in plans for plan in reps
                  for spec in (plan.baseline, plan.attacked)]
     records = engine.run(specs)
-    return [_outcome_from_records(plan.experiment,
-                                  records[plan.baseline.key],
-                                  records[plan.attacked.key])
-            for plan in plans]
+    outcomes: list[ThreatOutcome] = []
+    for reps in plans:
+        outcomes.append(_aggregate_outcome(
+            reps[0].experiment,
+            [records[plan.baseline.key] for plan in reps],
+            [records[plan.attacked.key] for plan in reps]))
+    return outcomes
+
+
+def _aggregate_outcome(experiment: ThreatExperiment,
+                       baselines: Sequence[EpisodeRecord],
+                       attacked: Sequence[EpisodeRecord]) -> ThreatOutcome:
+    """Replicate-mean ThreatOutcome (sweep aggregation path)."""
+    if len(baselines) == 1:
+        return _outcome_from_records(experiment, baselines[0], attacked[0])
+    from repro.sweep.aggregate import summary_stats
+
+    base = summary_stats([r.extract_metric(experiment.metric_name)
+                          for r in baselines])
+    atk = summary_stats([r.extract_metric(experiment.metric_name)
+                         for r in attacked])
+    return ThreatOutcome(threat_key=experiment.threat_key,
+                         variant=experiment.variant,
+                         metric_name=experiment.metric_name,
+                         baseline_value=base["mean"],
+                         attacked_value=atk["mean"],
+                         effect_present=_verdict(experiment, base["mean"],
+                                                 atk["mean"]),
+                         attack_observables=attacked[0].prefixed_observables(),
+                         baseline_std=base["std"], attacked_std=atk["std"],
+                         replicates=len(baselines))
 
 
 @dataclass
@@ -398,6 +443,11 @@ class MatrixCell:
     baseline_value: float
     attacked_value: float
     defended_value: float
+    # Replicate statistics (see ThreatOutcome): means above, spread here.
+    baseline_std: float = 0.0
+    attacked_std: float = 0.0
+    defended_std: float = 0.0
+    replicates: int = 1
 
     @property
     def mitigation(self) -> Optional[float]:
@@ -462,6 +512,7 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
                        workers: int = 1,
                        cache_dir=None,
                        trace_dir=None,
+                       seed_replicates: int = 1,
                        runner: Optional[CampaignRunner] = None
                        ) -> list[MatrixCell]:
     """Table III campaign: each mechanism against each threat it targets.
@@ -470,30 +521,56 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
     attacked episode runs exactly once per campaign (mechanisms whose
     config requirements agree share them), and ``workers > 1`` fans the
     remaining units over a process pool without changing any value.
+
+    ``seed_replicates=N`` replicates every cell over N derived seeds and
+    reports replicate means with the spread in the ``*_std`` fields (see
+    :func:`run_threat_catalogue`).
     """
+    if seed_replicates < 1:
+        raise ValueError("seed_replicates must be >= 1")
     keys = list(mechanisms) if mechanisms is not None else list(taxonomy.MECHANISMS)
     engine = runner if runner is not None else CampaignRunner(
         workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
     with obs.timed("campaign.plan"):
-        plans: list[PlannedExperiment] = []
+        plans: list[list[PlannedExperiment]] = []
         for mechanism_key in keys:
             mechanism = taxonomy.MECHANISMS[mechanism_key]
             for threat_key in mechanism.attack_targets:
-                plans.append(plan_threat_experiment(
+                plans.append([plan_threat_experiment(
                     threat_key, base_config,
                     variant=_matrix_variant(mechanism_key, threat_key),
-                    mechanism_key=mechanism_key))
-        specs = [spec for plan in plans
+                    mechanism_key=mechanism_key, replicate=r)
+                    for r in range(seed_replicates)])
+        specs = [spec for reps in plans for plan in reps
                  for spec in (plan.baseline, plan.attacked, plan.defended)]
     records = engine.run(specs)
     cells: list[MatrixCell] = []
-    for plan in plans:
+    for reps in plans:
+        plan = reps[0]
         metric = plan.experiment.metric_name
+        if seed_replicates == 1:
+            cells.append(MatrixCell(
+                mechanism_key=plan.mechanism_key,
+                threat_key=plan.experiment.threat_key,
+                metric_name=metric,
+                baseline_value=records[plan.baseline.key].extract_metric(metric),
+                attacked_value=records[plan.attacked.key].extract_metric(metric),
+                defended_value=records[plan.defended.key].extract_metric(metric)))
+            continue
+        from repro.sweep.aggregate import summary_stats
+
+        base = summary_stats([records[p.baseline.key].extract_metric(metric)
+                              for p in reps])
+        atk = summary_stats([records[p.attacked.key].extract_metric(metric)
+                             for p in reps])
+        dfd = summary_stats([records[p.defended.key].extract_metric(metric)
+                             for p in reps])
         cells.append(MatrixCell(
             mechanism_key=plan.mechanism_key,
             threat_key=plan.experiment.threat_key,
             metric_name=metric,
-            baseline_value=records[plan.baseline.key].extract_metric(metric),
-            attacked_value=records[plan.attacked.key].extract_metric(metric),
-            defended_value=records[plan.defended.key].extract_metric(metric)))
+            baseline_value=base["mean"], attacked_value=atk["mean"],
+            defended_value=dfd["mean"],
+            baseline_std=base["std"], attacked_std=atk["std"],
+            defended_std=dfd["std"], replicates=seed_replicates))
     return cells

@@ -74,6 +74,23 @@ def derive_seed(root_seed: int, *components: Any) -> int:
     return int.from_bytes(digest[:8], "big") % _SEED_SPACE
 
 
+def derive_replicate_seed(root_seed: int, threat_key: str, variant: str,
+                          replicate: int) -> int:
+    """Seed for replicate ``r`` of a (threat, variant) experiment.
+
+    Replicate 0 *is* the canonical campaign stream
+    (``derive_seed(root, threat, variant)``), so single-replicate sweeps
+    and ``--seed-replicates 1`` campaigns reuse -- and share cache
+    entries with -- the episodes the plain catalogue runs.  Higher
+    replicates draw decorrelated streams.
+    """
+    if replicate < 0:
+        raise ValueError("replicate must be >= 0")
+    if replicate == 0:
+        return derive_seed(root_seed, threat_key, variant)
+    return derive_seed(root_seed, threat_key, variant, "rep", replicate)
+
+
 def _jsonable(value: Any) -> Any:
     """Coerce a value into plain-JSON types (sets become sorted lists)."""
     if isinstance(value, (set, frozenset)):
@@ -101,6 +118,14 @@ class EpisodeSpec:
     already derived).  Workers rebuild attacks, hooks and defences from
     ``(threat_key, variant, mechanism_key, config)`` alone, so a spec is
     picklable and self-contained.
+
+    ``overrides`` are dotted parameter overrides applied to the rebuilt
+    attack/defence instances before the episode runs: ``("attack.X", v)``
+    sets attribute ``X`` on every attack exposing it, ``("defense.X", v)``
+    likewise on the defences.  Sweeps use them to vary constructor
+    parameters (jammer power, ghost count, ...) that live outside the
+    scenario config.  They are part of the content hash, so two specs
+    differing only in an override are distinct cache entries.
     """
 
     threat_key: str
@@ -108,12 +133,29 @@ class EpisodeSpec:
     role: str
     config: ScenarioConfig
     mechanism_key: Optional[str] = None
+    overrides: tuple = ()
 
     def __post_init__(self) -> None:
         if self.role not in ROLES:
             raise ValueError(f"unknown role {self.role!r}; expected one of {ROLES}")
         if (self.role == "defended") != (self.mechanism_key is not None):
             raise ValueError("mechanism_key must be set exactly for 'defended' specs")
+        canon = tuple(sorted((str(path), value)
+                             for path, value in self.overrides))
+        object.__setattr__(self, "overrides", canon)
+        for path, _ in canon:
+            target, _, attr = path.partition(".")
+            if target not in ("attack", "defense") or not attr:
+                raise ValueError(
+                    f"bad override path {path!r}; expected "
+                    f"'attack.<param>' or 'defense.<param>'")
+            if target == "attack" and self.role == "baseline":
+                raise ValueError(
+                    f"override {path!r} is meaningless on a baseline spec "
+                    f"(no attacks are constructed)")
+            if target == "defense" and self.role != "defended":
+                raise ValueError(
+                    f"override {path!r} requires a 'defended' spec")
 
     @property
     def key(self) -> str:
@@ -125,8 +167,34 @@ class EpisodeSpec:
             "mechanism": self.mechanism_key,
             "config": self.config.canonical_dict(),
         }
+        # Only hashed when present so pre-sweep spec hashes (and any
+        # on-disk caches keyed by them) stay valid.
+        if self.overrides:
+            payload["overrides"] = [[path, value]
+                                    for path, value in self.overrides]
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def apply_parameter_overrides(attacks: Sequence, defenses: Sequence,
+                              overrides: Sequence[tuple]) -> None:
+    """Apply dotted ``attack.X``/``defense.X`` overrides in place.
+
+    Every override must land on at least one instance exposing the
+    attribute; a miss raises ``ValueError`` (a silent miss would let a
+    typo'd sweep axis quietly measure nothing).
+    """
+    for path, value in overrides:
+        target, _, attr = path.partition(".")
+        pool = list(attacks) if target == "attack" else list(defenses)
+        hits = [obj for obj in pool if hasattr(obj, attr)]
+        if not hits:
+            kind = "attack" if target == "attack" else "defence"
+            raise ValueError(
+                f"override {path!r}: no {kind} instance exposes {attr!r} "
+                f"(instances: {[type(o).__name__ for o in pool]})")
+        for obj in hits:
+            setattr(obj, attr, value)
 
 
 @dataclass
@@ -213,6 +281,8 @@ def _execute_spec(spec: EpisodeSpec, trace_dir: Optional[str] = None,
                    if spec.role in ("attacked", "defended") else ())
         defenses = (make_defenses(spec.mechanism_key)[0]
                     if spec.role == "defended" else ())
+        if spec.overrides:
+            apply_parameter_overrides(attacks, defenses, spec.overrides)
         result = run_episode(experiment.config, attacks=attacks,
                              defenses=defenses,
                              setup_hooks=experiment.hooks,

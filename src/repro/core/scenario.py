@@ -300,15 +300,21 @@ def run_episode(config: Optional[ScenarioConfig] = None,
     """
     scenario = Scenario(config)
     recorder = TraceRecorder(scenario) if trace_path is not None else None
-    for hook in setup_hooks:
-        hook(scenario)
-    for defense in defenses:
-        scenario.add_defense(defense)
-    for attack in attacks:
-        scenario.add_attack(attack)
-    result = scenario.run()
+    try:
+        for hook in setup_hooks:
+            hook(scenario)
+        for defense in defenses:
+            scenario.add_defense(defense)
+        for attack in attacks:
+            scenario.add_attack(attack)
+        result = scenario.run()
+    finally:
+        # Always stop the recorder's periodic sampler: a raising episode
+        # must not leak scheduled callbacks into the simulator (and no
+        # partial trace is written for it).
+        if recorder is not None:
+            recorder.stop()
     if recorder is not None:
-        recorder.stop()
         meta = dict(trace_meta or {})
         meta.setdefault("seed", scenario.config.seed)
         meta.setdefault("config_hash", scenario.config.content_hash())

@@ -1,0 +1,50 @@
+"""``repro.sweep`` -- declarative parameter sweeps over the campaign engine.
+
+The Table II/III campaigns measure every threat at one hand-picked
+operating point; the paper's claims, however, are about *regimes*
+(jamming disbands the platoon once the channel degrades enough, replay
+destabilises only at the right command cadence).  This package turns the
+one-shot campaigns into dose-response curves:
+
+* :mod:`repro.sweep.spec` -- :class:`SweepSpec`/:class:`SweepAxis`: a
+  declarative description of a sweep (threat, axes over any scenario /
+  channel / vehicle field or ``attack.*``/``defense.*`` constructor
+  parameter, grid or seeded-random sampling, seed replicates), JSON
+  round-trip, and the shipped presets.
+* :mod:`repro.sweep.engine` -- :class:`SweepEngine`: expands a spec into
+  campaign units and fans them through
+  :class:`~repro.core.runner.CampaignRunner`, so episode memoisation,
+  worker pools, traces and the metrics registry all apply per point.
+* :mod:`repro.sweep.aggregate` -- replicate aggregation (mean/std/min/max
+  per point), dose-response curve extraction and the first-crossing
+  threshold finder.
+* :mod:`repro.sweep.artifacts` -- the versioned ``platoonsec-sweep/1``
+  JSON artifact plus a flat CSV, both byte-deterministic for a fixed
+  spec + root seed regardless of worker count or cache warmth.
+"""
+
+from repro.sweep.spec import (  # noqa: F401
+    PRESETS,
+    SweepAxis,
+    SweepSpec,
+    Threshold,
+    load_sweep_spec,
+)
+from repro.sweep.engine import (  # noqa: F401
+    SweepEngine,
+    SweepResult,
+    expand_points,
+    run_sweep,
+)
+from repro.sweep.aggregate import (  # noqa: F401
+    DoseResponseCurve,
+    SweepPointSummary,
+    ThresholdEstimate,
+    first_crossing,
+    summary_stats,
+)
+from repro.sweep.artifacts import (  # noqa: F401
+    SWEEP_FORMAT,
+    sweep_artifact,
+    write_sweep_artifacts,
+)

@@ -1,0 +1,117 @@
+"""Sweep artifacts: versioned JSON plus a flat CSV.
+
+The JSON artifact is self-describing and versioned::
+
+    {
+      "format": "platoonsec-sweep/1",
+      "spec": {...},                  # the resolved SweepSpec
+      "points": [...],               # SweepPointSummary per point
+      "dose_response": {...} | null, # single-axis sweeps only
+      "thresholds": [...]
+    }
+
+Byte-determinism is part of the contract: everything in the artifact is
+derived from (spec, root seed) -- no wall clocks, no hostnames, keys
+sorted -- so a workers=8 warm-cache run and a serial cold run of the
+same spec write *identical bytes*, and CI can ``cmp`` them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:
+    from repro.sweep.engine import SweepResult
+
+SWEEP_FORMAT = "platoonsec-sweep/1"
+
+
+def sweep_artifact(result: "SweepResult") -> dict:
+    """The plain-JSON artifact payload for a sweep result."""
+    return {
+        "format": SWEEP_FORMAT,
+        "name": result.spec.name,
+        "spec": result.spec.to_dict(),
+        "points": [dataclasses.asdict(p) for p in result.points],
+        "dose_response": (dataclasses.asdict(result.curve)
+                          if result.curve is not None else None),
+        "thresholds": [dataclasses.asdict(t) for t in result.thresholds],
+    }
+
+
+def artifact_bytes(result: "SweepResult") -> bytes:
+    """Canonical JSON encoding (sorted keys, fixed separators)."""
+    return (json.dumps(sweep_artifact(result), sort_keys=True, indent=1)
+            + "\n").encode("utf-8")
+
+
+def load_sweep_artifact(path: Union[str, Path]) -> dict:
+    """Read an artifact back; unknown formats raise ``ValueError``."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != SWEEP_FORMAT:
+        raise ValueError(f"unsupported sweep artifact format: "
+                         f"{data.get('format')!r}")
+    return data
+
+
+def _csv_cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def sweep_csv(result: "SweepResult") -> str:
+    """Flat per-point CSV: axis columns, then the aggregate columns."""
+    axis_paths = [axis.path for axis in result.spec.axes]
+    header = (["point", *axis_paths, "replicates", "metric"]
+              + [f"{role}_{stat}" for role in ("baseline", "attacked")
+                 for stat in ("mean", "std", "min", "max")]
+              + ["defended_mean", "defended_std",
+                 "impact_ratio_mean", "impact_ratio_std",
+                 "effect_rate", "collision_mean", "disband_rate",
+                 "detection_rate"])
+    lines = [",".join(header)]
+    for point in result.points:
+        row = [point.index]
+        row.extend(point.values.get(path) for path in axis_paths)
+        row.extend([point.replicates, point.metric])
+        for stats in (point.baseline, point.attacked):
+            row.extend(stats[s] for s in ("mean", "std", "min", "max"))
+        row.extend([point.defended["mean"] if point.defended else None,
+                    point.defended["std"] if point.defended else None,
+                    point.impact_ratio["mean"] if point.impact_ratio else None,
+                    point.impact_ratio["std"] if point.impact_ratio else None,
+                    point.effect_rate,
+                    point.collisions.get("mean"),
+                    point.disband_rate,
+                    point.detection_rate])
+        lines.append(",".join(_csv_cell(cell) for cell in row))
+    return "\n".join(lines) + "\n"
+
+
+def write_sweep_artifacts(result: "SweepResult",
+                          out_dir: Union[str, Path]) -> dict[str, Path]:
+    """Write ``<name>.sweep.json`` + ``<name>.sweep.csv`` into a directory.
+
+    Returns ``{"json": path, "csv": path}``.  The directory is created;
+    an unwritable target raises ``ValueError`` (a user error, matching
+    the runner's cache/trace-dir behaviour).
+    """
+    out_dir = Path(out_dir)
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        json_path = out_dir / f"{result.spec.name}.sweep.json"
+        csv_path = out_dir / f"{result.spec.name}.sweep.csv"
+        json_path.write_bytes(artifact_bytes(result))
+        csv_path.write_text(sweep_csv(result))
+    except OSError as exc:
+        raise ValueError(f"sweep output dir {out_dir} is not writable: "
+                         f"{exc}") from None
+    return {"json": json_path, "csv": csv_path}

@@ -1,0 +1,236 @@
+"""Sweep execution: spec -> campaign units -> aggregated result.
+
+The :class:`SweepEngine` is a thin planner on top of
+:class:`~repro.core.runner.CampaignRunner`: it expands a
+:class:`~repro.sweep.spec.SweepSpec` into per-point, per-replicate
+:class:`~repro.core.runner.EpisodeSpec` units and hands the whole batch
+to the runner, so episode memoisation, the worker pool, persistent
+caches and traces all apply per sweep point.  Two structural dividends
+of that reuse:
+
+* points that vary only ``attack.*`` parameters share one baseline
+  episode per replicate (identical config + seed -> identical content
+  hash -> memoised), so a 5-point jamming sweep with 3 replicates costs
+  3 baselines, not 15;
+* sweep results are exactly as deterministic as campaign results --
+  the aggregate artifact is a pure function of (spec, root seed),
+  regardless of worker count or cache warmth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Optional, Sequence
+
+from repro.core.campaign import make_defenses, threat_experiment
+from repro.core.runner import (
+    CampaignRunner,
+    EpisodeSpec,
+    derive_replicate_seed,
+)
+from repro.core.scenario import ScenarioConfig
+from repro.net.channel import ChannelConfig
+from repro.obs import registry as obs
+from repro.platoon.vehicle import VehicleConfig
+from repro.sweep import aggregate
+from repro.sweep.spec import SweepSpec, split_path
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: concrete values for every axis, in axis order."""
+
+    index: int
+    label: str
+    values: tuple                   # ((path, value), ...)
+
+
+@dataclass
+class PlannedReplicate:
+    replicate: int
+    seed: int
+    baseline: EpisodeSpec
+    attacked: EpisodeSpec
+    defended: Optional[EpisodeSpec] = None
+
+
+@dataclass
+class PlannedPoint:
+    point: SweepPoint
+    metric: str
+    lower_is_better: bool
+    replicates: list = field(default_factory=list)
+
+    def specs(self) -> list[EpisodeSpec]:
+        out: list[EpisodeSpec] = []
+        for rep in self.replicates:
+            out.append(rep.baseline)
+            out.append(rep.attacked)
+            if rep.defended is not None:
+                out.append(rep.defended)
+        return out
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced (wall-clock-free, artifact-ready)."""
+
+    spec: SweepSpec
+    points: list                    # list[SweepPointSummary]
+    curve: Optional[aggregate.DoseResponseCurve]
+    thresholds: list                # list[ThresholdEstimate]
+
+    @property
+    def episodes_planned(self) -> int:
+        roles = 2 if self.spec.mechanism is None else 3
+        return len(self.points) * self.spec.seed_replicates * roles
+
+
+def _fmt_axis_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def expand_points(spec: SweepSpec) -> list[SweepPoint]:
+    """Cartesian grid over the spec's resolved axes, in axis order."""
+    root = spec.root_seed
+    if root is None:
+        raise ValueError("expand_points needs a resolved spec "
+                         "(root_seed set); call spec.resolved() first")
+    per_axis = [axis.resolve(root) for axis in spec.axes]
+    points: list[SweepPoint] = []
+    for index, combo in enumerate(itertools.product(*per_axis)):
+        values = tuple(zip((axis.path for axis in spec.axes), combo))
+        label = ",".join(f"{path}={_fmt_axis_value(value)}"
+                         for path, value in values)
+        points.append(SweepPoint(index=index, label=label, values=values))
+    return points
+
+
+def _build_base_config(base: dict) -> ScenarioConfig:
+    """ScenarioConfig from a spec's plain-JSON base overrides.
+
+    ``channel``/``vehicle`` entries may be nested dicts (the JSON view)
+    or already-built config objects.
+    """
+    overrides = dict(base)
+    if isinstance(overrides.get("channel"), dict):
+        overrides["channel"] = ChannelConfig(**overrides["channel"])
+    if isinstance(overrides.get("vehicle"), dict):
+        overrides["vehicle"] = VehicleConfig(**overrides["vehicle"])
+    for name in ("rsu_positions",):
+        if isinstance(overrides.get(name), list):
+            overrides[name] = tuple(overrides[name])
+    return ScenarioConfig().with_overrides(**overrides)
+
+
+class SweepEngine:
+    """Plans and executes sweeps through a campaign runner."""
+
+    def __init__(self, runner: Optional[CampaignRunner] = None, *,
+                 workers: int = 1, cache_dir=None, trace_dir=None) -> None:
+        self.runner = runner if runner is not None else CampaignRunner(
+            workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+
+    # ------------------------------------------------------------- planning
+
+    def plan(self, spec: SweepSpec) -> list[PlannedPoint]:
+        """Expand a resolved spec into runnable campaign units."""
+        spec = spec.resolved()
+        base_cfg = _build_base_config(spec.base)
+        requirements: dict = {}
+        if spec.mechanism is not None:
+            _, requirements = make_defenses(spec.mechanism)
+        points = expand_points(spec)
+        planned: list[PlannedPoint] = []
+        for point in points:
+            scenario_over: dict = {}
+            channel_over: dict = {}
+            vehicle_over: dict = {}
+            attack_over: list[tuple] = []
+            defended_over: list[tuple] = []
+            for path, value in point.values:
+                target, attr = split_path(path)
+                if target == "scenario":
+                    scenario_over[attr] = value
+                elif target == "channel":
+                    channel_over[attr] = value
+                elif target == "vehicle":
+                    vehicle_over[attr] = value
+                elif target == "attack":
+                    attack_over.append((path, value))
+                    defended_over.append((path, value))
+                else:                                   # defense.*
+                    defended_over.append((path, value))
+            point_cfg = base_cfg.with_overrides(**scenario_over)
+            if channel_over:
+                point_cfg = point_cfg.with_overrides(
+                    channel=dc_replace(point_cfg.channel, **channel_over))
+            if vehicle_over:
+                point_cfg = point_cfg.with_overrides(
+                    vehicle=dc_replace(point_cfg.vehicle, **vehicle_over))
+            experiment = threat_experiment(spec.threat, point_cfg,
+                                           variant=spec.variant)
+            metric = spec.metric or experiment.metric_name
+            plan = PlannedPoint(point=point, metric=metric,
+                                lower_is_better=experiment.lower_is_better)
+            for rep in range(spec.seed_replicates):
+                seed = derive_replicate_seed(spec.root_seed, spec.threat,
+                                             experiment.variant, rep)
+                config = experiment.config.with_overrides(seed=seed,
+                                                          **requirements)
+                baseline = EpisodeSpec(spec.threat, experiment.variant,
+                                       "baseline", config)
+                attacked = EpisodeSpec(spec.threat, experiment.variant,
+                                       "attacked", config,
+                                       overrides=tuple(attack_over))
+                defended = None
+                if spec.mechanism is not None:
+                    defended = EpisodeSpec(spec.threat, experiment.variant,
+                                           "defended", config, spec.mechanism,
+                                           overrides=tuple(defended_over))
+                plan.replicates.append(PlannedReplicate(
+                    replicate=rep, seed=seed, baseline=baseline,
+                    attacked=attacked, defended=defended))
+            planned.append(plan)
+        return planned
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute a sweep end to end and aggregate the replicates."""
+        spec = spec.resolved()
+        with obs.timed("sweep.plan"):
+            planned = self.plan(spec)
+            specs = [s for plan in planned for s in plan.specs()]
+        records = self.runner.run(specs)
+        with obs.timed("sweep.aggregate"):
+            summaries = []
+            for plan in planned:
+                baseline = [records[rep.baseline.key]
+                            for rep in plan.replicates]
+                attacked = [records[rep.attacked.key]
+                            for rep in plan.replicates]
+                defended = ([records[rep.defended.key]
+                             for rep in plan.replicates]
+                            if spec.mechanism is not None else ())
+                summaries.append(aggregate.summarise_point(
+                    plan.point.index, plan.point.label,
+                    dict(plan.point.values), plan.metric,
+                    plan.lower_is_better, baseline, attacked, defended))
+            curve = (aggregate.dose_response(spec.axes[0].path, summaries)
+                     if len(spec.axes) == 1 else None)
+            thresholds = aggregate.estimate_thresholds(curve, spec.thresholds)
+        return SweepResult(spec=spec, points=summaries, curve=curve,
+                           thresholds=thresholds)
+
+
+def run_sweep(spec: SweepSpec, *, workers: int = 1, cache_dir=None,
+              trace_dir=None,
+              runner: Optional[CampaignRunner] = None) -> SweepResult:
+    """One-call sweep: build an engine, run, aggregate."""
+    engine = SweepEngine(runner=runner, workers=workers,
+                         cache_dir=cache_dir, trace_dir=trace_dir)
+    return engine.run(spec)

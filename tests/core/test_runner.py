@@ -21,6 +21,8 @@ from repro.core.runner import (
     CACHE_FORMAT,
     CampaignRunner,
     EpisodeSpec,
+    apply_parameter_overrides,
+    derive_replicate_seed,
     derive_seed,
 )
 from repro.core.scenario import ScenarioConfig
@@ -71,6 +73,41 @@ class TestEpisodeSpec:
         with pytest.raises(ValueError):
             EpisodeSpec("jamming", "v", "bogus", TINY)
 
+    def test_override_paths_validated(self):
+        with pytest.raises(ValueError, match="bad override path"):
+            EpisodeSpec("jamming", "v", "attacked", TINY,
+                        overrides=(("power_dbm", 10.0),))
+        with pytest.raises(ValueError, match="baseline"):
+            EpisodeSpec("jamming", "v", "baseline", TINY,
+                        overrides=(("attack.power_dbm", 10.0),))
+        with pytest.raises(ValueError, match="defended"):
+            EpisodeSpec("jamming", "v", "attacked", TINY,
+                        overrides=(("defense.expel", True),))
+
+    def test_overrides_canonicalised_and_hashed(self):
+        spec = EpisodeSpec("jamming", "v", "attacked", TINY,
+                           overrides=(("attack.power_dbm", 10.0),
+                                      ("attack.duty_cycle", 0.5)))
+        swapped = EpisodeSpec("jamming", "v", "attacked", TINY,
+                              overrides=(("attack.duty_cycle", 0.5),
+                                         ("attack.power_dbm", 10.0)))
+        assert spec.overrides == swapped.overrides        # sorted
+        assert spec.key == swapped.key
+        plain = EpisodeSpec("jamming", "v", "attacked", TINY)
+        assert spec.key != plain.key
+        other = EpisodeSpec("jamming", "v", "attacked", TINY,
+                            overrides=(("attack.power_dbm", 20.0),
+                                       ("attack.duty_cycle", 0.5)))
+        assert spec.key != other.key
+
+    def test_empty_overrides_preserve_pre_sweep_hashes(self):
+        # Adding the overrides field must not invalidate existing caches:
+        # an override-free spec hashes exactly as it did before.
+        spec = EpisodeSpec("jamming", "barrage-30dBm", "baseline", TINY,
+                           overrides=())
+        assert spec.key == EpisodeSpec("jamming", "barrage-30dBm",
+                                       "baseline", TINY).key
+
     def test_worker_reconstruction_is_idempotent(self):
         # Workers rebuild the experiment from the spec's resolved config;
         # for every catalogued threat that rebuild must be a fixed point,
@@ -80,6 +117,45 @@ class TestEpisodeSpec:
             rebuilt = threat_experiment(key, plan.baseline.config,
                                         variant=plan.baseline.variant)
             assert rebuilt.config == plan.baseline.config, key
+
+
+class TestApplyParameterOverrides:
+    def test_sets_attack_attribute(self):
+        from repro.core.attacks import JammingAttack
+
+        attack = JammingAttack(power_dbm=30.0)
+        apply_parameter_overrides([attack], [],
+                                  [("attack.power_dbm", -5.0)])
+        assert attack.power_dbm == -5.0
+
+    def test_missing_attribute_fails_loudly(self):
+        from repro.core.attacks import JammingAttack
+
+        with pytest.raises(ValueError, match="jam_power"):
+            apply_parameter_overrides([JammingAttack()], [],
+                                      [("attack.jam_power", 10.0)])
+
+    def test_defense_overrides_target_defenses(self):
+        from repro.core.defenses import TrustFilterDefense
+
+        defense = TrustFilterDefense(expel=True)
+        apply_parameter_overrides([], [defense], [("defense.expel", False)])
+        assert defense.expel is False
+
+
+class TestReplicateSeeds:
+    def test_replicate_zero_is_canonical(self):
+        assert derive_replicate_seed(42, "jamming", "barrage-30dBm", 0) == \
+            derive_seed(42, "jamming", "barrage-30dBm")
+
+    def test_replicates_decorrelated(self):
+        seeds = {derive_replicate_seed(42, "jamming", "barrage-30dBm", r)
+                 for r in range(8)}
+        assert len(seeds) == 8
+
+    def test_negative_replicate_rejected(self):
+        with pytest.raises(ValueError):
+            derive_replicate_seed(42, "jamming", "v", -1)
 
 
 class TestPlanning:

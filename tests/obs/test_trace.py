@@ -119,6 +119,45 @@ class TestRunnerTraces:
             CampaignRunner(trace_dir=blocker / "sub")
 
 
+class TestRaisingEpisode:
+    """A raising episode must stop the recorder's periodic sampler and
+    write no partial trace (regression: the recorder used to leak its
+    scheduled callback when ``scenario.run()`` raised)."""
+
+    def test_recorder_stopped_and_no_trace_written(self, tmp_path,
+                                                   monkeypatch):
+        from repro.core import scenario as scenario_mod
+        from repro.core.scenario import run_episode
+
+        stops = []
+
+        class SpyRecorder(scenario_mod.TraceRecorder):
+            def stop(self):
+                stops.append(True)
+                super().stop()
+
+        monkeypatch.setattr(scenario_mod, "TraceRecorder", SpyRecorder)
+
+        def exploding_hook(scenario):
+            raise RuntimeError("mid-setup failure")
+
+        trace_path = tmp_path / "partial.trace.jsonl"
+        with pytest.raises(RuntimeError, match="mid-setup failure"):
+            run_episode(TINY, setup_hooks=[exploding_hook],
+                        trace_path=trace_path)
+        assert stops == [True]
+        assert not trace_path.exists()
+
+    def test_successful_episode_still_writes_trace(self, tmp_path,
+                                                   monkeypatch):
+        from repro.core.scenario import run_episode
+
+        trace_path = tmp_path / "ok.trace.jsonl"
+        run_episode(TINY, trace_path=trace_path)
+        header, records = load_trace(trace_path)
+        assert header["n_records"] == len(records) > 0
+
+
 class TestJammingTraceReplay:
     """Replaying the traced seed-42 jamming episode must reproduce the
     Table II narrative: the attack starts, followers fall back to

@@ -1,0 +1,139 @@
+"""Tests for sweep aggregation: stats, dose-response, threshold finder."""
+
+import pytest
+
+from repro.core.runner import EpisodeRecord
+from repro.sweep.aggregate import (
+    DoseResponseCurve,
+    SweepPointSummary,
+    ThresholdEstimate,
+    dose_response,
+    estimate_thresholds,
+    first_crossing,
+    summarise_point,
+    summary_stats,
+)
+from repro.sweep.spec import Threshold
+
+
+def record(metric_value, *, collisions=0, disbands=0, detections=0,
+           role="attacked"):
+    return EpisodeRecord(
+        spec_key="k", threat_key="jamming", variant="v", role=role,
+        mechanism_key=None, seed=1,
+        metrics={"degraded_fraction": metric_value, "collisions": collisions,
+                 "disbands": disbands, "detections": detections})
+
+
+class TestSummaryStats:
+    def test_single_value_degrades_to_point_estimate(self):
+        stats = summary_stats([2.5])
+        assert stats == {"mean": 2.5, "std": 0.0, "min": 2.5, "max": 2.5}
+
+    def test_population_std(self):
+        stats = summary_stats([1.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["std"] == pytest.approx(1.0)
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summary_stats([])
+
+
+class TestSummarisePoint:
+    def test_aggregates_replicates(self):
+        summary = summarise_point(
+            0, "p", {"attack.power_dbm": 10.0}, "degraded_fraction",
+            lower_is_better=True,
+            baseline_records=[record(0.1), record(0.3)],
+            attacked_records=[record(0.5, disbands=1, detections=2),
+                              record(0.7, collisions=1)])
+        assert summary.replicates == 2
+        assert summary.baseline["mean"] == pytest.approx(0.2)
+        assert summary.attacked["mean"] == pytest.approx(0.6)
+        assert summary.impact_ratio["mean"] == pytest.approx(
+            (0.5 / 0.1 + 0.7 / 0.3) / 2)
+        assert summary.effect_rate == 1.0
+        assert summary.disband_rate == 0.5
+        assert summary.detection_rate == 0.5
+        assert summary.collisions["mean"] == pytest.approx(0.5)
+
+    def test_zero_baselines_yield_no_ratio(self):
+        summary = summarise_point(
+            0, "p", {}, "degraded_fraction", True,
+            [record(0.0)], [record(0.5)])
+        assert summary.impact_ratio is None
+        assert summary.response("impact_ratio_mean") is None
+
+    def test_higher_is_better_direction(self):
+        summary = summarise_point(
+            0, "p", {}, "degraded_fraction", False,
+            [record(1.0)], [record(0.2)])
+        assert summary.effect_rate == 1.0
+
+    def test_mismatched_replicates_rejected(self):
+        with pytest.raises(ValueError):
+            summarise_point(0, "p", {}, "m", True, [record(1.0)], [])
+
+    def test_unknown_response_rejected(self):
+        summary = summarise_point(0, "p", {}, "degraded_fraction", True,
+                                  [record(0.1)], [record(0.2)])
+        with pytest.raises(ValueError, match="unknown response"):
+            summary.response("elevation")
+
+
+class TestDoseResponse:
+    def summaries(self, pairs):
+        return [summarise_point(i, f"x={x}", {"attack.power_dbm": x},
+                                "degraded_fraction", True,
+                                [record(0.1)], [record(y)])
+                for i, (x, y) in enumerate(pairs)]
+
+    def test_orders_points_by_axis_value(self):
+        curve = dose_response("attack.power_dbm",
+                              self.summaries([(20.0, 0.9), (0.0, 0.2),
+                                              (10.0, 0.5)]))
+        assert curve.xs == [0.0, 10.0, 20.0]
+        assert curve.series("attacked_mean") == pytest.approx([0.2, 0.5, 0.9])
+
+    def test_missing_axis_value_rejected(self):
+        summary = summarise_point(0, "p", {}, "degraded_fraction", True,
+                                  [record(0.1)], [record(0.2)])
+        with pytest.raises(ValueError, match="no value for axis"):
+            dose_response("attack.power_dbm", [summary])
+
+
+class TestFirstCrossing:
+    def test_exact_hit(self):
+        assert first_crossing([0, 10, 20], [0.1, 0.5, 0.9], 0.5) == 10.0
+
+    def test_interpolated_crossing(self):
+        assert first_crossing([0, 10], [0.0, 1.0], 0.5) == pytest.approx(5.0)
+
+    def test_already_above_at_first_point(self):
+        assert first_crossing([0, 10], [0.7, 0.9], 0.5) == 0.0
+
+    def test_never_crossed(self):
+        assert first_crossing([0, 10], [0.1, 0.2], 0.5) is None
+
+    def test_none_gaps_reset_interpolation(self):
+        assert first_crossing([0, 10, 20], [0.0, None, 0.9], 0.5) == 20.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            first_crossing([0], [0.1, 0.2], 0.5)
+
+
+class TestEstimateThresholds:
+    def test_against_curve(self):
+        curve = DoseResponseCurve(
+            axis="a", xs=[0, 10],
+            responses={"disband_rate": [0.0, 1.0]})
+        estimates = estimate_thresholds(curve,
+                                        [Threshold("disband_rate", 0.5)])
+        assert estimates == [ThresholdEstimate("disband_rate", 0.5, 5.0)]
+
+    def test_no_curve_yields_no_crossings(self):
+        estimates = estimate_thresholds(None, [Threshold("disband_rate", 0.5)])
+        assert estimates[0].crossing is None

@@ -1,0 +1,187 @@
+"""Tests for sweep specifications: validation, sampling, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.sweep.spec import (
+    PRESETS,
+    SPEC_FORMAT,
+    SweepAxis,
+    SweepSpec,
+    Threshold,
+    load_sweep_spec,
+    split_path,
+)
+
+
+def jam_spec(**overrides):
+    defaults = dict(
+        name="jam", threat="jamming",
+        axes=(SweepAxis("attack.power_dbm", values=(0.0, 10.0)),))
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestAxisValidation:
+    def test_grid_axis_resolves_to_its_values(self):
+        axis = SweepAxis("attack.power_dbm", values=(0.0, 10.0, 20.0))
+        assert axis.resolve(root_seed=1) == (0.0, 10.0, 20.0)
+
+    def test_bare_path_is_scenario_field(self):
+        assert split_path("duration") == ("scenario", "duration")
+        axis = SweepAxis("duration", values=(30.0,))
+        assert axis.path == "duration"
+
+    def test_unknown_scenario_field_rejected(self):
+        with pytest.raises(ValueError, match="no field"):
+            SweepAxis("scenario.bogus", values=(1,))
+
+    def test_unknown_channel_field_rejected(self):
+        with pytest.raises(ValueError, match="no field"):
+            SweepAxis("channel.warp_factor", values=(1,))
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            SweepAxis("quantum.flux", values=(1,))
+
+    def test_seed_axis_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            SweepAxis("seed", values=(1, 2))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepAxis("attack.power_dbm")
+
+    def test_random_axis_needs_bounds(self):
+        with pytest.raises(ValueError, match="low < high"):
+            SweepAxis("attack.power_dbm", sampling="random", low=5.0,
+                      high=5.0, n=3)
+        with pytest.raises(ValueError, match="n >= 1"):
+            SweepAxis("attack.power_dbm", sampling="random", low=0.0,
+                      high=1.0, n=0)
+
+    def test_random_sampling_deterministic_and_sorted(self):
+        axis = SweepAxis("attack.power_dbm", sampling="random",
+                         low=-10.0, high=30.0, n=5)
+        values = axis.resolve(root_seed=42)
+        assert values == axis.resolve(root_seed=42)
+        assert list(values) == sorted(values)
+        assert all(-10.0 <= v <= 30.0 for v in values)
+        assert values != axis.resolve(root_seed=43)
+
+    def test_log_sampling_stays_in_bounds(self):
+        axis = SweepAxis("channel.max_range_m", sampling="random",
+                         low=100.0, high=1000.0, n=8, log=True)
+        values = axis.resolve(root_seed=7)
+        assert all(100.0 <= v <= 1000.0 for v in values)
+
+    def test_log_sampling_needs_positive_low(self):
+        with pytest.raises(ValueError, match="low > 0"):
+            SweepAxis("attack.power_dbm", sampling="random", low=-1.0,
+                      high=1.0, n=2, log=True)
+
+
+class TestSpecValidation:
+    def test_unknown_threat_rejected(self):
+        with pytest.raises(ValueError, match="unknown threat"):
+            jam_spec(threat="quantum")
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            jam_spec(mechanism="prayer")
+
+    def test_axes_required(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            jam_spec(axes=())
+
+    def test_duplicate_axis_paths_rejected(self):
+        axis = SweepAxis("attack.power_dbm", values=(0.0,))
+        with pytest.raises(ValueError, match="duplicate"):
+            jam_spec(axes=(axis, axis))
+
+    def test_replicates_floor(self):
+        with pytest.raises(ValueError, match="seed_replicates"):
+            jam_spec(seed_replicates=0)
+
+    def test_defense_axis_needs_mechanism(self):
+        axis = SweepAxis("defense.expel", values=(True, False))
+        with pytest.raises(ValueError, match="mechanism"):
+            jam_spec(axes=(axis,))
+        spec = jam_spec(axes=(axis,), mechanism="control_algorithms")
+        assert spec.mechanism == "control_algorithms"
+
+    def test_unknown_base_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ScenarioConfig"):
+            jam_spec(base={"wheels": 6})
+
+
+class TestResolved:
+    def test_defaults_fill_in(self):
+        spec = jam_spec().resolved(root_seed=9,
+                                   base_defaults={"duration": 30.0})
+        assert spec.root_seed == 9
+        assert spec.base["duration"] == 30.0
+
+    def test_spec_file_values_win_over_defaults(self):
+        spec = jam_spec(root_seed=5, base={"duration": 60.0}).resolved(
+            root_seed=9, base_defaults={"duration": 30.0, "n_vehicles": 4})
+        assert spec.root_seed == 5
+        assert spec.base == {"duration": 60.0, "n_vehicles": 4}
+
+    def test_cli_replicates_override_wins(self):
+        assert jam_spec(seed_replicates=3).resolved(
+            seed_replicates=5).seed_replicates == 5
+        assert jam_spec(seed_replicates=3).resolved().seed_replicates == 3
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        spec = jam_spec(
+            variant=None, seed_replicates=4, root_seed=11,
+            base={"duration": 45.0},
+            thresholds=(Threshold("disband_rate", 0.5),))
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        loaded = load_sweep_spec(path)
+        assert loaded == spec
+
+    def test_format_tag_checked(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"format": "other/3", "name": "x",
+                                    "threat": "jamming"}))
+        with pytest.raises(ValueError, match="format"):
+            load_sweep_spec(path)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            SweepSpec.from_dict({"name": "x", "threat": "jamming",
+                                 "axes": [], "surprise": 1})
+
+    def test_unknown_axis_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            SweepSpec.from_dict({
+                "name": "x", "threat": "jamming",
+                "axes": [{"path": "attack.power_dbm", "values": [1],
+                          "color": "red"}]})
+
+    def test_invalid_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_sweep_spec(path)
+
+
+class TestPresets:
+    def test_presets_are_valid_and_named_consistently(self):
+        for name, spec in PRESETS.items():
+            assert spec.name == name
+            assert spec.axes
+            # Presets leave sizing to the CLI base defaults so CI can
+            # run them tiny.
+            assert "duration" not in spec.base
+
+    def test_presets_round_trip(self):
+        for spec in PRESETS.values():
+            assert SweepSpec.from_dict(spec.to_dict()) == spec
+            assert spec.to_dict()["format"] == SPEC_FORMAT

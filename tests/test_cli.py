@@ -1,11 +1,14 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
 from repro.obs.trace import load_trace, write_trace
 
 FAST = ["--duration", "30", "--vehicles", "4", "--seed", "7"]
+TINY = ["--duration", "20", "--vehicles", "4", "--seed", "7"]
 
 
 class TestCli:
@@ -57,6 +60,73 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliSweep:
+    """The ``sweep`` subcommand and the global ``--seed-replicates``."""
+
+    def tiny_spec_file(self, tmp_path, **overrides):
+        from repro.sweep import SweepAxis, SweepSpec
+
+        defaults = dict(
+            name="jam-cli", threat="jamming",
+            axes=(SweepAxis("attack.power_dbm", values=(-10.0, 30.0)),))
+        defaults.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SweepSpec(**defaults).to_dict()))
+        return path
+
+    def test_list_presets(self, capsys):
+        assert main(["sweep", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "jamming-intensity" in out
+        assert "channel-loss" in out
+        assert "sybil-count" in out
+
+    def test_spec_required(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "spec file or preset" in capsys.readouterr().err
+
+    def test_unknown_spec_rejected(self, capsys):
+        assert main(["sweep", "quantum-noise"]) == 2
+        err = capsys.readouterr().err
+        assert "neither a shipped preset" in err
+
+    def test_spec_file_run_with_artifacts(self, tmp_path, capsys):
+        from repro.sweep.artifacts import load_sweep_artifact
+
+        spec = self.tiny_spec_file(tmp_path)
+        out_dir = tmp_path / "out"
+        code = main(TINY + ["sweep", str(spec), "--out-dir", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep jam-cli" in out
+        assert "attack.power_dbm=-10" in out
+        result = load_sweep_artifact(out_dir / "jam-cli.sweep.json")
+        assert len(result["points"]) == 2
+        assert (out_dir / "jam-cli.sweep.csv").exists()
+
+    def test_preset_run_prints_thresholds(self, capsys):
+        code = main(TINY + ["--seed-replicates", "1",
+                            "sweep", "jamming-intensity"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep jamming-intensity (1 replicate(s)" in out
+        assert "threshold" in out
+
+    def test_replicated_catalogue_reports_spread(self, capsys):
+        code = main(TINY + ["--seed-replicates", "2",
+                            "catalogue", "--only", "jamming"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "±" in out                    # mean±std formatting
+
+    def test_replicated_matrix_reports_spread(self, capsys):
+        code = main(TINY + ["--seed-replicates", "2",
+                            "matrix", "control_algorithms"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "±" in out
 
 
 class TestCliObservability:

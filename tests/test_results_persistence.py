@@ -46,11 +46,51 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             save_records(tmp_path / "x.json", "nonsense", [outcome()])
 
+    def test_sweep_points_roundtrip(self, tmp_path):
+        from repro.sweep.aggregate import SweepPointSummary, summary_stats
+
+        points = [SweepPointSummary(
+            index=0, label="attack.power_dbm=10", metric="degraded_fraction",
+            values={"attack.power_dbm": 10.0}, replicates=3,
+            baseline=summary_stats([0.0, 0.0, 0.0]),
+            attacked=summary_stats([0.5, 0.6, 0.7]),
+            impact_ratio=None, effect_rate=1.0,
+            collisions=summary_stats([0.0]), disband_rate=2 / 3,
+            detection_rate=0.0)]
+        path = save_records(tmp_path / "sweep.json", "sweep_points", points)
+        kind, loaded = load_records(path)
+        assert kind == "sweep_points"
+        assert loaded[0].attacked["mean"] == pytest.approx(0.6)
+        assert loaded[0].values == {"attack.power_dbm": 10.0}
+        assert loaded[0].response("disband_rate") == pytest.approx(2 / 3)
+
+    def test_real_sweep_points_roundtrip(self, tmp_path):
+        from repro.sweep import SweepAxis, SweepSpec, run_sweep
+
+        spec = SweepSpec(name="t", threat="jamming", root_seed=3,
+                         axes=(SweepAxis("attack.power_dbm",
+                                         values=(30.0,)),),
+                         base={"n_vehicles": 4, "duration": 20.0,
+                               "warmup": 5.0})
+        result = run_sweep(spec)
+        path = save_records(tmp_path / "sweep.json", "sweep_points",
+                            result.points)
+        _, loaded = load_records(path)
+        assert loaded[0].attacked == result.points[0].attacked
+
     def test_bad_format_rejected_on_load(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"format": "other/9", "kind": "metrics", '
                         '"records": []}')
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unsupported results format"):
+            load_records(path)
+
+    def test_unknown_kind_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "platoonsec-results/1", '
+                        '"kind": "sweep_surprise", "records": []}')
+        with pytest.raises(ValueError, match="unknown record kind "
+                                             "'sweep_surprise'"):
             load_records(path)
 
     def test_unknown_fields_rejected(self, tmp_path):
