@@ -10,12 +10,10 @@ Series:
 * cross-check value: radio-only forgeries rejected.
 """
 
-import pytest
 
 from repro.core.attacks import FakeManeuverAttack, JammingAttack
 from repro.core.defenses import HybridVlcDefense
 from repro.core.scenario import run_episode
-from repro.net.vlc import VlcConfig
 
 from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
 
@@ -59,7 +57,6 @@ def test_e10_ambient_outage_sweep(benchmark):
             config = VLC_CFG.with_overrides()
             config = config.with_overrides()
             # Rebuild the scenario with a lossier optical channel.
-            from dataclasses import replace as _replace
 
             def hook(scenario, outage=outage):
                 scenario.vlc.config.ambient_outage_prob = outage

@@ -6,7 +6,6 @@ then *calibrates* it with measured impact ratios from the attack suite --
 closing the loop the paper leaves open.
 """
 
-import pytest
 
 from repro.core import taxonomy
 from repro.core.campaign import run_threat_catalogue

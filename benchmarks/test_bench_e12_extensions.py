@@ -9,7 +9,6 @@ Two mechanisms the paper points at but does not evaluate:
   challenge): rotation rate vs the eavesdropper's longest linkable track.
 """
 
-import pytest
 
 from repro.core.attacks import EavesdroppingAttack, SybilAttack
 from repro.core.defenses import (

@@ -10,7 +10,6 @@ rebuild the platoon, how many members make it back, and the fuel cost of
 the disbanded interval.
 """
 
-import pytest
 
 from repro.core.attacks import JammingAttack
 from repro.core.scenario import run_episode
@@ -25,8 +24,9 @@ REFORM_CFG = BENCH_CONFIG.with_overrides(
 
 def test_e13_reformation_after_jamming(benchmark):
     def experiment():
-        jam = lambda: JammingAttack(start_time=10.0, stop_time=40.0,
-                                    power_dbm=30.0)
+        def jam():
+            return JammingAttack(start_time=10.0, stop_time=40.0,
+                                 power_dbm=30.0)
         no_reform = run_episode(
             BENCH_CONFIG.with_overrides(duration=160.0), attacks=[jam()])
         reform = run_episode(REFORM_CFG, attacks=[jam()])

@@ -13,7 +13,6 @@ Series regenerated:
   exposure to *beacon* replay when gaps come from beacons (no-radar mode).
 """
 
-import pytest
 
 from repro.core.attacks import ReplayAttack
 from repro.core.defenses import FreshnessDefense
@@ -57,8 +56,9 @@ def test_e1_replay_rate_sweep(benchmark):
 def test_e1_freshness_window_ablation(benchmark):
     def experiment():
         rows = []
-        attack = lambda: ReplayAttack(start_time=10.0, target="maneuvers",
-                                      min_age=4.0)
+        def attack():
+            return ReplayAttack(start_time=10.0, target="maneuvers",
+                                min_age=4.0)
         for window in (8.0, 2.0, 0.8, 0.2):
             # Nonces alone already catch duplicates (tested elsewhere);
             # disable them to isolate the timestamp-window trade-off.

@@ -9,13 +9,12 @@ fate of a legitimate late joiner; plus the credential ladder (none /
 group key / PKI).
 """
 
-import pytest
 
 from repro.core.attacks import SybilAttack
 from repro.core.defenses import GroupKeyAuthDefense, PkiSignatureDefense
 from repro.core.scenario import run_episode
 
-from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+from benchmarks._util import BENCH_CONFIG, emit, run_once
 
 CFG = BENCH_CONFIG.with_overrides(max_members=12, joiner=True,
                                   joiner_delay=60.0, duration=100.0)

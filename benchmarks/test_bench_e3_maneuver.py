@@ -5,7 +5,6 @@ as they can break down a platoon into individual members" -- the bench
 quantifies all three forgeries and checks that ordering.
 """
 
-import pytest
 
 from repro.core.attacks import FakeManeuverAttack
 from repro.core.scenario import run_episode

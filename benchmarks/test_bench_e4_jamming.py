@@ -12,7 +12,6 @@ Series:
   the DESIGN.md design-choice bench.
 """
 
-import pytest
 
 from repro.core.attacks import JammingAttack
 from repro.core.scenario import run_episode

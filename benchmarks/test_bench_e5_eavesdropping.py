@@ -10,7 +10,6 @@ Series:
 * confidentiality ladder: plaintext / encrypted / encrypted-vs-insider.
 """
 
-import pytest
 
 from repro.core.attacks import EavesdroppingAttack
 from repro.core.defenses import GroupKeyAuthDefense

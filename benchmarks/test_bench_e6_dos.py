@@ -5,13 +5,12 @@ an attack" -- the bench shows that even low request rates lock the join
 queue, and sweeps queue capacity as the obvious (insufficient) knob.
 """
 
-import pytest
 
 from repro.core.attacks import DosJoinFloodAttack
 from repro.core.defenses import GroupKeyAuthDefense
 from repro.core.scenario import run_episode
 
-from benchmarks._util import BENCH_CONFIG, emit, fmt, run_once
+from benchmarks._util import BENCH_CONFIG, emit, run_once
 
 CFG = BENCH_CONFIG.with_overrides(duration=110.0, joiner=True,
                                   joiner_delay=30.0)

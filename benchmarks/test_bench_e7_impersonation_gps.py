@@ -9,7 +9,6 @@ Series:
   DESIGN.md trade-off knob).
 """
 
-import pytest
 
 from repro.core.attacks import GpsSpoofingAttack, ImpersonationAttack
 from repro.core.defenses import PkiSignatureDefense, VpdAdaDefense
@@ -102,8 +101,8 @@ def test_e7_vpd_threshold_ablation(benchmark):
         for threshold in (3.0, 5.0, 8.0, 12.0):
             attack = GpsSpoofingAttack(start_time=10.0, drift_rate=2.0)
             defense = VpdAdaDefense(position_threshold=threshold)
-            attacked = run_episode(BENCH_CONFIG, attacks=[attack],
-                                   defenses=[defense])
+            run_episode(BENCH_CONFIG, attacks=[attack],
+                        defenses=[defense])
             latency = defense.first_detection_latency(10.0)
             clean_defense = VpdAdaDefense(position_threshold=threshold)
             clean = run_episode(BENCH_CONFIG, defenses=[clean_defense])

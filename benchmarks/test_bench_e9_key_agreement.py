@@ -11,7 +11,6 @@ eavesdropper advantage; quantizer guard-band ablation.
 
 import random
 
-import pytest
 
 from repro.security.keys import (
     KeyAgreementConfig,

@@ -8,7 +8,6 @@ effect materialised.
 
 import sys
 
-import pytest
 
 from repro.core import taxonomy
 from repro.core.campaign import run_threat_catalogue

@@ -16,7 +16,6 @@ The paper's qualitative claims the shape must reproduce:
 
 import sys
 
-import pytest
 
 from repro.core import taxonomy
 from repro.core.campaign import run_defense_matrix

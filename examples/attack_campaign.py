@@ -10,10 +10,14 @@ The campaign executes through the parallel campaign engine: use
 to reuse episode results across invocations (identical results either
 way, thanks to per-experiment seed derivation).
 
+With ``--spec FILE`` the campaign instead runs one declarative
+``platoonsec-experiment/1`` spec (see ``examples/specs/``) against the
+same freight platoon -- new experiments are JSON, not code.
+
 Usage::
 
     python examples/attack_campaign.py [--quick] [--workers N]
-                                       [--cache-dir DIR]
+                                       [--cache-dir DIR] [--spec FILE]
 """
 
 import argparse
@@ -21,8 +25,28 @@ import argparse
 from repro import ScenarioConfig
 from repro.analysis.tables import format_table
 from repro.core import taxonomy
-from repro.core.campaign import run_threat_catalogue
+from repro.core.campaign import run_experiment_spec, run_threat_catalogue
+from repro.core.experiment import load_experiment_spec
 from repro.core.runner import CampaignRunner
+
+
+def run_spec(spec_path: str, config: ScenarioConfig) -> None:
+    """Run one declarative experiment spec against the freight platoon."""
+    spec = load_experiment_spec(spec_path)
+    run = run_experiment_spec(spec, config)
+    outcome = run.outcome
+    row = [spec.display_name, outcome.metric_name,
+           round(outcome.baseline_value, 3),
+           round(outcome.attacked_value, 3),
+           ("-" if run.defended_value is None
+            else round(run.defended_value, 3)),
+           "CONFIRMED" if outcome.effect_present else "no effect"]
+    print(format_table(
+        ["Experiment", "Metric", "Baseline", "Attacked", "Defended",
+         "Paper claim"],
+        [row], title=f"declarative experiment ({spec_path})"))
+    for key, value in sorted(outcome.attack_observables.items()):
+        print(f"  {key} = {value}")
 
 
 def main() -> None:
@@ -33,12 +57,19 @@ def main() -> None:
                         help="campaign worker-pool size (1 = serial)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent episode-cache directory")
+    parser.add_argument("--spec", default=None,
+                        help="run one platoonsec-experiment/1 spec file "
+                             "instead of the full catalogue")
     args = parser.parse_args()
 
     config = ScenarioConfig(
         n_vehicles=8, trucks=True, initial_speed=24.0,
         duration=60.0 if args.quick else 100.0,
         warmup=10.0, seed=42)
+
+    if args.spec is not None:
+        run_spec(args.spec, config)
+        return
 
     print(f"running {len(taxonomy.THREATS)} attack experiments "
           f"({config.duration:.0f}s episodes, trucks at "

@@ -84,7 +84,7 @@ def main() -> None:
                      for name, obs in hardened.defense_observables.items()}))
 
     eaves_undefended = undefended.attack_reports[0].observables
-    print(f"\nReconnaissance value to the attacker (undefended): "
+    print("\nReconnaissance value to the attacker (undefended): "
           f"{eaves_undefended['route_coverage']:.0%} of the route, "
           f"{eaves_undefended['vehicles_profiled']} vehicles profiled.")
 

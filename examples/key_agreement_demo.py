@@ -31,7 +31,7 @@ def main() -> None:
     print(f"  keys agree                   : {result.agreed}")
     print(f"  Alice key: {result.alice_key.hex()[:32]}...")
     print(f"  Bob   key: {result.bob_key.hex()[:32]}...")
-    print(f"  Eve bit agreement            : "
+    print("  Eve bit agreement            : "
           f"{result.eavesdropper_bit_agreement:.3f} (coin flip = 0.5)")
     print(f"  Eve recovered the key        : {result.eavesdropper_key_match}")
 

@@ -17,6 +17,14 @@ campaign engine: ``--workers N`` fans episodes over a process pool,
 computed unit (named by content hash), ``--profile`` enables profiling
 spans and prints the aggregated counters/timers, and ``--report``
 prints the per-unit cache/timing breakdown.
+``experiment <specfile.json|threat[/variant]>``
+    Run one declarative ``platoonsec-experiment/1`` spec (baseline vs
+    attacked, plus a defended episode when the spec declares defences).
+    Accepts a spec JSON file or a catalogue reference like
+    ``jamming`` / ``malware/obd``.
+``experiments [--list|--validate] [spec ...]``
+    List the registry-backed experiment catalogue and defence stacks, or
+    validate the catalogue / the given spec files without running them.
 ``sweep <specfile.json|preset>``
     Expand a declarative parameter sweep (grid/seeded-random axes over
     scenario, channel, vehicle or attack/defence parameters, with
@@ -69,6 +77,13 @@ def _print_report(runner: CampaignRunner, args) -> None:
     if args.profile:
         print(report.format_observability())
     print(report.summary())
+
+
+def _print_listing(headers, rows, title) -> int:
+    """The one table-formatting path shared by every catalogue-style
+    listing (``experiments --list``, ``sweep --list-presets``)."""
+    print(format_table(headers, rows, title=title))
+    return 0
 
 
 def cmd_attack(args) -> int:
@@ -143,18 +158,103 @@ def cmd_matrix(args) -> int:
     return 0
 
 
+def cmd_experiment(args) -> int:
+    from pathlib import Path
+
+    from repro.core.campaign import run_experiment_spec
+    from repro.core.experiment import load_experiment_spec
+    from repro.experiments import experiment_spec
+
+    if Path(args.spec).exists():
+        spec = load_experiment_spec(args.spec)
+    else:
+        threat, _, variant = args.spec.partition("/")
+        if threat not in taxonomy.THREATS:
+            print(f"error: {args.spec!r} is neither an experiment spec file "
+                  "nor a '<threat>[/variant]' catalogue reference "
+                  f"(threats: {sorted(taxonomy.THREATS)})", file=sys.stderr)
+            return 2
+        spec = experiment_spec(threat, variant or None)
+    run = run_experiment_spec(spec, _base_config(args))
+    outcome = run.outcome
+    headers = ["experiment", "metric", "baseline", "attacked"]
+    row = [spec.display_name, outcome.metric_name,
+           round(outcome.baseline_value, 3), round(outcome.attacked_value, 3)]
+    if run.defended_value is not None:
+        headers += ["defended", "mitigation"]
+        row += [round(run.defended_value, 3),
+                (round(run.mitigation, 2) if run.mitigation is not None
+                 else "n/a")]
+    headers.append("effect")
+    row.append("CONFIRMED" if outcome.effect_present else "no effect")
+    print(format_table(headers, [row],
+                       title=f"experiment {spec.display_name} "
+                             f"({spec.threat}/{spec.variant})"))
+    for key, value in sorted(outcome.attack_observables.items()):
+        print(f"  {key} = {value}")
+    if args.profile:
+        print(obs.format_snapshot(obs.get_registry().snapshot(),
+                                  title="episode observability"))
+    return 0 if outcome.effect_present else 1
+
+
+def cmd_experiments(args) -> int:
+    from repro.core.experiment import load_experiment_spec
+    from repro.experiments import (
+        check_catalogue_complete,
+        iter_defense_stacks,
+        iter_experiment_specs,
+    )
+
+    if args.validate:
+        if args.specs:
+            failures = []
+            for path in args.specs:
+                try:
+                    spec = load_experiment_spec(path)
+                except (OSError, ValueError) as exc:
+                    failures.append((path, str(exc)))
+                    continue
+                print(f"{path}: ok ({spec.display_name})")
+            for path, reason in failures:
+                print(f"{path}: INVALID -- {reason}", file=sys.stderr)
+            return 2 if failures else 0
+        problems = check_catalogue_complete()
+        if problems:
+            print("CATALOGUE PROBLEMS:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print("catalogue check: every threat, variant and mechanism "
+              "resolves through the registry.")
+        return 0
+    experiment_rows = [
+        [threat, variant, "*" if is_default else "",
+         ", ".join(c.key for c in spec.attacks), spec.metric.name]
+        for threat, variant, is_default, spec in iter_experiment_specs()]
+    _print_listing(["threat", "variant", "default", "attacks", "metric"],
+                   experiment_rows, "experiment catalogue (Table II)")
+    stack_rows = [
+        [mechanism, ", ".join(c.key for c in stack.defenses),
+         ", ".join(f"{k}={v}" for k, v in sorted(stack.requirements.items()))
+         or "-"]
+        for mechanism, stack in iter_defense_stacks()]
+    return _print_listing(["mechanism", "defenses", "requirements"],
+                          stack_rows, "\ndefence stacks (Table III)")
+
+
 def cmd_sweep(args) -> int:
     from repro.sweep import PRESETS, SweepEngine, load_sweep_spec
     from repro.sweep.artifacts import write_sweep_artifacts
 
     if args.list_presets:
-        rows = [[spec.name, spec.threat,
-                 ", ".join(axis.path for axis in spec.axes),
-                 spec.seed_replicates]
-                for spec in PRESETS.values()]
-        print(format_table(["preset", "threat", "axes", "replicates"], rows,
-                           title="shipped sweep presets"))
-        return 0
+        return _print_listing(
+            ["preset", "threat", "axes", "replicates"],
+            [[spec.name, spec.threat,
+              ", ".join(axis.path for axis in spec.axes),
+              spec.seed_replicates]
+             for spec in PRESETS.values()],
+            "shipped sweep presets")
     if args.spec is None:
         print("error: sweep needs a spec file or preset name "
               "(see 'sweep --list-presets')", file=sys.stderr)
@@ -289,6 +389,25 @@ def main(argv=None) -> int:
     p_matrix.add_argument("mechanism", nargs="?", default=None,
                           choices=sorted(taxonomy.MECHANISMS))
     p_matrix.set_defaults(fn=cmd_matrix)
+
+    p_exp = sub.add_parser("experiment",
+                           help="run a declarative experiment spec")
+    p_exp.add_argument("spec",
+                       help="experiment spec JSON file, or a "
+                            "'<threat>[/variant]' catalogue reference")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_exps = sub.add_parser("experiments",
+                            help="list or validate the experiment catalogue")
+    p_exps.add_argument("specs", nargs="*", default=[],
+                        help="spec files to validate (with --validate)")
+    p_exps.add_argument("--list", action="store_true",
+                        help="list the catalogued experiments and defence "
+                             "stacks (the default)")
+    p_exps.add_argument("--validate", action="store_true",
+                        help="validate the catalogue, or the given spec "
+                             "files, without running anything")
+    p_exps.set_defaults(fn=cmd_experiments)
 
     p_sweep = sub.add_parser("sweep",
                              help="run a declarative parameter sweep")

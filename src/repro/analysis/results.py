@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Iterable, Union
 
 from repro.core.campaign import MatrixCell, ThreatOutcome
 from repro.core.metrics import ScenarioMetrics
@@ -109,7 +109,7 @@ def diff_catalogues(old: list, new: list,
             continue
         if previous.effect_present and not outcome.effect_present:
             problems.append(f"{outcome.threat_key}/{outcome.variant}: effect "
-                            f"disappeared")
+                            "disappeared")
             continue
         prev_delta = abs(previous.attacked_value - previous.baseline_value)
         new_delta = abs(outcome.attacked_value - outcome.baseline_value)

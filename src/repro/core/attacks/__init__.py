@@ -44,3 +44,35 @@ ALL_ATTACKS = [
 ]
 
 __all__ = [cls.__name__ for cls in ALL_ATTACKS] + ["ALL_ATTACKS"]
+
+
+# --------------------------------------------------------------------------
+# Component registration: every attack class registers under its taxonomy
+# key with a constructor-introspected parameter schema, so experiment
+# specs and sweeps resolve attacks through one path.
+# --------------------------------------------------------------------------
+
+from repro.core.registry import ParamSpec, register_attack  # noqa: E402
+from repro.onboard.malware import InfectionVector  # noqa: E402
+
+
+def _coerce_vectors(value) -> tuple:
+    """JSON infection-vector names -> ``InfectionVector`` tuple."""
+    items = value if isinstance(value, (list, tuple)) else (value,)
+    return tuple(item if isinstance(item, InfectionVector)
+                 else InfectionVector(str(item)) for item in items)
+
+
+#: Per-class schema overrides for parameters whose JSON form needs
+#: coercion before construction.
+_PARAM_OVERRIDES = {
+    MalwareAttack: {
+        "vectors": ParamSpec(name="vectors",
+                             default=(InfectionVector.WIRELESS,),
+                             annotation="tuple[InfectionVector, ...]",
+                             convert=_coerce_vectors),
+    },
+}
+
+for _cls in ALL_ATTACKS:
+    register_attack(_cls, params=_PARAM_OVERRIDES.get(_cls))

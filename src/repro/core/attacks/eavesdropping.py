@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.attack import Attack, AttackerNode
-from repro.net.messages import Beacon, Message, MessageType
+from repro.net.messages import Beacon, Message
 
 
 class EavesdroppingAttack(Attack):

@@ -19,13 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.attack import Attack, AttackerNode
-from repro.net.messages import (
-    Beacon,
-    ManeuverMessage,
-    ManeuverType,
-    Message,
-    MessageType,
-)
+from repro.net.messages import Beacon, ManeuverMessage, ManeuverType, Message
 
 
 class ReplayAttack(Attack):

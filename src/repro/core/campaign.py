@@ -38,7 +38,7 @@ derivation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.runner import (
     CampaignRunner,
@@ -50,166 +50,34 @@ from repro.core.runner import (
 from repro.obs import registry as obs
 
 from repro.core.scenario import (
-    Scenario,
     ScenarioConfig,
     ScenarioResult,
-    gap_cycle_hook,
     run_episode,
 )
 from repro.core import taxonomy
-from repro.core.attacks import (
-    DosJoinFloodAttack,
-    EavesdroppingAttack,
-    FakeManeuverAttack,
-    FalsificationAttack,
-    GpsSpoofingAttack,
-    ImpersonationAttack,
-    JammingAttack,
-    MalwareAttack,
-    ReplayAttack,
-    SensorSpoofingAttack,
-    SybilAttack,
-)
-from repro.core.defenses import (
-    FreshnessDefense,
-    GroupKeyAuthDefense,
-    HybridVlcDefense,
-    OnboardHardeningDefense,
-    ResilientControlDefense,
-    RsuKeyDistributionDefense,
-    TrustFilterDefense,
-    VpdAdaDefense,
-)
-from repro.onboard.malware import InfectionVector
+from repro.core.experiment import ExperimentSpec, ThreatExperiment
+from repro.experiments import defense_stack, experiment_spec
 
-
-@dataclass
-class ThreatExperiment:
-    """A runnable, comparable experiment for one Table II threat."""
-
-    threat_key: str
-    variant: str
-    config: ScenarioConfig
-    make_attacks: Callable[[], list]
-    hooks: tuple = ()
-    # headline metric: (name, extractor(result) -> float, lower_is_better)
-    metric_name: str = "mean_abs_spacing_error"
-    lower_is_better: bool = True
-
-    def extract_metric(self, result: ScenarioResult) -> float:
-        return _extract(result, self.metric_name)
-
-
-def _extract(result: ScenarioResult, name: str) -> float:
-    metrics = result.metrics
-    if hasattr(metrics, name):
-        value = getattr(metrics, name)
-        return float(value) if value is not None else 0.0
-    for report in result.attack_reports:
-        if name in report.observables:
-            value = report.observables[name]
-            if isinstance(value, bool):
-                return 1.0 if value else 0.0
-            return float(value) if value is not None else 0.0
-    return 0.0
+__all__ = [
+    "ThreatExperiment", "ThreatOutcome", "MatrixCell", "PlannedExperiment",
+    "ExperimentSpecRun", "threat_experiment", "make_defenses",
+    "run_threat_experiment", "run_experiment_spec", "plan_threat_experiment",
+    "run_threat_catalogue", "run_defense_matrix", "run_matrix_cell",
+]
 
 
 def threat_experiment(threat_key: str,
                       base_config: Optional[ScenarioConfig] = None,
                       variant: Optional[str] = None) -> ThreatExperiment:
-    """Build the canonical experiment for a Table II threat key."""
+    """Build the canonical experiment for a Table II threat key.
+
+    Resolution goes through the declarative catalogue
+    (:mod:`repro.experiments`) and the component registry: unknown
+    threats raise ``KeyError``, unknown variants raise ``ValueError``
+    naming the valid ones.
+    """
     base = base_config or ScenarioConfig(duration=90.0)
-    if threat_key not in taxonomy.THREATS:
-        raise KeyError(f"unknown threat {threat_key!r}; expected one of "
-                       f"{sorted(taxonomy.THREATS)}")
-
-    if threat_key == "sybil":
-        cfg = base.with_overrides(joiner=True, joiner_delay=55.0, max_members=10)
-        return ThreatExperiment(
-            threat_key, "ghost-joins", cfg,
-            lambda: [SybilAttack(start_time=base.warmup, n_ghosts=6)],
-            metric_name="roster_inflation", lower_is_better=True)
-
-    if threat_key == "fake_maneuver":
-        mode = variant or "split"
-        metric = {"entrance": "gap_open_time_s",
-                  "leave": "members_remaining",
-                  "split": "platoon_fragments"}[mode]
-        lower = mode != "leave"   # more members remaining is better
-        interval = 15.0 if mode == "split" else 8.0
-        return ThreatExperiment(
-            threat_key, mode, base,
-            lambda: [FakeManeuverAttack(start_time=base.warmup, mode=mode,
-                                        interval=interval)],
-            metric_name=metric, lower_is_better=lower)
-
-    if threat_key == "replay":
-        return ThreatExperiment(
-            threat_key, "gap-command-replay", base,
-            lambda: [ReplayAttack(start_time=base.warmup, target="all")],
-            hooks=(gap_cycle_hook(),),
-            metric_name="gap_open_time_s", lower_is_better=True)
-
-    if threat_key == "jamming":
-        return ThreatExperiment(
-            threat_key, "barrage-30dBm", base,
-            lambda: [JammingAttack(start_time=base.warmup, power_dbm=30.0)],
-            metric_name="degraded_fraction", lower_is_better=True)
-
-    if threat_key == "eavesdropping":
-        return ThreatExperiment(
-            threat_key, "roadside-capture", base,
-            lambda: [EavesdroppingAttack(start_time=base.warmup)],
-            metric_name="route_coverage", lower_is_better=True)
-
-    if threat_key == "dos":
-        cfg = base.with_overrides(joiner=True, joiner_delay=base.warmup + 15.0,
-                                  max_pending=4)
-        return ThreatExperiment(
-            threat_key, "join-flood", cfg,
-            lambda: [DosJoinFloodAttack(start_time=base.warmup, rate_hz=5.0)],
-            metric_name="joins_completed", lower_is_better=False)
-
-    if threat_key == "impersonation":
-        steal = (variant == "stolen-key")
-        return ThreatExperiment(
-            threat_key, variant or "stolen-id", base,
-            lambda: [ImpersonationAttack(start_time=base.warmup,
-                                         steal_key=steal)],
-            metric_name="victim_expelled", lower_is_better=True)
-
-    if threat_key == "sensor_spoofing":
-        if variant == "gps":
-            return ThreatExperiment(
-                threat_key, "gps", base,
-                lambda: [GpsSpoofingAttack(start_time=base.warmup,
-                                           drift_rate=2.0)],
-                metric_name="mean_beacon_error_m", lower_is_better=True)
-        return ThreatExperiment(
-            threat_key, variant or "blind+tpms", base,
-            lambda: [SensorSpoofingAttack(start_time=base.warmup,
-                                          spoof_tpms=True)],
-            metric_name="tpms_warnings", lower_is_better=True)
-
-    if threat_key == "malware":
-        vector = {"obd": InfectionVector.OBD,
-                  "media": InfectionVector.MEDIA,
-                  "wireless": InfectionVector.WIRELESS}.get(
-                      variant or "wireless", InfectionVector.WIRELESS)
-        return ThreatExperiment(
-            threat_key, variant or "wireless", base,
-            lambda: [MalwareAttack(start_time=base.warmup, vectors=(vector,))],
-            metric_name="infected_at_end", lower_is_better=True)
-
-    if threat_key == "falsification":
-        return ThreatExperiment(
-            threat_key, variant or "oscillate", base,
-            lambda: [FalsificationAttack(start_time=base.warmup,
-                                         profile=variant or "oscillate",
-                                         amplitude=2.5)],
-            metric_name="mean_abs_spacing_error", lower_is_better=True)
-
-    raise AssertionError(f"unhandled threat {threat_key!r}")
+    return experiment_spec(threat_key, variant).build(base)
 
 
 # --------------------------------------------------------------------------
@@ -221,25 +89,12 @@ def make_defenses(mechanism_key: str) -> tuple[list, dict]:
 
     Returns ``(defenses, config_requirements)`` where the requirements are
     ScenarioConfig overrides the mechanism needs (VLC hardware, authority,
-    RSUs along the route).
+    RSUs along the route).  Stacks resolve through the declarative
+    defence table (:mod:`repro.experiments`) and the component registry;
+    unknown mechanisms raise ``KeyError``.
     """
-    if mechanism_key == "secret_public_keys":
-        return ([GroupKeyAuthDefense(encrypt=True), FreshnessDefense()], {})
-    if mechanism_key == "roadside_units":
-        return ([RsuKeyDistributionDefense(), GroupKeyAuthDefense(encrypt=True)],
-                {"with_authority": True,
-                 "rsu_positions": (1200.0, 2400.0, 3600.0, 4800.0, 6000.0),
-                 "rsu_coverage": 800.0})
-    if mechanism_key == "control_algorithms":
-        return ([VpdAdaDefense(expel=True), ResilientControlDefense()], {})
-    if mechanism_key == "hybrid_communications":
-        return ([HybridVlcDefense()], {"with_vlc": True})
-    if mechanism_key == "onboard_security":
-        return ([OnboardHardeningDefense()], {})
-    if mechanism_key == "trust_management":
-        return ([TrustFilterDefense(), VpdAdaDefense()], {})
-    raise KeyError(f"unknown mechanism {mechanism_key!r}; expected one of "
-                   f"{sorted(taxonomy.MECHANISMS)}")
+    stack = defense_stack(mechanism_key)
+    return stack.build(), dict(stack.requirements)
 
 
 # --------------------------------------------------------------------------
@@ -295,6 +150,54 @@ def run_threat_experiment(experiment: ThreatExperiment) -> ThreatOutcome:
                          attacked_value=attacked_value,
                          effect_present=effect,
                          attack_observables=observables)
+
+
+# --------------------------------------------------------------------------
+# Declarative spec execution
+# --------------------------------------------------------------------------
+
+@dataclass
+class ExperimentSpecRun:
+    """The result of running one declarative experiment spec."""
+
+    spec: ExperimentSpec
+    outcome: ThreatOutcome
+    #: Headline metric with the spec's defence stack active; ``None``
+    #: when the spec declares no defences.
+    defended_value: Optional[float] = None
+
+    @property
+    def mitigation(self) -> Optional[float]:
+        if self.defended_value is None:
+            return None
+        delta = self.outcome.attacked_value - self.outcome.baseline_value
+        if abs(delta) < _EPS:
+            return None
+        return (self.outcome.attacked_value - self.defended_value) / delta
+
+
+def run_experiment_spec(spec: ExperimentSpec,
+                        base_config: Optional[ScenarioConfig] = None
+                        ) -> ExperimentSpecRun:
+    """Run a declarative experiment spec end to end.
+
+    Executes baseline and attacked episodes (and, when the spec declares
+    defence components, a defended episode) on the spec's resolved
+    config, and verdicts the headline metric exactly like
+    :func:`run_threat_experiment`.
+    """
+    base = base_config or ScenarioConfig(duration=90.0)
+    experiment = spec.build(base)
+    outcome = run_threat_experiment(experiment)
+    defended_value = None
+    if spec.defenses:
+        defended = run_episode(experiment.config,
+                               attacks=experiment.make_attacks(),
+                               defenses=spec.build_defenses(base),
+                               setup_hooks=experiment.hooks)
+        defended_value = experiment.extract_metric(defended)
+    return ExperimentSpecRun(spec=spec, outcome=outcome,
+                             defended_value=defended_value)
 
 
 # --------------------------------------------------------------------------

@@ -50,3 +50,15 @@ ALL_DEFENSES = [
 ]
 
 __all__ = [cls.__name__ for cls in ALL_DEFENSES] + ["ALL_DEFENSES"]
+
+
+# --------------------------------------------------------------------------
+# Component registration: every defence class registers under its taxonomy
+# key with a constructor-introspected parameter schema, so experiment
+# specs and sweeps resolve defences through one path.
+# --------------------------------------------------------------------------
+
+from repro.core.registry import register_defense  # noqa: E402
+
+for _cls in ALL_DEFENSES:
+    register_defense(_cls)

@@ -28,10 +28,9 @@ exactly the SP-VLC rule.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.defense import Defense
-from repro.net.messages import ManeuverMessage, Message, MessageType
+from repro.net.messages import Message, MessageType
 
 
 class HybridVlcDefense(Defense):

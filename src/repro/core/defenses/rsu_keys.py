@@ -22,7 +22,6 @@ Behaviour installed on every platoon vehicle:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.defense import Defense
 from repro.net.messages import KeyDistributionMessage, Message, MessageType

@@ -26,7 +26,7 @@ detections (the mitigation path).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.defense import Defense

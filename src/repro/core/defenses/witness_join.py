@@ -20,7 +20,6 @@ one ghost at a time (tested in the suite).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.defense import Defense
 from repro.net.messages import ManeuverMessage, ManeuverType, MessageType

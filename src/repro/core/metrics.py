@@ -32,7 +32,6 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from repro.events import EventLog
 from repro.obs import registry as obs
 from repro.platoon.platoon import PlatoonRole
 

@@ -148,11 +148,11 @@ class EpisodeSpec:
             if target not in ("attack", "defense") or not attr:
                 raise ValueError(
                     f"bad override path {path!r}; expected "
-                    f"'attack.<param>' or 'defense.<param>'")
+                    "'attack.<param>' or 'defense.<param>'")
             if target == "attack" and self.role == "baseline":
                 raise ValueError(
                     f"override {path!r} is meaningless on a baseline spec "
-                    f"(no attacks are constructed)")
+                    "(no attacks are constructed)")
             if target == "defense" and self.role != "defended":
                 raise ValueError(
                     f"override {path!r} requires a 'defended' spec")
@@ -423,7 +423,7 @@ class CampaignRunner:
             except FileExistsError:
                 raise ValueError(
                     f"cache dir {self.cache_dir} exists and is not a "
-                    f"directory") from None
+                    "directory") from None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         if self.trace_dir is not None:
             try:

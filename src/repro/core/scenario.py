@@ -37,7 +37,7 @@ from repro.platoon.world import World
 from repro.core.metrics import MetricsCollector, ScenarioMetrics
 
 if TYPE_CHECKING:
-    from repro.core.attack import Attack, AttackReport
+    from repro.core.attack import Attack
     from repro.core.defense import Defense
     from repro.infra.authority import TrustedAuthority
     from repro.infra.rsu import RoadsideUnit

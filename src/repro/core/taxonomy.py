@@ -17,8 +17,7 @@ subclass and every mechanism a :class:`Defense` subclass behind it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 class SecurityAttribute(enum.Enum):
@@ -461,6 +460,6 @@ def check_taxonomy_complete() -> list[str]:
     for extension in EXTENSION_DEFENSES:
         if extension not in defense_names:
             problems.append(f"extension defence {extension!r} catalogued but "
-                            f"not implemented")
+                            "not implemented")
 
     return problems

@@ -21,7 +21,7 @@ metres, times in seconds.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from repro.net.messages import Message

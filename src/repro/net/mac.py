@@ -17,7 +17,7 @@ budget, after which it is dropped and counted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.net.messages import Message

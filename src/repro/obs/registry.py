@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 SNAPSHOT_VERSION = 1
 

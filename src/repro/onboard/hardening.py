@@ -9,7 +9,7 @@ and :class:`HardeningProfile` bundles them for scenario configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:

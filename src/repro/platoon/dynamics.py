@@ -17,7 +17,7 @@ negative (no reversing on the motorway).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.obs import registry as obs
 

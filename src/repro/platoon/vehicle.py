@@ -25,7 +25,7 @@ lost", as §V-B puts it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import Callable, Optional
 
 from repro.events import EventLog
 from repro.net.channel import RadioChannel

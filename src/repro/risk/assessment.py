@@ -15,7 +15,7 @@ classify platoon attacks; we both rate and measure them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.core import taxonomy
@@ -27,7 +27,7 @@ from repro.risk.model import (
     ThreatScenario,
 )
 
-I = ImpactRating
+IR = ImpactRating
 
 
 def build_platoon_tara() -> "RiskAssessment":
@@ -41,8 +41,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-JAM", "Platoon disbands at speed; efficiency lost; "
                 "elevated collision exposure during fallback",
-                safety=I.MAJOR, financial=I.MODERATE,
-                operational=I.SEVERE, privacy=I.NEGLIGIBLE),
+                safety=IR.MAJOR, financial=IR.MODERATE,
+                operational=IR.SEVERE, privacy=IR.NEGLIGIBLE),
             feasibility=AttackFeasibility(
                 elapsed_time=0, expertise=0, knowledge=0, window=0,
                 equipment=1)),
@@ -53,8 +53,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-MAN", "Platoon fragments into individual vehicles; "
                 "unsafe manoeuvres commanded at speed",
-                safety=I.SEVERE, financial=I.MODERATE,
-                operational=I.SEVERE, privacy=I.NEGLIGIBLE),
+                safety=IR.SEVERE, financial=IR.MODERATE,
+                operational=IR.SEVERE, privacy=IR.NEGLIGIBLE),
             feasibility=AttackFeasibility(
                 elapsed_time=0, expertise=1, knowledge=1, window=0,
                 equipment=1)),
@@ -65,8 +65,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-REP", "Oscillation, passenger discomfort, possible "
                 "collisions from stale close-gap commands",
-                safety=I.MAJOR, financial=I.MODERATE,
-                operational=I.MAJOR, privacy=I.NEGLIGIBLE),
+                safety=IR.MAJOR, financial=IR.MODERATE,
+                operational=IR.MAJOR, privacy=IR.NEGLIGIBLE),
             feasibility=AttackFeasibility(
                 elapsed_time=0, expertise=0, knowledge=1, window=0,
                 equipment=1)),
@@ -77,8 +77,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-SYB", "Capacity exhausted, real joiners denied, phantom "
                 "gaps maintained",
-                safety=I.MODERATE, financial=I.MODERATE,
-                operational=I.MAJOR, privacy=I.NEGLIGIBLE),
+                safety=IR.MODERATE, financial=IR.MODERATE,
+                operational=IR.MAJOR, privacy=IR.NEGLIGIBLE),
             feasibility=AttackFeasibility(
                 elapsed_time=1, expertise=1, knowledge=1, window=0,
                 equipment=1)),
@@ -88,8 +88,8 @@ def build_platoon_tara() -> "RiskAssessment":
                          "full; legitimate vehicles cannot join."),
             damage=DamageScenario(
                 "DS-DOS", "Platooning service denied to legitimate users",
-                safety=I.NEGLIGIBLE, financial=I.MODERATE,
-                operational=I.MAJOR, privacy=I.NEGLIGIBLE),
+                safety=IR.NEGLIGIBLE, financial=IR.MODERATE,
+                operational=IR.MAJOR, privacy=IR.NEGLIGIBLE),
             feasibility=AttackFeasibility(
                 elapsed_time=0, expertise=0, knowledge=1, window=0,
                 equipment=0)),
@@ -100,8 +100,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-EAV", "Tracking of drivers/goods; enables targeted theft "
                 "and follow-on attacks",
-                safety=I.NEGLIGIBLE, financial=I.MAJOR,
-                operational=I.NEGLIGIBLE, privacy=I.SEVERE),
+                safety=IR.NEGLIGIBLE, financial=IR.MAJOR,
+                operational=IR.NEGLIGIBLE, privacy=IR.SEVERE),
             feasibility=AttackFeasibility(
                 elapsed_time=0, expertise=0, knowledge=0, window=0,
                 equipment=0)),
@@ -112,8 +112,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-IMP", "Victim reputation/billing damage; unauthorised "
                 "platoon access",
-                safety=I.MODERATE, financial=I.MAJOR,
-                operational=I.MODERATE, privacy=I.MAJOR),
+                safety=IR.MODERATE, financial=IR.MAJOR,
+                operational=IR.MODERATE, privacy=IR.MAJOR),
             feasibility=AttackFeasibility(
                 elapsed_time=1, expertise=1, knowledge=2, window=1,
                 equipment=1)),
@@ -124,8 +124,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-SEN", "Vehicle mislocates itself or loses ranging; "
                 "blind spots hide hazards",
-                safety=I.SEVERE, financial=I.MODERATE,
-                operational=I.MAJOR, privacy=I.NEGLIGIBLE),
+                safety=IR.SEVERE, financial=IR.MODERATE,
+                operational=IR.MAJOR, privacy=IR.NEGLIGIBLE),
             feasibility=AttackFeasibility(
                 elapsed_time=1, expertise=2, knowledge=1, window=1,
                 equipment=2)),
@@ -136,8 +136,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-MAL", "Vehicle systems compromised up to catastrophic "
                 "failure; platooning denied",
-                safety=I.SEVERE, financial=I.MAJOR,
-                operational=I.MAJOR, privacy=I.MAJOR),
+                safety=IR.SEVERE, financial=IR.MAJOR,
+                operational=IR.MAJOR, privacy=IR.MAJOR),
             feasibility=AttackFeasibility(
                 elapsed_time=2, expertise=2, knowledge=2, window=2,
                 equipment=1)),
@@ -148,8 +148,8 @@ def build_platoon_tara() -> "RiskAssessment":
             damage=DamageScenario(
                 "DS-FDI", "String instability, comfort loss, elevated "
                 "collision risk behind the insider",
-                safety=I.MAJOR, financial=I.MODERATE,
-                operational=I.MAJOR, privacy=I.NEGLIGIBLE),
+                safety=IR.MAJOR, financial=IR.MODERATE,
+                operational=IR.MAJOR, privacy=IR.NEGLIGIBLE),
             feasibility=AttackFeasibility(
                 elapsed_time=1, expertise=2, knowledge=2, window=1,
                 equipment=1)),

@@ -10,7 +10,7 @@ through a standard 5x4 matrix.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

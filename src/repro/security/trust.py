@@ -16,8 +16,7 @@ excluding badly-behaving vehicles.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

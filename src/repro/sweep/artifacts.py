@@ -52,7 +52,7 @@ def load_sweep_artifact(path: Union[str, Path]) -> dict:
     """Read an artifact back; unknown formats raise ``ValueError``."""
     data = json.loads(Path(path).read_text())
     if data.get("format") != SWEEP_FORMAT:
-        raise ValueError(f"unsupported sweep artifact format: "
+        raise ValueError("unsupported sweep artifact format: "
                          f"{data.get('format')!r}")
     return data
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.campaign import make_defenses, threat_experiment
 from repro.core.runner import (

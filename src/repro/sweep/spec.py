@@ -83,7 +83,42 @@ def _validate_path(path: str) -> None:
         return
     raise ValueError(
         f"axis path {path!r}: unknown target {target!r} (expected "
-        f"scenario/channel/vehicle/attack/defense)")
+        "scenario/channel/vehicle/attack/defense)")
+
+
+def _component_attrs(threat: str, variant: Optional[str],
+                     mechanism: Optional[str], target: str) -> set:
+    """Settable attributes the sweep's live components expose.
+
+    Resolved through the component registry from the experiment's
+    catalogued attack components (or the mechanism's defence stack), so
+    axis paths are validated against the real constructor/attribute
+    schema instead of failing deep inside a worker.
+    """
+    from repro.core.registry import REGISTRY
+    from repro.experiments import defense_stack, experiment_spec
+
+    attrs: set = set()
+    if target == "attack":
+        for component in experiment_spec(threat, variant).attacks:
+            attrs |= REGISTRY.settable_attrs("attack", component.key)
+    else:
+        for component in defense_stack(mechanism).defenses:
+            attrs |= REGISTRY.settable_attrs("defense", component.key)
+    return attrs
+
+
+def _validate_component_axis(axis_path: str, threat: str,
+                             variant: Optional[str],
+                             mechanism: Optional[str]) -> None:
+    target, attr = split_path(axis_path)
+    valid = _component_attrs(threat, variant, mechanism, target)
+    if attr not in valid:
+        subject = (f"threat {threat!r}" if target == "attack"
+                   else f"mechanism {mechanism!r}")
+        raise ValueError(
+            f"axis path {axis_path!r}: no {target} component of {subject} "
+            f"has a settable attribute {attr!r} (known: {sorted(valid)})")
 
 
 @dataclass(frozen=True)
@@ -107,20 +142,20 @@ class SweepAxis:
         if self.sampling == "grid":
             if not self.values:
                 raise ValueError(f"axis {self.path!r}: grid sampling needs a "
-                                 f"non-empty 'values' list")
+                                 "non-empty 'values' list")
         else:
             if self.values:
                 raise ValueError(f"axis {self.path!r}: random sampling takes "
-                                 f"low/high/n, not explicit values")
+                                 "low/high/n, not explicit values")
             if self.low is None or self.high is None or self.low >= self.high:
                 raise ValueError(f"axis {self.path!r}: random sampling needs "
-                                 f"low < high")
+                                 "low < high")
             if self.n < 1:
                 raise ValueError(f"axis {self.path!r}: random sampling needs "
-                                 f"n >= 1")
+                                 "n >= 1")
             if self.log and self.low <= 0:
                 raise ValueError(f"axis {self.path!r}: log sampling needs "
-                                 f"low > 0")
+                                 "low > 0")
 
     def resolve(self, root_seed: int) -> tuple:
         """The concrete axis values for a root seed, ascending for random
@@ -146,7 +181,7 @@ class SweepAxis:
     @classmethod
     def from_dict(cls, data: dict) -> "SweepAxis":
         if not isinstance(data, dict):
-            raise ValueError(f"axis entry must be an object, got "
+            raise ValueError("axis entry must be an object, got "
                              f"{type(data).__name__}")
         known = {"path", "values", "sampling", "low", "high", "n", "log"}
         unknown = set(data) - known
@@ -215,12 +250,20 @@ class SweepSpec:
             raise ValueError("seed_replicates must be >= 1")
         unknown = set(self.base) - _CONFIG_FIELDS["scenario"]
         if unknown:
-            raise ValueError(f"base overrides name unknown ScenarioConfig "
+            raise ValueError("base overrides name unknown ScenarioConfig "
                              f"fields {sorted(unknown)}")
+        if self.variant is not None:
+            # Unknown variants raise ValueError naming the valid ones.
+            from repro.experiments import experiment_spec
+
+            experiment_spec(self.threat, self.variant)
         for axis in self.axes:
             target, attr = split_path(axis.path)
             if target == "defense" and self.mechanism is None:
                 raise ValueError(f"axis {axis.path!r} needs a 'mechanism'")
+            if target in ("attack", "defense"):
+                _validate_component_axis(axis.path, self.threat,
+                                         self.variant, self.mechanism)
 
     # ------------------------------------------------------------- plumbing
 
@@ -262,7 +305,7 @@ class SweepSpec:
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
         if not isinstance(data, dict):
-            raise ValueError(f"sweep spec must be an object, got "
+            raise ValueError("sweep spec must be an object, got "
                              f"{type(data).__name__}")
         data = dict(data)
         fmt = data.pop("format", SPEC_FORMAT)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.scenario import Scenario, ScenarioConfig
+from repro.core.scenario import ScenarioConfig
 from repro.events import EventLog
 from repro.net.channel import ChannelConfig, RadioChannel
 from repro.net.simulator import Simulator

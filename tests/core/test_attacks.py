@@ -93,7 +93,7 @@ class TestReplay:
 
     def test_replayed_frames_carry_original_sender(self, cfg):
         attack = ReplayAttack(start_time=8.0, target="beacons")
-        result = run_episode(cfg, attacks=[attack])
+        run_episode(cfg, attacks=[attack])
         # Replay does not invent identities; its frames claim real senders.
         assert attack.observables()["replayed"] > 0
 
@@ -105,8 +105,7 @@ class TestReplay:
 class TestSybil:
     def test_ghosts_admitted_and_roster_inflated(self, cfg):
         attack = SybilAttack(start_time=8.0, n_ghosts=3)
-        result = run_episode(cfg.with_overrides(max_members=12),
-                             attacks=[attack])
+        run_episode(cfg.with_overrides(max_members=12), attacks=[attack])
         obs = attack.observables()
         assert obs["ghosts_admitted"] == 3
         assert obs["roster_inflation"] == 3
@@ -274,7 +273,7 @@ class TestSensorSpoofing:
             cfg.with_overrides(duration=60.0),
             attacks=[SensorSpoofingAttack(start_time=8.0, stop_time=20.0,
                                           spoof_tpms=True)])
-        victim = None  # attack restores sensors; no warnings accumulate late
+        # The attack restores sensors; no warnings accumulate late.
         events = result.events.of_kind("sensor_attacked")
         assert len(events) == 1
 

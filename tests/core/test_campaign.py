@@ -5,7 +5,6 @@ import pytest
 from repro.core import taxonomy
 from repro.core.campaign import (
     MatrixCell,
-    ThreatExperiment,
     make_defenses,
     run_matrix_cell,
     run_threat_experiment,
@@ -42,6 +41,16 @@ class TestExperimentConstruction:
         first = experiment.make_attacks()
         second = experiment.make_attacks()
         assert first[0] is not second[0]
+
+    def test_unknown_malware_variant_rejected(self, small):
+        # Historically this silently fell back to the wireless vector.
+        with pytest.raises(ValueError, match="wireless"):
+            threat_experiment("malware", small, variant="usb")
+
+    def test_unknown_fake_maneuver_variant_rejected(self, small):
+        # Historically this raised a bare KeyError from the metric dict.
+        with pytest.raises(ValueError, match="entrance"):
+            threat_experiment("fake_maneuver", small, variant="warp")
 
 
 class TestDefenseConstruction:

@@ -133,8 +133,8 @@ class TestPkiSignatures:
 
             scenario.sim.schedule_at(9.0, do_revoke)
 
-        result = run_episode(cfg, attacks=[attack], defenses=[defense],
-                             setup_hooks=[revoke_victim])
+        run_episode(cfg, attacks=[attack], defenses=[defense],
+                    setup_hooks=[revoke_victim])
         assert defense.rejected_revoked > 0
         # Note: revoking the victim also silences the victim itself -- the
         # reputational damage the paper describes.
@@ -176,7 +176,7 @@ class TestFreshness:
         # Ablation: a window tighter than the physical delivery latency
         # (airtime + propagation + MAC backoff) hurts availability.
         defense = FreshnessDefense(window=0.0003)  # below one beacon airtime
-        result = run_episode(cfg, defenses=[defense])
+        run_episode(cfg, defenses=[defense])
         assert defense.rejected_stale > 0
 
     def test_normal_window_passes_legit_traffic(self, cfg):
@@ -194,7 +194,7 @@ class TestVpdAda:
     def test_detects_gps_spoofing(self, cfg):
         attack = GpsSpoofingAttack(start_time=8.0, drift_rate=2.0)
         defense = VpdAdaDefense()
-        result = run_episode(cfg, attacks=[attack], defenses=[defense])
+        run_episode(cfg, attacks=[attack], defenses=[defense])
         suspects = defense.observables()["suspects"]
         assert suspects.get(attack.victim_id, 0) >= 3
         latency = defense.first_detection_latency(8.0)
@@ -254,7 +254,7 @@ class TestVpdAda:
         attack = FalsificationAttack(start_time=8.0, profile="offset",
                                      position_offset=12.0)
         defense = VpdAdaDefense(expel=True, expel_reports=3)
-        result = run_episode(cfg, attacks=[attack], defenses=[defense])
+        run_episode(cfg, attacks=[attack], defenses=[defense])
         assert attack.insider_id in defense.observables()["expelled"]
 
 
@@ -368,8 +368,8 @@ class TestRsuKeyDistribution:
                 15.0, lambda: scenario.authority.revoke_vehicle("veh3",
                                                                 rotate=False))
 
-        result = run_episode(self.infra_cfg(cfg), defenses=[defense],
-                             setup_hooks=[revoke_later])
+        run_episode(self.infra_cfg(cfg), defenses=[defense],
+                    setup_hooks=[revoke_later])
         assert defense.crl_updates >= 1
         assert defense.dropped_revoked > 0
 
@@ -387,7 +387,7 @@ class TestOnboardHardening:
                                vectors=(InfectionVector.OBD,),
                                victim_indices=(2,), max_attempts=2)
         defense = OnboardHardeningDefense()
-        result = run_episode(cfg, attacks=[attack], defenses=[defense])
+        run_episode(cfg, attacks=[attack], defenses=[defense])
         obs = defense.observables()
         assert obs["infected_at_end"] == 0
         assert obs["vehicles_hardened"] == cfg.n_vehicles
@@ -422,8 +422,8 @@ class TestTrustFilter:
         attack = FalsificationAttack(start_time=8.0, profile="offset",
                                      position_offset=12.0)
         defense = TrustFilterDefense()
-        result = run_episode(cfg, attacks=[attack],
-                             defenses=[defense, VpdAdaDefense()])
+        run_episode(cfg, attacks=[attack],
+                    defenses=[defense, VpdAdaDefense()])
         assert attack.insider_id in defense.observables()["expelled"]
 
     def test_no_evidence_no_expulsions(self, cfg):

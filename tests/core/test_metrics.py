@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.metrics import drag_factor
-from repro.core.scenario import ScenarioConfig, run_episode
+from repro.core.scenario import run_episode
 
 
 class TestDragFactor:

@@ -18,7 +18,6 @@ from repro.core.campaign import (
     threat_experiment,
 )
 from repro.core.runner import (
-    CACHE_FORMAT,
     CampaignRunner,
     EpisodeSpec,
     apply_parameter_overrides,

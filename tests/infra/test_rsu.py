@@ -65,8 +65,8 @@ class TestKeyRelay:
 
     def test_refuses_unregistered_vehicle(self, setup):
         sim, channel, events, ta = setup
-        rsu = RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
-                           crl_push_interval=0.0)
+        RoadsideUnit(sim, channel, "rsu0", 100.0, ta, events,
+                     crl_push_interval=0.0)
         _, replies = request_key(sim, channel, "stranger", 150.0)
         sim.run(0.5)
         assert not [m for m in replies if m.recipient_id == "stranger"]
@@ -96,8 +96,8 @@ class TestKeyRelay:
 class TestRogue:
     def test_rogue_issues_bogus_key(self, setup):
         sim, channel, events, ta = setup
-        rogue = RoadsideUnit(sim, channel, "evil-rsu", 100.0, None, events,
-                             rogue=True, crl_push_interval=0.0)
+        RoadsideUnit(sim, channel, "evil-rsu", 100.0, None, events,
+                     rogue=True, crl_push_interval=0.0)
         _, replies = request_key(sim, channel, "veh0", 150.0)
         sim.run(0.5)
         bogus = [m for m in replies if m.recipient_id == "veh0"]

@@ -2,7 +2,6 @@
 challenge: "identifying and removing faulty RSUs ... without damaging the
 network overall")."""
 
-import pytest
 
 from repro.core.defenses import RsuKeyDistributionDefense
 from repro.core.scenario import ScenarioConfig, run_episode

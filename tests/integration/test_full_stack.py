@@ -82,7 +82,8 @@ class TestDefenseStacking:
 class TestJammingVsHybridEndToEnd:
     def test_platoon_survives_jamming_only_with_hybrid(self, cfg):
         vlc_cfg = cfg.with_overrides(with_vlc=True, duration=60.0)
-        jam = lambda: JammingAttack(start_time=10.0, power_dbm=30.0)
+        def jam():
+            return JammingAttack(start_time=10.0, power_dbm=30.0)
         undefended = run_episode(vlc_cfg, attacks=[jam()])
         defended = run_episode(vlc_cfg, attacks=[jam()],
                                defenses=[HybridVlcDefense()])

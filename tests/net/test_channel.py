@@ -1,6 +1,5 @@
 """Unit tests for the radio channel: propagation, SINR, interference."""
 
-import math
 
 import pytest
 
@@ -168,7 +167,7 @@ class TestInterference:
         sim = Simulator(seed=7)
         channel = RadioChannel(sim)
         tx = make_radio(sim, channel, "tx", 0.0)
-        rx = make_radio(sim, channel, "rx", 700.0)
+        make_radio(sim, channel, "rx", 700.0)
         channel.add_interferer(_FixedInterferer(-88.0))  # under CS at -85
         for _ in range(60):
             tx.send(Beacon(sender_id="tx", timestamp=sim.now))

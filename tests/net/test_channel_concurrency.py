@@ -1,6 +1,5 @@
 """Concurrent-transmission behaviour of the channel (hidden collisions)."""
 
-import pytest
 
 from repro.net.channel import ChannelConfig, RadioChannel
 from repro.net.messages import Beacon, Message
@@ -21,7 +20,7 @@ class TestConcurrentTransmissions:
                                                   rayleigh_fading=False))
         a = Radio(sim, channel, "a", lambda: 0.0)
         b = Radio(sim, channel, "b", lambda: 100.0)
-        rx = Radio(sim, channel, "rx", lambda: 50.0)
+        Radio(sim, channel, "rx", lambda: 50.0)
         # a starts a long transmission; while it is on the air, b's frame
         # toward rx sees it as interference.
         channel.broadcast(a, big_message("a"))

@@ -48,7 +48,8 @@ class TestFilters:
         sim, _, tx, rx = pair
         got = []
         rx.on_receive(got.append)
-        block = lambda m: False
+        def block(m):
+            return False
         rx.add_filter(block)
         ping(sim, tx)
         rx.remove_filter(block)

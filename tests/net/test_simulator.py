@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.simulator import Event, PeriodicProcess, SimulationError, Simulator
+from repro.net.simulator import PeriodicProcess, SimulationError, Simulator
 
 
 class TestScheduling:

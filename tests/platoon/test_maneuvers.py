@@ -1,6 +1,5 @@
 """Integration tests for the join / leave / split manoeuvre protocol."""
 
-import pytest
 
 from repro.net.messages import ManeuverMessage, ManeuverType
 from repro.platoon.dynamics import LongitudinalState

@@ -1,6 +1,5 @@
 """Edge cases of the manoeuvre protocol: malformed/foreign commands."""
 
-import pytest
 
 from repro.net.messages import ManeuverMessage, ManeuverType
 from repro.platoon.platoon import PlatoonRole

@@ -1,6 +1,5 @@
 """Tests for platoon merge and post-disband reformation."""
 
-import pytest
 
 from repro.platoon.platoon import PlatoonRole
 from repro.platoon.vehicle import VehicleConfig

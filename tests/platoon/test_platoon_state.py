@@ -1,6 +1,5 @@
 """Unit tests for platoon state and the membership registry."""
 
-import pytest
 
 from repro.platoon.platoon import (
     MembershipRegistry,

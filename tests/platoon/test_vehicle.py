@@ -1,13 +1,10 @@
 """Unit/integration tests for the Vehicle composition class."""
 
-import dataclasses
 
-import pytest
 
 from repro.net.messages import Beacon
 from repro.platoon.platoon import PlatoonRole
 from repro.platoon.vehicle import Vehicle, VehicleConfig
-from repro.platoon.dynamics import LongitudinalState
 
 from tests.conftest import build_platoon
 

@@ -6,8 +6,6 @@ from repro.net.channel import RadioChannel
 from repro.net.simulator import Simulator
 from repro.platoon.dynamics import LongitudinalState
 from repro.platoon.vehicle import Vehicle
-from repro.platoon.world import World
-from repro.events import EventLog
 
 from tests.conftest import build_platoon
 
@@ -51,7 +49,7 @@ class TestRegistry:
                     events)
 
     def test_remove(self, sim, world, channel, events):
-        vehicles = build_platoon(sim, world, channel, events, n=2)
+        build_platoon(sim, world, channel, events, n=2)
         world.remove("veh1")
         assert "veh1" not in world
         assert len(world) == 1

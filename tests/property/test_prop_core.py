@@ -1,12 +1,10 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
-import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.net.channel import ChannelConfig, RadioChannel, dbm_to_mw, mw_to_dbm
-from repro.net.messages import Beacon, Message
+from repro.net.channel import RadioChannel, dbm_to_mw, mw_to_dbm
+from repro.net.messages import Beacon
 from repro.net.simulator import Simulator
 from repro.platoon.dynamics import LongitudinalState, VehicleDynamics, VehicleParams
 from repro.security.crypto import (
@@ -190,5 +188,5 @@ class TestTableProperties:
     @settings(max_examples=40, deadline=None)
     def test_format_table_never_raises_and_aligns(self, rows):
         out = format_table(["a", "b", "c", "d"], rows)
-        lines = [l for l in out.splitlines() if l.startswith("|")]
-        assert len({len(l) for l in lines}) == 1
+        lines = [ln for ln in out.splitlines() if ln.startswith("|")]
+        assert len({len(ln) for ln in lines}) == 1

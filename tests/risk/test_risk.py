@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import taxonomy
 from repro.risk import (
     AttackFeasibility,
     DamageScenario,

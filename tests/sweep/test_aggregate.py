@@ -5,7 +5,6 @@ import pytest
 from repro.core.runner import EpisodeRecord
 from repro.sweep.aggregate import (
     DoseResponseCurve,
-    SweepPointSummary,
     ThresholdEstimate,
     dose_response,
     estimate_thresholds,

@@ -6,7 +6,7 @@ the engine behaviour under test is size-independent.
 
 import pytest
 
-from repro.core.runner import CampaignRunner, derive_replicate_seed
+from repro.core.runner import derive_replicate_seed
 from repro.sweep.artifacts import artifact_bytes, sweep_csv
 from repro.sweep.engine import SweepEngine, expand_points, run_sweep
 from repro.sweep.spec import PRESETS, SweepAxis, SweepSpec, Threshold
@@ -138,11 +138,12 @@ class TestExecution:
         assert sweep_csv(cold) == sweep_csv(warm) == sweep_csv(plain)
 
     def test_typoed_attack_axis_fails_loudly(self):
-        spec = tiny_spec(axes=(SweepAxis("attack.jam_power",
-                                         values=(10.0,)),),
-                         seed_replicates=1, thresholds=())
+        # Registry-backed schema validation rejects the bogus attribute
+        # at spec construction, before anything runs.
         with pytest.raises(ValueError, match="jam_power"):
-            run_sweep(spec)
+            tiny_spec(axes=(SweepAxis("attack.jam_power",
+                                      values=(10.0,)),),
+                      seed_replicates=1, thresholds=())
 
     def test_sybil_count_axis_reaches_the_attack(self):
         spec = SweepSpec(

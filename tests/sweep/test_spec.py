@@ -115,6 +115,54 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="unknown ScenarioConfig"):
             jam_spec(base={"wheels": 6})
 
+    def test_unknown_variant_rejected_naming_valid(self):
+        with pytest.raises(ValueError, match="wireless"):
+            jam_spec(threat="malware", variant="usb")
+
+
+class TestRegistryBackedAxisValidation:
+    """attack.* / defense.* axis attributes resolve through the registry
+    schemas of the experiment's actual components."""
+
+    def test_bogus_attack_attribute_rejected(self):
+        with pytest.raises(ValueError, match="jam_power"):
+            jam_spec(axes=(SweepAxis("attack.jam_power", values=(1.0,)),))
+
+    def test_error_names_the_valid_attributes(self):
+        with pytest.raises(ValueError, match="power_dbm"):
+            jam_spec(axes=(SweepAxis("attack.nope", values=(1.0,)),))
+
+    def test_renamed_ctor_param_validates_under_stored_name(self):
+        # JammingAttack stores ``position`` as ``position_override``; the
+        # runner sets instance attributes, so that is the valid axis.
+        spec = jam_spec(axes=(SweepAxis("attack.position_override",
+                                        values=(100.0,)),))
+        assert spec.axes[0].path == "attack.position_override"
+
+    def test_bogus_defense_attribute_rejected(self):
+        axis = SweepAxis("defense.shield_level", values=(1,))
+        with pytest.raises(ValueError, match="shield_level"):
+            jam_spec(axes=(axis,), mechanism="control_algorithms")
+
+    def test_defense_attribute_of_any_stack_member_accepted(self):
+        # control_algorithms stacks vpd_ada (expel) + resilient_control.
+        spec = jam_spec(axes=(SweepAxis("defense.expel",
+                                        values=(True, False)),),
+                        mechanism="control_algorithms")
+        assert spec.mechanism == "control_algorithms"
+
+    def test_variant_specific_attack_attrs(self):
+        # The gps variant swaps SensorSpoofingAttack for GpsSpoofingAttack,
+        # so drift_rate is only a valid axis there.
+        spec = SweepSpec(name="gps", threat="sensor_spoofing", variant="gps",
+                         axes=(SweepAxis("attack.drift_rate",
+                                         values=(1.0, 2.0)),))
+        assert spec.variant == "gps"
+        with pytest.raises(ValueError, match="drift_rate"):
+            SweepSpec(name="tpms", threat="sensor_spoofing",
+                      axes=(SweepAxis("attack.drift_rate",
+                                      values=(1.0, 2.0)),))
+
 
 class TestResolved:
     def test_defaults_fill_in(self):

@@ -28,8 +28,8 @@ class TestFormatTable:
 
     def test_alignment_consistent(self):
         out = format_table(["name", "value"], [["x", 1], ["longer", 22]])
-        lines = [l for l in out.splitlines() if l.startswith("|")]
-        assert len({len(l) for l in lines}) == 1
+        lines = [ln for ln in out.splitlines() if ln.startswith("|")]
+        assert len({len(ln) for ln in lines}) == 1
 
 
 class TestFormatKv:

@@ -62,6 +62,103 @@ class TestCli:
             main([])
 
 
+class TestCliExperiment:
+    """The ``experiment`` / ``experiments`` subcommands."""
+
+    def spec_file(self, tmp_path, **overrides):
+        data = {
+            "format": "platoonsec-experiment/1",
+            "name": "cli-jam",
+            "threat": "jamming",
+            "variant": "cli-barrage",
+            "attacks": [{"component": "jamming",
+                         "params": {"start_time": {"$config": "warmup"},
+                                    "power_dbm": 30.0}}],
+            "metric": {"name": "degraded_fraction"},
+        }
+        data.update(overrides)
+        path = tmp_path / "experiment.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_catalogue_reference(self, capsys):
+        code = main(["--duration", "45", "--vehicles", "5",
+                     "experiment", "jamming"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CONFIRMED" in out
+        assert "barrage-30dBm" in out
+
+    def test_catalogue_reference_with_variant(self, capsys):
+        code = main(TINY + ["experiment", "malware/obd"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "malware/obd" in out
+
+    def test_spec_file_runs_end_to_end(self, tmp_path, capsys):
+        code = main(["--duration", "45", "--vehicles", "5",
+                     "experiment", str(self.spec_file(tmp_path))])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cli-jam" in out
+        assert "CONFIRMED" in out
+
+    def test_spec_file_with_defenses_prints_mitigation(self, tmp_path, capsys):
+        path = self.spec_file(
+            tmp_path, defenses=[{"component": "hybrid_vlc"}],
+            config={"with_vlc": True})
+        code = main(["--duration", "45", "--vehicles", "5",
+                     "experiment", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "defended" in out
+        assert "mitigation" in out
+
+    def test_unknown_reference_rejected(self, capsys):
+        assert main(["experiment", "quantum"]) == 2
+        assert "neither an experiment spec file" in capsys.readouterr().err
+
+    def test_unknown_variant_rejected(self, capsys):
+        assert main(["experiment", "malware/usb"]) == 2
+        err = capsys.readouterr().err
+        assert "wireless" in err            # names the valid variants
+
+    def test_invalid_spec_file_rejected(self, tmp_path, capsys):
+        path = self.spec_file(tmp_path,
+                              attacks=[{"component": "death_ray"}])
+        assert main(["experiment", str(path)]) == 2
+        assert "death_ray" in capsys.readouterr().err
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment catalogue" in out
+        assert "ghost-joins" in out
+        assert "stolen-key" in out          # non-default variants listed
+        assert "defence stacks" in out
+        assert "hybrid_vlc" in out
+
+    def test_experiments_default_is_list(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "experiment catalogue" in capsys.readouterr().out
+
+    def test_experiments_validate_catalogue(self, capsys):
+        assert main(["experiments", "--validate"]) == 0
+        assert "resolves through the registry" in capsys.readouterr().out
+
+    def test_experiments_validate_spec_files(self, tmp_path, capsys):
+        good = self.spec_file(tmp_path)
+        assert main(["experiments", "--validate", str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "platoonsec-experiment/1",
+                                   "threat": "jamming"}))
+        assert main(["experiments", "--validate", str(good), str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "INVALID" in captured.err
+
+
 class TestCliSweep:
     """The ``sweep`` subcommand and the global ``--seed-replicates``."""
 

@@ -4,7 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -31,6 +30,13 @@ class TestExamples:
         proc = run_example("attack_campaign.py", "--quick")
         assert proc.returncode == 0, proc.stderr
         assert "Canonical platoon attack campaign" in proc.stdout
+
+    def test_attack_campaign_spec(self):
+        proc = run_example("attack_campaign.py", "--quick", "--spec",
+                           str(EXAMPLES / "specs" / "pulsed_jamming.json"))
+        assert proc.returncode == 0, proc.stderr
+        assert "declarative experiment" in proc.stdout
+        assert "pulsed-jamming-vs-vlc" in proc.stdout
 
     def test_risk_report_quick(self):
         proc = run_example("risk_report.py", "--quick")
