@@ -11,18 +11,25 @@ from __future__ import annotations
 
 import os
 import sys
+import warnings
 from typing import Any, Callable, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.core.scenario import ScenarioConfig
 
-# Regenerated tables are also appended to this log (pytest captures stdout
-# of passing tests, so the log is how a full `pytest benchmarks/` run
-# leaves its tables behind).  Truncated once per process.
-RESULTS_LOG = os.environ.get(
-    "REPRO_BENCH_LOG",
-    os.path.join(os.path.dirname(__file__), "results.log"))
+# Structured bench outcomes go to the platoonsec-bench/1 history store
+# (repro.obs.history): set REPRO_BENCH_HISTORY to a JSONL path and every
+# emitted table appends one schema-versioned record that `python -m repro
+# bench-compare` can gate.
+BENCH_HISTORY = os.environ.get("REPRO_BENCH_HISTORY") or None
+
+# Deprecated free-form prose log.  Historically every emitted table was
+# appended to benchmarks/results.log; that default is gone -- the log is
+# written only when REPRO_BENCH_LOG is set explicitly, and that escape
+# hatch goes away one release after the history store landed.
+RESULTS_LOG = os.environ.get("REPRO_BENCH_LOG") or None
 _log_initialized = False
+_log_deprecation_warned = False
 
 # The canonical bench scenario: 8 vehicles, 90 simulated seconds, CACC at
 # motorway speed -- large enough for string effects, small enough to keep
@@ -45,21 +52,67 @@ def bench_runner():
     return CampaignRunner(workers=BENCH_WORKERS, cache_dir=BENCH_CACHE_DIR)
 
 
+def table_metrics(headers: Sequence[str],
+                  rows: Sequence[Sequence[Any]]) -> dict:
+    """Flatten a bench table into name -> float headline metrics.
+
+    Each row's leading string cells form a ``a/b`` prefix and every
+    numeric cell becomes ``prefix.header``; rows whose prefixes collide
+    get a ``#rowindex`` suffix so nothing is silently dropped.
+    """
+    metrics: dict = {}
+    for index, row in enumerate(rows):
+        labels: list[str] = []
+        for cell in row:
+            if not isinstance(cell, str):
+                break
+            labels.append(cell)
+        prefix = "/".join(labels) or f"row{index}"
+        for header, cell in zip(headers, row):
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue
+            name = f"{prefix}.{header}"
+            if name in metrics:
+                name = f"{name}#{index}"
+            metrics[name] = float(cell)
+    return metrics
+
+
 def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]],
          notes: Optional[str] = None) -> str:
-    """Print a regenerated table (stderr) and append it to the results log."""
-    global _log_initialized
+    """Print a regenerated table (stderr) and record its outcome.
+
+    With ``REPRO_BENCH_HISTORY`` set, the table's numeric cells are
+    appended as one ``platoonsec-bench/1`` record to that history file;
+    the legacy ``REPRO_BENCH_LOG`` prose log still works but is
+    deprecated.
+    """
+    global _log_initialized, _log_deprecation_warned
     text = format_table(headers, rows, title=f"\n== {title} ==")
     if notes:
         text += f"\n{notes}"
     print(text, file=sys.stderr)
-    mode = "a" if _log_initialized else "w"
-    _log_initialized = True
-    try:
-        with open(RESULTS_LOG, mode) as log:
-            log.write(text + "\n")
-    except OSError:
-        pass
+    if BENCH_HISTORY is not None:
+        from repro.obs.history import append_history, make_bench_record
+
+        append_history(BENCH_HISTORY, make_bench_record(
+            f"bench[{title}]", metrics=table_metrics(headers, rows),
+            root_seed=BENCH_CONFIG.seed))
+    if RESULTS_LOG is not None:
+        if not _log_deprecation_warned:
+            _log_deprecation_warned = True
+            warnings.warn(
+                "REPRO_BENCH_LOG prose logging is deprecated; set "
+                "REPRO_BENCH_HISTORY to record structured "
+                "platoonsec-bench/1 records instead",
+                DeprecationWarning, stacklevel=2)
+        mode = "a" if _log_initialized else "w"
+        _log_initialized = True
+        try:
+            with open(RESULTS_LOG, mode) as log:
+                log.write(text + "\n")
+        except OSError:
+            pass
     return text
 
 

@@ -35,11 +35,29 @@ prints the per-unit cache/timing breakdown.
     presets.
 ``tracediff <a> <b>``
     Compare two trace files and name the first divergent record.
+``bench-compare [old.json [new.json]]``
+    Diff two ``platoonsec-bench/1`` records (or the last N history
+    entries) under explicit wall-time/metric tolerances; exits non-zero
+    on drift, with distinct codes for divergence and usage errors.
+``report (catalogue|matrix|sweep) [target]``
+    Run a campaign or sweep and render a single self-contained HTML
+    report (outcome grids, inline-SVG dose-response curves, per-unit
+    timing, cache summary) -- no scripts, no network assets.
 ``taxonomy``
     Print Tables I/II/III from the machine-readable taxonomy and verify
     the implementation registry.
 ``risk``
     Print the platoon TARA risk report.
+
+Run telemetry
+-------------
+The campaign commands accept ``--run-log PATH`` (stream one JSON event
+line per run/unit/phase transition; defaults to
+``<cache-dir>/run-log.jsonl`` when ``--cache-dir`` is set) and
+``--progress`` (force the live stderr progress line, which otherwise
+auto-enables only on a TTY).  ``--bench-history PATH`` appends one
+``platoonsec-bench/1`` record per campaign to a JSONL history file that
+``bench-compare`` gates regressions against.
 """
 
 from __future__ import annotations
@@ -65,18 +83,109 @@ def _base_config(args) -> ScenarioConfig:
                           warmup=10.0, seed=args.seed, trucks=args.trucks)
 
 
+def _make_telemetry(args):
+    """Build the run-event bus from the global telemetry flags.
+
+    Returns ``None`` when nothing would listen (no ``--run-log``, no
+    cache dir to default it into, progress neither forced nor on a TTY),
+    so the default CLI path stays telemetry-free.
+    """
+    from pathlib import Path
+
+    from repro.obs.telemetry import (
+        JsonlRunLogSink,
+        ProgressSink,
+        TelemetryBus,
+    )
+
+    run_log = getattr(args, "run_log", None)
+    if run_log is None and args.cache_dir is not None:
+        run_log = Path(args.cache_dir) / "run-log.jsonl"
+    sinks = []
+    if run_log is not None:
+        sinks.append(JsonlRunLogSink(run_log))
+    progress = ProgressSink(enabled=True if args.progress else None)
+    if progress.enabled:
+        sinks.append(progress)
+    return TelemetryBus(sinks) if sinks else None
+
+
 def _make_runner(args) -> CampaignRunner:
     return CampaignRunner(workers=args.workers, cache_dir=args.cache_dir,
-                          trace_dir=args.trace_dir)
+                          trace_dir=args.trace_dir,
+                          telemetry=_make_telemetry(args))
 
 
 def _print_report(runner: CampaignRunner, args) -> None:
+    if runner.telemetry is not None:
+        runner.telemetry.close()
     report = runner.report()
     if args.report:
         print(report.format())
     if args.profile:
         print(report.format_observability())
     print(report.summary())
+
+
+def _append_bench_history(args, label: str, runner: CampaignRunner,
+                          metrics) -> None:
+    """Append one ``platoonsec-bench/1`` record when ``--bench-history``
+    was given; silently a no-op otherwise."""
+    if getattr(args, "bench_history", None) is None:
+        return
+    from repro.obs.history import append_history, make_bench_record
+
+    record = make_bench_record(label, runner.report(), metrics=metrics,
+                               root_seed=args.seed)
+    append_history(args.bench_history, record)
+    print(f"bench history: appended {label!r} to {args.bench_history}",
+          file=sys.stderr)
+
+
+def _catalogue_metrics(outcomes) -> dict:
+    """Flat headline metrics for a Table II campaign."""
+    metrics = {}
+    for o in outcomes:
+        metrics[f"{o.threat_key}/{o.variant}.baseline"] = o.baseline_value
+        metrics[f"{o.threat_key}/{o.variant}.attacked"] = o.attacked_value
+    metrics["effects_confirmed"] = float(
+        sum(1 for o in outcomes if o.effect_present))
+    return metrics
+
+
+def _matrix_metrics(cells) -> dict:
+    """Flat headline metrics for a Table III defence matrix."""
+    metrics = {}
+    for c in cells:
+        prefix = f"{c.mechanism_key}/{c.threat_key}"
+        metrics[f"{prefix}.defended"] = c.defended_value
+        if c.mitigation is not None:
+            metrics[f"{prefix}.mitigation"] = c.mitigation
+    return metrics
+
+
+def _sweep_metrics(result) -> dict:
+    """Flat headline metrics for a sweep (per-point attacked mean and
+    effect rate)."""
+    metrics = {}
+    for point in result.points:
+        metrics[f"{point.label}.attacked_mean"] = point.attacked["mean"]
+        metrics[f"{point.label}.effect_rate"] = point.effect_rate
+    return metrics
+
+
+def _parse_only(only) -> list | None:
+    """Validate a ``--only`` comma-list against the threat taxonomy."""
+    if only is None:
+        return None
+    threats = [key for key in only.split(",") if key]
+    unknown = [key for key in threats if key not in taxonomy.THREATS]
+    if unknown:
+        raise ValueError(f"unknown threats {unknown}; expected from "
+                         f"{sorted(taxonomy.THREATS)}")
+    if not threats:
+        raise ValueError("empty campaign -- no threats selected")
+    return threats
 
 
 def _print_listing(headers, rows, title) -> int:
@@ -110,19 +219,12 @@ def _pm(value: float, std: float, replicates: int, digits: int = 3) -> str:
     return str(round(value, digits))
 
 
+def _catalogue_label(only) -> str:
+    return f"catalogue[{only}]" if only else "catalogue"
+
+
 def cmd_catalogue(args) -> int:
-    threats = None
-    if args.only is not None:
-        threats = [key for key in args.only.split(",") if key]
-        unknown = [key for key in threats if key not in taxonomy.THREATS]
-        if unknown:
-            print(f"error: unknown threats {unknown}; expected from "
-                  f"{sorted(taxonomy.THREATS)}", file=sys.stderr)
-            return 2
-        if not threats:
-            print("error: empty campaign -- no threats selected",
-                  file=sys.stderr)
-            return 2
+    threats = _parse_only(args.only)
     runner = _make_runner(args)
     outcomes = run_threat_catalogue(_base_config(args), threats=threats,
                                     seed_replicates=args.seed_replicates or 1,
@@ -136,6 +238,8 @@ def cmd_catalogue(args) -> int:
                         "attacked", "effect"], rows,
                        title="Table II campaign"))
     _print_report(runner, args)
+    _append_bench_history(args, _catalogue_label(args.only), runner,
+                          _catalogue_metrics(outcomes))
     return 0 if all(o.effect_present for o in outcomes) else 1
 
 
@@ -155,6 +259,9 @@ def cmd_matrix(args) -> int:
                         "attacked", "defended", "mitigation"], rows,
                        title="Table III defence matrix"))
     _print_report(runner, args)
+    _append_bench_history(
+        args, f"matrix[{args.mechanism}]" if args.mechanism else "matrix",
+        runner, _matrix_metrics(cells))
     return 0
 
 
@@ -243,8 +350,33 @@ def cmd_experiments(args) -> int:
                           stack_rows, "\ndefence stacks (Table III)")
 
 
+def _resolve_sweep_spec(spec_arg: str, args):
+    """A preset name or spec-file path -> a resolved ``SweepSpec``.
+
+    Raises ``ValueError`` (a usage error, exit 2) when the argument is
+    neither.
+    """
+    from pathlib import Path
+
+    from repro.sweep import PRESETS, load_sweep_spec
+
+    if spec_arg in PRESETS:
+        spec = PRESETS[spec_arg]
+    elif Path(spec_arg).exists():
+        spec = load_sweep_spec(spec_arg)
+    else:
+        raise ValueError(f"{spec_arg!r} is neither a shipped preset "
+                         f"({sorted(PRESETS)}) nor a spec file")
+    return spec.resolved(
+        root_seed=args.seed,
+        seed_replicates=args.seed_replicates,
+        base_defaults={"n_vehicles": args.vehicles,
+                       "duration": args.duration,
+                       "warmup": 10.0, "trucks": args.trucks})
+
+
 def cmd_sweep(args) -> int:
-    from repro.sweep import PRESETS, SweepEngine, load_sweep_spec
+    from repro.sweep import PRESETS, SweepEngine
     from repro.sweep.artifacts import write_sweep_artifacts
 
     if args.list_presets:
@@ -259,22 +391,7 @@ def cmd_sweep(args) -> int:
         print("error: sweep needs a spec file or preset name "
               "(see 'sweep --list-presets')", file=sys.stderr)
         return 2
-    if args.spec in PRESETS:
-        spec = PRESETS[args.spec]
-    else:
-        from pathlib import Path
-
-        if not Path(args.spec).exists():
-            print(f"error: {args.spec!r} is neither a shipped preset "
-                  f"({sorted(PRESETS)}) nor a spec file", file=sys.stderr)
-            return 2
-        spec = load_sweep_spec(args.spec)
-    spec = spec.resolved(
-        root_seed=args.seed,
-        seed_replicates=args.seed_replicates,
-        base_defaults={"n_vehicles": args.vehicles,
-                       "duration": args.duration,
-                       "warmup": 10.0, "trucks": args.trucks})
+    spec = _resolve_sweep_spec(args.spec, args)
     engine = SweepEngine(runner=_make_runner(args))
     result = engine.run(spec)
     rows = []
@@ -305,6 +422,8 @@ def cmd_sweep(args) -> int:
         paths = write_sweep_artifacts(result, args.out_dir)
         print(f"artifacts: {paths['json']} {paths['csv']}")
     _print_report(engine.runner, args)
+    _append_bench_history(args, f"sweep[{spec.name}]", engine.runner,
+                          _sweep_metrics(result))
     return 0
 
 
@@ -353,6 +472,87 @@ def cmd_tracediff(args) -> int:
     return 0 if diff.identical else 1
 
 
+def cmd_bench_compare(args) -> int:
+    from repro.obs.history import compare_records, load_history, load_record
+
+    try:
+        if args.old is not None and args.new is not None:
+            old, new = load_record(args.old), load_record(args.new)
+        else:
+            history = load_history(args.history)
+            if not history:
+                raise ValueError(f"history {args.history} is empty")
+            if args.old is not None:
+                # One file: gate the latest history entry against it.
+                old, new = load_record(args.old), history[-1]
+            else:
+                if args.last < 2:
+                    raise ValueError("--last must be >= 2 (comparing an "
+                                     "entry against itself is vacuous)")
+                if len(history) < args.last:
+                    raise ValueError(
+                        f"history {args.history} holds {len(history)} "
+                        f"record(s); --last {args.last} needs at least "
+                        f"{args.last}")
+                old, new = history[-args.last], history[-1]
+        comparison = compare_records(
+            old, new, wall_tolerance=args.wall_tolerance,
+            metric_tolerance=args.metric_tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(comparison.format())
+    return 0 if comparison.ok else 1
+
+
+def cmd_report(args) -> int:
+    from repro.obs.report import campaign_report, sweep_report, write_report
+
+    runner = _make_runner(args)
+    replicates = args.seed_replicates or 1
+    if args.what == "catalogue":
+        threats = _parse_only(args.only)
+        outcomes = run_threat_catalogue(_base_config(args), threats=threats,
+                                        seed_replicates=replicates,
+                                        runner=runner)
+        document = campaign_report(
+            "Table II campaign", outcomes=outcomes,
+            run_report=runner.report(), trace_dir=args.trace_dir)
+        label, metrics = (_catalogue_label(args.only),
+                          _catalogue_metrics(outcomes))
+    elif args.what == "matrix":
+        if args.target is not None \
+                and args.target not in taxonomy.MECHANISMS:
+            raise ValueError(f"unknown mechanism {args.target!r}; expected "
+                             f"from {sorted(taxonomy.MECHANISMS)}")
+        cells = run_defense_matrix(
+            _base_config(args),
+            mechanisms=[args.target] if args.target else None,
+            seed_replicates=replicates, runner=runner)
+        document = campaign_report(
+            "Table III defence matrix", cells=cells,
+            run_report=runner.report(), trace_dir=args.trace_dir)
+        label = f"matrix[{args.target}]" if args.target else "matrix"
+        metrics = _matrix_metrics(cells)
+    else:                                                   # sweep
+        from repro.sweep import SweepEngine
+
+        if args.target is None:
+            raise ValueError("report sweep needs a spec file or preset "
+                             "name (see 'sweep --list-presets')")
+        spec = _resolve_sweep_spec(args.target, args)
+        result = SweepEngine(runner=runner).run(spec)
+        document = sweep_report(result, run_report=runner.report(),
+                                trace_dir=args.trace_dir)
+        label, metrics = f"sweep[{spec.name}]", _sweep_metrics(result)
+    if runner.telemetry is not None:
+        runner.telemetry.close()
+    path = write_report(args.out, document)
+    print(f"report: {path}")
+    _append_bench_history(args, label, runner, metrics)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--vehicles", type=int, default=8)
@@ -373,6 +573,18 @@ def main(argv=None) -> int:
     parser.add_argument("--seed-replicates", type=int, default=None,
                         help="run every campaign unit / sweep point at N "
                              "derived seeds and report mean±std")
+    parser.add_argument("--run-log", default=None,
+                        help="stream one JSON event line per run/unit/phase "
+                             "transition to this file (defaults to "
+                             "<cache-dir>/run-log.jsonl when --cache-dir "
+                             "is set)")
+    parser.add_argument("--progress", action="store_true",
+                        help="force the live stderr progress line "
+                             "(auto-enabled only when stderr is a TTY)")
+    parser.add_argument("--bench-history", default=None,
+                        help="append one platoonsec-bench/1 record per "
+                             "campaign/sweep run to this JSONL history "
+                             "file (see bench-compare)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_attack = sub.add_parser("attack", help="run one Table II experiment")
@@ -420,11 +632,59 @@ def main(argv=None) -> int:
                          help="list the shipped sweep presets and exit")
     p_sweep.set_defaults(fn=cmd_sweep)
 
+    exit_codes = ("exit codes:\n"
+                  "  0  inputs are identical / within tolerance\n"
+                  "  1  divergence found\n"
+                  "  2  usage error (missing, unreadable or invalid input)")
+
     p_diff = sub.add_parser("tracediff",
-                            help="compare two JSONL episode traces")
+                            help="compare two JSONL episode traces",
+                            epilog=exit_codes,
+                            formatter_class=argparse.RawDescriptionHelpFormatter)
     p_diff.add_argument("trace_a")
     p_diff.add_argument("trace_b")
     p_diff.set_defaults(fn=cmd_tracediff)
+
+    p_bench = sub.add_parser(
+        "bench-compare",
+        help="diff two platoonsec-bench/1 records under drift tolerances",
+        epilog=exit_codes,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_bench.add_argument("old", nargs="?", default=None,
+                         help="old bench-record JSON file (e.g. a CI "
+                              "golden); omit both files to compare "
+                              "history entries")
+    p_bench.add_argument("new", nargs="?", default=None,
+                         help="new bench-record JSON file; when omitted, "
+                              "the latest --history entry is the new side")
+    p_bench.add_argument("--history", default="BENCH_history.jsonl",
+                         help="JSONL bench history written by "
+                              "--bench-history (default: %(default)s)")
+    p_bench.add_argument("--last", type=int, default=2,
+                         help="with no record files: compare the Nth-from-"
+                              "last history entry against the latest "
+                              "(default: %(default)s)")
+    p_bench.add_argument("--wall-tolerance", type=float, default=1.0,
+                         help="allowed relative wall-time slowdown "
+                              "(default: %(default)s, i.e. up to 2x)")
+    p_bench.add_argument("--metric-tolerance", type=float, default=0.05,
+                         help="allowed relative metric drift, both "
+                              "directions (default: %(default)s)")
+    p_bench.set_defaults(fn=cmd_bench_compare)
+
+    p_report = sub.add_parser(
+        "report",
+        help="run a campaign/sweep and render a self-contained HTML report")
+    p_report.add_argument("what", choices=["catalogue", "matrix", "sweep"],
+                          help="what to run and render")
+    p_report.add_argument("target", nargs="?", default=None,
+                          help="matrix: one mechanism row; sweep: spec "
+                               "file or preset name")
+    p_report.add_argument("--only", default=None,
+                          help="catalogue: comma-separated threat subset")
+    p_report.add_argument("--out", default="platoonsec-report.html",
+                          help="output HTML path (default: %(default)s)")
+    p_report.set_defaults(fn=cmd_report)
 
     sub.add_parser("taxonomy", help="print the machine-readable tables") \
         .set_defaults(fn=cmd_taxonomy)

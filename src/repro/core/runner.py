@@ -28,6 +28,11 @@ defended episodes -- the Table III mechanism key).  The
   the runner's own per-phase wall time.  With ``trace_dir`` set, each
   computed unit also streams a JSONL trace named by its content hash
   (see :mod:`repro.obs.trace`).
+* **Telemetry** -- with a :class:`~repro.obs.telemetry.TelemetryBus`
+  attached, the runner emits typed progress events (run/unit
+  started/finished with cache provenance and worker pid, phase
+  transitions) as the campaign executes; without one, every event site
+  is a single predicate check and nothing else changes.
 
 Workers return :class:`EpisodeRecord` -- a slim, JSON-serialisable
 projection of a :class:`~repro.core.scenario.ScenarioResult` (metric
@@ -41,6 +46,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -49,6 +55,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.scenario import ScenarioConfig, run_episode
 from repro.obs import registry as obs
+from repro.obs.telemetry import TelemetryBus
 from repro.obs.trace import trace_filename
 
 # /2 added the per-episode observability snapshot to EpisodeRecord;
@@ -297,6 +304,17 @@ def _execute_spec(spec: EpisodeSpec, trace_dir: Optional[str] = None,
     return record_from_result(spec, result, wall, observability=snapshot)
 
 
+def _execute_spec_worker(spec: EpisodeSpec, trace_dir: Optional[str] = None,
+                         profile: bool = False) -> tuple:
+    """Pool entry point: tags the record with the executing worker's pid.
+
+    The pid rides back *outside* the record, so telemetry can report
+    which worker ran a unit without touching the record (and therefore
+    the cache format or its bytes).
+    """
+    return os.getpid(), _execute_spec(spec, trace_dir, profile)
+
+
 # --------------------------------------------------------------------------
 # Run accounting
 # --------------------------------------------------------------------------
@@ -410,11 +428,18 @@ class CampaignRunner:
         (cache hits skip the episode, so they write no trace).  The
         directory must be creatable and writable; anything else raises
         ``ValueError`` up front rather than losing traces mid-campaign.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetryBus` receiving
+        typed run/unit/phase progress events as the campaign executes.
+        ``None`` (the default) is zero-cost: one predicate check per
+        event site, no events constructed, and episode results, traces
+        and cache entries are byte-identical either way.
     """
 
     def __init__(self, workers: int = 1,
                  cache_dir: Optional[Union[str, Path]] = None,
-                 trace_dir: Optional[Union[str, Path]] = None) -> None:
+                 trace_dir: Optional[Union[str, Path]] = None,
+                 telemetry: Optional[TelemetryBus] = None) -> None:
         self.workers = max(1, int(workers or 1))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
@@ -435,11 +460,32 @@ class CampaignRunner:
                 raise ValueError(
                     f"trace dir {self.trace_dir} is not writable: "
                     f"{exc}") from None
+        self.telemetry = telemetry
         self._memory: Dict[str, EpisodeRecord] = {}
         self._units: List[UnitReport] = []
         self._wall_time = 0.0
         self._obs = obs.MetricsRegistry()
         self._phases: Dict[str, float] = {}
+
+    # ----------------------------------------------------------- telemetry
+
+    def _emit(self, kind: str, **payload) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(kind, **payload)
+
+    def _emit_unit_started(self, spec: EpisodeSpec) -> None:
+        self._emit("unit_started", unit=spec.key, threat=spec.threat_key,
+                   variant=spec.variant, role=spec.role,
+                   mechanism=spec.mechanism_key)
+
+    def _emit_unit_finished(self, spec: EpisodeSpec, source: str,
+                            wall_time: float,
+                            worker: Optional[int] = None) -> None:
+        self._emit("unit_finished", unit=spec.key, threat=spec.threat_key,
+                   variant=spec.variant, role=spec.role,
+                   mechanism=spec.mechanism_key, source=source,
+                   cache_hit=source != "computed", wall_time=wall_time,
+                   worker=worker)
 
     # ----------------------------------------------------------- execution
 
@@ -452,9 +498,13 @@ class CampaignRunner:
         """
         batch_start = time.perf_counter()
         requested = [(spec.key, spec) for spec in specs]
+        distinct = len({key for key, _ in requested})
+        self._emit("run_started", requested=len(requested),
+                   distinct=distinct, workers=self.workers)
 
         # Resolve hits and collect distinct misses in request order.
         phase_start = time.perf_counter()
+        self._emit("phase_started", phase="resolve")
         to_compute: List[tuple] = []
         sources: Dict[str, str] = {}
         for key, spec in requested:
@@ -470,13 +520,23 @@ class CampaignRunner:
                 else:
                     sources[key] = "computed"
                     to_compute.append((key, spec))
-        self._add_phase("resolve", time.perf_counter() - phase_start)
+                    continue
+            # Cache hits resolve instantly: start and finish back to back.
+            self._emit_unit_started(spec)
+            self._emit_unit_finished(spec, sources[key], 0.0)
+        elapsed = time.perf_counter() - phase_start
+        self._add_phase("resolve", elapsed)
+        self._emit("phase_finished", phase="resolve", wall_time=elapsed)
 
         phase_start = time.perf_counter()
+        self._emit("phase_started", phase="compute")
         computed = self._compute(to_compute)
-        self._add_phase("compute", time.perf_counter() - phase_start)
+        elapsed = time.perf_counter() - phase_start
+        self._add_phase("compute", elapsed)
+        self._emit("phase_finished", phase="compute", wall_time=elapsed)
 
         phase_start = time.perf_counter()
+        self._emit("phase_started", phase="record")
         for key, record in computed.items():
             self._memory[key] = record
             self._store_cached(key, record)
@@ -500,9 +560,16 @@ class CampaignRunner:
                 role=spec.role, mechanism_key=spec.mechanism_key,
                 cache_hit=is_hit, source=source, wall_time=wall,
                 started=now, finished=now))
-        self._add_phase("record", time.perf_counter() - phase_start)
+        elapsed = time.perf_counter() - phase_start
+        self._add_phase("record", elapsed)
+        self._emit("phase_finished", phase="record", wall_time=elapsed)
 
-        self._wall_time += time.perf_counter() - batch_start
+        batch_wall = time.perf_counter() - batch_start
+        self._wall_time += batch_wall
+        self._emit("run_finished", requested=len(requested),
+                   distinct=distinct, computed=len(to_compute),
+                   cache_hits=distinct - len(to_compute),
+                   workers=self.workers, wall_time=batch_wall)
         return {key: self._memory[key] for key, _ in requested}
 
     def _add_phase(self, name: str, seconds: float) -> None:
@@ -514,19 +581,32 @@ class CampaignRunner:
         trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
         profile = obs.profiling_enabled()
         if self.workers == 1 or len(to_compute) == 1:
-            return {key: _execute_spec(spec, trace_dir, profile)
-                    for key, spec in to_compute}
-        results: Dict[str, EpisodeRecord] = {}
+            results: Dict[str, EpisodeRecord] = {}
+            for key, spec in to_compute:
+                self._emit_unit_started(spec)
+                record = _execute_spec(spec, trace_dir, profile)
+                results[key] = record
+                self._emit_unit_finished(spec, "computed", record.wall_time,
+                                         worker=os.getpid())
+            return results
+        results = {}
+        specs_by_key = dict(to_compute)
         pool_size = min(self.workers, len(to_compute))
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {pool.submit(_execute_spec, spec, trace_dir,
-                                   profile): key
-                       for key, spec in to_compute}
+            futures = {}
+            for key, spec in to_compute:
+                futures[pool.submit(_execute_spec_worker, spec, trace_dir,
+                                    profile)] = key
+                self._emit_unit_started(spec)
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    results[futures[future]] = future.result()
+                    key = futures[future]
+                    worker, record = future.result()
+                    results[key] = record
+                    self._emit_unit_finished(specs_by_key[key], "computed",
+                                             record.wall_time, worker=worker)
         return results
 
     # --------------------------------------------------------- disk cache

@@ -11,6 +11,19 @@ simulator, platoon, defences and campaign runner:
   traces (event log + periodic channel/MAC/platoon samples), one file
   per campaign unit, named by the unit's content hash and byte-stable
   for a fixed seed.
+* :mod:`repro.obs.telemetry` -- the structured run-event bus: typed
+  progress events from the campaign runner/sweep engine to pluggable
+  sinks (live stderr progress, a ``run-log.jsonl`` stream), with a
+  canonicalisation helper that makes run logs byte-comparable across
+  worker counts.
+* :mod:`repro.obs.history` -- the persistent benchmark-history store:
+  schema-versioned ``platoonsec-bench/1`` records (git SHA, seeds,
+  per-phase timings, headline metrics, registry snapshots) appended to
+  ``BENCH_history.jsonl``, plus the tolerance-gated record comparison
+  behind the ``bench-compare`` CLI.
+* :mod:`repro.obs.report` -- self-contained HTML campaign/sweep reports
+  (outcome grids, inline-SVG dose-response curves, per-unit timing,
+  cache summaries; no external assets).
 
 The companion analysis tool lives in :mod:`repro.analysis.tracediff`.
 """
@@ -38,13 +51,59 @@ from repro.obs.trace import (
     trace_filename,
     write_trace,
 )
+from repro.obs.telemetry import (
+    EVENT_KINDS,
+    JsonlRunLogSink,
+    ProgressSink,
+    RecordingSink,
+    TelemetryBus,
+    TelemetryEvent,
+    TelemetrySink,
+    canonical_events,
+    canonical_run_log_bytes,
+    load_run_log,
+)
+from repro.obs.history import (
+    HISTORY_FORMAT,
+    append_history,
+    compare_records,
+    load_history,
+    load_record,
+    make_bench_record,
+)
+from repro.obs.report import (
+    campaign_report,
+    svg_line_chart,
+    sweep_report,
+    write_report,
+)
 
 __all__ = [
     "DEFAULT_SAMPLE_PERIOD",
+    "EVENT_KINDS",
+    "HISTORY_FORMAT",
+    "JsonlRunLogSink",
     "MetricsRegistry",
+    "ProgressSink",
+    "RecordingSink",
     "SCHEMA_VERSION",
     "TRACE_FORMAT",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "TelemetrySink",
     "TraceRecorder",
+    "append_history",
+    "campaign_report",
+    "canonical_events",
+    "canonical_run_log_bytes",
+    "compare_records",
+    "load_history",
+    "load_record",
+    "load_run_log",
+    "make_bench_record",
+    "svg_line_chart",
+    "sweep_report",
+    "write_report",
     "format_snapshot",
     "get_registry",
     "inc",

@@ -1,0 +1,405 @@
+"""Self-contained HTML campaign/sweep reports.
+
+One campaign (or sweep) in, one HTML file out: the Table II/III outcome
+grids, dose-response curves as inline SVG, the runner's phase-timing
+breakdown, a per-unit cache/timing table with links to trace files, and
+the cache-hit summary.  *Self-contained* is a hard property: all CSS is
+inlined, charts are inline SVG, and nothing references the network --
+the file renders identically from a CI artifact tab, an email
+attachment or ``file://``.
+
+Entry points: :func:`campaign_report` (catalogue outcomes and/or matrix
+cells), :func:`sweep_report` (a :class:`~repro.sweep.engine.SweepResult`)
+and :func:`write_report`.  The CLI's ``report`` subcommand is a thin
+wrapper over these.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+REPORT_GENERATOR = "platoonsec report/1"
+
+#: Categorical series palette (colour-blind-safe, no external assets).
+_PALETTE = ("#4c78a8", "#f58518", "#54a24b", "#e45756",
+            "#72b7b2", "#b279a2", "#9d755d", "#bab0ac")
+
+_STYLE = """
+:root { color-scheme: light; }
+body { font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1a1a1a; background: #ffffff; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #4c78a8;
+     padding-bottom: .4rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .75rem 0; }
+caption { caption-side: top; text-align: left; font-weight: 600;
+          padding-bottom: .3rem; }
+th, td { border: 1px solid #d0d0d0; padding: .3rem .6rem;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f2f4f8; }
+tr:nth-child(even) td { background: #fafbfc; }
+.confirmed { color: #1a7f37; font-weight: 600; }
+.noeffect { color: #b35900; }
+.hit { color: #1a7f37; }
+.miss { color: #8a6d00; }
+svg { background: #ffffff; }
+footer { margin-top: 3rem; color: #6a6a6a; font-size: .85rem;
+         border-top: 1px solid #d0d0d0; padding-top: .5rem; }
+a { color: #2a5db0; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+class RawHtml(str):
+    """A table cell that is already trusted markup (e.g. a trace link);
+    everything else is escaped."""
+
+
+def _num(value, digits: int = 3) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{round(value, digits):g}"
+    return str(value)
+
+
+def html_table(headers: Sequence[str], rows: Sequence[Sequence],
+               caption: Optional[str] = None) -> str:
+    """A plain HTML table; cells may be ``(text, css_class)`` pairs."""
+    parts = ["<table>"]
+    if caption:
+        parts.append(f"<caption>{_esc(caption)}</caption>")
+    parts.append("<thead><tr>"
+                 + "".join(f"<th>{_esc(h)}</th>" for h in headers)
+                 + "</tr></thead><tbody>")
+    for row in rows:
+        cells = []
+        for cell in row:
+            css = None
+            if isinstance(cell, tuple) and len(cell) == 2:
+                cell, css = cell
+            if isinstance(cell, RawHtml):
+                raw = str(cell)
+            else:
+                raw = _esc(cell if isinstance(cell, str) else _num(cell))
+            cells.append(f'<td class="{_esc(css)}">{raw}</td>'
+                         if css else f"<td>{raw}</td>")
+        parts.append("<tr>" + "".join(cells) + "</tr>")
+    parts.append("</tbody></table>")
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Inline SVG charts
+# --------------------------------------------------------------------------
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / (n - 1)
+    return [lo + i * step for i in range(n)]
+
+
+def svg_line_chart(xs: Sequence[float], series: dict, *,
+                   title: str = "", x_label: str = "", y_label: str = "",
+                   width: int = 640, height: int = 300) -> str:
+    """An inline SVG line chart: one polyline per named series.
+
+    ``series`` maps name -> y list aligned with ``xs``; ``None`` entries
+    break the line.  Non-numeric x values yield an empty string so
+    callers can fall back to a table.
+    """
+    if not xs or not all(isinstance(x, (int, float))
+                         and not isinstance(x, bool) for x in xs):
+        return ""
+    numeric = [y for ys in series.values() for y in ys
+               if isinstance(y, (int, float)) and not isinstance(y, bool)]
+    if not numeric:
+        return ""
+    x_lo, x_hi = float(min(xs)), float(max(xs))
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    y_lo, y_hi = float(min(numeric)), float(max(numeric))
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    pad = (y_hi - y_lo) * 0.08
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    left, right, top, bottom = 64, 16, 34, 44
+
+    def sx(x: float) -> float:
+        return left + (x - x_lo) / (x_hi - x_lo) * (width - left - right)
+
+    def sy(y: float) -> float:
+        return (height - bottom
+                - (y - y_lo) / (y_hi - y_lo) * (height - top - bottom))
+
+    parts = [f'<svg xmlns="http://www.w3.org/2000/svg" role="img" '
+             f'viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}">']
+    if title:
+        parts.append(f'<text x="{left}" y="18" font-size="14" '
+                     f'font-weight="600">{_esc(title)}</text>')
+    # Axes + gridlines + tick labels.
+    axis = 'stroke="#888" stroke-width="1"'
+    parts.append(f'<line x1="{left}" y1="{top}" x2="{left}" '
+                 f'y2="{height - bottom}" {axis}/>')
+    parts.append(f'<line x1="{left}" y1="{height - bottom}" '
+                 f'x2="{width - right}" y2="{height - bottom}" {axis}/>')
+    for tick in _ticks(y_lo, y_hi):
+        y = sy(tick)
+        parts.append(f'<line x1="{left}" y1="{y:.1f}" '
+                     f'x2="{width - right}" y2="{y:.1f}" '
+                     f'stroke="#e4e4e4" stroke-width="1"/>')
+        parts.append(f'<text x="{left - 6}" y="{y + 4:.1f}" '
+                     f'font-size="11" text-anchor="end">{tick:.3g}</text>')
+    for tick in _ticks(x_lo, x_hi):
+        x = sx(tick)
+        parts.append(f'<text x="{x:.1f}" y="{height - bottom + 16}" '
+                     f'font-size="11" text-anchor="middle">'
+                     f'{tick:.3g}</text>')
+    if x_label:
+        parts.append(f'<text x="{(left + width - right) / 2:.1f}" '
+                     f'y="{height - 8}" font-size="12" '
+                     f'text-anchor="middle">{_esc(x_label)}</text>')
+    if y_label:
+        parts.append(f'<text x="14" y="{(top + height - bottom) / 2:.1f}" '
+                     f'font-size="12" text-anchor="middle" '
+                     f'transform="rotate(-90 14 '
+                     f'{(top + height - bottom) / 2:.1f})">'
+                     f'{_esc(y_label)}</text>')
+    # Series polylines + point markers + legend.
+    legend_x = left + 8
+    for i, (name, ys) in enumerate(series.items()):
+        colour = _PALETTE[i % len(_PALETTE)]
+        segment: list[str] = []
+        segments: list[list[str]] = [segment]
+        for x, y in zip(xs, ys):
+            if isinstance(y, (int, float)) and not isinstance(y, bool):
+                segment.append(f"{sx(float(x)):.1f},{sy(float(y)):.1f}")
+            elif segment:
+                segment = []
+                segments.append(segment)
+        for points in segments:
+            if len(points) > 1:
+                parts.append(f'<polyline fill="none" stroke="{colour}" '
+                             f'stroke-width="2" '
+                             f'points="{" ".join(points)}"/>')
+            for point in points:
+                cx, cy = point.split(",")
+                parts.append(f'<circle cx="{cx}" cy="{cy}" r="2.5" '
+                             f'fill="{colour}"/>')
+        parts.append(f'<rect x="{legend_x}" y="{top + 2 + i * 16}" '
+                     f'width="10" height="10" fill="{colour}"/>')
+        parts.append(f'<text x="{legend_x + 14}" '
+                     f'y="{top + 11 + i * 16}" font-size="11">'
+                     f'{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Page assembly
+# --------------------------------------------------------------------------
+
+def render_page(title: str, sections: Sequence[tuple[str, str]]) -> str:
+    """Assemble a full standalone HTML document from (heading, body)."""
+    parts = ["<!doctype html>", '<html lang="en">', "<head>",
+             '<meta charset="utf-8">',
+             '<meta name="viewport" '
+             'content="width=device-width, initial-scale=1">',
+             f"<title>{_esc(title)}</title>",
+             f"<style>{_STYLE}</style>", "</head>", "<body>",
+             f"<h1>{_esc(title)}</h1>"]
+    for heading, body in sections:
+        parts.append("<section>")
+        if heading:
+            parts.append(f"<h2>{_esc(heading)}</h2>")
+        parts.append(body)
+        parts.append("</section>")
+    parts.append(f"<footer>generated by {_esc(REPORT_GENERATOR)} &mdash; "
+                 "self-contained: no scripts, no network assets.</footer>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def _verdict_cell(effect_present: bool) -> tuple:
+    return (("CONFIRMED", "confirmed") if effect_present
+            else ("no effect", "noeffect"))
+
+
+def _outcome_section(outcomes) -> tuple[str, str]:
+    rows = []
+    for o in outcomes:
+        rows.append([o.threat_key, o.variant, o.metric_name,
+                     _num(o.baseline_value), _num(o.attacked_value),
+                     _num(o.impact_ratio, 2),
+                     _verdict_cell(o.effect_present)])
+    return ("Table II outcomes",
+            html_table(["threat", "variant", "metric", "baseline",
+                        "attacked", "impact ratio", "effect"], rows))
+
+
+def _matrix_section(cells) -> tuple[str, str]:
+    rows = []
+    for c in cells:
+        rows.append([c.mechanism_key, c.threat_key, c.metric_name,
+                     _num(c.baseline_value), _num(c.attacked_value),
+                     _num(c.defended_value), _num(c.mitigation, 2)])
+    return ("Table III defence matrix",
+            html_table(["mechanism", "threat", "metric", "baseline",
+                        "attacked", "defended", "mitigation"], rows))
+
+
+def _unit_section(run_report, trace_dir=None) -> tuple[str, str]:
+    from repro.obs.trace import trace_filename
+
+    rows = []
+    for unit in run_report.units:
+        trace: object = "-"
+        if trace_dir is not None and not unit.cache_hit:
+            name = trace_filename(unit.key)
+            href = f"{_esc(str(trace_dir))}/{_esc(name)}"
+            trace = RawHtml(f'<a href="{href}">{_esc(name[:12])}'
+                            "&hellip;</a>")
+        rows.append([unit.role, unit.threat_key, unit.variant,
+                     unit.mechanism_key or "-",
+                     (("hit", "hit") if unit.cache_hit
+                      else ("computed", "miss")),
+                     unit.source, _num(unit.wall_time), trace])
+    return ("Per-unit timing and cache provenance",
+            html_table(["role", "threat", "variant", "mechanism", "cache",
+                        "source", "wall [s]", "trace"], rows))
+
+
+def _cache_section(run_report) -> tuple[str, str]:
+    units = len(run_report.units)
+    ratio = run_report.cache_hits / units if units else 0.0
+    rows = [["units", units], ["computed", run_report.computed],
+            ["cache hits", run_report.cache_hits],
+            ["cache-hit ratio", f"{ratio:.0%}"],
+            ["workers", run_report.workers],
+            ["wall time [s]", _num(run_report.wall_time)],
+            ["episode time [s]", _num(run_report.episode_time)]]
+    phase_rows = [[name, _num(seconds, 4)]
+                  for name, seconds in run_report.phases.items()]
+    body = html_table(["quantity", "value"], rows,
+                      caption="cache + wall-clock summary")
+    if phase_rows:
+        body += html_table(["phase", "wall [s]"], phase_rows,
+                           caption="runner phase breakdown")
+    return ("Run summary", body)
+
+
+def campaign_report(title: str, outcomes=(), cells=(), run_report=None,
+                    trace_dir=None) -> str:
+    """Render a catalogue and/or matrix campaign into one HTML page."""
+    sections: list[tuple[str, str]] = []
+    if outcomes:
+        sections.append(_outcome_section(outcomes))
+    if cells:
+        sections.append(_matrix_section(cells))
+    if run_report is not None:
+        sections.append(_cache_section(run_report))
+        if run_report.units:
+            sections.append(_unit_section(run_report, trace_dir))
+    if not sections:
+        sections.append(("", "<p>nothing to report: no outcomes, cells "
+                             "or run report supplied.</p>"))
+    return render_page(title, sections)
+
+
+def _sweep_points_section(result) -> tuple[str, str]:
+    rows = []
+    for point in result.points:
+        rows.append([
+            point.label, point.replicates,
+            _num(point.baseline["mean"]), _num(point.attacked["mean"]),
+            (_num(point.impact_ratio["mean"], 2)
+             if point.impact_ratio else "n/a"),
+            _num(point.effect_rate, 2), _num(point.disband_rate, 2),
+            _num(point.detection_rate, 2)])
+    metric = result.points[0].metric if result.points else "metric"
+    return (f"Sweep points ({_esc(metric)})",
+            html_table(["point", "reps", "baseline", "attacked",
+                        "impact ratio", "effect rate", "disband rate",
+                        "detection rate"], rows))
+
+
+def _dose_response_sections(result) -> list[tuple[str, str]]:
+    curve = result.curve
+    if curve is None:
+        return []
+    sections = []
+    metric = result.points[0].metric if result.points else "metric"
+    means = svg_line_chart(
+        curve.xs,
+        {"baseline": curve.series("baseline_mean"),
+         "attacked": curve.series("attacked_mean"),
+         "defended": curve.series("defended_mean")},
+        title=f"{metric} vs {curve.axis}", x_label=curve.axis,
+        y_label=metric)
+    rates = svg_line_chart(
+        curve.xs,
+        {"effect rate": curve.series("effect_rate"),
+         "disband rate": curve.series("disband_rate"),
+         "detection rate": curve.series("detection_rate")},
+        title=f"outcome rates vs {curve.axis}", x_label=curve.axis,
+        y_label="rate")
+    body = "".join(part for part in (means, rates) if part)
+    if not body:
+        body = ("<p>axis values are not numeric; see the points table "
+                "above for the dose-response data.</p>")
+    sections.append(("Dose-response curves", body))
+    if result.thresholds:
+        rows = [[t.response, _num(t.level),
+                 ("never reached" if t.crossing is None
+                  else _num(t.crossing))]
+                for t in result.thresholds]
+        sections.append(("Threshold estimates",
+                         html_table(["response", "level",
+                                     "first crossing"], rows)))
+    return sections
+
+
+def sweep_report(result, run_report=None, trace_dir=None) -> str:
+    """Render a :class:`~repro.sweep.engine.SweepResult` into HTML."""
+    spec = result.spec
+    sections: list[tuple[str, str]] = []
+    meta_rows = [["threat", spec.threat],
+                 ["variant", spec.variant or "(default)"],
+                 ["mechanism", spec.mechanism or "-"],
+                 ["axes", ", ".join(axis.path for axis in spec.axes)],
+                 ["seed replicates", spec.seed_replicates],
+                 ["root seed", spec.root_seed],
+                 ["episodes planned", result.episodes_planned]]
+    sections.append(("Sweep specification",
+                     html_table(["field", "value"], meta_rows)))
+    sections.append(_sweep_points_section(result))
+    sections.extend(_dose_response_sections(result))
+    if run_report is not None:
+        sections.append(_cache_section(run_report))
+        if run_report.units:
+            sections.append(_unit_section(run_report, trace_dir))
+    return render_page(f"sweep {spec.name}", sections)
+
+
+def write_report(path: Union[str, Path], document: str) -> Path:
+    """Write a rendered report; unwritable targets raise ``ValueError``."""
+    path = Path(path)
+    try:
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(document, encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"report path {path} is not writable: "
+                         f"{exc}") from None
+    return path

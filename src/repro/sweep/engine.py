@@ -130,9 +130,19 @@ class SweepEngine:
     """Plans and executes sweeps through a campaign runner."""
 
     def __init__(self, runner: Optional[CampaignRunner] = None, *,
-                 workers: int = 1, cache_dir=None, trace_dir=None) -> None:
+                 workers: int = 1, cache_dir=None, trace_dir=None,
+                 telemetry=None) -> None:
         self.runner = runner if runner is not None else CampaignRunner(
-            workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+            workers=workers, cache_dir=cache_dir, trace_dir=trace_dir,
+            telemetry=telemetry)
+
+    def _emit_phase(self, phase: str, finished: bool = False,
+                    **payload) -> None:
+        """Sweep-level phase transitions ride the runner's event bus."""
+        bus = self.runner.telemetry
+        if bus is not None:
+            bus.emit("phase_finished" if finished else "phase_started",
+                     phase=phase, **payload)
 
     # ------------------------------------------------------------- planning
 
@@ -202,10 +212,13 @@ class SweepEngine:
     def run(self, spec: SweepSpec) -> SweepResult:
         """Execute a sweep end to end and aggregate the replicates."""
         spec = spec.resolved()
+        self._emit_phase("sweep.plan")
         with obs.timed("sweep.plan"):
             planned = self.plan(spec)
             specs = [s for plan in planned for s in plan.specs()]
+        self._emit_phase("sweep.plan", finished=True)
         records = self.runner.run(specs)
+        self._emit_phase("sweep.aggregate")
         with obs.timed("sweep.aggregate"):
             summaries = []
             for plan in planned:
@@ -223,14 +236,16 @@ class SweepEngine:
             curve = (aggregate.dose_response(spec.axes[0].path, summaries)
                      if len(spec.axes) == 1 else None)
             thresholds = aggregate.estimate_thresholds(curve, spec.thresholds)
+        self._emit_phase("sweep.aggregate", finished=True)
         return SweepResult(spec=spec, points=summaries, curve=curve,
                            thresholds=thresholds)
 
 
 def run_sweep(spec: SweepSpec, *, workers: int = 1, cache_dir=None,
-              trace_dir=None,
+              trace_dir=None, telemetry=None,
               runner: Optional[CampaignRunner] = None) -> SweepResult:
     """One-call sweep: build an engine, run, aggregate."""
     engine = SweepEngine(runner=runner, workers=workers,
-                         cache_dir=cache_dir, trace_dir=trace_dir)
+                         cache_dir=cache_dir, trace_dir=trace_dir,
+                         telemetry=telemetry)
     return engine.run(spec)

@@ -307,6 +307,58 @@ class TestRunReport:
         table = report.format()
         assert "jamming" in table and "baseline" in table
 
+    @staticmethod
+    def fabricated_report():
+        from repro.core.runner import RunReport, UnitReport
+
+        units = [
+            UnitReport(key="k1", threat_key="jamming", variant="v",
+                       role="baseline", mechanism_key=None,
+                       cache_hit=False, source="computed", wall_time=0.42,
+                       started=0.0, finished=0.42),
+            UnitReport(key="k2", threat_key="jamming", variant="v",
+                       role="defended", mechanism_key="mac",
+                       cache_hit=True, source="disk", wall_time=0.0,
+                       started=0.42, finished=0.42),
+        ]
+        return RunReport(workers=3, units=units, wall_time=1.5,
+                         counters={"frames.sent": 10.0},
+                         timers={"episode": {"count": 1, "total": 0.42,
+                                             "max": 0.42}},
+                         phases={"resolve": 0.01, "compute": 1.4})
+
+    def test_summary_states_every_aggregate(self):
+        summary = self.fabricated_report().summary()
+        assert "2 units" in summary
+        assert "1 computed" in summary
+        assert "1 cache hits" in summary
+        assert "1.5s wall" in summary
+        assert "workers=3" in summary
+        assert "resolve 0.01s" in summary and "compute 1.40s" in summary
+
+    def test_format_lists_units_with_provenance(self):
+        table = self.fabricated_report().format()
+        for token in ("baseline", "defended", "mac", "hit", "miss",
+                      "computed", "disk", "0.42"):
+            assert token in table
+        # One header row + one row per unit.
+        assert table.count("jamming") == 2
+
+    def test_format_observability_aggregates(self):
+        text = self.fabricated_report().format_observability()
+        assert "campaign observability" in text
+        assert "frames.sent" in text
+        assert "episode" in text
+        assert "runner phases" in text
+        assert "resolve" in text and "compute" in text
+
+    def test_format_observability_without_phases(self):
+        from repro.core.runner import RunReport
+
+        text = RunReport(workers=1).format_observability()
+        assert "campaign observability" in text
+        assert "runner phases" not in text
+
 
 @pytest.mark.slow
 class TestDefaultMatrixParallel:

@@ -307,3 +307,209 @@ class TestCliObservability:
         a = write_trace(tmp_path / "a.jsonl", [])
         assert main(["tracediff", str(a), str(tmp_path / "nope.jsonl")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCliTelemetry:
+    """The --run-log / --progress / --bench-history surface."""
+
+    def test_run_log_defaults_into_cache_dir(self, tmp_path, capsys):
+        from repro.obs.telemetry import load_run_log
+
+        cache = tmp_path / "cache"
+        assert main(TINY + ["--cache-dir", str(cache),
+                            "catalogue", "--only", "jamming"]) == 0
+        records = load_run_log(cache / "run-log.jsonl")
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "run_started" and kinds[-1] == "run_finished"
+        assert "unit_finished" in kinds
+
+    def test_run_log_canonical_across_worker_counts(self, tmp_path, capsys):
+        from repro.obs.telemetry import canonical_run_log_bytes
+
+        logs = {}
+        for workers in ("1", "2"):
+            path = tmp_path / f"w{workers}.jsonl"
+            assert main(TINY + ["--workers", workers,
+                                "--run-log", str(path),
+                                "catalogue", "--only", "jamming"]) == 0
+            logs[workers] = canonical_run_log_bytes(path)
+        assert logs["1"] == logs["2"]
+
+    def test_progress_forced_without_tty(self, tmp_path, capsys):
+        assert main(TINY + ["--progress",
+                            "catalogue", "--only", "jamming"]) == 0
+        err = capsys.readouterr().err
+        assert "[campaign]" in err and "units" in err
+
+    def test_no_telemetry_files_by_default(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(TINY + ["catalogue", "--only", "jamming"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCliBenchCompare:
+    """bench-compare and the --bench-history store, end to end."""
+
+    def history_with(self, tmp_path, metric_pairs):
+        from repro.obs.history import append_history, make_bench_record
+
+        path = tmp_path / "hist.jsonl"
+        for i, metrics in enumerate(metric_pairs):
+            append_history(path, make_bench_record(
+                "fabricated", metrics=metrics, git_sha=None,
+                created=float(i)))
+        return path
+
+    def test_two_runs_then_compare_passes(self, tmp_path, capsys):
+        hist = tmp_path / "BENCH_history.jsonl"
+        for _ in range(2):
+            assert main(TINY + ["--bench-history", str(hist),
+                                "catalogue", "--only", "jamming"]) == 0
+        assert main(["bench-compare", "--history", str(hist),
+                     "--last", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+        assert "catalogue[jamming]" in out
+
+    def test_zero_tolerance_names_metric_and_fails(self, tmp_path, capsys):
+        hist = self.history_with(tmp_path, [{"m": 1.0}, {"m": 1.01}])
+        assert main(["bench-compare", "--history", str(hist),
+                     "--metric-tolerance", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert "metric 'm'" in out
+
+    def test_two_record_files(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs.history import make_bench_record
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(_json.dumps(make_bench_record(
+            "golden", metrics={"m": 1.0}, git_sha=None, created=0.0)))
+        new.write_text(_json.dumps(make_bench_record(
+            "golden", metrics={"m": 1.0}, git_sha=None, created=1.0)))
+        assert main(["bench-compare", str(old), str(new)]) == 0
+
+    def test_golden_vs_latest_history(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs.history import make_bench_record
+
+        hist = self.history_with(tmp_path, [{"m": 1.0}])
+        golden = tmp_path / "golden.json"
+        golden.write_text(_json.dumps(make_bench_record(
+            "fabricated", metrics={"m": 1.0}, git_sha=None, created=0.0)))
+        assert main(["bench-compare", str(golden),
+                     "--history", str(hist)]) == 0
+
+    def test_usage_errors_exit_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["bench-compare", "--history", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+        hist = self.history_with(tmp_path, [{"m": 1.0}])
+        assert main(["bench-compare", "--history", str(hist),
+                     "--last", "5"]) == 2
+        assert "--last 5" in capsys.readouterr().err
+
+    def test_help_documents_exit_codes(self, capsys):
+        import pytest as _pytest
+
+        for command in ("bench-compare", "tracediff"):
+            with _pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0
+            out = capsys.readouterr().out
+            assert "exit codes:" in out
+            assert "divergence" in out
+
+
+class TestCliReport:
+    """The report subcommand: self-contained HTML for campaigns/sweeps."""
+
+    def assert_self_contained(self, text):
+        import re as _re
+
+        assert "<script" not in text
+        urls = set(_re.findall(r"https?://[^\"'<> ]+", text))
+        assert urls <= {"http://www.w3.org/2000/svg"}, urls
+
+    def test_catalogue_report(self, tmp_path, capsys):
+        out = tmp_path / "cat.html"
+        assert main(TINY + ["report", "catalogue", "--only", "jamming",
+                            "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "Table II outcomes" in text
+        assert "Run summary" in text
+        assert "jamming" in text
+        self.assert_self_contained(text)
+
+    def test_sweep_report_with_curves(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.sweep import SweepAxis, SweepSpec
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(_json.dumps(SweepSpec(
+            name="jam-report", threat="jamming",
+            axes=(SweepAxis("attack.power_dbm",
+                            values=(-10.0, 30.0)),)).to_dict()))
+        out = tmp_path / "sweep.html"
+        assert main(TINY + ["--seed-replicates", "1",
+                            "report", "sweep", str(spec),
+                            "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "sweep jam-report" in text
+        assert "<svg" in text
+        assert "Dose-response curves" in text
+        self.assert_self_contained(text)
+
+    def test_sweep_report_requires_target(self, capsys):
+        assert main(["report", "sweep"]) == 2
+        assert "spec file or preset" in capsys.readouterr().err
+
+    def test_matrix_report_unknown_mechanism(self, capsys):
+        assert main(["report", "matrix", "quantum"]) == 2
+        assert "unknown mechanism" in capsys.readouterr().err
+
+
+class TestConsoleScript:
+    """The platoonsec console script and the python -m path stay wired
+    to the same entry point."""
+
+    def repo_root(self):
+        from pathlib import Path
+
+        return Path(__file__).resolve().parent.parent
+
+    def test_pyproject_declares_entry_point(self):
+        text = (self.repo_root() / "pyproject.toml").read_text()
+        assert "[project.scripts]" in text
+        assert 'platoonsec = "repro.__main__:main"' in text
+
+    def test_entry_point_resolves_to_main(self):
+        # Resolve exactly what the console script would import, without
+        # requiring the package to be pip-installed.
+        import importlib
+
+        module_name, _, attr = "repro.__main__:main".partition(":")
+        target = getattr(importlib.import_module(module_name), attr)
+        assert target is main
+
+    def test_python_dash_m_invocation(self):
+        import os
+        import subprocess
+        import sys
+
+        root = self.repo_root()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src")] + env.get("PYTHONPATH", "").split(os.pathsep))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "taxonomy"],
+            capture_output=True, text=True, env=env, cwd=str(root),
+            timeout=120)
+        assert proc.returncode == 0
+        assert "registry check" in proc.stdout
