@@ -79,8 +79,12 @@ from repro.core.scenario import ScenarioConfig
 
 
 def _base_config(args) -> ScenarioConfig:
+    from repro.net.channel import ChannelConfig
+
     return ScenarioConfig(n_vehicles=args.vehicles, duration=args.duration,
-                          warmup=10.0, seed=args.seed, trucks=args.trucks)
+                          warmup=10.0, seed=args.seed, trucks=args.trucks,
+                          kernel=args.kernel,
+                          channel=ChannelConfig(fading_streams=args.fading))
 
 
 def _make_telemetry(args):
@@ -497,7 +501,8 @@ def cmd_bench_compare(args) -> int:
                 old, new = history[-args.last], history[-1]
         comparison = compare_records(
             old, new, wall_tolerance=args.wall_tolerance,
-            metric_tolerance=args.metric_tolerance)
+            metric_tolerance=args.metric_tolerance,
+            expect_speedup=args.expect_speedup)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -559,6 +564,17 @@ def main(argv=None) -> int:
     parser.add_argument("--duration", type=float, default=90.0)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--trucks", action="store_true")
+    parser.add_argument("--kernel", choices=("scalar", "vector"),
+                        default="scalar",
+                        help="simulation kernel: per-vehicle objects "
+                             "(scalar, default) or numpy-pooled arrays "
+                             "(vector); trace-equivalent by construction")
+    parser.add_argument("--fading", choices=("shared", "pairwise"),
+                        default="shared",
+                        help="fading RNG streams: the legacy shared "
+                             "simulator stream (default) or counter-based "
+                             "per-pair streams (batchable, registration-"
+                             "order independent; changes episode content)")
     parser.add_argument("--workers", type=int, default=1,
                         help="campaign worker-pool size (1 = serial)")
     parser.add_argument("--cache-dir", default=None,
@@ -670,6 +686,10 @@ def main(argv=None) -> int:
     p_bench.add_argument("--metric-tolerance", type=float, default=0.05,
                          help="allowed relative metric drift, both "
                               "directions (default: %(default)s)")
+    p_bench.add_argument("--expect-speedup", type=float, default=None,
+                         help="fail unless the new record's wall time is "
+                              "at least this factor faster than the old "
+                              "one (kernel-bench gate)")
     p_bench.set_defaults(fn=cmd_bench_compare)
 
     p_report = sub.add_parser(

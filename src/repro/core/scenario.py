@@ -72,6 +72,11 @@ class ScenarioConfig:
     joiner_distance: float = 80.0        # behind the tail [m]
     channel: ChannelConfig = field(default_factory=ChannelConfig)
     vehicle: VehicleConfig = field(default_factory=VehicleConfig)
+    # "scalar" = per-vehicle Python objects (reference implementation);
+    # "vector" = numpy-pooled kinematics + batched control/reception behind
+    # the same APIs.  The two are trace-equivalent (tests/kernel/), so the
+    # kernel is an execution detail, not part of the episode identity.
+    kernel: str = "scalar"
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         return replace(self, **kwargs)
@@ -81,9 +86,20 @@ class ScenarioConfig:
 
         This is the identity the campaign runner content-hashes for
         episode memoisation: two configs with equal canonical dicts
-        describe the same episode.
+        describe the same episode.  Defaults that don't change the
+        episode's stochastic content are stripped so hashes minted
+        before those knobs existed stay valid: ``kernel`` (trace-
+        equivalent by construction) and the legacy ``fading_streams``
+        default (``"pairwise"`` *does* change the streams, so it stays).
         """
-        return json.loads(json.dumps(asdict(self), sort_keys=True))
+        out = json.loads(json.dumps(asdict(self), sort_keys=True))
+        # The kernel is trace-equivalent by construction (tests/kernel/),
+        # so it is never part of the identity: a cached scalar episode
+        # validly answers for the same episode under the vector kernel.
+        del out["kernel"]
+        if out.get("channel", {}).get("fading_streams") == "shared":
+            del out["channel"]["fading_streams"]
+        return out
 
     def content_hash(self) -> str:
         """Stable SHA-256 over :meth:`canonical_dict`."""
@@ -122,10 +138,24 @@ class Scenario:
         # ran earlier in this process.
         reset_message_seq()
 
+        if cfg.kernel not in ("scalar", "vector"):
+            raise ValueError(
+                f"kernel must be 'scalar' or 'vector', got {cfg.kernel!r}")
+
         self.sim = Simulator(seed=cfg.seed)
         self.world = World()
         self.events = EventLog()
-        self.channel = RadioChannel(self.sim, cfg.channel)
+        self._dynamics_factory = None
+        if cfg.kernel == "vector":
+            from repro.kernel import KinematicsPool, VectorRadioChannel
+
+            self.pool = KinematicsPool(capacity=cfg.n_vehicles + 1)
+            self.world.attach_pool(self.pool)
+            self._dynamics_factory = self.pool.make_dynamics
+            self.channel = VectorRadioChannel(self.sim, cfg.channel)
+        else:
+            self.pool = None
+            self.channel = RadioChannel(self.sim, cfg.channel)
         self.vlc: Optional[VlcChannel] = (VlcChannel(self.sim, VlcConfig())
                                           if cfg.with_vlc else None)
 
@@ -156,7 +186,8 @@ class Scenario:
                 initial=LongitudinalState(
                     position=cfg.start_position - i * spacing,
                     speed=cfg.initial_speed),
-                params=params, config=replace(vcfg), vlc_channel=self.vlc)
+                params=params, config=replace(vcfg), vlc_channel=self.vlc,
+                dynamics_factory=self._dynamics_factory)
             self.platoon_vehicles.append(vehicle)
             if self.authority is not None:
                 self.authority.register_vehicle(vehicle.vehicle_id)
@@ -189,7 +220,8 @@ class Scenario:
                 initial=LongitudinalState(
                     position=tail.position - params.length - cfg.joiner_distance,
                     speed=cfg.initial_speed),
-                params=params, config=replace(vcfg), vlc_channel=self.vlc)
+                params=params, config=replace(vcfg), vlc_channel=self.vlc,
+                dynamics_factory=self._dynamics_factory)
             if self.authority is not None:
                 self.authority.register_vehicle("joiner")
             self.sim.schedule_at(cfg.joiner_delay, self._start_joiner)

@@ -1,0 +1,29 @@
+"""Vectorized simulation kernel.
+
+``repro.kernel`` holds the numpy-backed implementations selected by
+``ScenarioConfig(kernel="vector")``:
+
+* :class:`~repro.kernel.pool.KinematicsPool` -- all vehicles' kinematics
+  as ``(N,)`` arrays, stepped in bulk once per control tick behind the
+  existing ``VehicleDynamics`` API (:class:`~repro.kernel.pool.PooledDynamics`).
+* :func:`~repro.kernel.controllers.evaluate_commands` -- batched
+  evaluation of the CACC/ACC/cruise control laws.
+* :class:`~repro.kernel.channel.VectorRadioChannel` -- batched reception
+  evaluation (path loss, per-pair fading, SINR, success) as array ops.
+
+The contract for everything in this package is *bit-identical traces*
+with the scalar kernel under the same config -- enforced record-by-record
+by the differential suite in ``tests/kernel/``.  See EXPERIMENTS.md
+("Choosing a kernel") for the equivalence and tolerance policy.
+"""
+
+from repro.kernel.channel import VectorRadioChannel
+from repro.kernel.controllers import evaluate_commands
+from repro.kernel.pool import KinematicsPool, PooledDynamics
+
+__all__ = [
+    "KinematicsPool",
+    "PooledDynamics",
+    "VectorRadioChannel",
+    "evaluate_commands",
+]

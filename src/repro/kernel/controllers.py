@@ -1,0 +1,173 @@
+"""Batched evaluation of the longitudinal control laws.
+
+The vector kernel's control tick plans every vehicle's command (law +
+:class:`~repro.platoon.controllers.ControllerInputs`) in the usual
+per-vehicle phase-1 loop -- sensing draws RNG, so its order is part of
+the deterministic episode -- and then evaluates all planned laws here in
+one batch, grouped by law type and parameters.
+
+Bit-exactness contract
+----------------------
+Each array formula mirrors the corresponding scalar ``compute`` method's
+expression tree operation for operation.  The laws are pure float64
+arithmetic plus ``min`` (and one ``sqrt`` over *law constants*, computed
+once per group with the same ``math.sqrt`` the scalar law uses), all of
+which are elementwise-identical between CPython floats and numpy -- so a
+batched command is bit-identical to ``law.compute(inputs)``.  Laws this
+module does not know (custom controllers satisfying the ``Controller``
+protocol) fall back to their scalar ``compute``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.platoon.controllers import (
+    AccController,
+    Controller,
+    ControllerInputs,
+    CruiseController,
+    PathCaccController,
+    PloegCaccController,
+)
+
+Plan = "tuple[Controller, ControllerInputs]"
+
+
+def _cruise_batch(law: CruiseController,
+                  inputs: list[ControllerInputs]) -> np.ndarray:
+    target = np.array([i.target_speed for i in inputs])
+    own = np.array([i.own_speed for i in inputs])
+    return law.k_speed * (target - own)
+
+
+def _gap_rate_array(inputs: list[ControllerInputs]) -> np.ndarray:
+    """Per-element ``gap_rate`` with the scalar laws' fallback chain."""
+    out = np.empty(len(inputs))
+    for i, inp in enumerate(inputs):
+        if inp.gap_rate is not None:
+            out[i] = inp.gap_rate
+        elif inp.predecessor_speed is not None:
+            out[i] = inp.predecessor_speed - inp.own_speed
+        else:
+            out[i] = 0.0
+    return out
+
+
+def _acc_batch(law: AccController,
+               inputs: list[ControllerInputs]) -> np.ndarray:
+    out = np.empty(len(inputs))
+    with_gap = [i for i, inp in enumerate(inputs) if inp.gap is not None]
+    without_gap = [i for i, inp in enumerate(inputs) if inp.gap is None]
+    if without_gap:
+        subset = [inputs[i] for i in without_gap]
+        target = np.array([i.target_speed for i in subset])
+        own = np.array([i.own_speed for i in subset])
+        out[without_gap] = law.k_speed * (target - own)
+    if with_gap:
+        subset = [inputs[i] for i in with_gap]
+        own = np.array([i.own_speed for i in subset])
+        target = np.array([i.target_speed for i in subset])
+        gap = np.array([i.gap for i in subset])
+        factor = np.array([i.desired_gap_factor for i in subset])
+        desired = (law.standstill + law.headway * own) * factor
+        gap_error = gap - desired
+        gap_rate = _gap_rate_array(subset)
+        u_gap = law.k_gap * gap_error + law.k_rate * gap_rate
+        u_cruise = law.k_speed * (target - own)
+        out[with_gap] = np.minimum(u_gap, u_cruise)
+    return out
+
+
+def _require(inputs: list[ControllerInputs], names: Sequence[str],
+             law_name: str, hint: str) -> None:
+    for inp in inputs:
+        if any(getattr(inp, name) is None for name in names):
+            raise ValueError(f"{law_name} requires {hint}; "
+                             "the vehicle should have degraded to ACC")
+
+
+def _path_batch(law: PathCaccController,
+                inputs: list[ControllerInputs]) -> np.ndarray:
+    _require(inputs, ("gap", "predecessor_speed", "predecessor_accel",
+                      "leader_speed", "leader_accel"),
+             "PATH CACC", "full cooperative inputs")
+    own = np.array([i.own_speed for i in inputs])
+    gap = np.array([i.gap for i in inputs])
+    factor = np.array([i.desired_gap_factor for i in inputs])
+    pred_accel = np.array([i.predecessor_accel for i in inputs])
+    lead_speed = np.array([i.leader_speed for i in inputs])
+    lead_accel = np.array([i.leader_accel for i in inputs])
+    desired = law.spacing * factor
+    e = gap - desired
+    e_dot = np.array([
+        (i.gap_rate if i.gap_rate is not None
+         else i.predecessor_speed - i.own_speed) for i in inputs])
+    # Law constants use the same math.sqrt the scalar compute() does.
+    root = math.sqrt(max(law.xi ** 2 - 1.0, 0.0))
+    term_pred = (1.0 - law.c1) * pred_accel
+    term_lead = law.c1 * lead_accel
+    k_edot = (2.0 * law.xi - law.c1 * (law.xi + root)) * law.omega_n
+    k_vlead = (law.xi + root) * law.omega_n * law.c1
+    u = (term_pred + term_lead
+         + k_edot * e_dot
+         - k_vlead * (own - lead_speed)
+         + law.omega_n ** 2 * e)
+    return u
+
+
+def _ploeg_batch(law: PloegCaccController,
+                 inputs: list[ControllerInputs]) -> np.ndarray:
+    _require(inputs, ("gap", "predecessor_speed", "predecessor_accel"),
+             "Ploeg CACC", "predecessor inputs")
+    own = np.array([i.own_speed for i in inputs])
+    gap = np.array([i.gap for i in inputs])
+    factor = np.array([i.desired_gap_factor for i in inputs])
+    pred_accel = np.array([i.predecessor_accel for i in inputs])
+    desired = (law.standstill + law.headway * own) * factor
+    e = gap - desired
+    e_dot = np.array([
+        (i.gap_rate if i.gap_rate is not None
+         else i.predecessor_speed - i.own_speed) for i in inputs])
+    return pred_accel + law.k_p * e + law.k_d * e_dot
+
+
+_VECTOR_LAWS = {
+    CruiseController: _cruise_batch,
+    AccController: _acc_batch,
+    PathCaccController: _path_batch,
+    PloegCaccController: _ploeg_batch,
+}
+
+
+def _group_key(law: Controller) -> Optional[tuple]:
+    law_type = type(law)
+    if law_type not in _VECTOR_LAWS:
+        return None
+    return (law_type,) + tuple(getattr(law, f.name) for f in fields(law))
+
+
+def evaluate_commands(plans: list) -> list[float]:
+    """Evaluate ``(law, inputs)`` plans, batched per law type+parameters.
+
+    Returns one commanded acceleration per plan, in input order,
+    bit-identical to evaluating each ``law.compute(inputs)`` in turn.
+    """
+    out: list[float] = [0.0] * len(plans)
+    groups: dict[tuple, list[int]] = {}
+    for i, (law, inputs) in enumerate(plans):
+        key = _group_key(law)
+        if key is None:   # unknown law: scalar fallback
+            out[i] = law.compute(inputs)
+            continue
+        groups.setdefault(key, []).append(i)
+    for key, indices in groups.items():
+        law = plans[indices[0]][0]
+        commands = _VECTOR_LAWS[key[0]](law, [plans[i][1] for i in indices])
+        for i, command in zip(indices, commands):
+            out[i] = float(command)
+    return out

@@ -74,6 +74,15 @@ class ChannelConfig:
     max_range_m: float = 1500.0
     carrier_sense_dbm: float = -85.0
     min_distance_m: float = 1.0          # clamp to avoid log(0)
+    # Randomness layout for per-attempt fading/success draws:
+    #   "shared"   -- legacy: all draws come from the one simulator RNG in
+    #                 receiver-registration order (order-dependent).
+    #   "pairwise" -- each ordered (sender, receiver) pair owns a counter-
+    #                 based stream (repro.net.fading); draws are independent
+    #                 of registration order and batchable by the vector
+    #                 kernel.  Changes the stochastic stream, so traces
+    #                 differ from "shared" (content hashes include it).
+    fading_streams: str = "shared"
 
 
 @dataclass
@@ -119,6 +128,23 @@ class RadioChannel:
         self.stats = ChannelStats()
         # Observers see every transmission (used by metrics / eavesdrop bookkeeping)
         self._tx_observers: list[Callable[["Radio", Message], None]] = []
+        # Deterministic per-config constants, cached once so the hot
+        # reception path does not recompute a log10 per attempt.
+        self._noise_mw = dbm_to_mw(self.config.noise_floor_dbm)
+        self._noise_only_dbm = mw_to_dbm(self._noise_mw)
+        if self.config.fading_streams == "pairwise":
+            from repro.net.fading import PairwiseFading
+
+            self.pair_fading: Optional[PairwiseFading] = PairwiseFading(
+                seed=sim.seed,
+                shadowing_sigma_db=self.config.shadowing_sigma_db,
+                rayleigh_fading=self.config.rayleigh_fading)
+        elif self.config.fading_streams == "shared":
+            self.pair_fading = None
+        else:
+            raise ValueError(
+                f"unknown fading_streams {self.config.fading_streams!r}; "
+                "expected 'shared' or 'pairwise'")
 
     # ------------------------------------------------------------------ setup
 
@@ -131,6 +157,19 @@ class RadioChannel:
         self._radios.pop(radio.node_id, None)
 
     def radios(self) -> list["Radio"]:
+        return list(self._radios.values())
+
+    def receivers_in_order(self) -> list["Radio"]:
+        """Radios in registration order -- the reception-evaluation order.
+
+        This order is a load-bearing contract, not an implementation
+        detail: in ``fading_streams="shared"`` mode every per-attempt
+        fading/success draw comes from the single simulator RNG, so the
+        order receivers are evaluated in *is* the random stream.  Both
+        kernels (and any future broadcast implementation) must evaluate
+        receivers in exactly this order.  In "pairwise" mode only the
+        delivery-event scheduling order still depends on it.
+        """
         return list(self._radios.values())
 
     def add_interferer(self, interferer: Interferer) -> None:
@@ -180,6 +219,14 @@ class RadioChannel:
         transmissions other than ``exclude``.
         """
         now = self.sim.now
+        if not self._interferers:
+            # Fast path for the common case: the only in-flight frame is
+            # the excluded sender's own transmission (or nothing at all).
+            active = self._active
+            if not active:
+                return 0.0
+            if len(active) == 1 and active[0].sender is exclude:
+                return 0.0
         total = 0.0
         for source in self._interferers:
             dbm = source.interference_dbm_at(position, now)
@@ -206,15 +253,20 @@ class RadioChannel:
     def airtime(self, msg: Message) -> float:
         return msg.size_bits() / self.config.bitrate_bps
 
-    def broadcast(self, sender: "Radio", msg: Message) -> None:
+    def broadcast(self, sender: "Radio", msg: Message,
+                  duration: Optional[float] = None) -> None:
         """Transmit ``msg`` from ``sender`` to every other registered radio.
 
-        Reception is evaluated independently per receiver.  Delivery (if
-        successful) is scheduled at transmission end + propagation delay.
+        Reception is evaluated independently per receiver, in
+        :meth:`receivers_in_order` order (see its docstring for why the
+        order matters).  Delivery (if successful) is scheduled at
+        transmission end + propagation delay.  ``duration`` lets the MAC
+        pass a precomputed airtime so the frame is not re-serialised.
         """
         cfg = self.config
         now = self.sim.now
-        duration = self.airtime(msg)
+        if duration is None:
+            duration = self.airtime(msg)
         power = sender.tx_power_dbm if sender.tx_power_dbm is not None else cfg.tx_power_dbm
 
         self.stats.transmissions += 1
@@ -224,8 +276,13 @@ class RadioChannel:
         for observer in self._tx_observers:
             observer(sender, msg)
 
+        if self.pair_fading is not None:
+            self._broadcast_pairwise(sender, msg, duration, power)
+            return
+
         sender_pos = sender.position()
-        for receiver in list(self._radios.values()):
+        noise_mw = self._noise_mw
+        for receiver in self.receivers_in_order():
             if receiver is sender:
                 continue
             if not receiver.enabled:
@@ -237,9 +294,65 @@ class RadioChannel:
             self.stats.delivery_attempts += 1
             rx_power_dbm = self.received_power_dbm(power, distance)
             interference_mw = self.interference_mw_at(receiver.position(), exclude=sender)
-            noise_mw = dbm_to_mw(cfg.noise_floor_dbm)
-            sinr_db = rx_power_dbm - mw_to_dbm(noise_mw + interference_mw)
+            if interference_mw == 0.0:
+                sinr_db = rx_power_dbm - self._noise_only_dbm
+            else:
+                sinr_db = rx_power_dbm - mw_to_dbm(noise_mw + interference_mw)
             if self._reception_success(sinr_db):
+                delay = duration + distance / cfg.propagation_speed
+                self.sim.schedule(delay, receiver.deliver, msg)
+                self.stats.delivered += 1
+                obs.inc("frames.delivered")
+            else:
+                if interference_mw > noise_mw * 0.1:
+                    self.stats.lost_interference += 1
+                    obs.inc("frames.jammed")
+                else:
+                    self.stats.lost_noise += 1
+                    obs.inc("frames.lost_noise")
+
+    def _broadcast_pairwise(self, sender: "Radio", msg: Message,
+                            duration: float, power: float) -> None:
+        """Per-receiver reception loop drawing from per-pair streams.
+
+        This is the scalar-kernel pairwise path.  Every float transform
+        goes through the shared numpy helpers in :mod:`repro.net.fading`
+        (called with length-1 arrays) so the vector kernel's batched
+        implementation produces bit-identical results.
+        """
+        import numpy as np
+
+        from repro.net.fading import path_loss_db_array, success_probability_array
+
+        cfg = self.config
+        assert self.pair_fading is not None
+        sender_pos = sender.position()
+        noise_mw = self._noise_mw
+        for receiver in self.receivers_in_order():
+            if receiver is sender or not receiver.enabled:
+                continue
+            receiver_pos = receiver.position()
+            distance = abs(receiver_pos - sender_pos)
+            if distance > cfg.max_range_m:
+                self.stats.out_of_range += 1
+                continue
+            self.stats.delivery_attempts += 1
+            fading_db, success_u = self.pair_fading.draw(sender.node_id,
+                                                         receiver.node_id)
+            loss = path_loss_db_array(np.array([distance]),
+                                      cfg.reference_loss_db,
+                                      cfg.path_loss_exponent,
+                                      cfg.min_distance_m)
+            rx_power_dbm = power - loss + fading_db   # length-1 array
+            interference_mw = self.interference_mw_at(receiver_pos, exclude=sender)
+            if interference_mw == 0.0:
+                sinr_db = rx_power_dbm - self._noise_only_dbm
+            else:
+                sinr_db = rx_power_dbm - mw_to_dbm(noise_mw + interference_mw)
+            p_success = success_probability_array(sinr_db,
+                                                  cfg.sinr_threshold_db,
+                                                  cfg.per_steepness)
+            if success_u < float(p_success[0]):
                 delay = duration + distance / cfg.propagation_speed
                 self.sim.schedule(delay, receiver.deliver, msg)
                 self.stats.delivered += 1

@@ -1,0 +1,195 @@
+"""Counter-based per-pair fading streams and shared reception math.
+
+The legacy channel draws shadowing/Rayleigh/success randomness from the
+single simulator RNG *in receiver-registration order* inside
+:meth:`RadioChannel.broadcast`.  That makes every draw depend on which
+radios happen to be registered and in what order -- an accidental
+invariant that blocks any vectorized (batched) reception evaluation.
+
+This module provides the explicit alternative (``fading_streams:
+"pairwise"`` in :class:`~repro.net.channel.ChannelConfig`): every ordered
+``(sender, receiver)`` pair owns its own deterministic stream, keyed by
+a hash of ``(channel seed, sender id, receiver id)`` and advanced by a
+per-pair *attempt counter*.  Draws therefore depend only on the pair and
+on how many delivery attempts that pair has seen -- never on who else is
+registered.  The same stream yields the same episode whether attempts
+are evaluated one receiver at a time (scalar kernel) or as a batch
+(vector kernel).
+
+Bit-exactness contract
+----------------------
+All transforms here are implemented with numpy ufuncs operating on
+arrays.  The scalar kernel calls them with length-1 arrays and the
+vector kernel with length-K batches; numpy ufuncs are elementwise
+shape-consistent, so both paths produce bit-identical float64 results
+(property-tested in ``tests/kernel/test_properties.py``).  Do not
+rewrite any of these expressions with ``math.*`` calls: CPython's libm
+and numpy's vectorized ufuncs differ in the last ulp for ``log``/
+``log10``/``exp``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Uniform draws consumed per delivery attempt (always all four, so the
+#: stream layout does not depend on which fading terms are enabled):
+#: two for Box-Muller shadowing, one for Rayleigh power, one for the
+#: reception-success decision.
+DRAWS_PER_ATTEMPT = 4
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_TO_UNIT = float(2.0 ** -53)
+_TWO_PI = 2.0 * np.pi
+# Per-lane word offsets; uint64 arithmetic is mod-2^64, so
+# ``(ctr*4 + lane) * GOLDEN == ctr*4*GOLDEN + lane*GOLDEN`` exactly and
+# all four lanes of an attempt can be generated in one fused pass.
+with np.errstate(over="ignore"):
+    _LANE_OFFSETS = np.arange(DRAWS_PER_ATTEMPT, dtype=np.uint64) * _GOLDEN
+    _DRAW_STRIDE = np.uint64(DRAWS_PER_ATTEMPT) * _GOLDEN
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    with np.errstate(over="ignore"):
+        z = x + _GOLDEN
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+
+def _uniforms(keys: np.ndarray, counters: np.ndarray, lane: int) -> np.ndarray:
+    """One uniform in [0, 1) per pair for draw ``lane`` of each attempt."""
+    with np.errstate(over="ignore"):
+        word = keys + (counters * np.uint64(DRAWS_PER_ATTEMPT)
+                       + np.uint64(lane)) * _GOLDEN
+    bits = _splitmix64(word) >> np.uint64(11)
+    return bits.astype(np.float64) * _TO_UNIT
+
+
+def pair_stream_key(seed: int, sender_id: str, receiver_id: str) -> int:
+    """Stable 64-bit stream key for one ordered (sender, receiver) pair."""
+    blob = f"platoonsec-fading/1|{seed}|{sender_id}|{receiver_id}"
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def path_loss_db_array(distance: np.ndarray, reference_loss_db: float,
+                       path_loss_exponent: float,
+                       min_distance_m: float) -> np.ndarray:
+    """Log-distance path loss over an array of distances (pairwise mode)."""
+    d = np.maximum(distance, min_distance_m)
+    return reference_loss_db + 10.0 * path_loss_exponent * np.log10(d)
+
+
+def success_probability_array(sinr_db: np.ndarray, threshold_db: float,
+                              steepness: float) -> np.ndarray:
+    """Logistic packet-success probability over an array of SINRs.
+
+    Mirrors :meth:`RadioChannel._reception_success` including the +/-30
+    overflow guard (values beyond it saturate to exactly 1.0 / 0.0).
+    """
+    x = steepness * (sinr_db - threshold_db)
+    p = 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+    return np.where(x > 30.0, 1.0, np.where(x < -30.0, 0.0, p))
+
+
+class PairwiseFading:
+    """Deterministic per-(sender, receiver) fading and success streams.
+
+    Parameters mirror the channel config; ``seed`` is the simulator seed
+    so identically-seeded episodes replay identical streams.
+    """
+
+    def __init__(self, seed: int, shadowing_sigma_db: float,
+                 rayleigh_fading: bool) -> None:
+        self.seed = seed
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.rayleigh_fading = rayleigh_fading
+        self._keys: dict[tuple[str, str], int] = {}
+        self._counters: dict[tuple[str, str], int] = {}
+        # Receiver batches are near-stable per sender, so each sender's
+        # live batch keeps its uint64 key/counter arrays whole; counters
+        # are flushed back to the per-pair dict when the batch changes.
+        self._live: dict[str, tuple[tuple, np.ndarray, np.ndarray]] = {}
+
+    def _flush(self, sender_id: str) -> None:
+        live = self._live.pop(sender_id, None)
+        if live is None:
+            return
+        batch, _, counters = live
+        for receiver_id, counter in zip(batch, counters):
+            self._counters[(sender_id, receiver_id)] = int(counter)
+
+    def attempt_count(self, sender_id: str, receiver_id: str) -> int:
+        """Delivery attempts drawn so far for one ordered pair."""
+        live = self._live.get(sender_id)
+        if live is not None and receiver_id in live[0]:
+            return int(live[2][live[0].index(receiver_id)])
+        return self._counters.get((sender_id, receiver_id), 0)
+
+    def draw_batch(self, sender_id: str, receiver_ids: list[str]
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Fading [dB] and success-uniform for one attempt per receiver.
+
+        Advances each pair's attempt counter by one.  The result for a
+        given pair depends only on ``(seed, sender, receiver, attempt)``
+        -- not on the batch it was drawn in, nor on radio registration
+        order (tested in ``tests/kernel/test_rng_streams.py``).
+        """
+        batch = tuple(receiver_ids)
+        live = self._live.get(sender_id)
+        if live is None or live[0] != batch:
+            self._flush(sender_id)
+            keys = np.empty(len(batch), dtype=np.uint64)
+            counters = np.empty(len(batch), dtype=np.uint64)
+            for i, receiver_id in enumerate(batch):
+                pair = (sender_id, receiver_id)
+                key = self._keys.get(pair)
+                if key is None:
+                    key = pair_stream_key(self.seed, sender_id, receiver_id)
+                    self._keys[pair] = key
+                keys[i] = key
+                counters[i] = self._counters.get(pair, 0)
+            live = (batch, keys, counters)
+            self._live[sender_id] = live
+        _, keys, counters = live
+
+        # All four lanes in one fused (4, k) pass; identical words (and
+        # hence uniforms) to four separate ``_uniforms`` calls because
+        # uint64 multiplication distributes mod 2^64.
+        with np.errstate(over="ignore"):
+            base = keys + counters * _DRAW_STRIDE
+            counters += np.uint64(1)
+            word = base[None, :] + _LANE_OFFSETS[:, None]
+            z = word + _GOLDEN
+            z = (z ^ (z >> np.uint64(30))) * _MIX1
+            z = (z ^ (z >> np.uint64(27))) * _MIX2
+            bits = (z ^ (z >> np.uint64(31))) >> np.uint64(11)
+        u = bits.astype(np.float64) * _TO_UNIT
+
+        fading = np.zeros(len(batch), dtype=np.float64)
+        if self.shadowing_sigma_db > 0:
+            u1 = np.maximum(u[0], _TO_UNIT)
+            # Box-Muller; sqrt/cos/log are all numpy ufuncs (see module
+            # docstring for why that matters).
+            fading = fading + (self.shadowing_sigma_db
+                               * np.sqrt(-2.0 * np.log(u1))
+                               * np.cos(_TWO_PI * u[1]))
+        if self.rayleigh_fading:
+            u3 = np.maximum(u[2], 1e-12)
+            fading = fading + 10.0 * np.log10(-np.log(u3))
+        return fading, u[3]
+
+    def draw(self, sender_id: str, receiver_id: str) -> tuple[float, float]:
+        """Single-pair attempt draw (scalar kernel path).
+
+        Implemented as a length-1 :meth:`draw_batch` so the scalar and
+        vector kernels share every arithmetic instruction.
+        """
+        fading, success_u = self.draw_batch(sender_id, [receiver_id])
+        return float(fading[0]), float(success_u[0])

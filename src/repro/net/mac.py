@@ -106,10 +106,11 @@ class CsmaMac:
             self.sim.schedule(slots * self.config.slot_time,
                               self._attempt, msg, retries_left - 1)
             return
-        # Channel clear: transmit now.
-        self.channel.broadcast(self.radio, msg)
-        self.stats.sent += 1
+        # Channel clear: transmit now.  Airtime is computed once and shared
+        # with the channel -- message serialisation is not free.
         airtime = self.channel.airtime(msg)
+        self.channel.broadcast(self.radio, msg, duration=airtime)
+        self.stats.sent += 1
         self.sim.schedule(airtime, self._pop_and_continue)
 
     def _pop_and_continue(self) -> None:

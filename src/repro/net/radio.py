@@ -56,6 +56,11 @@ class Radio:
         self.node_id = node_id
         self._position_fn = position_fn
         self.tx_power_dbm = tx_power_dbm
+        # (pool, slot) when the owner's kinematics live in a vector-kernel
+        # pool -- lets the channel gather receiver positions as one array
+        # read instead of N Python position_fn calls.  Must stay in sync
+        # with position_fn (the owning Vehicle sets both at construction).
+        self.pool_slot: Optional[tuple] = None
         self.enabled = True
         self.mac = CsmaMac(sim, channel, self, config=mac_config)
         self.stats = RadioStats()

@@ -22,7 +22,7 @@ import heapq
 import itertools
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.obs import registry as obs
@@ -32,19 +32,26 @@ class SimulationError(RuntimeError):
     """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
+@dataclass(eq=False, slots=True)
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)`` which gives a deterministic total
     order.  The callback and its arguments do not participate in ordering.
+    ``__lt__`` is hand-written (the heap's hottest comparison) instead of
+    dataclass-generated: same order, no tuple construction per call.
     """
 
     time: float
     seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    callback: Callable[..., Any]
+    args: tuple = ()
+    cancelled: bool = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Safe to call multiple times."""

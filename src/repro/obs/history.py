@@ -200,12 +200,20 @@ def _fmt(value: float) -> float:
 
 def compare_records(old: dict, new: dict, *,
                     wall_tolerance: float = 1.0,
-                    metric_tolerance: float = 0.05) -> BenchComparison:
+                    metric_tolerance: float = 0.05,
+                    expect_speedup: Optional[float] = None) -> BenchComparison:
     """Diff two bench records; tolerance-exceeding drift is a problem.
 
     See the module docstring for the gating rules.  Tolerances are
     relative: ``wall_tolerance=1.0`` allows the new run to take up to
     twice as long, ``metric_tolerance=0.05`` allows metrics to move 5 %.
+
+    ``expect_speedup`` turns the wall comparison into a *performance
+    gate*: the new record must be at least that factor faster than the
+    old one (``old_wall / new_wall >= expect_speedup``), otherwise the
+    comparison fails.  This is how the kernel bench asserts the vector
+    kernel's advantage over the scalar reference instead of merely
+    tolerating it.
     """
     validate_record(old, "old record")
     validate_record(new, "new record")
@@ -229,6 +237,20 @@ def compare_records(old: dict, new: dict, *,
         comparison.problems.append(
             f"wall_time regressed {old_wall:.3f}s -> {new_wall:.3f}s "
             f"({wall_drift:+.1%} > +{wall_tolerance:.1%} allowed)")
+    if expect_speedup is not None:
+        speedup = (old_wall / new_wall) if new_wall > _EPS else float("inf")
+        fast_enough = speedup >= expect_speedup
+        comparison.rows.append(["wall speedup [x]",
+                                _fmt(expect_speedup), _fmt(speedup), "-",
+                                "ok" if fast_enough else "TOO SLOW"])
+        if not fast_enough:
+            comparison.problems.append(
+                f"expected >= {expect_speedup:g}x wall speedup, measured "
+                f"{speedup:.2f}x ({old_wall:.3f}s -> {new_wall:.3f}s)")
+        else:
+            comparison.notes.append(
+                f"wall speedup {speedup:.2f}x meets the "
+                f">= {expect_speedup:g}x gate")
 
     def gate(kind: str, old_map: dict, new_map: dict) -> None:
         for name in sorted(set(old_map) | set(new_map)):

@@ -16,10 +16,24 @@ negative (no reversing on the motorway).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.obs import registry as obs
+
+
+@lru_cache(maxsize=64)
+def lag_alpha(dt: float, tau: float) -> float:
+    """Exact first-order-lag discretisation factor ``exp(-dt/tau)``.
+
+    Cached because (dt, tau) pairs are config constants: both the scalar
+    step and the vectorized kernel pool call this, which is also what
+    keeps the two bit-identical -- the factor is computed by exactly one
+    implementation.
+    """
+    return math.exp(-dt / tau)
 
 
 @dataclass
@@ -97,8 +111,7 @@ class VehicleDynamics:
         u = self.clamp_command(u)
 
         # first-order actuation lag (exact discretisation)
-        import math
-        alpha = math.exp(-dt / p.tau)
+        alpha = lag_alpha(dt, p.tau)
         new_accel = u + (s.acceleration - u) * alpha
         new_accel = max(-p.max_decel, min(p.max_accel, new_accel))
 

@@ -89,7 +89,10 @@ class Vehicle:
                  params: Optional[VehicleParams] = None,
                  config: Optional[VehicleConfig] = None,
                  lane: int = 0,
-                 vlc_channel: Optional[VlcChannel] = None) -> None:
+                 vlc_channel: Optional[VlcChannel] = None,
+                 dynamics_factory: Optional[Callable[
+                     [VehicleParams, LongitudinalState], VehicleDynamics]] = None
+                 ) -> None:
         self.sim = sim
         self.world = world
         self.vehicle_id = vehicle_id
@@ -98,7 +101,11 @@ class Vehicle:
         self.config = config or VehicleConfig()
         self.lane = lane
 
-        self.dynamics = VehicleDynamics(self.params, initial or LongitudinalState())
+        # The factory lets the vector kernel hand out pool-backed slots
+        # (repro.kernel.pool.KinematicsPool.make_dynamics) behind the same
+        # VehicleDynamics API; default is the scalar integrator.
+        factory = dynamics_factory or VehicleDynamics
+        self.dynamics = factory(self.params, initial or LongitudinalState())
         self.target_speed = self.config.cruise_speed
 
         # --- sensors -------------------------------------------------------
@@ -109,6 +116,9 @@ class Vehicle:
 
         # --- communications --------------------------------------------------
         self.radio = Radio(sim, channel, vehicle_id, lambda: self.dynamics.position)
+        pool = getattr(self.dynamics, "pool", None)
+        if pool is not None:
+            self.radio.pool_slot = (pool, self.dynamics.slot)
         self.radio.on_receive(self._on_message)
         self.vlc: Optional[VlcEndpoint] = None
         if vlc_channel is not None:
@@ -307,6 +317,19 @@ class Vehicle:
         housekeeping and returns the commanded acceleration.  Must not move
         the vehicle -- that happens in :meth:`control_actuate`.
         """
+        law, inputs = self.control_plan()
+        return law.compute(inputs)
+
+    def control_plan(self) -> tuple[Controller, ControllerInputs]:
+        """Phase 1 without evaluating the control law.
+
+        Identical to :meth:`control_decide` -- same sensor reads (and
+        hence the same RNG draws), same manoeuvre housekeeping -- but
+        returns the chosen ``(law, inputs)`` pair instead of the command.
+        The laws are pure, so the vector kernel batches their evaluation
+        (:func:`repro.kernel.controllers.evaluate_commands`) after every
+        vehicle has planned, with bit-identical results.
+        """
         self.control_ticks += 1
         if self.control_ticks % 10 == 0:
             # The driver display polls tyre pressure at ~1 Hz; spoofed TPMS
@@ -325,18 +348,23 @@ class Vehicle:
         if self.joiner_logic is not None:
             self.joiner_logic.tick()
 
-        return self._compute_command(radar_rate)
+        return self._plan_command(radar_rate)
 
     def control_actuate(self, dt: float, command: float) -> None:
         """Phase 2 of the synchronized control loop: move."""
         self.dynamics.step(dt, command)
 
     def _compute_command(self, radar_rate: Optional[float]) -> float:
+        law, inputs = self._plan_command(radar_rate)
+        return law.compute(inputs)
+
+    def _plan_command(self, radar_rate: Optional[float]
+                      ) -> tuple[Controller, ControllerInputs]:
         role = self.state.role
         if role is PlatoonRole.MEMBER:
-            return self._member_command(radar_rate)
+            return self._plan_member(radar_rate)
         if role is PlatoonRole.JOINER:
-            return self._joiner_command(radar_rate)
+            return self._plan_joiner(radar_rate)
         # FREE / LEADER / LEAVER: cruise toward target speed, but never
         # blindly rear-end a slower vehicle ahead -- use ACC when a radar
         # target exists.
@@ -347,10 +375,11 @@ class Vehicle:
                                        if inputs.gap is not None
                                        else self.cruise_controller.name)
         if inputs.gap is not None and inputs.gap < self.acc_controller.desired_gap(self.speed) * 1.5:
-            return self.acc_controller.compute(inputs)
-        return self.cruise_controller.compute(inputs)
+            return self.acc_controller, inputs
+        return self.cruise_controller, inputs
 
-    def _member_command(self, radar_rate: Optional[float]) -> float:
+    def _plan_member(self, radar_rate: Optional[float]
+                     ) -> tuple[Controller, ControllerInputs]:
         state = self.state
         pred_id = state.predecessor_id(self.vehicle_id)
         if pred_id is None and state.leader_id != self.vehicle_id:
@@ -371,7 +400,7 @@ class Vehicle:
         if leader_age > self.config.disband_timeout:
             # Sustained leader silence: the platoon is effectively gone.
             self.leave_platoon(reason="comm_loss")
-            return self._compute_command(radar_rate)
+            return self._plan_command(radar_rate)
 
         gap = self.last_radar_gap if self.config.use_radar_gap else None
         if gap is None and pred_beacon is not None:
@@ -401,7 +430,7 @@ class Vehicle:
                     desired_gap_factor=state.gap_factor)
                 self._set_degraded(False)
                 self.active_controller_name = self.cacc_controller.name
-                return self.cacc_controller.compute(inputs)
+                return self.cacc_controller, inputs
         # Degraded: radar-only ACC with conservative headway.
         self._set_degraded(True)
         self.active_controller_name = self.fallback_controller.name
@@ -409,9 +438,10 @@ class Vehicle:
                                   target_speed=self.target_speed,
                                   gap=self.last_radar_gap, gap_rate=radar_rate,
                                   desired_gap_factor=state.gap_factor)
-        return self.fallback_controller.compute(inputs)
+        return self.fallback_controller, inputs
 
-    def _joiner_command(self, radar_rate: Optional[float]) -> float:
+    def _plan_joiner(self, radar_rate: Optional[float]
+                     ) -> tuple[Controller, ControllerInputs]:
         # Close in on the platoon tail: slightly higher target speed until
         # the radar sees the tail, then ACC tracks it in.
         gap = self.last_radar_gap
@@ -431,8 +461,8 @@ class Vehicle:
         if gap is not None:
             # Approach with a tighter headway so we get near enough to merge.
             joiner_acc = AccController(headway=0.6, standstill=4.0)
-            return joiner_acc.compute(inputs)
-        return self.cruise_controller.compute(inputs)
+            return joiner_acc, inputs
+        return self.cruise_controller, inputs
 
     def _set_degraded(self, degraded: bool) -> None:
         if degraded:

@@ -1,4 +1,14 @@
-"""Shared fixtures: simulators, small worlds, fast scenario configs."""
+"""Shared fixtures: simulators, small worlds, fast scenario configs.
+
+The suite is kernel-parametrized: ``pytest --kernel vector`` rebuilds the
+kernel-dependent fixtures (``channel``, ``quiet_channel``, ``platoon4``,
+``fast_config``) on the numpy-pooled vector kernel instead of the scalar
+reference, so the existing ``tests/net/`` and ``tests/platoon/`` suites
+double as a behavioural conformance run for ``repro.kernel``.  Tests that
+depend on a kernel-aware fixture are auto-tagged with the ``kernel``
+marker (select them with ``-m kernel``).  The scalar leg stays tier-1;
+CI's coverage job adds the vector leg.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +22,27 @@ from repro.platoon.dynamics import LongitudinalState
 from repro.platoon.vehicle import Vehicle, VehicleConfig
 from repro.platoon.world import World
 
+_KERNEL_FIXTURES = {"kernel_mode", "channel", "quiet_channel", "platoon4",
+                    "fast_config", "fast_joiner_config"}
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--kernel", choices=("scalar", "vector"), default="scalar",
+        help="simulation kernel for kernel-aware fixtures "
+             "(default: scalar)")
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    for item in items:
+        if _KERNEL_FIXTURES & set(getattr(item, "fixturenames", ())):
+            item.add_marker(pytest.mark.kernel)
+
+
+@pytest.fixture
+def kernel_mode(request) -> str:
+    return request.config.getoption("--kernel")
+
 
 @pytest.fixture
 def sim() -> Simulator:
@@ -19,15 +50,23 @@ def sim() -> Simulator:
 
 
 @pytest.fixture
-def channel(sim) -> RadioChannel:
+def channel(sim, kernel_mode) -> RadioChannel:
+    if kernel_mode == "vector":
+        from repro.kernel import VectorRadioChannel
+
+        return VectorRadioChannel(sim)
     return RadioChannel(sim)
 
 
 @pytest.fixture
-def quiet_channel(sim) -> RadioChannel:
+def quiet_channel(sim, kernel_mode) -> RadioChannel:
     """A channel with no fading and generous margins: deterministic delivery."""
-    return RadioChannel(sim, ChannelConfig(shadowing_sigma_db=0.0,
-                                           rayleigh_fading=False))
+    cfg = ChannelConfig(shadowing_sigma_db=0.0, rayleigh_fading=False)
+    if kernel_mode == "vector":
+        from repro.kernel import VectorRadioChannel
+
+        return VectorRadioChannel(sim, cfg)
+    return RadioChannel(sim, cfg)
 
 
 @pytest.fixture
@@ -41,7 +80,7 @@ def events() -> EventLog:
 
 
 def build_platoon(sim, world, channel, events, n=4, speed=27.0, spacing=20.0,
-                  config=None, vlc_channel=None):
+                  config=None, vlc_channel=None, dynamics_factory=None):
     """A pre-formed platoon of ``n`` vehicles, leader first."""
     vehicles = []
     for i in range(n):
@@ -49,7 +88,8 @@ def build_platoon(sim, world, channel, events, n=4, speed=27.0, spacing=20.0,
                           initial=LongitudinalState(position=1000.0 - i * spacing,
                                                     speed=speed),
                           config=config or VehicleConfig(),
-                          vlc_channel=vlc_channel)
+                          vlc_channel=vlc_channel,
+                          dynamics_factory=dynamics_factory)
         vehicles.append(vehicle)
     leader_logic = vehicles[0].make_leader("p1")
     for vehicle in vehicles[1:]:
@@ -60,16 +100,25 @@ def build_platoon(sim, world, channel, events, n=4, speed=27.0, spacing=20.0,
 
 
 @pytest.fixture
-def platoon4(sim, world, channel, events):
-    return build_platoon(sim, world, channel, events, n=4)
+def platoon4(sim, world, channel, events, kernel_mode):
+    factory = None
+    if kernel_mode == "vector":
+        from repro.kernel import KinematicsPool
+
+        pool = KinematicsPool()
+        world.attach_pool(pool)
+        factory = pool.make_dynamics
+    return build_platoon(sim, world, channel, events, n=4,
+                         dynamics_factory=factory)
 
 
 # Fast scenario configs for integration-level tests --------------------------
 
 @pytest.fixture
-def fast_config() -> ScenarioConfig:
+def fast_config(kernel_mode) -> ScenarioConfig:
     """Short, small episode: ~0.5 s wall clock."""
-    return ScenarioConfig(n_vehicles=5, duration=40.0, warmup=8.0, seed=99)
+    return ScenarioConfig(n_vehicles=5, duration=40.0, warmup=8.0, seed=99,
+                          kernel=kernel_mode)
 
 
 @pytest.fixture

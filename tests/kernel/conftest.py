@@ -1,0 +1,37 @@
+"""Helpers for the scalar-vs-vector differential harness.
+
+``run_traced`` builds one catalogue episode under a given kernel and
+fading mode, records it with the production :class:`TraceRecorder`, and
+writes the schema-versioned trace to disk.  The differential tests then
+compare trace *bodies* byte-for-byte and, on failure, locate and name
+the first divergent record with :func:`repro.analysis.tracediff`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.scenario import ScenarioConfig, run_episode
+from repro.net.channel import ChannelConfig
+
+
+def differential_config(kernel: str, fading: str, *, seed: int = 42,
+                        n_vehicles: int = 5, duration: float = 45.0,
+                        **overrides) -> ScenarioConfig:
+    """The canonical small episode both kernels replay in the suite."""
+    return ScenarioConfig(n_vehicles=n_vehicles, duration=duration,
+                          warmup=10.0, seed=seed, kernel=kernel,
+                          channel=ChannelConfig(fading_streams=fading),
+                          **overrides)
+
+
+def run_traced(spec, kernel: str, fading: str, out_dir: Path,
+               name: str) -> Path:
+    """Run one catalogue experiment under ``kernel`` and trace it."""
+    base = differential_config(kernel, fading)
+    experiment = spec.build(base)
+    trace_path = Path(out_dir) / f"{name}-{kernel}-{fading}.trace.jsonl"
+    run_episode(experiment.config, attacks=experiment.make_attacks(),
+                setup_hooks=experiment.hooks, trace_path=trace_path,
+                trace_meta={"spec_key": name})
+    return trace_path

@@ -1,0 +1,170 @@
+"""Registration-order independence of the pairwise fading streams.
+
+The legacy shared stream draws from one ``random.Random`` in receiver
+iteration order, which makes the *registration order* of radios an
+accidental invariant of every trace.  The pairwise streams remove that
+coupling: each ordered ``(sender, receiver)`` pair owns a counter-based
+stream keyed only on ``(seed, sender_id, receiver_id, attempt)``.  These
+tests pin the contract explicitly -- per-pair draws must not move when
+radios register (or batches are drawn) in a different order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.channel import ChannelConfig, RadioChannel
+from repro.net.fading import PairwiseFading, pair_stream_key
+from repro.net.radio import Radio
+from repro.net.simulator import Simulator
+
+
+def _fading(seed=11):
+    return PairwiseFading(seed=seed, shadowing_sigma_db=4.0,
+                          rayleigh_fading=True)
+
+
+# ------------------------------------------------- order independence
+
+def test_draws_independent_of_batch_order():
+    """The same pairs drawn in reversed batch order yield the same
+    per-pair values."""
+    forward = _fading()
+    backward = _fading()
+    receivers = [f"r{i}" for i in range(6)]
+    f_fwd, u_fwd = forward.draw_batch("tx", receivers)
+    f_bwd, u_bwd = backward.draw_batch("tx", list(reversed(receivers)))
+    assert np.array_equal(f_fwd, f_bwd[::-1])
+    assert np.array_equal(u_fwd, u_bwd[::-1])
+
+
+def test_draws_independent_of_sender_interleaving():
+    """Interleaving different senders' attempts does not shift any
+    pair's stream (each pair advances its own counter only)."""
+    interleaved = _fading()
+    sequential = _fading()
+
+    # Interleaved: a->x, b->x, a->x, b->x ...
+    got_a, got_b = [], []
+    for _ in range(4):
+        got_a.append(interleaved.draw("a", "x"))
+        got_b.append(interleaved.draw("b", "x"))
+
+    # Sequential: all of a's attempts first, then all of b's.
+    want_a = [sequential.draw("a", "x") for _ in range(4)]
+    want_b = [sequential.draw("b", "x") for _ in range(4)]
+    assert got_a == want_a
+    assert got_b == want_b
+
+
+def test_registration_order_does_not_change_pairwise_traffic():
+    """Two channels with radios registered in opposite orders produce
+    identical per-pair fading for identical attempt sequences."""
+
+    def build(order):
+        sim = Simulator(seed=3)
+        cfg = ChannelConfig(fading_streams="pairwise")
+        channel = RadioChannel(sim, cfg)
+        radios = {}
+        for node_id in order:
+            radios[node_id] = Radio(sim, channel, node_id, lambda: 0.0)
+        return channel, radios
+
+    ids = ["n0", "n1", "n2", "n3"]
+    chan_fwd, _ = build(ids)
+    chan_bwd, _ = build(list(reversed(ids)))
+    assert chan_fwd.pair_fading is not None
+    assert chan_bwd.pair_fading is not None
+
+    for sender in ids:
+        for receiver in ids:
+            if sender == receiver:
+                continue
+            assert (chan_fwd.pair_fading.draw(sender, receiver)
+                    == chan_bwd.pair_fading.draw(sender, receiver))
+
+
+def test_pair_streams_are_directional_and_distinct():
+    src = _fading()
+    ab = src.draw("a", "b")
+    ba = src.draw("b", "a")
+    ac = src.draw("a", "c")
+    assert ab != ba
+    assert ab != ac
+    assert pair_stream_key(11, "a", "b") != pair_stream_key(11, "b", "a")
+
+
+def test_seed_changes_every_pair_stream():
+    assert _fading(seed=1).draw("a", "b") != _fading(seed=2).draw("a", "b")
+
+
+# ------------------------------------------------- counter semantics
+
+def test_attempt_count_tracks_draws_per_pair():
+    src = _fading()
+    assert src.attempt_count("a", "b") == 0
+    src.draw("a", "b")
+    assert src.attempt_count("a", "b") == 1
+    src.draw_batch("a", ["b", "c"])
+    assert src.attempt_count("a", "b") == 2
+    assert src.attempt_count("a", "c") == 1
+    # Pairs never drawn stay at zero -- out-of-range receivers that are
+    # filtered before the draw consume nothing from any stream.
+    assert src.attempt_count("a", "d") == 0
+    assert src.attempt_count("b", "a") == 0
+
+
+def test_flush_preserves_counters_across_batch_changes():
+    """Counters survive live-batch rebuilds: growing, shrinking, and
+    reshuffling the receiver set never resets or skips attempts."""
+    churn = _fading()
+    steady = _fading()
+
+    churn.draw_batch("tx", ["r0", "r1"])
+    churn.draw_batch("tx", ["r0", "r1", "r2"])   # grow
+    churn.draw_batch("tx", ["r2", "r0"])          # shrink + reorder
+    churn.draw_batch("tx", ["r0", "r1", "r2"])   # grow again
+    assert churn.attempt_count("tx", "r0") == 4
+    assert churn.attempt_count("tx", "r1") == 3
+    assert churn.attempt_count("tx", "r2") == 3
+
+    # Regardless of the churn, the next draw for each pair must be that
+    # pair's (count+1)-th attempt on a fresh source.
+    fc, uc = churn.draw_batch("tx", ["r1", "r2"])
+    assert (float(fc[0]), float(uc[0])) == _nth_attempt(steady, "tx", "r1", 4)
+    assert (float(fc[1]), float(uc[1])) == _nth_attempt(steady, "tx", "r2", 4)
+
+
+def _nth_attempt(src, sender, receiver, n):
+    for _ in range(n - 1):
+        src.draw(sender, receiver)
+    return src.draw(sender, receiver)
+
+
+def test_batch_draw_equals_singles_after_flush():
+    """Mixing batch and single draws for the same pair stays on-stream."""
+    mixed = _fading()
+    singles = _fading()
+    mixed.draw_batch("tx", ["a", "b"])
+    got = mixed.draw("tx", "a")                    # forces a batch change
+    singles.draw("tx", "a")
+    assert got == singles.draw("tx", "a")
+
+
+# ------------------------------------------------- channel-level contract
+
+def test_receivers_in_order_reflects_registration():
+    sim = Simulator(seed=1)
+    channel = RadioChannel(sim, ChannelConfig())
+    r2 = Radio(sim, channel, "r2", lambda: 0.0)
+    r1 = Radio(sim, channel, "r1", lambda: 10.0)
+    assert channel.receivers_in_order() == [r2, r1]
+    with pytest.raises(ValueError):
+        Radio(sim, channel, "r1", lambda: 20.0)
+
+
+def test_shared_mode_has_no_pairwise_source():
+    sim = Simulator(seed=1)
+    channel = RadioChannel(sim, ChannelConfig(fading_streams="shared"))
+    assert channel.pair_fading is None
