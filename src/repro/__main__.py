@@ -270,22 +270,11 @@ def cmd_matrix(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    from pathlib import Path
-
     from repro.core.campaign import run_experiment_spec
-    from repro.core.experiment import load_experiment_spec
-    from repro.experiments import experiment_spec
 
-    if Path(args.spec).exists():
-        spec = load_experiment_spec(args.spec)
-    else:
-        threat, _, variant = args.spec.partition("/")
-        if threat not in taxonomy.THREATS:
-            print(f"error: {args.spec!r} is neither an experiment spec file "
-                  "nor a '<threat>[/variant]' catalogue reference "
-                  f"(threats: {sorted(taxonomy.THREATS)})", file=sys.stderr)
-            return 2
-        spec = experiment_spec(threat, variant or None)
+    spec = _resolve_experiment_spec(args.spec)
+    if spec is None:
+        return 2
     run = run_experiment_spec(spec, _base_config(args))
     outcome = run.outcome
     headers = ["experiment", "metric", "baseline", "attacked"]
@@ -307,6 +296,82 @@ def cmd_experiment(args) -> int:
         print(obs.format_snapshot(obs.get_registry().snapshot(),
                                   title="episode observability"))
     return 0 if outcome.effect_present else 1
+
+
+def _resolve_experiment_spec(raw: str):
+    """A spec file path or ``<threat>[/variant]`` catalogue reference;
+    ``None`` (after printing the error) when neither resolves."""
+    from pathlib import Path
+
+    from repro.core.experiment import load_experiment_spec
+    from repro.experiments import experiment_spec
+
+    if Path(raw).exists():
+        return load_experiment_spec(raw)
+    threat, _, variant = raw.partition("/")
+    if threat not in taxonomy.THREATS:
+        print(f"error: {raw!r} is neither an experiment spec file "
+              "nor a '<threat>[/variant]' catalogue reference "
+              f"(threats: {sorted(taxonomy.THREATS)})", file=sys.stderr)
+        return None
+    return experiment_spec(threat, variant or None)
+
+
+def cmd_falsify(args) -> int:
+    from repro.falsify import Falsifier, SearchBudget, write_counterexample
+
+    spec = _resolve_experiment_spec(args.spec)
+    if spec is None:
+        return 2
+    runner = _make_runner(args)
+    budget = SearchBudget(episodes=args.episodes,
+                          samples_per_round=args.samples_per_round,
+                          rounds=args.rounds,
+                          descent_passes=args.descent_passes,
+                          tighten_grid=args.tighten_grid)
+    space_kwargs = {"max_windows": args.max_windows}
+    if args.attack_seconds is not None:
+        space_kwargs["attack_seconds"] = args.attack_seconds
+    if args.tune:
+        space_kwargs["tune"] = [name for name in args.tune.split(",") if name]
+    falsifier = Falsifier(runner, root_seed=args.seed,
+                          log=lambda message: print(f"falsify: {message}",
+                                                    file=sys.stderr))
+    result = falsifier.falsify(spec, _base_config(args), budget,
+                               **space_kwargs)
+
+    rows = [[entry["stage"], entry["schedule"],
+             round(entry["severity"], 2), entry["collisions"],
+             "VIOLATION" if entry["violated"] else ""]
+            for entry in result.history]
+    print(format_table(
+        ["stage", "schedule", "severity [m]", "collisions", "verdict"],
+        rows, title=f"falsification search: {result.spec_name} "
+                    f"({result.episodes_used}/{budget.episodes} episodes)"))
+    if result.baseline is not None and result.baseline.violated:
+        print("baseline episode already violates safety; nothing to "
+              "falsify", file=sys.stderr)
+        return 2
+    if not result.found:
+        print("no safety violation found within the episode budget")
+        _print_report(runner, args)
+        return 1
+
+    outcome = result.counterexample
+    print(f"violation found: {outcome.verdict.describe()} "
+          f"[{outcome.schedule.label()}]")
+    if result.threshold_intensity is not None:
+        print(f"violation threshold: ~{result.threshold_intensity:.2f} of "
+              "the found schedule's intensity")
+    if not args.no_emit:
+        entry = write_counterexample(
+            args.corpus_dir, result.counterexample_spec(),
+            _base_config(args), provenance=result.provenance(),
+            name=args.name)
+        print(f"counterexample written: {entry.path}/")
+        print(f"  replay: platoonsec experiment {entry.spec_path}")
+    _print_report(runner, args)
+    return 0
 
 
 def cmd_experiments(args) -> int:
@@ -624,6 +689,51 @@ def main(argv=None) -> int:
                        help="experiment spec JSON file, or a "
                             "'<threat>[/variant]' catalogue reference")
     p_exp.set_defaults(fn=cmd_experiment)
+
+    p_fals = sub.add_parser(
+        "falsify",
+        help="search for an attack schedule that violates safety",
+        epilog="exit codes:\n"
+               "  0  violation found (and emitted unless --no-emit)\n"
+               "  1  no violation within the episode budget\n"
+               "  2  usage error or unsafe baseline",
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_fals.add_argument("spec",
+                        help="experiment spec JSON file, or a "
+                             "'<threat>[/variant]' catalogue reference")
+    p_fals.add_argument("--episodes", type=int, default=48,
+                        help="episode budget for the whole search "
+                             "(default: %(default)s)")
+    p_fals.add_argument("--samples-per-round", type=int, default=8,
+                        help="random schedules per sampling round "
+                             "(default: %(default)s)")
+    p_fals.add_argument("--rounds", type=int, default=3,
+                        help="seeded sampling rounds (default: %(default)s)")
+    p_fals.add_argument("--descent-passes", type=int, default=4,
+                        help="coordinate-descent passes "
+                             "(default: %(default)s)")
+    p_fals.add_argument("--tighten-grid", type=int, default=5,
+                        help="intensity grid points for the tightening "
+                             "stage (default: %(default)s)")
+    p_fals.add_argument("--max-windows", type=int, default=2,
+                        help="most attack windows per schedule "
+                             "(default: %(default)s)")
+    p_fals.add_argument("--attack-seconds", type=float, default=None,
+                        help="attacker budget: total active attack "
+                             "seconds (default: the whole post-warmup "
+                             "episode)")
+    p_fals.add_argument("--tune", default=None,
+                        help="comma-separated attack parameters to scale "
+                             "(default: every non-zero float parameter)")
+    p_fals.add_argument("--corpus-dir", default="tests/corpus",
+                        help="where found counterexamples are emitted "
+                             "(default: %(default)s)")
+    p_fals.add_argument("--name", default=None,
+                        help="corpus entry name (default: "
+                             "<threat>-<spec hash>)")
+    p_fals.add_argument("--no-emit", action="store_true",
+                        help="search only; do not write a corpus entry")
+    p_fals.set_defaults(fn=cmd_falsify)
 
     p_exps = sub.add_parser("experiments",
                             help="list or validate the experiment catalogue")

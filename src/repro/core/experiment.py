@@ -433,6 +433,12 @@ HEADLINE_METRICS = (
     ("tpms_warnings", True, "spoofed TPMS warnings raised"),
     ("mean_beacon_error_m", True, "mean beacon position error [m]"),
     ("infected_at_end", True, "vehicles infected at episode end"),
+    # Safety metrics surfaced for the falsification engine: counter-
+    # examples are judged on hard safety violations, not degradation.
+    ("min_true_gap", False, "worst bumper-to-bumper clearance seen [m]"),
+    ("collision_count", True, "contact events (re-collisions counted)"),
+    ("min_brake_margin", False,
+     "worst emergency-brake envelope margin seen [m]"),
 )
 
 for _name, _lower, _description in HEADLINE_METRICS:

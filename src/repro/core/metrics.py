@@ -11,7 +11,14 @@ throughout the benches:
   the *string-stability amplification* ratio compares acceleration energy
   at the platoon tail vs. the first follower (>1 means disturbances grow
   along the string).
-* **Safety** -- distinct collision pairs and minimum observed gap.
+* **Safety** -- distinct collision pairs, contact events (re-collisions
+  of the same pair count again), minimum observed gap over the platoon,
+  minimum *true* bumper gap over every vehicle in the world (the joiner
+  included), and the minimum emergency-brake margin: the clearance left
+  if the predecessor brakes at its physical limit and the follower
+  responds at its own limit (``gap + v_p^2/2b_p - v_f^2/2b_f``; a
+  non-positive margin means the follower has left its stopping
+  envelope even if bumpers never touched).
 * **Availability** -- packet delivery ratio, fraction of control ticks in
   degraded (ACC-fallback) mode, disband count, members remaining.
 * **Efficiency (fuel proxy)** -- a documented surrogate: drag work with a
@@ -73,20 +80,56 @@ class MetricsCollector:
         self.traces: dict[str, _VehicleTrace] = {}
         self.collision_pairs: set[tuple[str, str]] = set()
         self.min_gap: float = float("inf")
+        self.min_true_gap: float = float("inf")
+        self.min_brake_margin: float = float("inf")
+        self.collision_count: int = 0
+        self._in_contact: set[tuple[str, str]] = set()
+        self._platoon_ids = {v.vehicle_id for v in scenario.platoon_vehicles}
         self._proc = scenario.sim.every(sample_period, self._sample,
                                         initial_delay=sample_period)
+
+    def _observe_safety(self, vehicle, pred) -> Optional[float]:
+        """Fold one (follower, predecessor) pair into the safety minima.
+
+        Returns the bumper gap so callers can reuse it (it is exactly
+        ``World.true_gap``).  ``min_true_gap`` is the worst observed
+        bumper clearance; ``min_brake_margin`` the worst emergency-brake
+        envelope: the gap left after both vehicles brake at their
+        physical limits from their current speeds.
+        """
+        if pred is None:
+            return None
+        gap = self.scenario.world.gap_between(vehicle, pred)
+        if gap < self.min_true_gap:
+            self.min_true_gap = gap
+        margin = (gap
+                  + pred.speed ** 2 / (2.0 * pred.params.max_decel)
+                  - vehicle.speed ** 2 / (2.0 * vehicle.params.max_decel))
+        if margin < self.min_brake_margin:
+            self.min_brake_margin = margin
+        return gap
 
     def _sample(self) -> None:
         obs.inc("metrics.samples")
         world = self.scenario.world
         now = self.scenario.sim.now
-        for pair in world.collisions():
+        contacts = world.collisions()
+        for pair in contacts:
+            if pair in self._in_contact:
+                continue
+            self.collision_count += 1
             if pair not in self.collision_pairs:
                 self.collision_pairs.add(pair)
                 self.scenario.events.record(now, "collision", pair[0], with_=pair[1])
+        self._in_contact = set(contacts)
+        # Safety minima cover *every* vehicle in the world (the joiner
+        # tailgating the platoon included), not just the original roster.
+        for vehicle in world.vehicles():
+            if vehicle.vehicle_id not in self._platoon_ids:
+                self._observe_safety(vehicle, world.predecessor_of(vehicle))
         for vehicle in self.scenario.platoon_vehicles:
             trace = self.traces.setdefault(vehicle.vehicle_id, _VehicleTrace())
-            gap = world.true_gap(vehicle)
+            gap = self._observe_safety(vehicle, world.predecessor_of(vehicle))
             trace.times.append(now)
             trace.positions.append(vehicle.position)
             trace.speeds.append(vehicle.speed)
@@ -193,7 +236,12 @@ class MetricsCollector:
             mean_gap_std=(sum(gap_stds) / len(gap_stds)) if gap_stds else 0.0,
             string_amplification=amplification,
             collisions=len(self.collision_pairs),
+            collision_count=self.collision_count,
             min_gap=self.min_gap if self.min_gap < float("inf") else None,
+            min_true_gap=(self.min_true_gap
+                          if self.min_true_gap < float("inf") else None),
+            min_brake_margin=(self.min_brake_margin
+                              if self.min_brake_margin < float("inf") else None),
             packet_delivery_ratio=scenario.channel.stats.packet_delivery_ratio,
             mac_drop_ratio=mac_drop_ratio,
             degraded_fraction=(degraded_ticks / total_ticks) if total_ticks else 0.0,
@@ -229,7 +277,10 @@ class ScenarioMetrics:
     mean_gap_std: float
     string_amplification: Optional[float]
     collisions: int
+    collision_count: int
     min_gap: Optional[float]
+    min_true_gap: Optional[float]
+    min_brake_margin: Optional[float]
     packet_delivery_ratio: float
     mac_drop_ratio: float
     degraded_fraction: float
@@ -254,7 +305,12 @@ class ScenarioMetrics:
             "string_amplification": (round(self.string_amplification, 3)
                                      if self.string_amplification is not None else None),
             "collisions": self.collisions,
+            "collision_count": self.collision_count,
             "min_gap_m": round(self.min_gap, 3) if self.min_gap is not None else None,
+            "min_true_gap_m": (round(self.min_true_gap, 3)
+                               if self.min_true_gap is not None else None),
+            "min_brake_margin_m": (round(self.min_brake_margin, 3)
+                                   if self.min_brake_margin is not None else None),
             "pdr": round(self.packet_delivery_ratio, 3),
             "mac_drop_ratio": round(self.mac_drop_ratio, 3),
             "degraded_fraction": round(self.degraded_fraction, 3),

@@ -58,9 +58,11 @@ from repro.obs import registry as obs
 from repro.obs.telemetry import TelemetryBus
 from repro.obs.trace import trace_filename
 
-# /2 added the per-episode observability snapshot to EpisodeRecord;
-# /1 files are treated as stale and recomputed.
-CACHE_FORMAT = "platoonsec-episode-cache/2"
+# /3 added the safety metrics (min_true_gap, collision_count,
+# min_brake_margin) to the cached metrics dict; /2 added the per-episode
+# observability snapshot.  Older files are treated as stale and
+# recomputed.
+CACHE_FORMAT = "platoonsec-episode-cache/3"
 
 ROLES = ("baseline", "attacked", "defended")
 
@@ -133,6 +135,15 @@ class EpisodeSpec:
     parameters (jammer power, ghost count, ...) that live outside the
     scenario config.  They are part of the content hash, so two specs
     differing only in an override are distinct cache entries.
+
+    ``experiment`` optionally carries a canonical
+    ``platoonsec-experiment/1`` payload (:meth:`ExperimentSpec.to_dict`).
+    When present, workers rebuild the attack list, hooks and defences
+    from the payload instead of the threat catalogue -- this is how the
+    falsification engine runs arbitrary attack *schedules* (several
+    windowed instances of one attack with per-window parameters) through
+    the same memoised runner.  A payload spec declaring defence
+    components may use role ``"defended"`` with no ``mechanism_key``.
     """
 
     threat_key: str
@@ -141,11 +152,24 @@ class EpisodeSpec:
     config: ScenarioConfig
     mechanism_key: Optional[str] = None
     overrides: tuple = ()
+    experiment: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.role not in ROLES:
             raise ValueError(f"unknown role {self.role!r}; expected one of {ROLES}")
-        if (self.role == "defended") != (self.mechanism_key is not None):
+        if self.experiment is not None:
+            # Normalise through JSON up front so the hash and the worker
+            # see exactly what a reloaded spec file would contain.
+            object.__setattr__(self, "experiment", _roundtrip(self.experiment))
+            if self.role == "defended" and self.mechanism_key is None \
+                    and not self.experiment.get("defenses"):
+                raise ValueError(
+                    "a 'defended' payload spec needs a mechanism_key or "
+                    "payload defence components")
+            if self.role != "defended" and self.mechanism_key is not None:
+                raise ValueError(
+                    "mechanism_key requires a 'defended' spec")
+        elif (self.role == "defended") != (self.mechanism_key is not None):
             raise ValueError("mechanism_key must be set exactly for 'defended' specs")
         canon = tuple(sorted((str(path), value)
                              for path, value in self.overrides))
@@ -179,6 +203,8 @@ class EpisodeSpec:
         if self.overrides:
             payload["overrides"] = [[path, value]
                                     for path, value in self.overrides]
+        if self.experiment is not None:
+            payload["experiment"] = self.experiment
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -282,12 +308,25 @@ def _execute_spec(spec: EpisodeSpec, trace_dir: Optional[str] = None,
     obs.set_profiling(profile)
     with obs.isolated_registry() as registry:
         start = time.perf_counter()
-        experiment = threat_experiment(spec.threat_key, spec.config,
-                                       variant=spec.variant)
-        attacks = (experiment.make_attacks()
-                   if spec.role in ("attacked", "defended") else ())
-        defenses = (make_defenses(spec.mechanism_key)[0]
-                    if spec.role == "defended" else ())
+        if spec.experiment is not None:
+            from repro.core.experiment import ExperimentSpec
+
+            payload_spec = ExperimentSpec.from_dict(spec.experiment)
+            experiment = payload_spec.build(spec.config)
+            attacks = (experiment.make_attacks()
+                       if spec.role in ("attacked", "defended") else ())
+            defenses: Sequence = ()
+            if spec.role == "defended":
+                defenses = (make_defenses(spec.mechanism_key)[0]
+                            if spec.mechanism_key is not None
+                            else payload_spec.build_defenses(spec.config))
+        else:
+            experiment = threat_experiment(spec.threat_key, spec.config,
+                                           variant=spec.variant)
+            attacks = (experiment.make_attacks()
+                       if spec.role in ("attacked", "defended") else ())
+            defenses = (make_defenses(spec.mechanism_key)[0]
+                        if spec.role == "defended" else ())
         if spec.overrides:
             apply_parameter_overrides(attacks, defenses, spec.overrides)
         result = run_episode(experiment.config, attacks=attacks,

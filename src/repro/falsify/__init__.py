@@ -1,0 +1,66 @@
+"""Safety falsification: search for attack schedules that crash platoons.
+
+The paper's open-challenges section observes that platoon security has
+no canonical attack suite -- threats are narrated, defences are scored
+on degradation.  This package closes the loop the way Koley et al.'s
+CAD framework does (PAPERS.md): given an experiment spec (scenario +
+defence stack), it *synthesises* the attack schedule -- which windows
+the attack fires in, at what parameter strength, within an attacker
+budget -- that produces a hard safety violation, and freezes every find
+as a replayable counterexample in the regression corpus under
+``tests/corpus/``.
+
+Modules
+-------
+objective:
+    What counts as a violation (collisions, negative true gap,
+    emergency-brake envelope breach) and the scalar severity ordering.
+schedule:
+    Windowed, budgeted attack schedules over one experiment spec;
+    sampling, descent neighbours, and materialisation into fully
+    literal ``platoonsec-experiment/1`` specs / campaign units.
+search:
+    The seeded search engine (sampling -> coordinate descent ->
+    tightening) on top of :class:`~repro.core.runner.CampaignRunner`.
+corpus:
+    Emission, enumeration and kernel-parametrised replay of committed
+    counterexamples.
+"""
+
+from repro.falsify.corpus import (
+    CORPUS_FORMAT,
+    DEFAULT_CORPUS_DIR,
+    CorpusEntry,
+    ReplayReport,
+    iter_corpus,
+    replay_counterexample,
+    write_counterexample,
+)
+from repro.falsify.objective import SAFETY_METRICS, SafetyVerdict, assess
+from repro.falsify.schedule import AttackSchedule, AttackWindow, ScheduleSpace
+from repro.falsify.search import (
+    CandidateOutcome,
+    FalsificationResult,
+    Falsifier,
+    SearchBudget,
+)
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "DEFAULT_CORPUS_DIR",
+    "SAFETY_METRICS",
+    "AttackSchedule",
+    "AttackWindow",
+    "CandidateOutcome",
+    "CorpusEntry",
+    "FalsificationResult",
+    "Falsifier",
+    "ReplayReport",
+    "SafetyVerdict",
+    "ScheduleSpace",
+    "SearchBudget",
+    "assess",
+    "iter_corpus",
+    "replay_counterexample",
+    "write_counterexample",
+]

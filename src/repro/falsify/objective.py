@@ -1,0 +1,82 @@
+"""Safety objective for falsification: what counts as a violation.
+
+The paper's open challenge is that defences are judged on *degradation*
+metrics; the falsification engine instead hunts **hard safety
+violations**:
+
+* a **collision** -- ``World.collisions()`` reported a non-positive
+  bumper gap (``collision_count > 0``);
+* a **negative true gap** -- the worst bumper-to-bumper clearance seen
+  anywhere in the world dropped to zero or below;
+* an **emergency-brake envelope breach** -- ``min_brake_margin`` went
+  non-positive: even if bumpers never touched, some follower could no
+  longer stop without contact if its predecessor braked at the physical
+  limit.
+
+The scalar **severity** orders candidate attack schedules for the
+search: the minimum of the two clearance metrics, in metres.  Lower is
+worse; a non-positive severity *is* a violation.  Candidates that never
+even dent the clearance still compare meaningfully, which is what lets
+coordinate descent walk downhill long before anything crashes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+#: Metrics the objective reads from an episode's metrics dict.
+SAFETY_METRICS = ("collision_count", "min_true_gap", "min_brake_margin")
+
+
+def _clearance(value) -> Optional[float]:
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """The safety reading of one episode."""
+
+    collision_count: int
+    min_true_gap: Optional[float]
+    min_brake_margin: Optional[float]
+    severity: float
+    violated: bool
+
+    def describe(self) -> str:
+        if self.collision_count:
+            return (f"collision (x{self.collision_count}, "
+                    f"min gap {self.min_true_gap:.2f} m)")
+        if self.violated:
+            return f"brake-envelope breach (margin {self.severity:.2f} m)"
+        return f"safe (severity {self.severity:.2f} m)"
+
+
+def assess(metrics: Mapping) -> SafetyVerdict:
+    """Judge one episode's metrics dict against the safety objective.
+
+    ``severity`` is ``min(min_true_gap, min_brake_margin)`` over the
+    values that were observed; ``inf`` when neither was (a degenerate
+    single-vehicle world).  A violation is a collision or a non-positive
+    severity.
+    """
+    collisions = int(metrics.get("collision_count") or 0)
+    gap = _clearance(metrics.get("min_true_gap"))
+    margin = _clearance(metrics.get("min_brake_margin"))
+    clearances = [v for v in (gap, margin) if v is not None]
+    severity = min(clearances) if clearances else float("inf")
+    return SafetyVerdict(
+        collision_count=collisions,
+        min_true_gap=gap,
+        min_brake_margin=margin,
+        severity=severity,
+        violated=collisions > 0 or severity <= 0.0)
+
+
+def severity_key(verdict: SafetyVerdict) -> tuple:
+    """Sort key ordering verdicts worst-first (collisions break ties)."""
+    return (verdict.severity, -verdict.collision_count)

@@ -1,0 +1,375 @@
+"""Attack schedules: windowed, budgeted perturbations of one experiment.
+
+A *schedule* decides **when** an experiment's attack fires and **how
+hard**: a set of non-overlapping time windows inside the episode, each
+carrying multiplicative scale factors over the attack's numeric
+parameters.  The total active time is capped by an attacker budget
+(seconds of attack air-time), following the resource-aware attacker
+model of Eslami & Pirani (PAPERS.md).
+
+:class:`ScheduleSpace` binds a ``platoonsec-experiment/1`` spec to a
+base scenario config and knows how to
+
+* **sample** random schedules (seeded -- the search derives every draw
+  from :func:`repro.core.runner.derive_seed`),
+* enumerate coordinate-descent **neighbours** of a schedule (one window
+  boundary moved, one scale nudged),
+* **materialise** a schedule back into a fully-literal
+  :class:`~repro.core.experiment.ExperimentSpec` (one attack component
+  per window, ``start_time``/``stop_time`` pinned, every config value
+  and parameter resolved -- no ``$config`` expressions survive), and
+  into a runnable :class:`~repro.core.runner.EpisodeSpec` carrying that
+  payload.
+
+Materialised specs round-trip through JSON unchanged, which is what
+makes an emitted counterexample *exactly* the schedule the search
+evaluated -- the property the replay corpus depends on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.experiment import (
+    ComponentSpec,
+    ExperimentSpec,
+    MetricSpec,
+    resolve_value,
+)
+from repro.core.registry import REGISTRY, REQUIRED
+from repro.core.runner import EpisodeSpec
+from repro.core.scenario import ScenarioConfig
+
+#: Parameters a schedule never scales: the schedule *owns* the timing.
+_TIMING_PARAMS = {"start_time", "stop_time"}
+
+#: Time quantum for window boundaries [s]; keeps emitted specs tidy.
+_TIME_DECIMALS = 3
+#: Precision for scale factors.
+_SCALE_DECIMALS = 4
+#: Precision for materialised parameter values.
+_PARAM_DECIMALS = 6
+
+
+def _round_time(value: float) -> float:
+    return round(float(value), _TIME_DECIMALS)
+
+
+@dataclass(frozen=True)
+class AttackWindow:
+    """One active window: ``[start, start + duration)`` with parameter
+    scale factors ``((name, factor), ...)``."""
+
+    start: float
+    duration: float
+    scales: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", _round_time(self.start))
+        object.__setattr__(self, "duration", _round_time(self.duration))
+        canon = tuple(sorted((str(name), round(float(factor), _SCALE_DECIMALS))
+                             for name, factor in self.scales))
+        object.__setattr__(self, "scales", canon)
+        if self.duration <= 0:
+            raise ValueError("window duration must be positive")
+
+    @property
+    def stop(self) -> float:
+        return _round_time(self.start + self.duration)
+
+    def label(self) -> str:
+        scales = ",".join(f"{name}x{factor:g}" for name, factor in self.scales)
+        return (f"{self.start:g}+{self.duration:g}s"
+                + (f"[{scales}]" if scales else ""))
+
+
+@dataclass(frozen=True)
+class AttackSchedule:
+    """An ordered tuple of non-overlapping attack windows."""
+
+    windows: tuple
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.windows, key=lambda w: (w.start, w.stop)))
+        object.__setattr__(self, "windows", ordered)
+        if not ordered:
+            raise ValueError("a schedule needs at least one window")
+        for prev, nxt in zip(ordered, ordered[1:]):
+            if nxt.start < prev.stop - 1e-6:
+                raise ValueError(
+                    f"windows overlap: {prev.label()} and {nxt.label()}")
+
+    @property
+    def active_seconds(self) -> float:
+        return _round_time(sum(w.duration for w in self.windows))
+
+    def label(self) -> str:
+        return " ".join(w.label() for w in self.windows)
+
+
+class ScheduleSpace:
+    """The searchable schedule space of one experiment spec.
+
+    Parameters
+    ----------
+    spec:
+        The experiment under attack synthesis.  Windows schedule the
+        spec's **first** attack component; any further attack components
+        ride along verbatim (resolved) in every candidate.
+    base:
+        The base scenario config; window times live inside
+        ``[warmup, duration]`` of the spec's *resolved* config.
+    max_windows:
+        Most windows a sampled schedule may use.
+    attack_seconds:
+        Attacker budget: total active seconds across windows.  Defaults
+        to the whole post-warmup episode (no budget beyond physics).
+    min_window:
+        Shortest meaningful window [s].
+    scale_range:
+        ``(lo, hi)`` bounds for every parameter scale factor.
+    tune:
+        Optional explicit subset of parameter names to scale.  Defaults
+        to every non-zero float parameter of the first attack component
+        (timing parameters excluded).
+    """
+
+    def __init__(self, spec: ExperimentSpec, base: ScenarioConfig, *,
+                 max_windows: int = 2,
+                 attack_seconds: Optional[float] = None,
+                 min_window: float = 2.0,
+                 scale_range: tuple = (0.25, 4.0),
+                 tune: Optional[Sequence[str]] = None) -> None:
+        self.spec = spec
+        self.base = base
+        self.config = spec.build(base).config
+        self.t0 = float(self.config.warmup)
+        self.t1 = float(self.config.duration)
+        if self.t1 - self.t0 < min_window:
+            raise ValueError(
+                f"episode leaves no room to attack: warmup {self.t0}s, "
+                f"duration {self.t1}s, min window {min_window}s")
+        self.min_window = float(min_window)
+        span = self.t1 - self.t0
+        self.attack_seconds = min(float(attack_seconds), span) \
+            if attack_seconds is not None else span
+        if self.attack_seconds < min_window:
+            raise ValueError(
+                f"attacker budget {self.attack_seconds}s is below the "
+                f"minimum window of {min_window}s")
+        self.max_windows = max(1, int(max_windows))
+        lo, hi = float(scale_range[0]), float(scale_range[1])
+        if not 0 < lo <= hi:
+            raise ValueError(f"bad scale range {scale_range!r}")
+        self.scale_range = (lo, hi)
+        self._params = self._resolved_attack_params()
+        self.tunable = self._tunable_params(tune)
+
+    # ------------------------------------------------------------ parameters
+
+    def _resolved_attack_params(self) -> dict:
+        """Full literal parameter set of the scheduled attack component:
+        registry defaults overlaid with the spec's resolved params."""
+        component = self.spec.attacks[0]
+        info = REGISTRY.get("attack", component.key)
+        # Only JSON-primitive defaults are lifted into the literal spec;
+        # anything richer stays at its constructor default.
+        params = {name: p.default for name, p in info.params.items()
+                  if p.default is not REQUIRED
+                  and isinstance(p.default, (str, bool, int, float,
+                                             type(None)))}
+        params.update(component.resolve_params(self.base))
+        return params
+
+    def _tunable_params(self, tune: Optional[Sequence[str]]) -> tuple:
+        numeric = [name for name, value in sorted(self._params.items())
+                   if name not in _TIMING_PARAMS
+                   and isinstance(value, float)
+                   and not isinstance(value, bool)
+                   and value != 0.0]
+        if tune is None:
+            return tuple(numeric)
+        chosen = tuple(str(name) for name in tune)
+        unknown = sorted(set(chosen) - set(numeric))
+        if unknown:
+            raise ValueError(
+                f"cannot tune {unknown} on attack "
+                f"{self.spec.attacks[0].key!r}; scalable parameters: "
+                f"{numeric}")
+        return chosen
+
+    # -------------------------------------------------------------- sampling
+
+    def sample(self, rng: random.Random) -> AttackSchedule:
+        """One random budget-respecting schedule."""
+        k = rng.randint(1, self.max_windows)
+        k = min(k, max(1, int(self.attack_seconds // self.min_window)))
+        # Split a random fraction of the budget into k window lengths.
+        use = self.attack_seconds * rng.uniform(0.4, 1.0)
+        use = max(use, k * self.min_window)
+        weights = [rng.random() + 0.05 for _ in range(k)]
+        total = sum(weights)
+        slack = use - k * self.min_window
+        durations = [self.min_window + slack * w / total for w in weights]
+        # Place the windows without overlap: distribute the free time as
+        # k+1 non-negative gaps (stars and bars).
+        free = max(0.0, (self.t1 - self.t0) - sum(durations))
+        gaps = [rng.random() for _ in range(k + 1)]
+        gap_total = sum(gaps) or 1.0
+        gaps = [free * g / gap_total for g in gaps]
+        windows = []
+        cursor = self.t0
+        for gap, duration in zip(gaps, durations):
+            start = cursor + gap
+            windows.append(AttackWindow(
+                start=start, duration=duration,
+                scales=tuple((name, self._sample_scale(rng))
+                             for name in self.tunable)))
+            cursor = start + duration
+        return AttackSchedule(windows=tuple(windows))
+
+    def _sample_scale(self, rng: random.Random) -> float:
+        lo, hi = self.scale_range
+        return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+    # ------------------------------------------------------------ neighbours
+
+    def neighbours(self, schedule: AttackSchedule, *,
+                   time_step: float, scale_step: float) -> list:
+        """Single-coordinate mutations of ``schedule`` for descent.
+
+        Every neighbour moves exactly one knob: a window start shifted
+        by ``±time_step``, a duration grown/shrunk by ``±time_step``
+        (budget- and overlap-respecting), or one scale factor
+        multiplied/divided by ``scale_step``.
+        """
+        out: dict[tuple, AttackSchedule] = {}
+
+        def consider(windows: list) -> None:
+            try:
+                candidate = AttackSchedule(windows=tuple(windows))
+            except ValueError:
+                return
+            key = tuple((w.start, w.duration, w.scales)
+                        for w in candidate.windows)
+            if candidate != schedule:
+                out.setdefault(key, candidate)
+
+        windows = list(schedule.windows)
+        budget_slack = self.attack_seconds - schedule.active_seconds
+        for i, window in enumerate(windows):
+            prev_stop = windows[i - 1].stop if i > 0 else self.t0
+            next_start = (windows[i + 1].start if i + 1 < len(windows)
+                          else self.t1)
+            for delta in (-time_step, +time_step):
+                start = min(max(window.start + delta, prev_stop),
+                            next_start - window.duration)
+                if start >= prev_stop - 1e-9:
+                    consider(windows[:i]
+                             + [AttackWindow(start, window.duration,
+                                             window.scales)]
+                             + windows[i + 1:])
+            grow = min(time_step, budget_slack,
+                       next_start - window.stop)
+            if grow > 1e-6:
+                consider(windows[:i]
+                         + [AttackWindow(window.start,
+                                         window.duration + grow,
+                                         window.scales)]
+                         + windows[i + 1:])
+            shrink = min(time_step, window.duration - self.min_window)
+            if shrink > 1e-6:
+                consider(windows[:i]
+                         + [AttackWindow(window.start,
+                                         window.duration - shrink,
+                                         window.scales)]
+                         + windows[i + 1:])
+            for j, (name, factor) in enumerate(window.scales):
+                for scaled in (factor * scale_step, factor / scale_step):
+                    clamped = min(max(scaled, self.scale_range[0]),
+                                  self.scale_range[1])
+                    scales = list(window.scales)
+                    scales[j] = (name, clamped)
+                    consider(windows[:i]
+                             + [AttackWindow(window.start, window.duration,
+                                             tuple(scales))]
+                             + windows[i + 1:])
+        return list(out.values())
+
+    def rescaled(self, schedule: AttackSchedule,
+                 intensity: float) -> AttackSchedule:
+        """The schedule with every scale factor moved toward 1.0.
+
+        ``intensity=1`` is the schedule itself; ``intensity=0`` the
+        unscaled attack in the same windows.  Used by the tightening
+        stage to find the weakest variant that still violates.
+        """
+        windows = []
+        for window in schedule.windows:
+            scales = tuple(
+                (name, min(max(factor ** intensity, self.scale_range[0]),
+                           self.scale_range[1]))
+                for name, factor in window.scales)
+            windows.append(AttackWindow(window.start, window.duration, scales))
+        return AttackSchedule(windows=tuple(windows))
+
+    # --------------------------------------------------------- materialising
+
+    def to_experiment(self, schedule: AttackSchedule) -> ExperimentSpec:
+        """The schedule as a fully-literal ``platoonsec-experiment/1``.
+
+        One attack component per window (``start_time``/``stop_time``
+        pinned, scaled parameters applied); further attack components,
+        defences and hooks of the original spec ride along with their
+        parameters resolved.  The result round-trips through JSON
+        byte-identically, so an emitted counterexample *is* the evaluated
+        schedule.
+        """
+        key = self.spec.attacks[0].key
+        attacks = []
+        for window in schedule.windows:
+            params = dict(self._params)
+            for name, factor in dict(window.scales).items():
+                params[name] = round(params[name] * factor, _PARAM_DECIMALS)
+            params["start_time"] = window.start
+            params["stop_time"] = window.stop
+            attacks.append(ComponentSpec(key=key, params=params))
+        attacks.extend(
+            ComponentSpec(key=c.key, params=c.resolve_params(self.base))
+            for c in self.spec.attacks[1:])
+        literal_config = {name: resolve_value(value, self.base)
+                          for name, value in self.spec.config.items()}
+        return ExperimentSpec(
+            name=f"{self.spec.display_name}:falsified",
+            threat=self.spec.threat,
+            variant=self.spec.variant,
+            config=literal_config,
+            attacks=tuple(attacks),
+            defenses=tuple(
+                ComponentSpec(key=c.key, params=c.resolve_params(self.base))
+                for c in self.spec.defenses),
+            hooks=tuple(
+                ComponentSpec(key=c.key, params=c.resolve_params(self.base))
+                for c in self.spec.hooks),
+            metric=MetricSpec("min_true_gap"))
+
+    def to_episode_spec(self, schedule: AttackSchedule) -> EpisodeSpec:
+        """The schedule as a runnable, memoisable campaign unit."""
+        espec = self.to_experiment(schedule)
+        return EpisodeSpec(
+            threat_key=espec.threat, variant=espec.variant,
+            role="defended" if espec.defenses else "attacked",
+            config=espec.build(self.base).config,
+            experiment=espec.to_dict())
+
+    def baseline_spec(self) -> EpisodeSpec:
+        """The undisturbed episode every candidate is judged against."""
+        espec = self.to_experiment(AttackSchedule(windows=(
+            AttackWindow(self.t0, self.min_window),)))
+        return EpisodeSpec(
+            threat_key=espec.threat, variant=espec.variant, role="baseline",
+            config=espec.build(self.base).config,
+            experiment=espec.to_dict())

@@ -180,30 +180,52 @@ def _sort_key(value: Any) -> tuple:
     return (1, str(value))
 
 
+def _finite(value) -> Optional[float]:
+    """``value`` as a finite float, or ``None`` when it is missing,
+    non-numeric, a bool, NaN or infinite."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
 def first_crossing(xs: Sequence[float], ys: Sequence[Optional[float]],
                    level: float) -> Optional[float]:
     """First axis value at which the response reaches ``level``.
 
     Scans left to right; a crossing between two points is linearly
     interpolated.  Returns ``None`` when the response never reaches the
-    level (or the axis/response values are not numeric).
+    level.
+
+    Edge cases are pinned by ``tests/property/test_prop_aggregate.py``:
+
+    * a point whose x or y is missing (``None``), non-numeric, NaN or
+      infinite breaks the series -- no interpolation spans the gap, and
+      an at-level point right after a gap (including a *leading* gap)
+      is returned exactly;
+    * trailing gaps after a crossing are unreachable and change nothing;
+    * non-monotone series return the **first** reach, even if the
+      response later dips below the level again;
+    * the result is always either ``None`` or a finite value between
+      the bracketing points -- never NaN.
     """
     if len(xs) != len(ys):
         raise ValueError("xs and ys must align")
     prev_x: Optional[float] = None
     prev_y: Optional[float] = None
-    for x, y in zip(xs, ys):
-        if y is None or not isinstance(x, (int, float)):
+    for raw_x, raw_y in zip(xs, ys):
+        x, y = _finite(raw_x), _finite(raw_y)
+        if x is None or y is None:
             prev_x, prev_y = None, None
             continue
         if y >= level:
             if prev_y is None or prev_y >= level:
-                return float(x)
+                return x
             # Interpolate between the last sub-level point and this one.
             span = y - prev_y
             frac = (level - prev_y) / span if abs(span) > _EPS else 1.0
-            return float(prev_x + (x - prev_x) * frac)
-        prev_x, prev_y = float(x), float(y)
+            return prev_x + (x - prev_x) * frac
+        prev_x, prev_y = x, y
     return None
 
 

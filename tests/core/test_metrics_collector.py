@@ -58,6 +58,56 @@ class TestCollisionAccounting:
         assert result.metrics.min_gap < 0.0
 
 
+class TestSafetyEnvelope:
+    def test_true_gap_and_margin_present_and_sane(self, cfg):
+        metrics = run_episode(cfg).metrics
+        assert metrics.min_true_gap is not None
+        assert metrics.min_brake_margin is not None
+        # Clean episode: positive clearance, envelope satisfied, and the
+        # margin credits the predecessor's stopping distance on top of
+        # the raw gap only when the predecessor is slower to stop.
+        assert metrics.min_true_gap > 0.0
+        assert metrics.min_brake_margin > 0.0
+        assert metrics.collision_count == 0
+
+    def test_true_gap_is_no_larger_than_min_gap_error_margin(self, cfg):
+        """min_gap is spacing-error-relative; min_true_gap is the raw
+        bumper clearance and must track overlap just the same."""
+        scenario = Scenario(cfg.with_overrides(leader_profile="constant"))
+        scenario.sim.schedule_at(
+            15.0, lambda: setattr(scenario.platoon_vehicles[1].dynamics.state,
+                                  "position",
+                                  scenario.platoon_vehicles[0].position - 1.0))
+        result = scenario.run()
+        assert result.metrics.min_true_gap < 0.0
+        assert result.metrics.min_brake_margin < 0.0
+        assert result.metrics.collision_count >= 1
+
+    def test_collision_count_counts_recontacts(self, cfg):
+        """Separate then re-overlap the same pair: collisions (pairs)
+        stays at 1, collision_count records both contact events."""
+        scenario = Scenario(cfg.with_overrides(leader_profile="constant"))
+        follower = scenario.platoon_vehicles[1]
+
+        def shove(offset):
+            leader = scenario.platoon_vehicles[0]
+            follower.dynamics.state.position = leader.position - offset
+            follower.dynamics.state.speed = leader.speed
+
+        scenario.sim.schedule_at(15.0, lambda: shove(1.0))    # contact
+        scenario.sim.schedule_at(20.0, lambda: shove(-30.0))  # separate
+        scenario.sim.schedule_at(25.0, lambda: shove(1.0))    # contact again
+        result = scenario.run()
+        assert result.metrics.collisions == 1
+        assert result.metrics.collision_count >= 2
+
+    def test_summary_exposes_safety_keys(self, cfg):
+        summary = run_episode(cfg).metrics.summary()
+        assert "collision_count" in summary
+        assert "min_true_gap_m" in summary
+        assert "min_brake_margin_m" in summary
+
+
 class TestGapOpenIntegral:
     def test_integral_matches_commanded_window(self, cfg):
         def hook(scenario):

@@ -118,6 +118,105 @@ class TestEpisodeSpec:
             assert rebuilt.config == plan.baseline.config, key
 
 
+class TestEpisodeSpecPayload:
+    """EpisodeSpec with an inline experiment payload (the falsifier's
+    execution path)."""
+
+    @staticmethod
+    def payload(**kwargs):
+        from repro.core.experiment import (
+            ComponentSpec,
+            ExperimentSpec,
+            MetricSpec,
+        )
+
+        defaults = dict(
+            name="payload",
+            threat="falsification", variant="payload",
+            attacks=(ComponentSpec("falsification",
+                                   {"profile": "oscillate", "amplitude": 3.0,
+                                    "period": 8.0, "insider_index": 1,
+                                    "start_time": 6.0, "stop_time": 20.0}),),
+            metric=MetricSpec("min_true_gap"))
+        defaults.update(kwargs)
+        return ExperimentSpec(**defaults).to_dict()
+
+    def test_payload_changes_key(self):
+        plain = EpisodeSpec("falsification", "payload", "attacked", TINY)
+        carried = EpisodeSpec("falsification", "payload", "attacked", TINY,
+                              experiment=self.payload())
+        assert carried.key != plain.key
+        from repro.core.experiment import ComponentSpec
+
+        other = EpisodeSpec(
+            "falsification", "payload", "attacked", TINY,
+            experiment=self.payload(attacks=(ComponentSpec(
+                "falsification",
+                {"profile": "oscillate", "amplitude": 5.0, "period": 8.0,
+                 "insider_index": 1, "start_time": 6.0,
+                 "stop_time": 20.0}),)))
+        assert other.key != carried.key
+
+    def test_absent_payload_preserves_old_hashes(self):
+        spec = EpisodeSpec("jamming", "barrage-30dBm", "baseline", TINY,
+                           experiment=None)
+        assert spec.key == EpisodeSpec("jamming", "barrage-30dBm",
+                                       "baseline", TINY).key
+
+    def test_payload_is_json_normalised(self):
+        payload = self.payload()
+        spec = EpisodeSpec("falsification", "payload", "attacked", TINY,
+                           experiment=payload)
+        assert spec.experiment == json.loads(json.dumps(payload))
+
+    def test_defended_payload_defences_stand_in_for_mechanism(self):
+        from repro.core.experiment import ComponentSpec
+
+        defended = self.payload(defenses=(ComponentSpec("freshness"),))
+        spec = EpisodeSpec("falsification", "payload", "defended", TINY,
+                           experiment=defended)
+        assert spec.mechanism_key is None
+        # ...but a defence-free payload still needs a mechanism.
+        with pytest.raises(ValueError, match="mechanism_key"):
+            EpisodeSpec("falsification", "payload", "defended", TINY,
+                        experiment=self.payload())
+        with pytest.raises(ValueError, match="mechanism_key"):
+            EpisodeSpec("falsification", "payload", "attacked", TINY,
+                        experiment=defended,
+                        mechanism_key="secret_public_keys")
+
+    def test_payload_execution_matches_direct_run(self):
+        from repro.core.experiment import ExperimentSpec
+        from repro.core.scenario import run_episode
+        import dataclasses
+
+        payload = self.payload()
+        espec = ExperimentSpec.from_dict(payload)
+        experiment = espec.build(TINY)
+        direct = run_episode(experiment.config,
+                             attacks=experiment.make_attacks(),
+                             setup_hooks=experiment.hooks)
+        spec = EpisodeSpec("falsification", "payload", "attacked",
+                           experiment.config, experiment=payload)
+        record = CampaignRunner().run([spec])[spec.key]
+        assert record.metrics == json.loads(json.dumps(
+            dataclasses.asdict(direct.metrics)))
+
+    def test_payload_baseline_ignores_attacks(self):
+        from repro.core.experiment import ExperimentSpec
+        from repro.core.scenario import run_episode
+        import dataclasses
+
+        payload = self.payload()
+        config = ExperimentSpec.from_dict(payload).build(TINY).config
+        spec = EpisodeSpec("falsification", "payload", "baseline", config,
+                           experiment=payload)
+        record = CampaignRunner().run([spec])[spec.key]
+        clean = run_episode(config)
+        assert record.metrics == json.loads(json.dumps(
+            dataclasses.asdict(clean.metrics)))
+
+
 class TestApplyParameterOverrides:
     def test_sets_attack_attribute(self):
         from repro.core.attacks import JammingAttack

@@ -1,0 +1,82 @@
+"""The safety objective: severity ordering and violation judgement."""
+
+import math
+
+import pytest
+
+from repro.falsify.objective import assess, severity_key
+
+
+class TestAssess:
+    def test_safe_episode(self):
+        verdict = assess({"collision_count": 0, "min_true_gap": 12.0,
+                          "min_brake_margin": 9.5})
+        assert not verdict.violated
+        assert verdict.severity == 9.5
+        assert "safe" in verdict.describe()
+
+    def test_collision_violates_regardless_of_clearance(self):
+        verdict = assess({"collision_count": 2, "min_true_gap": 3.0,
+                          "min_brake_margin": 1.0})
+        assert verdict.violated
+        assert verdict.collision_count == 2
+        assert "collision" in verdict.describe()
+
+    def test_envelope_breach_violates_without_contact(self):
+        verdict = assess({"collision_count": 0, "min_true_gap": 8.0,
+                          "min_brake_margin": -0.5})
+        assert verdict.violated
+        assert verdict.severity == -0.5
+        assert "brake-envelope" in verdict.describe()
+
+    def test_zero_severity_is_a_violation(self):
+        assert assess({"collision_count": 0, "min_true_gap": 0.0,
+                       "min_brake_margin": 4.0}).violated
+
+    def test_missing_metrics_degrade_gracefully(self):
+        verdict = assess({})
+        assert not verdict.violated
+        assert verdict.severity == math.inf
+
+    def test_none_values_are_ignored(self):
+        verdict = assess({"collision_count": None, "min_true_gap": None,
+                          "min_brake_margin": 3.0})
+        assert verdict.severity == 3.0
+        assert not verdict.violated
+
+    def test_severity_is_the_worse_clearance(self):
+        assert assess({"min_true_gap": 2.0,
+                       "min_brake_margin": 7.0}).severity == 2.0
+
+
+class TestSeverityKey:
+    def test_orders_worst_first(self):
+        safe = assess({"min_true_gap": 10.0, "min_brake_margin": 10.0})
+        breach = assess({"min_true_gap": 5.0, "min_brake_margin": -1.0})
+        crash = assess({"collision_count": 1, "min_true_gap": -2.0,
+                        "min_brake_margin": -4.0})
+        ordered = sorted([safe, crash, breach], key=severity_key)
+        assert ordered == [crash, breach, safe]
+
+    def test_collisions_break_severity_ties(self):
+        one = assess({"collision_count": 1, "min_true_gap": -1.0,
+                      "min_brake_margin": 0.0})
+        two = assess({"collision_count": 3, "min_true_gap": -1.0,
+                      "min_brake_margin": 0.0})
+        assert severity_key(two) < severity_key(one)
+
+
+class TestRoundTrip:
+    def test_assess_reads_episode_metrics_dict(self):
+        """The objective consumes exactly what EpisodeRecord.metrics
+        carries (the asdict projection of ScenarioMetrics)."""
+        from repro.core.scenario import ScenarioConfig, run_episode
+        import dataclasses
+
+        result = run_episode(ScenarioConfig(n_vehicles=4, duration=20.0,
+                                            warmup=5.0, seed=42))
+        verdict = assess(dataclasses.asdict(result.metrics))
+        assert not verdict.violated
+        assert verdict.severity > 0
+        assert verdict.min_true_gap == pytest.approx(
+            result.metrics.min_true_gap)

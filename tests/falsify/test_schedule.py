@@ -1,0 +1,210 @@
+"""Schedule space: sampling invariants, neighbours, materialisation."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.experiment import (
+    ComponentSpec,
+    ExperimentSpec,
+    MetricSpec,
+)
+from repro.core.scenario import ScenarioConfig
+from repro.falsify.schedule import AttackSchedule, AttackWindow, ScheduleSpace
+
+BASE = ScenarioConfig(n_vehicles=4, duration=40.0, warmup=8.0, seed=42)
+
+
+def make_spec(**kwargs):
+    defaults = dict(
+        name="surge",
+        threat="falsification", variant="surge",
+        config={"n_vehicles": 4, "duration": 40.0, "warmup": 8.0},
+        attacks=(ComponentSpec("falsification",
+                               {"profile": "oscillate", "amplitude": 4.0,
+                                "period": 8.0, "insider_index": 1}),),
+        metric=MetricSpec("min_true_gap"))
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+class TestWindows:
+    def test_windows_sorted_and_non_overlapping(self):
+        schedule = AttackSchedule(windows=(
+            AttackWindow(20.0, 5.0), AttackWindow(10.0, 5.0)))
+        assert [w.start for w in schedule.windows] == [10.0, 20.0]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            AttackSchedule(windows=(AttackWindow(10.0, 8.0),
+                                    AttackWindow(12.0, 5.0)))
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            AttackWindow(10.0, 0.0)
+
+    def test_active_seconds(self):
+        schedule = AttackSchedule(windows=(AttackWindow(10.0, 4.0),
+                                           AttackWindow(20.0, 6.0)))
+        assert schedule.active_seconds == pytest.approx(10.0)
+
+
+class TestSampling:
+    def test_samples_respect_budget_and_bounds(self):
+        space = ScheduleSpace(make_spec(), BASE, max_windows=3,
+                              attack_seconds=12.0, min_window=2.0)
+        rng = random.Random(7)
+        for _ in range(50):
+            schedule = space.sample(rng)
+            assert schedule.active_seconds <= 12.0 + 0.01
+            for window in schedule.windows:
+                assert window.start >= space.t0 - 1e-9
+                assert window.stop <= space.t1 + 0.01
+                assert window.duration >= 2.0 - 0.01
+                for _, factor in window.scales:
+                    assert 0.25 - 1e-6 <= factor <= 4.0 + 1e-6
+
+    def test_sampling_is_seed_deterministic(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        assert space.sample(random.Random(3)) == space.sample(random.Random(3))
+        assert space.sample(random.Random(3)) != space.sample(random.Random(4))
+
+    def test_tunable_parameters_exclude_timing_and_ints(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        assert "start_time" not in space.tunable
+        assert "stop_time" not in space.tunable
+        assert "insider_index" not in space.tunable
+        assert "amplitude" in space.tunable
+
+    def test_explicit_tune_subset(self):
+        space = ScheduleSpace(make_spec(), BASE, tune=["amplitude"])
+        assert space.tunable == ("amplitude",)
+        with pytest.raises(ValueError, match="cannot tune"):
+            ScheduleSpace(make_spec(), BASE, tune=["nonsense"])
+
+    def test_budget_below_min_window_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            ScheduleSpace(make_spec(), BASE, attack_seconds=0.5,
+                          min_window=2.0)
+
+
+class TestNeighbours:
+    def test_single_knob_mutations(self):
+        space = ScheduleSpace(make_spec(), BASE, attack_seconds=20.0,
+                              tune=["amplitude"])
+        schedule = AttackSchedule(windows=(
+            AttackWindow(15.0, 6.0, (("amplitude", 1.0),)),))
+        neighbours = space.neighbours(schedule, time_step=2.0,
+                                      scale_step=1.5)
+        assert neighbours
+        assert all(n != schedule for n in neighbours)
+        labels = {n.label() for n in neighbours}
+        assert len(labels) == len(neighbours)
+        # Start shifts, duration grow/shrink, scale up/down all present.
+        starts = {n.windows[0].start for n in neighbours}
+        assert {13.0, 17.0} <= starts
+        durations = {n.windows[0].duration for n in neighbours}
+        assert {4.0, 8.0} <= durations
+        factors = {n.windows[0].scales[0][1] for n in neighbours}
+        assert {1.5, round(1 / 1.5, 4)} <= factors
+
+    def test_neighbours_respect_budget(self):
+        space = ScheduleSpace(make_spec(), BASE, attack_seconds=6.0)
+        schedule = AttackSchedule(windows=(AttackWindow(15.0, 6.0),))
+        for neighbour in space.neighbours(schedule, time_step=4.0,
+                                          scale_step=1.5):
+            assert neighbour.active_seconds <= 6.0 + 0.01
+
+
+class TestRescaled:
+    def test_full_intensity_is_identity(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        schedule = space.sample(random.Random(11))
+        assert space.rescaled(schedule, 1.0) == schedule
+
+    def test_zero_intensity_neutralises_scales(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        schedule = space.sample(random.Random(11))
+        neutral = space.rescaled(schedule, 0.0)
+        for window in neutral.windows:
+            assert all(factor == 1.0 for _, factor in window.scales)
+        # Windows themselves are untouched.
+        assert [(w.start, w.duration) for w in neutral.windows] \
+            == [(w.start, w.duration) for w in schedule.windows]
+
+
+class TestMaterialisation:
+    def test_one_attack_component_per_window(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        schedule = AttackSchedule(windows=(
+            AttackWindow(10.0, 5.0, (("amplitude", 2.0),)),
+            AttackWindow(20.0, 8.0, (("amplitude", 0.5),))))
+        espec = space.to_experiment(schedule)
+        assert len(espec.attacks) == 2
+        first, second = espec.attacks
+        assert first.params["start_time"] == 10.0
+        assert first.params["stop_time"] == 15.0
+        assert first.params["amplitude"] == pytest.approx(8.0)
+        assert second.params["amplitude"] == pytest.approx(2.0)
+        assert espec.threat == "falsification"
+
+    def test_materialised_spec_is_fully_literal(self):
+        spec = make_spec(config={"duration": 40.0, "warmup": 8.0,
+                                 "n_vehicles": 4},
+                         attacks=(ComponentSpec(
+                             "falsification",
+                             {"profile": "oscillate",
+                              "start_time": {"$config": "warmup"},
+                              "amplitude": 4.0}),))
+        space = ScheduleSpace(spec, BASE)
+        espec = space.to_experiment(space.sample(random.Random(1)))
+        blob = json.dumps(espec.to_dict())
+        assert "$config" not in blob
+
+    def test_round_trips_through_json_byte_identically(self):
+        from repro.core.experiment import ExperimentSpec as ES
+
+        space = ScheduleSpace(make_spec(), BASE)
+        espec = space.to_experiment(space.sample(random.Random(5)))
+        data = espec.to_dict()
+        again = ES.from_dict(json.loads(json.dumps(data))).to_dict()
+        assert json.dumps(again, sort_keys=True) \
+            == json.dumps(data, sort_keys=True)
+
+    def test_defences_and_extra_attacks_ride_along(self):
+        spec = make_spec(
+            attacks=(ComponentSpec("falsification",
+                                   {"profile": "oscillate",
+                                    "amplitude": 4.0}),
+                     ComponentSpec("jamming", {"power_dbm": 20.0})),
+            defenses=(ComponentSpec("freshness"),))
+        space = ScheduleSpace(spec, BASE)
+        schedule = AttackSchedule(windows=(AttackWindow(10.0, 5.0),))
+        espec = space.to_experiment(schedule)
+        assert [c.key for c in espec.attacks] == ["falsification", "jamming"]
+        assert [c.key for c in espec.defenses] == ["freshness"]
+
+    def test_episode_spec_role_follows_defences(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        schedule = AttackSchedule(windows=(AttackWindow(10.0, 5.0),))
+        assert space.to_episode_spec(schedule).role == "attacked"
+        defended = ScheduleSpace(
+            make_spec(defenses=(ComponentSpec("freshness"),)), BASE)
+        episode = defended.to_episode_spec(schedule)
+        assert episode.role == "defended"
+        assert episode.mechanism_key is None
+        assert episode.experiment["defenses"]
+
+    def test_distinct_schedules_hash_distinctly(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        a = space.to_episode_spec(
+            AttackSchedule(windows=(AttackWindow(10.0, 5.0),)))
+        b = space.to_episode_spec(
+            AttackSchedule(windows=(AttackWindow(10.0, 6.0),)))
+        assert a.key != b.key
+
+    def test_baseline_spec_is_schedule_independent(self):
+        space = ScheduleSpace(make_spec(), BASE)
+        assert space.baseline_spec().key == space.baseline_spec().key
+        assert space.baseline_spec().role == "baseline"

@@ -1,0 +1,46 @@
+"""Corpus counterexamples are kernel-equivalent, like the catalogue.
+
+Every committed counterexample under ``tests/corpus/`` replays through
+the scalar and vector kernels and the two fresh traces must be
+bit-identical *to each other* (the replay suite in ``tests/corpus/``
+separately pins each against the committed trace).  This extends the
+differential harness to machine-found attack schedules -- inputs no
+catalogue case exercises.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tracediff import diff_traces
+from repro.core.scenario import run_episode
+from repro.falsify.corpus import iter_corpus
+from repro.obs.trace import trace_body_bytes
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+ENTRIES = iter_corpus(CORPUS_DIR)
+
+
+def _run_corpus_traced(entry, kernel: str, out_dir: Path) -> Path:
+    spec = entry.load_spec()
+    config = entry.load_config().with_overrides(kernel=kernel)
+    experiment = spec.build(config)
+    trace_path = Path(out_dir) / f"{entry.name}-{kernel}.trace.jsonl"
+    run_episode(experiment.config, attacks=experiment.make_attacks(),
+                defenses=spec.build_defenses(config),
+                setup_hooks=experiment.hooks, trace_path=trace_path,
+                trace_meta={"spec_key": entry.name})
+    return trace_path
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_equivalence(entry, tmp_path):
+    scalar = _run_corpus_traced(entry, "scalar", tmp_path)
+    vector = _run_corpus_traced(entry, "vector", tmp_path)
+    if trace_body_bytes(scalar) == trace_body_bytes(vector):
+        return
+    diff = diff_traces(scalar, vector)
+    pytest.fail(f"corpus entry {entry.name} diverged between kernels:\n"
+                f"{diff.format()}")

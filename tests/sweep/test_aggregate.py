@@ -123,6 +123,38 @@ class TestFirstCrossing:
         with pytest.raises(ValueError):
             first_crossing([0], [0.1, 0.2], 0.5)
 
+    def test_leading_none_then_at_level_point(self):
+        assert first_crossing([0, 10], [None, 0.5], 0.5) == 10.0
+
+    def test_trailing_none_after_miss(self):
+        assert first_crossing([0, 10, 20], [0.1, 0.2, None], 0.5) is None
+
+    def test_nan_breaks_interpolation_and_never_leaks(self):
+        nan = float("nan")
+        assert first_crossing([0, 10, 20], [0.0, nan, 0.9], 0.5) == 20.0
+        assert first_crossing([0, 10], [nan, nan], 0.5) is None
+
+    def test_infinite_values_are_gaps(self):
+        assert first_crossing([0, 10, 20],
+                              [0.0, float("inf"), 0.9], 0.5) == 20.0
+
+    def test_non_numeric_values_are_gaps(self):
+        assert first_crossing([0, 10, 20], [0.0, "oops", 0.9], 0.5) == 20.0
+        assert first_crossing([0, 10, 20], [0.0, True, 0.9], 0.5) == 20.0
+
+    def test_gap_in_xs_also_breaks_interpolation(self):
+        assert first_crossing([0, None, 20], [0.0, 0.6, 0.9], 0.5) == 20.0
+
+    def test_non_monotone_series_returns_first_reach(self):
+        # Dips below the level after the first crossing; the rebound at
+        # x=30 must not win.
+        xs = [0, 10, 20, 30]
+        assert first_crossing(xs, [0.0, 1.0, 0.0, 1.0], 0.5) \
+            == pytest.approx(5.0)
+
+    def test_empty_series(self):
+        assert first_crossing([], [], 0.5) is None
+
 
 class TestEstimateThresholds:
     def test_against_curve(self):

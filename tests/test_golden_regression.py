@@ -94,6 +94,43 @@ class TestTable2Golden:
         assert all(o.effect_present for o in catalogue)
 
 
+# Safety-envelope metrics at GOLDEN_CONFIG, pinned like the tables:
+# (min_true_gap, min_brake_margin, collision_count).  Regenerate with
+#   run_episode(GOLDEN_CONFIG) and
+#   threat_experiment("falsification", GOLDEN_CONFIG) + run_episode(...)
+# and update in the same commit as any legitimate physics change.
+SAFETY_GOLDEN = {
+    "baseline": (14.923295691373141, 14.554580085040293, 0),
+    "falsification_attacked": (14.083685823630503, 6.624252512985166, 0),
+}
+
+
+class TestSafetyGolden:
+    @staticmethod
+    def check(metrics, key):
+        gap, margin, count = SAFETY_GOLDEN[key]
+        assert metrics.min_true_gap == pytest.approx(
+            gap, rel=1e-4, abs=1e-6), key
+        assert metrics.min_brake_margin == pytest.approx(
+            margin, rel=1e-4, abs=1e-6), key
+        assert metrics.collision_count == count, key
+
+    def test_baseline_envelope(self):
+        from repro.core.scenario import run_episode
+
+        self.check(run_episode(GOLDEN_CONFIG).metrics, "baseline")
+
+    def test_falsification_attacked_envelope(self):
+        from repro.core.campaign import threat_experiment
+        from repro.core.scenario import run_episode
+
+        experiment = threat_experiment("falsification", GOLDEN_CONFIG)
+        result = run_episode(experiment.config,
+                             attacks=experiment.make_attacks(),
+                             setup_hooks=experiment.hooks)
+        self.check(result.metrics, "falsification_attacked")
+
+
 class TestTable3Golden:
     def test_matrix_shape(self, matrix):
         got = {(c.mechanism_key, c.threat_key): c.metric_name
