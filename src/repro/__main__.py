@@ -7,6 +7,10 @@ Commands
     and print the outcome.
 ``catalogue``
     Run the full Table II campaign.
+``highway``
+    Run the multi-platoon highway campaign: every catalogued
+    cross-platoon cell (Sybil ghost shopping, merge-point jamming, ...)
+    baseline vs attacked, with per-cell impact ratios.
 ``matrix [mechanism]``
     Run the Table III defence matrix (optionally one mechanism row).
 
@@ -245,6 +249,38 @@ def cmd_catalogue(args) -> int:
     _append_bench_history(args, _catalogue_label(args.only), runner,
                           _catalogue_metrics(outcomes))
     return 0 if all(o.effect_present for o in outcomes) else 1
+
+
+def cmd_highway(args) -> int:
+    from repro.core.campaign import run_highway_catalogue
+
+    runner = _make_runner(args)
+    outcomes = run_highway_catalogue(_base_config(args),
+                                     seed_replicates=args.seed_replicates or 1,
+                                     runner=runner)
+    rows = [[o.threat_key, o.variant, o.metric_name,
+             _pm(o.baseline_value, o.baseline_std, o.replicates),
+             _pm(o.attacked_value, o.attacked_std, o.replicates),
+             (round(o.impact_ratio, 4) if o.impact_ratio is not None
+              else "n/a"),
+             "CONFIRMED" if o.effect_present else "no effect"]
+            for o in outcomes]
+    print(format_table(["threat", "variant", "metric", "baseline",
+                        "attacked", "impact ratio", "effect"], rows,
+                       title="highway campaign (cross-platoon cells)"))
+    if args.observables:
+        for outcome in outcomes:
+            print(f"{outcome.threat_key}/{outcome.variant}:")
+            for key, value in sorted(outcome.attack_observables.items()):
+                print(f"  {key} = {value}")
+    _print_report(runner, args)
+    _append_bench_history(args, "highway", runner,
+                          _catalogue_metrics(outcomes))
+    # The highway cells measure shared-spectrum impact: every cell must
+    # move its headline metric (nonzero, non-degenerate impact ratio).
+    ok = all(o.impact_ratio is not None and abs(o.impact_ratio) > 0.0
+             for o in outcomes)
+    return 0 if ok else 1
 
 
 def cmd_matrix(args) -> int:
@@ -677,6 +713,19 @@ def main(argv=None) -> int:
     p_cat.add_argument("--only", default=None,
                        help="comma-separated threat subset to run")
     p_cat.set_defaults(fn=cmd_catalogue)
+
+    p_highway = sub.add_parser(
+        "highway",
+        help="run the multi-platoon highway campaign cells",
+        epilog="exit codes:\n"
+               "  0  every highway cell produced a usable impact ratio\n"
+               "  1  some cell's impact ratio was degenerate\n"
+               "  2  usage error",
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_highway.add_argument("--observables", action="store_true",
+                           help="print per-cell attack observables "
+                                "(ghost admissions, merge counters, ...)")
+    p_highway.set_defaults(fn=cmd_highway)
 
     p_matrix = sub.add_parser("matrix", help="run the Table III matrix")
     p_matrix.add_argument("mechanism", nargs="?", default=None,

@@ -15,14 +15,22 @@ GpsSpoofingAttack     §V-G GPS capture-and-drift spoofing         gps_spoofing
 SensorSpoofingAttack  §V-G sensor blinding / TPMS spoofing        sensor_spoofing
 MalwareAttack         §V-H malware infection                      malware
 ====================  ==========================================  =============
+
+The highway world (``repro.highway``) adds cross-platoon variants that
+implement the same taxonomy threats at multi-platoon scale:
+``MultiSybilAttack`` (sybil), ``MergeJammingAttack`` (jamming) and
+``TailPlatoonAttack`` (eavesdropping).
 """
 
 from repro.core.attacks.replay import ReplayAttack
 from repro.core.attacks.sybil import SybilAttack
+from repro.core.attacks.multi_sybil import MultiSybilAttack
 from repro.core.attacks.maneuver import FakeManeuverAttack
 from repro.core.attacks.falsification import FalsificationAttack
 from repro.core.attacks.jamming import JammingAttack
+from repro.core.attacks.merge_jamming import MergeJammingAttack
 from repro.core.attacks.eavesdropping import EavesdroppingAttack
+from repro.core.attacks.tail_platoon import TailPlatoonAttack
 from repro.core.attacks.dos import DosJoinFloodAttack
 from repro.core.attacks.impersonation import ImpersonationAttack
 from repro.core.attacks.gps_spoofing import GpsSpoofingAttack
@@ -32,10 +40,13 @@ from repro.core.attacks.malware import MalwareAttack
 ALL_ATTACKS = [
     ReplayAttack,
     SybilAttack,
+    MultiSybilAttack,
     FakeManeuverAttack,
     FalsificationAttack,
     JammingAttack,
+    MergeJammingAttack,
     EavesdroppingAttack,
+    TailPlatoonAttack,
     DosJoinFloodAttack,
     ImpersonationAttack,
     GpsSpoofingAttack,

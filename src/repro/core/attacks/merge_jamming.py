@@ -1,0 +1,60 @@
+"""Targeted jamming at a platoon merge point (highway variant of §V-B).
+
+A barrage jammer parked on the seam between two platoons is far more
+efficient than one inside a platoon: the leader-to-leader merge
+negotiation (PLATOON_ANNOUNCE discovery, MERGE_REQUEST/ACCEPT/COMMIT)
+crosses exactly that gap, so moderate power that barely dents
+intra-platoon beaconing can still starve the inter-platoon control
+plane and keep the platoons from ever merging.
+
+The jammer chases the midpoint between the front platoon's tail and the
+rear platoon's head as computed at setup; everything else (interferer
+protocol, duty cycling) is inherited from
+:class:`repro.core.attacks.jamming.JammingAttack`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attacks.jamming import JammingAttack
+
+
+class MergeJammingAttack(JammingAttack):
+    """Jammer positioned in the inter-platoon gap at a merge point."""
+
+    name = "merge_jamming"
+    compromises = ("availability",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 power_dbm: float = 30.0, position: Optional[float] = None,
+                 chase: bool = True, duty_cycle: float = 1.0,
+                 pulse_period: float = 0.5) -> None:
+        super().__init__(start_time=start_time, stop_time=stop_time,
+                         power_dbm=power_dbm, position=position, chase=chase,
+                         duty_cycle=duty_cycle, pulse_period=pulse_period)
+
+    def setup(self, scenario) -> None:
+        if (self.position_override is None
+                and len(scenario.highway_platoons) >= 2):
+            first = scenario.highway_platoons[0]
+            second = scenario.highway_platoons[1]
+            if first.leader.position >= second.leader.position:
+                front, rear = first, second
+            else:
+                front, rear = second, first
+            front_tail = min(v.position for v in front.vehicles)
+            rear_head = rear.leader.position
+            self.position_override = (front_tail + rear_head) / 2.0
+        # Falls back to the base mid-platoon placement on single-platoon
+        # scenarios, so the attack stays runnable everywhere.
+        super().setup(scenario)
+
+    def observables(self) -> dict:
+        out = super().observables()
+        events = self.scenario.events
+        out["merge_requests"] = events.count("merge_requested")
+        out["merges_accepted"] = events.count("merge_accepted")
+        out["merges_committed"] = events.count("merge_committed")
+        out["platoons_discovered"] = events.count("platoon_discovered")
+        return out

@@ -1,0 +1,199 @@
+"""Cross-platoon Sybil attack: ghosts shop themselves to every platoon.
+
+The single-platoon Sybil attack (:mod:`repro.core.attacks.sybil`)
+inflates one roster.  On a highway the same fabricated identities are
+worth more: one attacker node runs the join protocol against *every*
+platoon leader it can hear, so each ghost ends up on several rosters at
+once -- physically impossible for a real vehicle, and exactly the
+cross-platoon trust gap the discovery layer opens (leaders admit
+strangers at merge points with no way to check whether another platoon
+already "owns" them).
+
+Measured outcome: ``platoons_infiltrated`` (how many platoons carry at
+least one ghost) and the summed roster inflation across the highway.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.net.messages import Beacon, ManeuverMessage, ManeuverType, Message
+from repro.security.crypto import hmac_tag
+
+
+class MultiSybilAttack(Attack):
+    """Ghost identities concurrently joining multiple platoons.
+
+    Parameters
+    ----------
+    n_ghosts:
+        Fabricated identities (each is offered to every platoon).
+    insider:
+        Attacker holds the group key (symmetric auth does not stop it).
+    ghost_spacing:
+        Claimed gap between consecutive ghost beacons [m].
+    """
+
+    name = "multi_sybil"
+    compromises = ("authenticity",)
+
+    def __init__(self, start_time: float = 10.0, stop_time: Optional[float] = None,
+                 n_ghosts: int = 3, insider: bool = True,
+                 ghost_spacing: float = 18.0,
+                 beacon_interval: float = 0.1) -> None:
+        super().__init__(start_time, stop_time)
+        self.n_ghosts = n_ghosts
+        self.insider = insider
+        self.ghost_spacing = ghost_spacing
+        self.beacon_interval = beacon_interval
+        self.ghost_ids: list[str] = []
+        # (platoon_id, ghost_id) pairs that received a JOIN_ACCEPT.
+        self.accepted: set[tuple[str, str]] = set()
+        # platoon_id -> ghost ids seen on that platoon's roster broadcasts.
+        self.admitted: dict[str, set[str]] = {}
+        self.join_requests_sent = 0
+        self.beacons_sent = 0
+        self._node: Optional[AttackerNode] = None
+        # (platoon_id, leader Vehicle) targets captured at setup.
+        self._targets: list[tuple[str, object]] = []
+        self._join_proc = None
+        self._beacon_proc = None
+
+    def setup(self, scenario) -> None:
+        super().setup(scenario)
+        if scenario.highway_platoons:
+            self._targets = [(handle.platoon_id, handle.leader)
+                             for handle in scenario.highway_platoons]
+            rear_tail = min(v.position
+                            for handle in scenario.highway_platoons
+                            for v in handle.vehicles)
+        else:
+            self._targets = [(scenario.platoon_id, scenario.leader)]
+            rear_tail = scenario.platoon_vehicles[-1].position
+        self._node = AttackerNode(scenario, "multi-sybil-attacker",
+                                  rear_tail - 25.0,
+                                  speed=scenario.config.initial_speed)
+        self._node.radio.add_tap(self._on_overheard)
+        self.ghost_ids = [f"ghost{i}" for i in range(self.n_ghosts)]
+
+    # --------------------------------------------------------------- helpers
+
+    def _secure(self, msg: Message) -> Message:
+        if self.insider:
+            group_key = self.scenario.security_context.get("group_key")
+            if group_key is not None:
+                nonce_counter = self.scenario.security_context.get(
+                    "sybil_nonce", 1_000_000)
+                msg.nonce = nonce_counter
+                self.scenario.security_context["sybil_nonce"] = nonce_counter + 1
+                msg.auth_tag = hmac_tag(group_key, msg.signing_bytes())
+        return msg
+
+    # -------------------------------------------------------------- protocol
+
+    def on_activate(self) -> None:
+        self._join_proc = self.scenario.sim.every(1.0, self._join_tick,
+                                                  initial_delay=0.1)
+        self._beacon_proc = self.scenario.sim.every(self.beacon_interval,
+                                                    self._beacon_tick)
+        self.taint(*self.ghost_ids)
+
+    def on_deactivate(self) -> None:
+        for proc in (self._join_proc, self._beacon_proc):
+            if proc is not None:
+                proc.stop()
+        self._join_proc = self._beacon_proc = None
+
+    def _join_tick(self) -> None:
+        now = self.scenario.sim.now
+        for platoon_id, leader in self._targets:
+            # Retry completion for accepted-but-unconfirmed ghosts.
+            confirmed = self.admitted.get(platoon_id, set())
+            for pid, ghost_id in sorted(self.accepted):
+                if pid == platoon_id and ghost_id not in confirmed:
+                    self._complete_join(ghost_id, platoon_id, leader.vehicle_id)
+            # One pending ghost per platoon at a time keeps queues polite.
+            for ghost_id in self.ghost_ids:
+                if (platoon_id, ghost_id) in self.accepted:
+                    continue
+                msg = ManeuverMessage(sender_id=ghost_id, timestamp=now,
+                                      maneuver=ManeuverType.JOIN_REQUEST,
+                                      platoon_id=platoon_id,
+                                      target_id=leader.vehicle_id)
+                self._node.send(self._secure(msg))
+                self.join_requests_sent += 1
+                break
+
+    def _on_overheard(self, msg: Message) -> None:
+        if not self.active or not isinstance(msg, ManeuverMessage):
+            return
+        if (msg.maneuver is ManeuverType.JOIN_ACCEPT
+                and msg.target_id in self.ghost_ids
+                and msg.platoon_id is not None):
+            key = (msg.platoon_id, msg.target_id)
+            if key not in self.accepted:
+                self.accepted.add(key)
+                self.scenario.sim.schedule(1.0, self._complete_join,
+                                           msg.target_id, msg.platoon_id,
+                                           msg.sender_id)
+        elif (msg.maneuver is ManeuverType.ROSTER
+                and msg.platoon_id is not None):
+            roster = msg.payload.get("roster", [])
+            seen = self.admitted.setdefault(msg.platoon_id, set())
+            for ghost_id in self.ghost_ids:
+                if ghost_id in roster:
+                    seen.add(ghost_id)
+
+    def _complete_join(self, ghost_id: str, platoon_id: str,
+                       leader_id: str) -> None:
+        if not self.active:
+            return
+        msg = ManeuverMessage(sender_id=ghost_id,
+                              timestamp=self.scenario.sim.now,
+                              maneuver=ManeuverType.JOIN_COMPLETE,
+                              platoon_id=platoon_id, target_id=leader_id)
+        self._node.send(self._secure(msg))
+
+    def _beacon_tick(self) -> None:
+        if not self.accepted:
+            return
+        ghosts_live = sorted({ghost for _, ghost in self.accepted})
+        anchor = self._node.position()
+        for i, ghost_id in enumerate(ghosts_live):
+            beacon = Beacon(sender_id=ghost_id,
+                            timestamp=self.scenario.sim.now,
+                            position=anchor - (i + 1) * self.ghost_spacing,
+                            speed=self.scenario.config.initial_speed,
+                            acceleration=0.0)
+            self._node.send(self._secure(beacon))
+            self.beacons_sent += 1
+
+    # --------------------------------------------------------------- results
+
+    def observables(self) -> dict:
+        infiltrated = 0
+        inflation = 0
+        admitted_total = 0
+        for _, leader in self._targets:
+            logic = leader.leader_logic
+            if logic is None:
+                continue   # merged away; its roster moved to another leader
+            registry = logic.registry
+            ghosts_here = sum(1 for gid in self.ghost_ids
+                              if gid in registry.members)
+            if ghosts_here:
+                infiltrated += 1
+            admitted_total += ghosts_here
+            physical = sum(1 for vid in registry.members
+                           if vid in self.scenario.world)
+            inflation += registry.size - physical
+        return {
+            "ghosts_requested": self.n_ghosts,
+            "platoons_targeted": len(self._targets),
+            "platoons_infiltrated": infiltrated,
+            "ghost_admissions": admitted_total,
+            "join_requests_sent": self.join_requests_sent,
+            "ghost_beacons_sent": self.beacons_sent,
+            "roster_inflation": inflation,
+        }

@@ -1,0 +1,62 @@
+"""Attacker platoon tailing a victim platoon (highway variant of §V-C).
+
+Instead of one chase car, the adversary fields a small *convoy* of
+coordinated receivers pacing the victim platoon from behind -- the
+"attacker platoon" from the highway threat model.  Spatial diversity is
+the point: frames lost to fading at one tail node are usually captured
+by another, so route reconstruction converges much faster than for a
+single eavesdropper, and the convoy keeps contact through the victim's
+speed profile without transmitting a single frame.
+
+Capture bookkeeping is inherited from
+:class:`repro.core.attacks.eavesdropping.EavesdroppingAttack`; note
+``captured_total`` counts per-receiver copies (N tail nodes can capture
+the same frame N times), while dossiers and ``route_coverage``
+deduplicate by content.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack import Attack, AttackerNode
+from repro.core.attacks.eavesdropping import EavesdroppingAttack
+
+
+class TailPlatoonAttack(EavesdroppingAttack):
+    """Passive attacker convoy pacing the victim platoon's tail."""
+
+    name = "tail_platoon"
+    compromises = ("confidentiality",)
+
+    def __init__(self, start_time: float = 0.0, stop_time: Optional[float] = None,
+                 n_tailers: int = 3, tail_gap: float = 20.0,
+                 standoff: float = 40.0, insider: bool = False,
+                 grid_m: float = 25.0) -> None:
+        super().__init__(start_time=start_time, stop_time=stop_time,
+                         chase=True, insider=insider, grid_m=grid_m)
+        if n_tailers < 1:
+            raise ValueError("n_tailers must be >= 1")
+        self.n_tailers = n_tailers
+        self.tail_gap = tail_gap
+        self.standoff = standoff
+        self._convoy: list[AttackerNode] = []
+
+    def setup(self, scenario) -> None:
+        # Attack.setup (not the parent's): the convoy replaces the single
+        # eavesdropper node entirely.
+        Attack.setup(self, scenario)
+        victim_tail = scenario.platoon_vehicles[-1]
+        speed = scenario.config.initial_speed
+        head = victim_tail.position - self.standoff
+        for i in range(self.n_tailers):
+            node = AttackerNode(scenario, f"tailer{i}",
+                                head - i * self.tail_gap, speed=speed)
+            node.radio.add_tap(self._capture)
+            self._convoy.append(node)
+        self._node = self._convoy[0]
+
+    def observables(self) -> dict:
+        out = super().observables()
+        out["tail_nodes"] = self.n_tailers
+        return out

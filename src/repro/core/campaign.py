@@ -63,6 +63,7 @@ __all__ = [
     "ExperimentSpecRun", "threat_experiment", "make_defenses",
     "run_threat_experiment", "run_experiment_spec", "plan_threat_experiment",
     "run_threat_catalogue", "run_defense_matrix", "run_matrix_cell",
+    "highway_variants", "run_highway_catalogue",
 ]
 
 
@@ -336,6 +337,56 @@ def _aggregate_outcome(experiment: ThreatExperiment,
                          attack_observables=attacked[0].prefixed_observables(),
                          baseline_std=base["std"], attacked_std=atk["std"],
                          replicates=len(baselines))
+
+
+def highway_variants() -> list[tuple[str, str]]:
+    """Catalogued ``(threat, variant)`` cells that run on the highway world.
+
+    Discovery is structural -- any catalogued variant whose config
+    overrides carry a ``highway`` section qualifies -- so new highway
+    cells join the highway campaign without touching this module.
+    """
+    from repro.experiments import iter_experiment_specs
+
+    return [(threat, variant)
+            for threat, variant, _is_default, spec in iter_experiment_specs()
+            if "highway" in spec.config]
+
+
+def run_highway_catalogue(base_config: Optional[ScenarioConfig] = None,
+                          *,
+                          workers: int = 1,
+                          cache_dir=None,
+                          trace_dir=None,
+                          seed_replicates: int = 1,
+                          runner: Optional[CampaignRunner] = None
+                          ) -> list[ThreatOutcome]:
+    """Multi-platoon campaign: every highway catalogue cell, baseline vs
+    attacked.
+
+    Same engine semantics as :func:`run_threat_catalogue` (memoisation,
+    worker fan-out, persistent caches, derived seeds), restricted to the
+    cross-platoon cells from :func:`highway_variants`.
+    """
+    if seed_replicates < 1:
+        raise ValueError("seed_replicates must be >= 1")
+    cells = highway_variants()
+    if not cells:
+        raise ValueError("the catalogue has no highway variants")
+    engine = runner if runner is not None else CampaignRunner(
+        workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+    with obs.timed("campaign.plan"):
+        plans = [[plan_threat_experiment(threat, base_config, variant=variant,
+                                         replicate=r)
+                  for r in range(seed_replicates)]
+                 for threat, variant in cells]
+        specs = [spec for reps in plans for plan in reps
+                 for spec in (plan.baseline, plan.attacked)]
+    records = engine.run(specs)
+    return [_aggregate_outcome(
+        reps[0].experiment,
+        [records[plan.baseline.key] for plan in reps],
+        [records[plan.attacked.key] for plan in reps]) for reps in plans]
 
 
 @dataclass

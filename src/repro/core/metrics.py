@@ -253,6 +253,7 @@ class MetricsCollector:
             joins_completed=events.count("join_completed"),
             joins_rejected=events.count("join_rejected"),
             joins_dropped=events.count("join_dropped_queue_full"),
+            merges_completed=events.count("merge_committed"),
             gap_open_waste_s=gap_waste,
             gap_open_time_s=gap_open_total,
             detections=events.count("detection"),
@@ -296,6 +297,10 @@ class ScenarioMetrics:
     gap_open_time_s: float
     detections: int
     false_positives: int
+    # Platoon-to-platoon merges committed (rear leader handed its roster
+    # to the platoon ahead); nonzero only on highway scenarios.  Default
+    # keeps records built from pre-highway field sets constructible.
+    merges_completed: int = 0
 
     def summary(self) -> dict:
         return {
@@ -320,6 +325,7 @@ class ScenarioMetrics:
             "fuel_proxy": round(self.fuel_proxy, 2),
             "rms_jerk": round(self.rms_jerk, 3),
             "joins_completed": self.joins_completed,
+            "merges_completed": self.merges_completed,
             "gap_open_waste_s": round(self.gap_open_waste_s, 1),
             "gap_open_time_s": round(self.gap_open_time_s, 1),
             "detections": self.detections,

@@ -58,11 +58,12 @@ from repro.obs import registry as obs
 from repro.obs.telemetry import TelemetryBus
 from repro.obs.trace import trace_filename
 
-# /3 added the safety metrics (min_true_gap, collision_count,
-# min_brake_margin) to the cached metrics dict; /2 added the per-episode
+# /4 added the highway merge counter (merges_completed) to the cached
+# metrics dict; /3 added the safety metrics (min_true_gap,
+# collision_count, min_brake_margin); /2 added the per-episode
 # observability snapshot.  Older files are treated as stale and
 # recomputed.
-CACHE_FORMAT = "platoonsec-episode-cache/3"
+CACHE_FORMAT = "platoonsec-episode-cache/4"
 
 ROLES = ("baseline", "attacked", "defended")
 
@@ -512,10 +513,25 @@ class CampaignRunner:
         if self.telemetry is not None:
             self.telemetry.emit(kind, **payload)
 
+    @staticmethod
+    def _highway_fields(spec: EpisodeSpec) -> dict:
+        """Stable per-platoon payload fields for highway units.
+
+        Pure functions of the spec (never of execution state), so serial
+        and parallel runs emit byte-identical canonical event streams.
+        """
+        highway = spec.config.highway
+        if highway is None:
+            return {}
+        return {"platoons": len(highway.platoons),
+                "lanes": highway.lanes,
+                "background": highway.background_count()}
+
     def _emit_unit_started(self, spec: EpisodeSpec) -> None:
         self._emit("unit_started", unit=spec.key, threat=spec.threat_key,
                    variant=spec.variant, role=spec.role,
-                   mechanism=spec.mechanism_key)
+                   mechanism=spec.mechanism_key,
+                   **self._highway_fields(spec))
 
     def _emit_unit_finished(self, spec: EpisodeSpec, source: str,
                             wall_time: float,
@@ -524,7 +540,7 @@ class CampaignRunner:
                    variant=spec.variant, role=spec.role,
                    mechanism=spec.mechanism_key, source=source,
                    cache_hit=source != "computed", wall_time=wall_time,
-                   worker=worker)
+                   worker=worker, **self._highway_fields(spec))
 
     # ----------------------------------------------------------- execution
 

@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.events import EventLog
+from repro.highway.config import HighwayConfig
 from repro.obs import registry as obs
 from repro.obs.trace import TraceRecorder, write_trace
 from repro.net.channel import ChannelConfig, RadioChannel
@@ -72,11 +73,24 @@ class ScenarioConfig:
     joiner_distance: float = 80.0        # behind the tail [m]
     channel: ChannelConfig = field(default_factory=ChannelConfig)
     vehicle: VehicleConfig = field(default_factory=VehicleConfig)
+    # Multi-platoon highway layout (repro.highway).  None = the legacy
+    # single-platoon episode; when set, ``n_vehicles`` is superseded by
+    # the per-platoon sizes and the first platoon becomes the primary
+    # one that metrics and legacy attack targets refer to.
+    highway: Optional[HighwayConfig] = None
     # "scalar" = per-vehicle Python objects (reference implementation);
     # "vector" = numpy-pooled kinematics + batched control/reception behind
     # the same APIs.  The two are trace-equivalent (tests/kernel/), so the
     # kernel is an execution detail, not part of the episode identity.
     kernel: str = "scalar"
+
+    def __post_init__(self) -> None:
+        # Experiment specs, sweeps and JSON files supply the highway
+        # layout as a plain dict; coerce it so every construction path
+        # (with_overrides, dataclasses.replace, direct kwargs) yields a
+        # typed HighwayConfig.
+        if isinstance(self.highway, dict):
+            self.highway = HighwayConfig(**self.highway)
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         return replace(self, **kwargs)
@@ -99,6 +113,10 @@ class ScenarioConfig:
         del out["kernel"]
         if out.get("channel", {}).get("fading_streams") == "shared":
             del out["channel"]["fading_streams"]
+        # No highway layout = the legacy single-platoon episode; strip
+        # the null so hashes minted before the field existed stay valid.
+        if out.get("highway") is None:
+            out.pop("highway", None)
         return out
 
     def content_hash(self) -> str:
@@ -149,7 +167,9 @@ class Scenario:
         if cfg.kernel == "vector":
             from repro.kernel import KinematicsPool, VectorRadioChannel
 
-            self.pool = KinematicsPool(capacity=cfg.n_vehicles + 1)
+            pooled = (cfg.highway.total_vehicles() if cfg.highway is not None
+                      else cfg.n_vehicles)
+            self.pool = KinematicsPool(capacity=pooled + 1)
             self.world.attach_pool(self.pool)
             self._dynamics_factory = self.pool.make_dynamics
             self.channel = VectorRadioChannel(self.sim, cfg.channel)
@@ -170,8 +190,30 @@ class Scenario:
         vcfg = replace(cfg.vehicle, cacc_kind=cfg.cacc_kind,
                        cruise_speed=cfg.initial_speed)
 
-        # --- platoon -----------------------------------------------------
+        # --- platoon(s) ---------------------------------------------------
+        # Multi-platoon highway world: the builder creates every platoon
+        # and the background traffic; the first platoon keeps the legacy
+        # aliases so single-platoon attacks/metrics work unchanged.
+        self.highway_platoons: list = []
+        self.background_vehicles: list[Vehicle] = []
+        self.coordinators: list = []
         self.platoon_vehicles: list[Vehicle] = []
+        if cfg.highway is not None:
+            from repro.highway.builder import build_highway
+            from repro.highway.coordinator import HighwayCoordinator
+
+            built = build_highway(self)
+            self.highway_platoons = built.platoons
+            self.background_vehicles = built.background
+            primary = built.platoons[0]
+            self.platoon_vehicles = primary.vehicles
+            self.leader = primary.leader
+            self.platoon_id = primary.platoon_id
+            self.leader_logic = primary.leader.leader_logic
+            self.coordinators = [HighwayCoordinator(self, handle, i)
+                                 for i, handle in enumerate(built.platoons)]
+            self._finish_init(cfg, params, vcfg)
+            return
         if cfg.initial_spacing is not None:
             spacing = max(cfg.initial_spacing, params.length + 2.0)
         else:
@@ -202,7 +244,11 @@ class Scenario:
             self.leader_logic.registry.members.append(vehicle.vehicle_id)
         # NOTE: the initial roster broadcast is deferred to run() so that it
         # goes out *after* any defence installed its signing processors.
+        self._finish_init(cfg, params, vcfg)
 
+    def _finish_init(self, cfg: ScenarioConfig, params: VehicleParams,
+                     vcfg: VehicleConfig) -> None:
+        """Shared tail of construction: infrastructure, joiner, hooks."""
         # --- infrastructure ------------------------------------------------
         for i, position in enumerate(cfg.rsu_positions):
             from repro.infra.rsu import RoadsideUnit
@@ -287,9 +333,15 @@ class Scenario:
             with obs.timed("episode.setup"):
                 for defense in self.defenses:
                     defense.setup(self)
-                # Initial roster broadcast happens only now, after the
+                # Initial roster broadcasts happen only now, after the
                 # defences' outbound signing processors are installed.
-                self.leader_logic.broadcast_roster()
+                if self.highway_platoons:
+                    for handle in self.highway_platoons:
+                        logic = handle.leader.leader_logic
+                        if logic is not None:
+                            logic.broadcast_roster()
+                else:
+                    self.leader_logic.broadcast_roster()
                 for attack in self.attacks:
                     attack.setup(self)
             self.sim.run_until(self.config.duration)

@@ -180,7 +180,7 @@ THREATS: dict[str, ThreatEntry] = {
                      "within the platoon making ghost vehicles that will try to "
                      "get accepted into the platoon.  Leads to destabilisation "
                      "and prevents members from joining."),
-            attack_impls=("sybil",),
+            attack_impls=("sybil", "multi_sybil"),
             effects=("roster_inflation", "joins_rejected")),
         ThreatEntry(
             key="fake_maneuver",
@@ -213,7 +213,7 @@ THREATS: dict[str, ThreatEntry] = {
                      "seeks to prevent all communications on platoon frequencies "
                      "in the local area.  As platoon members can no longer "
                      "communicate it will disband."),
-            attack_impls=("jamming",),
+            attack_impls=("jamming", "merge_jamming"),
             effects=("degraded_fraction", "disbands", "mac_drop_ratio")),
         ThreatEntry(
             key="eavesdropping",
@@ -224,7 +224,7 @@ THREATS: dict[str, ThreatEntry] = {
                      "attacker is able to understand the information transmitted "
                      "within the platoon.  Can lead to data theft and privacy "
                      "violation."),
-            attack_impls=("eavesdropping",),
+            attack_impls=("eavesdropping", "tail_platoon"),
             effects=("route_coverage", "vehicles_profiled")),
         ThreatEntry(
             key="dos",

@@ -49,6 +49,25 @@ CATALOGUE: dict = {
                 "metric": {"name": "roster_inflation",
                            "lower_is_better": True},
             },
+            # Highway variant: one attacker shops the same ghost
+            # identities to two co-existing platoons at once.
+            "highway-ghost-shopping": {
+                "config": {"highway": {
+                    "lanes": 2,
+                    "platoons": [
+                        {"n_vehicles": 3, "lane": 0,
+                         "start_position": 1120.0},
+                        {"n_vehicles": 3, "lane": 0,
+                         "start_position": 1000.0},
+                    ],
+                    "background_density": 1.0,
+                    "merge_policy": "none"}},
+                "attacks": [{"component": "multi_sybil",
+                             "params": {"start_time": _WARMUP,
+                                        "n_ghosts": 3}}],
+                "metric": {"name": "packet_delivery_ratio",
+                           "lower_is_better": False},
+            },
         },
     },
     "fake_maneuver": {
@@ -103,6 +122,29 @@ CATALOGUE: dict = {
                                         "power_dbm": 30.0}}],
                 "metric": {"name": "degraded_fraction",
                            "lower_is_better": True},
+            },
+            # Highway variant: a jammer parked on the seam between two
+            # merging platoons starves the leader-to-leader negotiation.
+            # The rear platoon closes at 4 m/s and reaches merge range
+            # ~26 s in, well inside the jamming window, so the baseline
+            # merges and the jammed episode does not.
+            "highway-merge-point": {
+                "config": {"highway": {
+                    "lanes": 2,
+                    "platoons": [
+                        {"n_vehicles": 3, "lane": 0,
+                         "start_position": 1250.0},
+                        {"n_vehicles": 3, "lane": 0,
+                         "start_position": 1000.0, "speed": 31.0},
+                    ],
+                    "background_density": 1.0,
+                    "merge_policy": "auto",
+                    "merge_range": 100.0}},
+                "attacks": [{"component": "merge_jamming",
+                             "params": {"start_time": _WARMUP,
+                                        "power_dbm": 30.0}}],
+                "metric": {"name": "packet_delivery_ratio",
+                           "lower_is_better": False},
             },
         },
     },

@@ -1,0 +1,26 @@
+"""Multi-platoon highway world.
+
+``repro.highway`` promotes the single-platoon scenario into a multi-lane
+highway: several concurrent platoons (each with its own leader and
+roster), free-driving background vehicles contending for the same
+802.11p channel, an inter-platoon discovery/announcement layer, and
+leader-to-leader merge negotiation.  The subsystem is layered *on top*
+of the existing substrate -- vehicles, world, channel, kernels -- so the
+scalar and vector kernels stay bit-identical on highway scenarios.
+
+Entry point: set :class:`HighwayConfig` on
+:attr:`repro.core.scenario.ScenarioConfig.highway`.
+"""
+
+from repro.highway.config import HighwayConfig, PlatoonSpec
+from repro.highway.builder import HighwayWorld, PlatoonHandle, build_highway
+from repro.highway.coordinator import HighwayCoordinator
+
+__all__ = [
+    "HighwayConfig",
+    "PlatoonSpec",
+    "HighwayWorld",
+    "PlatoonHandle",
+    "build_highway",
+    "HighwayCoordinator",
+]

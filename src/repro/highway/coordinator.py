@@ -1,0 +1,149 @@
+"""Inter-platoon discovery and merge coordination.
+
+Each platoon leader runs a :class:`HighwayCoordinator` implementing the
+discovery -> announcement -> coordination layering:
+
+* **Announcement**: every ``announce_interval`` the leader broadcasts a
+  ``PLATOON_ANNOUNCE`` manoeuvre message advertising its platoon (id,
+  size, lane, head/tail extent, speed).  Announcements ride the normal
+  outbound path, so installed defences sign them like any other
+  manoeuvre traffic.
+* **Discovery**: coordinators listen promiscuously (a radio tap, before
+  receive filters) and keep a neighbour table of recently-heard
+  platoons.  Listening pre-filter is deliberate: discovery is the trust
+  bootstrap, which is exactly the surface the cross-platoon Sybil
+  attack exploits.
+* **Coordination**: with ``merge_policy="auto"``, a rear leader that
+  sees a same-lane platoon ahead within ``merge_range`` starts the
+  existing leader-to-leader merge negotiation
+  (:meth:`repro.platoon.maneuvers.LeaderLogic.request_merge`).
+
+The coordinator goes quiescent once its vehicle stops being a leader
+(e.g. after committing a merge), so absorbed platoons stop announcing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.messages import ManeuverMessage, ManeuverType, Message
+
+if TYPE_CHECKING:
+    from repro.core.scenario import Scenario
+    from repro.highway.builder import PlatoonHandle
+
+# A neighbour unheard for this many announce intervals is considered gone.
+STALE_INTERVALS = 3.0
+# Minimum time between merge requests from one coordinator.
+MERGE_COOLDOWN = 10.0
+
+
+class HighwayCoordinator:
+    """Per-leader inter-platoon protocol endpoint."""
+
+    def __init__(self, scenario: "Scenario", handle: "PlatoonHandle",
+                 index: int) -> None:
+        hw = scenario.config.highway
+        assert hw is not None
+        self.scenario = scenario
+        self.handle = handle
+        self.hw = hw
+        self.leader = handle.leader
+        # platoon_id -> latest announcement view of that platoon.
+        self.neighbours: dict[str, dict] = {}
+        self.announcements_sent = 0
+        self.merge_requests_sent = 0
+        self._merge_ok_after = 0.0
+        self.leader.radio.add_tap(self._on_overheard)
+        # Deterministic stagger: no RNG draw, distinct per platoon, never
+        # exactly on another platoon's announce boundary.
+        stagger = hw.announce_interval * (index + 1) / (len(hw.platoons) + 1)
+        scenario.sim.every(hw.announce_interval, self._tick,
+                           initial_delay=stagger)
+
+    # -------------------------------------------------------------- reception
+
+    def _on_overheard(self, msg: Message) -> None:
+        if not isinstance(msg, ManeuverMessage):
+            return
+        if msg.maneuver is not ManeuverType.PLATOON_ANNOUNCE:
+            return
+        own_id = self.leader.state.platoon_id
+        if msg.platoon_id is None or msg.platoon_id == own_id:
+            return
+        first_contact = msg.platoon_id not in self.neighbours
+        payload = msg.payload or {}
+        self.neighbours[msg.platoon_id] = {
+            "leader_id": msg.sender_id,
+            "lane": payload.get("lane"),
+            "head": payload.get("head"),
+            "tail": payload.get("tail"),
+            "speed": payload.get("speed"),
+            "size": payload.get("size"),
+            "heard_at": self.scenario.sim.now,
+        }
+        if first_contact:
+            self.scenario.events.record(
+                self.scenario.sim.now, "platoon_discovered",
+                self.leader.vehicle_id, neighbour=msg.platoon_id,
+                neighbour_leader=msg.sender_id)
+
+    # ------------------------------------------------------------------- tick
+
+    def _tick(self) -> None:
+        leader = self.leader
+        if not leader.is_leader or leader.leader_logic is None:
+            return   # merged away (or split); stay quiet
+        self._announce()
+        if self.hw.merge_policy == "auto":
+            self._consider_merge()
+
+    def _announce(self) -> None:
+        leader = self.leader
+        logic = leader.leader_logic
+        # Platoon extent from the leader's own position plus the members'
+        # last claimed beacon positions (communicated state on purpose --
+        # ghosts that beacon inflate the advertised platoon).
+        positions = [leader.position]
+        for member_id in logic.registry.members:
+            record = leader.beacon_kb.get(member_id)
+            if record is not None:
+                positions.append(record.beacon.position)
+        msg = ManeuverMessage(
+            sender_id=leader.vehicle_id, timestamp=leader.sim.now,
+            maneuver=ManeuverType.PLATOON_ANNOUNCE,
+            platoon_id=leader.state.platoon_id)
+        msg.payload["size"] = logic.registry.size
+        msg.payload["lane"] = leader.lane
+        msg.payload["head"] = max(positions)
+        msg.payload["tail"] = min(positions)
+        msg.payload["speed"] = leader.speed
+        leader.send(msg)
+        self.announcements_sent += 1
+
+    def _consider_merge(self) -> None:
+        leader = self.leader
+        logic = leader.leader_logic
+        now = self.scenario.sim.now
+        if now < self._merge_ok_after:
+            return
+        horizon = STALE_INTERVALS * self.hw.announce_interval
+        cfg = self.scenario.config
+        for neighbour in self.neighbours.values():
+            if now - neighbour["heard_at"] > horizon:
+                continue
+            if neighbour.get("lane") != leader.lane:
+                continue
+            tail = neighbour.get("tail")
+            size = neighbour.get("size")
+            if tail is None or size is None:
+                continue
+            distance = tail - leader.position
+            if not (0.0 < distance <= self.hw.merge_range):
+                continue
+            if logic.registry.size + size > cfg.max_members:
+                continue
+            self.merge_requests_sent += 1
+            self._merge_ok_after = now + MERGE_COOLDOWN
+            logic.request_merge(neighbour["leader_id"])
+            return

@@ -50,6 +50,7 @@ class ManeuverType(enum.Enum):
     MERGE_ACCEPT = "merge_accept"
     MERGE_REJECT = "merge_reject"
     MERGE_COMMIT = "merge_commit"    # rear leader commits its members over
+    PLATOON_ANNOUNCE = "platoon_announce"  # leader advertises its platoon to neighbours
 
 
 _msg_seq = itertools.count(1)

@@ -253,6 +253,22 @@ class Vehicle:
                            platoon_id=platoon_id)
         self.start_join(platoon_id, leader_id)
 
+    def change_lane(self, lane: int, reason: str = "manual") -> None:
+        """Move the vehicle to another lane (instantaneous lateral model).
+
+        The longitudinal substrate has no lateral dynamics, so a lane
+        change is a discrete event: the lane index flips and the world is
+        told so cached lane-partitioned geometry (the vector kernel's
+        predecessor map) is invalidated before the next sensor read.
+        """
+        if lane == self.lane:
+            return
+        old = self.lane
+        self.lane = lane
+        self.world.notify_lane_change(self)
+        self.events.record(self.sim.now, "lane_change", self.vehicle_id,
+                           from_lane=old, to_lane=lane, reason=reason)
+
     def compromise(self, by: str) -> None:
         """Mark this vehicle as attacker-controlled (malware outcome)."""
         self.compromised = True

@@ -123,6 +123,17 @@ class World:
         if self._vehicles.pop(vehicle_id, None) is not None:
             self._membership_version += 1
 
+    def notify_lane_change(self, vehicle: "Vehicle") -> None:
+        """Invalidate lane-derived geometry caches after a lane change.
+
+        The cached predecessor map partitions vehicles by lane, so a lane
+        change moves a vehicle between partitions without the pool version
+        changing.  :meth:`repro.platoon.vehicle.Vehicle.change_lane` calls
+        this so the next geometry query rebuilds the map.
+        """
+        if vehicle.vehicle_id in self._vehicles:
+            self._membership_version += 1
+
     def get(self, vehicle_id: str) -> Optional["Vehicle"]:
         return self._vehicles.get(vehicle_id)
 
@@ -155,9 +166,11 @@ class World:
         Valid while membership and the pool version are unchanged --
         pooled positions only move through the pool, which bumps its
         version on every write.  Any non-pooled vehicle (whose position
-        can change without a version bump) disables the cache.  Assumes
-        lanes are fixed after construction, which holds for the whole
-        substrate (``Vehicle.lane`` is set once).
+        can change without a version bump) disables the cache.  Lane
+        changes move a vehicle between lane partitions without touching
+        the pool, so :meth:`notify_lane_change` bumps the membership
+        version to invalidate this cache (``Vehicle.change_lane`` calls
+        it on every lane switch).
         """
         if self._pool is None:
             return None

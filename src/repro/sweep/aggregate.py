@@ -25,6 +25,7 @@ RESPONSES = (
     "collision_mean",
     "disband_rate",
     "detection_rate",
+    "merge_rate",
 )
 
 
@@ -65,6 +66,9 @@ class SweepPointSummary:
     collisions: dict = field(default_factory=dict)
     disband_rate: float = 0.0
     detection_rate: float = 0.0
+    # Fraction of attacked replicates completing >= 1 platoon merge
+    # (always 0.0 outside highway scenarios).
+    merge_rate: float = 0.0
 
     def response(self, name: str) -> Optional[float]:
         """Read one named dose-response value off this point."""
@@ -84,6 +88,8 @@ class SweepPointSummary:
             return self.disband_rate
         if name == "detection_rate":
             return self.detection_rate
+        if name == "merge_rate":
+            return self.merge_rate
         raise ValueError(f"unknown response {name!r}; expected one of "
                          f"{RESPONSES}")
 
@@ -120,6 +126,8 @@ def summarise_point(index: int, label: str, values: dict, metric: str,
                          if r.metrics.get("disbands", 0) > 0) / n,
         detection_rate=sum(1 for r in attacked_records
                            if r.metrics.get("detections", 0) > 0) / n,
+        merge_rate=sum(1 for r in attacked_records
+                       if r.metrics.get("merges_completed", 0) > 0) / n,
     )
 
 

@@ -159,6 +159,7 @@ class SweepEngine:
             scenario_over: dict = {}
             channel_over: dict = {}
             vehicle_over: dict = {}
+            highway_over: dict = {}
             attack_over: list[tuple] = []
             defended_over: list[tuple] = []
             for path, value in point.values:
@@ -169,6 +170,8 @@ class SweepEngine:
                     channel_over[attr] = value
                 elif target == "vehicle":
                     vehicle_over[attr] = value
+                elif target == "highway":
+                    highway_over[attr] = value
                 elif target == "attack":
                     attack_over.append((path, value))
                     defended_over.append((path, value))
@@ -181,6 +184,13 @@ class SweepEngine:
             if vehicle_over:
                 point_cfg = point_cfg.with_overrides(
                     vehicle=dc_replace(point_cfg.vehicle, **vehicle_over))
+            if highway_over:
+                if point_cfg.highway is None:
+                    raise ValueError(
+                        "highway.* axes need a highway scenario; set a "
+                        "'highway' section in the sweep's base config")
+                point_cfg = point_cfg.with_overrides(
+                    highway=dc_replace(point_cfg.highway, **highway_over))
             experiment = threat_experiment(spec.threat, point_cfg,
                                            variant=spec.variant)
             metric = spec.metric or experiment.metric_name

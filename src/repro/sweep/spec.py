@@ -7,6 +7,7 @@ dotted::
     scenario.<field>   -- any ScenarioConfig field  (bare names work too)
     channel.<field>    -- a ChannelConfig field
     vehicle.<field>    -- a VehicleConfig field
+    highway.<field>    -- a HighwayConfig field (needs a highway base)
     attack.<param>     -- an attribute of the experiment's attack(s)
     defense.<param>    -- an attribute of the defence stack (defended sweeps)
 
@@ -36,6 +37,7 @@ from typing import Optional, Union
 from repro.core import taxonomy
 from repro.core.runner import derive_seed
 from repro.core.scenario import ScenarioConfig
+from repro.highway.config import HighwayConfig
 from repro.net.channel import ChannelConfig
 from repro.platoon.vehicle import VehicleConfig
 
@@ -49,6 +51,7 @@ _CONFIG_FIELDS = {
     "scenario": {f.name for f in dataclasses.fields(ScenarioConfig)},
     "channel": {f.name for f in dataclasses.fields(ChannelConfig)},
     "vehicle": {f.name for f in dataclasses.fields(VehicleConfig)},
+    "highway": {f.name for f in dataclasses.fields(HighwayConfig)},
 }
 
 _SAMPLINGS = ("grid", "random")
@@ -83,7 +86,7 @@ def _validate_path(path: str) -> None:
         return
     raise ValueError(
         f"axis path {path!r}: unknown target {target!r} (expected "
-        "scenario/channel/vehicle/attack/defense)")
+        "scenario/channel/vehicle/highway/attack/defense)")
 
 
 def _component_attrs(threat: str, variant: Optional[str],
@@ -380,5 +383,28 @@ PRESETS: dict[str, SweepSpec] = {
         axes=(SweepAxis("attack.n_ghosts", values=(1, 2, 4, 6, 8)),),
         seed_replicates=2,
         thresholds=(Threshold("attacked_mean", 1.5),),
+    ),
+    # Highway spectrum contention: background traffic density (vehicles
+    # per km) vs delivery ratio on a two-platoon merge scenario, with a
+    # merge-point jammer as the attack.  The baseline curve is the
+    # shared-spectrum cost of density alone; the attacked curve adds the
+    # jammer on top.  The default barrage-30dBm variant carries no
+    # config overrides, so the axis-set highway values survive intact.
+    "traffic-density": SweepSpec(
+        name="traffic-density",
+        threat="jamming",
+        axes=(SweepAxis("highway.background_density",
+                        values=(0.0, 2.0, 4.0, 8.0, 12.0)),),
+        base={"highway": {
+            "lanes": 2,
+            "platoons": [
+                {"n_vehicles": 3, "lane": 0, "start_position": 1120.0},
+                {"n_vehicles": 3, "lane": 0, "start_position": 1000.0,
+                 "speed": 29.0},
+            ],
+            "merge_policy": "auto"}},
+        metric="packet_delivery_ratio",
+        seed_replicates=2,
+        thresholds=(Threshold("baseline_mean", 0.9),),
     ),
 }

@@ -136,7 +136,9 @@ class TestRegistry:
                     f"{impl} declares {declared}, row expects {attrs}")
 
     def test_attack_and_defense_counts(self):
-        assert len(ALL_ATTACKS) == 11
+        # 11 single-platoon Table II attacks + 3 cross-platoon highway
+        # attacks (multi_sybil, merge_jamming, tail_platoon).
+        assert len(ALL_ATTACKS) == 14
         # 9 Table III implementations + 2 open-challenge extensions.
         assert len(ALL_DEFENSES) == 11
         assert len(taxonomy.EXTENSION_DEFENSES) == 2

@@ -1,0 +1,44 @@
+"""Shared fixtures for the multi-platoon highway suite.
+
+``three_platoon_highway`` is the suite's canonical stress layout: three
+platoons over two lanes (one closing pair in lane 0, a bystander in
+lane 1), background traffic dense enough to matter, automatic merging
+and the scripted background lane-change driver all enabled -- every
+highway-specific code path (builder, coordinator, merge negotiation,
+lane-partitioned geometry invalidation) is live in one episode.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario import ScenarioConfig
+from repro.highway.config import HighwayConfig, PlatoonSpec
+from repro.net.channel import ChannelConfig
+
+
+def three_platoon_highway() -> HighwayConfig:
+    return HighwayConfig(
+        lanes=2,
+        platoons=(
+            PlatoonSpec(n_vehicles=3, lane=0, start_position=1400.0),
+            PlatoonSpec(n_vehicles=3, lane=0, start_position=1200.0,
+                        speed=29.0),
+            PlatoonSpec(n_vehicles=3, lane=1, start_position=1000.0),
+        ),
+        background_density=2.0,
+        merge_policy="auto",
+        lane_change_interval=3.0,
+    )
+
+
+def highway_episode_config(kernel: str = "scalar",
+                           fading: str = "pairwise", *,
+                           seed: int = 42, duration: float = 30.0,
+                           highway: HighwayConfig = None,
+                           **overrides) -> ScenarioConfig:
+    """A complete highway episode config, mirroring the differential
+    harness's ``differential_config`` but with a highway layout."""
+    return ScenarioConfig(
+        duration=duration, warmup=10.0, seed=seed, kernel=kernel,
+        channel=ChannelConfig(fading_streams=fading),
+        highway=highway if highway is not None else three_platoon_highway(),
+        **overrides)

@@ -1,0 +1,51 @@
+"""Scalar-vs-vector differential tests for the highway world.
+
+The catalogue-level differential suite (``tests/kernel``) already
+covers the two highway attack cells; this one drives the canonical
+three-platoon stress layout -- concurrent merge negotiation, background
+traffic and scripted lane changes all at once -- and requires the two
+kernels' traces to stay **bit-identical**, the same zero-tolerance
+contract the single-platoon world is held to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tracediff import diff_traces
+from repro.core.scenario import run_episode
+from repro.obs.trace import trace_body_bytes
+
+from .conftest import highway_episode_config
+
+
+def _run_traced(kernel, fading, out_dir):
+    config = highway_episode_config(kernel, fading)
+    path = out_dir / f"highway-{kernel}-{fading}.trace.jsonl"
+    run_episode(config, trace_path=path,
+                trace_meta={"spec_key": "three-platoon-highway"})
+    return path
+
+
+@pytest.mark.parametrize("fading", ["pairwise", "shared"])
+def test_three_platoon_equivalence(fading, tmp_path):
+    scalar = _run_traced("scalar", fading, tmp_path)
+    vector = _run_traced("vector", fading, tmp_path)
+    if trace_body_bytes(scalar) == trace_body_bytes(vector):
+        return
+    diff = diff_traces(scalar, vector)
+    pytest.fail(f"three-platoon highway [{fading}] diverged between "
+                f"kernels:\n{diff.format()}")
+
+
+def test_rerun_is_deterministic(tmp_path):
+    """Same config, same process, two runs: byte-identical traces.
+
+    Guards the builder's fixed construction order (the RNG stream *is*
+    the construction sequence) against hidden per-run state.
+    """
+    first = _run_traced("vector", "pairwise", tmp_path)
+    second_dir = tmp_path / "again"
+    second_dir.mkdir()
+    second = _run_traced("vector", "pairwise", second_dir)
+    assert trace_body_bytes(first) == trace_body_bytes(second)

@@ -1,0 +1,82 @@
+"""Baseline merge behaviour of the leader-to-leader protocol.
+
+Uses the exact layout and derived seed of the catalogue's
+``jamming/highway-merge-point`` cell so the baseline here is the same
+episode the attack tests (and the campaign verdict) jam: two same-lane
+platoons, the rear one 4 m/s faster, entering merge range mid-episode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import derive_replicate_seed
+from repro.core.scenario import Scenario, ScenarioConfig
+from repro.highway.config import HighwayConfig, PlatoonSpec
+
+
+def merge_point_config() -> ScenarioConfig:
+    seed = derive_replicate_seed(42, "jamming", "highway-merge-point", 0)
+    return ScenarioConfig(
+        duration=45.0, warmup=10.0, seed=seed,
+        highway=HighwayConfig(
+            lanes=2,
+            platoons=(
+                PlatoonSpec(n_vehicles=3, lane=0, start_position=1250.0),
+                PlatoonSpec(n_vehicles=3, lane=0, start_position=1000.0,
+                            speed=31.0),
+            ),
+            background_density=1.0,
+            merge_policy="auto",
+            merge_range=100.0))
+
+
+@pytest.fixture(scope="module")
+def merged():
+    scenario = Scenario(merge_point_config())
+    result = scenario.run()
+    return scenario, result
+
+
+class TestAutoMerge:
+    def test_platoons_discover_each_other(self, merged):
+        scenario, _ = merged
+        # Both leaders overhear the other's PLATOON_ANNOUNCE.
+        assert scenario.events.count("platoon_discovered") >= 2
+        assert all(c.announcements_sent > 0 for c in scenario.coordinators)
+
+    def test_merge_completes_and_is_counted(self, merged):
+        scenario, result = merged
+        assert scenario.events.count("merge_committed") >= 1
+        assert result.metrics.merges_completed >= 1
+        assert result.metrics.summary()["merges_completed"] >= 1
+
+    def test_absorbed_platoon_goes_quiet(self, merged):
+        scenario, _ = merged
+        active = [h for h in scenario.highway_platoons
+                  if h.leader.is_leader and h.leader.leader_logic is not None]
+        assert len(active) == 1
+
+    def test_rosters_stay_disjoint_and_physical(self, merged):
+        scenario, _ = merged
+        rosters = [list(h.leader.leader_logic.registry.members)
+                   for h in scenario.highway_platoons
+                   if h.leader.is_leader and h.leader.leader_logic is not None]
+        seen: set = set()
+        for roster in rosters:
+            assert len(roster) == len(set(roster))      # no duplicates
+            assert not seen & set(roster)               # no double-booking
+            seen |= set(roster)
+            for member_id in roster:
+                assert member_id in scenario.world      # no phantom members
+        # Everyone from both platoons ended up accounted for: either the
+        # surviving leader or exactly one roster slot.
+        platoon_ids = {v.vehicle_id for h in scenario.highway_platoons
+                       for v in h.vehicles}
+        survivors = {h.leader.vehicle_id for h in scenario.highway_platoons
+                     if h.leader.is_leader}
+        assert platoon_ids == seen | survivors
+
+    def test_merge_is_collision_free(self, merged):
+        _, result = merged
+        assert result.metrics.collisions == 0

@@ -1,0 +1,79 @@
+"""Lane-change geometry regression tests.
+
+The vector kernel caches a lane-partitioned predecessor map keyed on
+(membership version, pool version).  A lane change moves a vehicle
+between partitions without touching either key, so
+``Vehicle.change_lane`` must bump the membership version via
+``World.notify_lane_change`` -- otherwise sensor reads serve a stale
+predecessor from the old lane.  These tests prime the cache first, so
+they fail against the un-notified behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario import Scenario, ScenarioConfig
+
+from .conftest import highway_episode_config
+
+
+def brute_force_predecessor(world, vehicle):
+    """The scalar-path definition: nearest vehicle ahead, same lane."""
+    best = None
+    for other in world.vehicles():
+        if other is vehicle or other.lane != vehicle.lane:
+            continue
+        if other.position > vehicle.position:
+            if best is None or other.position < best.position:
+                best = other
+    return best
+
+
+class TestPredecessorCacheInvalidation:
+    def test_lane_change_invalidates_cached_map(self):
+        scenario = Scenario(ScenarioConfig(n_vehicles=4, kernel="vector",
+                                           seed=5))
+        world = scenario.world
+        tail = scenario.platoon_vehicles[-1]
+        ahead = scenario.platoon_vehicles[-2]
+        # Prime the cache while everyone shares lane 0.
+        assert world.predecessor_of(tail) is ahead
+        tail.change_lane(1)
+        # Lane 1 is empty: a stale map would still return `ahead`.
+        assert world.predecessor_of(tail) is None
+        tail.change_lane(0)
+        assert world.predecessor_of(tail) is ahead
+
+    def test_lane_change_is_recorded(self):
+        scenario = Scenario(ScenarioConfig(n_vehicles=3, kernel="vector",
+                                           seed=5))
+        vehicle = scenario.platoon_vehicles[-1]
+        vehicle.change_lane(1, reason="test")
+        assert scenario.events.count("lane_change") == 1
+        (event,) = scenario.events.of_kind("lane_change")
+        assert event.data["from_lane"] == 0
+        assert event.data["to_lane"] == 1
+        assert event.data["reason"] == "test"
+        # Changing to the current lane is a no-op, not an event.
+        vehicle.change_lane(1, reason="test")
+        assert scenario.events.count("lane_change") == 1
+
+    def test_cached_map_matches_bruteforce_across_lane_moves(self):
+        """Cross-check the pooled bisect map against the scalar-path
+        definition on a two-lane highway, through a shuffle of moves."""
+        scenario = Scenario(highway_episode_config("vector", "pairwise"))
+        world = scenario.world
+        movers = [v for handle in scenario.highway_platoons
+                  for v in handle.vehicles[1:]]
+
+        def check_all():
+            for vehicle in world.vehicles():
+                assert world.predecessor_of(vehicle) is \
+                    brute_force_predecessor(world, vehicle), vehicle.vehicle_id
+
+        check_all()                      # primes the cache
+        for i, vehicle in enumerate(movers):
+            vehicle.change_lane((vehicle.lane + 1) % 2)
+            check_all()
+            if i % 2 == 0:               # move some of them back
+                vehicle.change_lane((vehicle.lane + 1) % 2)
+                check_all()

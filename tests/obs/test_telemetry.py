@@ -13,7 +13,7 @@ import json
 
 import pytest
 
-from repro.core.campaign import run_threat_catalogue
+from repro.core.campaign import run_highway_catalogue, run_threat_catalogue
 from repro.core.runner import CampaignRunner
 from repro.core.scenario import ScenarioConfig
 from repro.obs.telemetry import (
@@ -201,6 +201,41 @@ class TestCanonicalRunLog:
         # real work, not comparing identical files.
         assert (tmp_path / "w1.jsonl").read_bytes() \
             != (tmp_path / "w2.jsonl").read_bytes()
+
+
+class TestHighwayRunLog:
+    """Highway campaign units carry per-platoon fields in the canonical
+    run log, and those fields are pure functions of the spec -- so the
+    log stays byte-identical across worker counts."""
+
+    TINY_HIGHWAY = ScenarioConfig(n_vehicles=4, duration=30.0, warmup=6.0,
+                                  seed=7)
+
+    def run_highway(self, **runner_kwargs):
+        runner = CampaignRunner(**runner_kwargs)
+        run_highway_catalogue(self.TINY_HIGHWAY, runner=runner)
+        return runner
+
+    def test_unit_events_carry_platoon_fields(self):
+        sink = RecordingSink()
+        self.run_highway(telemetry=TelemetryBus([sink]))
+        unit_events = [e.payload for e in sink.events
+                       if e.kind in ("unit_started", "unit_finished")]
+        assert unit_events
+        for payload in unit_events:
+            assert payload["platoons"] == 2
+            assert payload["lanes"] == 2
+            assert payload["background"] >= 0
+
+    def test_byte_identical_across_worker_counts(self, tmp_path):
+        logs = {}
+        for workers in (1, 2):
+            path = tmp_path / f"hw-w{workers}.jsonl"
+            self.run_highway(workers=workers,
+                             telemetry=TelemetryBus([JsonlRunLogSink(path)]))
+            logs[workers] = canonical_run_log_bytes(path)
+        assert logs[1] == logs[2]
+        assert b'"platoons":2' in logs[1]
 
 
 class TestZeroCostWhenDisabled:
