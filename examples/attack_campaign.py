@@ -55,8 +55,11 @@ def main() -> None:
                         help="shorter episodes (smoke-test mode)")
     parser.add_argument("--workers", type=int, default=1,
                         help="campaign worker-pool size (1 = serial)")
+    parser.add_argument("--store", default=None,
+                        help="persistent result store URL "
+                             "(json:<dir> or sqlite:<path>)")
     parser.add_argument("--cache-dir", default=None,
-                        help="persistent episode-cache directory")
+                        help="deprecated alias for --store json:<dir>")
     parser.add_argument("--spec", default=None,
                         help="run one platoonsec-experiment/1 spec file "
                              "instead of the full catalogue")
@@ -76,7 +79,8 @@ def main() -> None:
           f"{config.initial_speed * 3.6:.0f} km/h, "
           f"workers={args.workers})...\n")
 
-    runner = CampaignRunner(workers=args.workers, cache_dir=args.cache_dir)
+    runner = CampaignRunner(workers=args.workers, store=args.store,
+                            cache_dir=args.cache_dir)
     outcomes = run_threat_catalogue(config, runner=runner)
 
     rows = []

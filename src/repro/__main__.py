@@ -16,11 +16,14 @@ Commands
 
 The campaign commands (``catalogue``, ``matrix``) execute through the
 campaign engine: ``--workers N`` fans episodes over a process pool,
-``--cache-dir DIR`` persists/reuses episode results across invocations,
-``--trace-dir DIR`` streams one schema-versioned JSONL trace per
-computed unit (named by content hash), ``--profile`` enables profiling
-spans and prints the aggregated counters/timers, and ``--report``
-prints the per-unit cache/timing breakdown.
+``--store URL`` persists/reuses episode results across invocations and
+processes (``json:<dir>`` for the one-file-per-hash layout,
+``sqlite:<path>`` for the concurrent-runner-safe database;
+``--cache-dir DIR`` survives one release as a deprecated alias for
+``json:DIR``), ``--trace-dir DIR`` streams one schema-versioned JSONL
+trace per computed unit (named by content hash), ``--profile`` enables
+profiling spans and prints the aggregated counters/timers, and
+``--report`` prints the per-unit cache/timing breakdown.
 ``experiment <specfile.json|threat[/variant]>``
     Run one declarative ``platoonsec-experiment/1`` spec (baseline vs
     attacked, plus a defended episode when the spec declares defences).
@@ -47,6 +50,11 @@ prints the per-unit cache/timing breakdown.
     Run a campaign or sweep and render a single self-contained HTML
     report (outcome grids, inline-SVG dose-response curves, per-unit
     timing, cache summary) -- no scripts, no network assets.
+``store (stats|gc|migrate|verify) ...``
+    Maintain persistent result stores: entry/lease statistics,
+    ``gc --older-than 7d`` garbage collection, byte-identical
+    ``migrate <src> <dst>`` between backends, and ``verify``
+    re-checking every entry against its content key.
 ``taxonomy``
     Print Tables I/II/III from the machine-readable taxonomy and verify
     the implementation registry.
@@ -56,8 +64,9 @@ prints the per-unit cache/timing breakdown.
 Run telemetry
 -------------
 The campaign commands accept ``--run-log PATH`` (stream one JSON event
-line per run/unit/phase transition; defaults to
-``<cache-dir>/run-log.jsonl`` when ``--cache-dir`` is set) and
+line per run/unit/phase transition; with a store configured it defaults
+to ``run-log.jsonl`` inside a ``json:`` store's directory, or next to a
+``sqlite:`` store's database) and
 ``--progress`` (force the live stderr progress line, which otherwise
 auto-enables only on a TTY).  ``--bench-history PATH`` appends one
 ``platoonsec-bench/1`` record per campaign to a JSONL history file that
@@ -91,15 +100,41 @@ def _base_config(args) -> ScenarioConfig:
                           channel=ChannelConfig(fading_streams=args.fading))
 
 
-def _make_telemetry(args):
+def _resolve_store(args):
+    """The result store selected by ``--store`` / ``--cache-dir``.
+
+    ``--cache-dir DIR`` is a deprecated alias for ``--store json:DIR``
+    (one release, mirroring the ``REPRO_BENCH_LOG`` precedent); passing
+    both is a usage error.  Returns ``None`` when neither flag is set.
+    """
+    import warnings
+
+    from repro.store import open_store
+
+    if args.store is not None and args.cache_dir is not None:
+        raise ValueError("--store and --cache-dir are mutually exclusive "
+                         "(--cache-dir is the deprecated alias for "
+                         "--store json:DIR)")
+    if args.store is not None:
+        return open_store(args.store)
+    if args.cache_dir is not None:
+        warnings.warn(
+            "--cache-dir is deprecated; use --store json:"
+            f"{args.cache_dir} (or sqlite:<path> for the concurrent-safe "
+            "backend) instead", DeprecationWarning, stacklevel=2)
+        return open_store(f"json:{args.cache_dir}")
+    return None
+
+
+def _make_telemetry(args, store=None):
     """Build the run-event bus from the global telemetry flags.
 
     Returns ``None`` when nothing would listen (no ``--run-log``, no
-    cache dir to default it into, progress neither forced nor on a TTY),
-    so the default CLI path stays telemetry-free.
+    store to default it next to, progress neither forced nor on a TTY),
+    so the default CLI path stays telemetry-free.  The default run-log
+    placement is store-aware: inside the directory for ``json:`` stores,
+    a sibling ``run-log.jsonl`` next to the database for ``sqlite:``.
     """
-    from pathlib import Path
-
     from repro.obs.telemetry import (
         JsonlRunLogSink,
         ProgressSink,
@@ -107,8 +142,8 @@ def _make_telemetry(args):
     )
 
     run_log = getattr(args, "run_log", None)
-    if run_log is None and args.cache_dir is not None:
-        run_log = Path(args.cache_dir) / "run-log.jsonl"
+    if run_log is None and store is not None:
+        run_log = store.default_run_log_path()
     sinks = []
     if run_log is not None:
         sinks.append(JsonlRunLogSink(run_log))
@@ -119,9 +154,10 @@ def _make_telemetry(args):
 
 
 def _make_runner(args) -> CampaignRunner:
-    return CampaignRunner(workers=args.workers, cache_dir=args.cache_dir,
+    store = _resolve_store(args)
+    return CampaignRunner(workers=args.workers, store=store,
                           trace_dir=args.trace_dir,
-                          telemetry=_make_telemetry(args))
+                          telemetry=_make_telemetry(args, store))
 
 
 def _print_report(runner: CampaignRunner, args) -> None:
@@ -565,6 +601,79 @@ def cmd_risk(args) -> int:
     return 0
 
 
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_age(text: str) -> float:
+    """``"7d"``/``"36h"``/``"90m"``/``"45s"``/plain seconds -> seconds."""
+    text = text.strip()
+    unit = 1.0
+    if text and text[-1].lower() in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1].lower()]
+        text = text[:-1]
+    try:
+        seconds = float(text) * unit
+    except ValueError:
+        raise ValueError(f"bad age {text!r}; expected a number with an "
+                         "optional s/m/h/d suffix (e.g. 7d, 36h)") from None
+    if seconds < 0:
+        raise ValueError("age must be >= 0")
+    return seconds
+
+
+def cmd_store_stats(args) -> int:
+    from repro.store import open_store
+
+    store = open_store(args.url, create=False)
+    print(format_table(["property", "value"], store.stats().rows(),
+                       title=f"result store {store.url()}"))
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    from repro.store import open_store
+
+    older_than = _parse_age(args.older_than) \
+        if args.older_than is not None else None
+    store = open_store(args.url, create=False)
+    before = len(store.keys())
+    deleted = store.gc(older_than=older_than)
+    print(f"store gc: deleted {len(deleted)} of {before} entries, "
+          "purged expired leases"
+          + (f" (older than {args.older_than})"
+             if args.older_than is not None else ""))
+    return 0
+
+
+def cmd_store_migrate(args) -> int:
+    from repro.store import migrate, open_store
+
+    src = open_store(args.src, create=False)
+    dst = open_store(args.dst)
+    migrated, problems = migrate(src, dst)
+    print(f"store migrate: {migrated} record(s) {src.url()} -> "
+          f"{dst.url()} (byte-identical round-trip verified)")
+    for key, reason in problems:
+        print(f"  PROBLEM {key}: {reason}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def cmd_store_verify(args) -> int:
+    from repro.store import open_store
+
+    store = open_store(args.url, create=False)
+    report = store.verify()
+    if report.ok:
+        print(f"store verify: {report.checked} entr(ies) ok in "
+              f"{store.url()}")
+        return 0
+    print(f"store verify: {len(report.problems)} problem(s) in "
+          f"{report.checked} entr(ies):", file=sys.stderr)
+    for key, reason in report.problems:
+        print(f"  {key}: {reason}", file=sys.stderr)
+    return 1
+
+
 def cmd_tracediff(args) -> int:
     from repro.analysis.tracediff import diff_traces
 
@@ -678,8 +787,13 @@ def main(argv=None) -> int:
                              "order independent; changes episode content)")
     parser.add_argument("--workers", type=int, default=1,
                         help="campaign worker-pool size (1 = serial)")
+    parser.add_argument("--store", default=None,
+                        help="persistent result store URL: json:<dir> "
+                             "(one file per episode hash) or "
+                             "sqlite:<path> (single WAL database, safe "
+                             "for concurrent runners)")
     parser.add_argument("--cache-dir", default=None,
-                        help="persistent episode-cache directory")
+                        help="deprecated alias for --store json:<dir>")
     parser.add_argument("--trace-dir", default=None,
                         help="directory for per-unit JSONL episode traces")
     parser.add_argument("--profile", action="store_true",
@@ -864,6 +978,35 @@ def main(argv=None) -> int:
     p_report.add_argument("--out", default="platoonsec-report.html",
                           help="output HTML path (default: %(default)s)")
     p_report.set_defaults(fn=cmd_report)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect and maintain persistent result stores",
+        epilog="store URLs: json:<dir> | sqlite:<path>",
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    store_sub = p_store.add_subparsers(dest="store_cmd", required=True)
+    p_sstats = store_sub.add_parser(
+        "stats", help="entry/byte/lease counts for one store")
+    p_sstats.add_argument("url", help="store URL (json:<dir>|sqlite:<path>)")
+    p_sstats.set_defaults(fn=cmd_store_stats)
+    p_sgc = store_sub.add_parser(
+        "gc", help="drop old entries and expired leases")
+    p_sgc.add_argument("url", help="store URL (json:<dir>|sqlite:<path>)")
+    p_sgc.add_argument("--older-than", default=None,
+                       help="delete entries older than this age "
+                            "(e.g. 7d, 36h, 90m, 3600); with no age, "
+                            "only expired leases and write debris go")
+    p_sgc.set_defaults(fn=cmd_store_gc)
+    p_smig = store_sub.add_parser(
+        "migrate",
+        help="copy every record between stores (round-trip verified)")
+    p_smig.add_argument("src", help="source store URL (must exist)")
+    p_smig.add_argument("dst", help="destination store URL (created)")
+    p_smig.set_defaults(fn=cmd_store_migrate)
+    p_sver = store_sub.add_parser(
+        "verify", help="re-check every entry against its content key")
+    p_sver.add_argument("url", help="store URL (json:<dir>|sqlite:<path>)")
+    p_sver.set_defaults(fn=cmd_store_verify)
 
     sub.add_parser("taxonomy", help="print the machine-readable tables") \
         .set_defaults(fn=cmd_taxonomy)

@@ -278,16 +278,19 @@ def run_threat_catalogue(base_config: Optional[ScenarioConfig] = None,
                          *,
                          workers: int = 1,
                          cache_dir=None,
+                         store=None,
                          trace_dir=None,
                          seed_replicates: int = 1,
                          runner: Optional[CampaignRunner] = None
                          ) -> list[ThreatOutcome]:
     """Table II campaign: every catalogued threat, baseline vs attacked.
 
-    Executes through the campaign engine: pass ``workers``/``cache_dir``/
-    ``trace_dir`` (or a preconfigured ``runner``, which wins) to
-    parallelise, to persist/reuse episode results, and to stream
-    per-unit JSONL traces.  Results are independent of the worker count.
+    Executes through the campaign engine: pass ``workers``, a result
+    store (``store="json:DIR"`` / ``"sqlite:PATH"``, or the legacy
+    ``cache_dir`` alias) and/or ``trace_dir`` (or a preconfigured
+    ``runner``, which wins) to parallelise, to persist/reuse episode
+    results, and to stream per-unit JSONL traces.  Results are
+    independent of the worker count.
 
     ``seed_replicates=N`` runs every threat at N derived seeds (sweep
     aggregation semantics: replicate 0 is the canonical stream) and
@@ -299,7 +302,8 @@ def run_threat_catalogue(base_config: Optional[ScenarioConfig] = None,
         raise ValueError("seed_replicates must be >= 1")
     keys = list(threats) if threats is not None else list(taxonomy.THREATS)
     engine = runner if runner is not None else CampaignRunner(
-        workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+        workers=workers, cache_dir=cache_dir, store=store,
+        trace_dir=trace_dir)
     with obs.timed("campaign.plan"):
         plans = [[plan_threat_experiment(key, base_config, replicate=r)
                   for r in range(seed_replicates)] for key in keys]
@@ -357,6 +361,7 @@ def run_highway_catalogue(base_config: Optional[ScenarioConfig] = None,
                           *,
                           workers: int = 1,
                           cache_dir=None,
+                          store=None,
                           trace_dir=None,
                           seed_replicates: int = 1,
                           runner: Optional[CampaignRunner] = None
@@ -374,7 +379,8 @@ def run_highway_catalogue(base_config: Optional[ScenarioConfig] = None,
     if not cells:
         raise ValueError("the catalogue has no highway variants")
     engine = runner if runner is not None else CampaignRunner(
-        workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+        workers=workers, cache_dir=cache_dir, store=store,
+        trace_dir=trace_dir)
     with obs.timed("campaign.plan"):
         plans = [[plan_threat_experiment(threat, base_config, variant=variant,
                                          replicate=r)
@@ -465,6 +471,7 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
                        *,
                        workers: int = 1,
                        cache_dir=None,
+                       store=None,
                        trace_dir=None,
                        seed_replicates: int = 1,
                        runner: Optional[CampaignRunner] = None
@@ -484,7 +491,8 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
         raise ValueError("seed_replicates must be >= 1")
     keys = list(mechanisms) if mechanisms is not None else list(taxonomy.MECHANISMS)
     engine = runner if runner is not None else CampaignRunner(
-        workers=workers, cache_dir=cache_dir, trace_dir=trace_dir)
+        workers=workers, cache_dir=cache_dir, store=store,
+        trace_dir=trace_dir)
     with obs.timed("campaign.plan"):
         plans: list[list[PlannedExperiment]] = []
         for mechanism_key in keys:

@@ -10,10 +10,18 @@ defended episodes -- the Table III mechanism key).  The
   (``workers=N``); ``N=1`` falls back to a plain serial loop in-process.
 * **Memoisation** -- every spec is content-hashed (threat, variant, role,
   mechanism, canonical config JSON); identical units execute exactly
-  once per runner and results are shared.  With ``cache_dir`` set,
-  records persist as one JSON file per spec hash and survive across
-  processes; corrupt or stale files are treated as cache misses and
-  recomputed, never raised.
+  once per runner and results are shared.  With a ``store`` attached
+  (any :class:`~repro.store.ResultStore`; ``cache_dir=DIR`` is the
+  legacy spelling of ``store="json:DIR"``), records persist keyed by
+  spec hash and survive across processes; corrupt or stale entries are
+  treated as cache misses and recomputed, never raised.
+* **Unit leases** -- against a shared store, the runner claims an
+  in-flight lease per missing unit before computing it.  A unit whose
+  lease another live runner holds is *waited for* instead of recomputed
+  (its result arrives as a ``"disk"`` hit); a lease whose holder
+  crashed expires after its TTL and the waiter takes the unit over.
+  Two runners sharing one sqlite store therefore never execute the
+  same unit twice.
 * **Determinism** -- specs carry an explicit per-experiment seed derived
   via :func:`derive_seed`, so any unit reruns bit-identically in
   isolation, serially or on any worker.
@@ -48,22 +56,24 @@ import hashlib
 import json
 import os
 import time
+import uuid
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.scenario import ScenarioConfig, run_episode
 from repro.obs import registry as obs
 from repro.obs.telemetry import TelemetryBus
 from repro.obs.trace import trace_filename
-
-# /4 added the highway merge counter (merges_completed) to the cached
-# metrics dict; /3 added the safety metrics (min_true_gap,
-# collision_count, min_brake_margin); /2 added the per-episode
-# observability snapshot.  Older files are treated as stale and
-# recomputed.
-CACHE_FORMAT = "platoonsec-episode-cache/4"
+from repro.store import (
+    CACHE_FORMAT,        # noqa: F401  (re-export: the format lives with the stores now)
+    DEFAULT_LEASE_TTL,
+    JsonDirStore,
+    ResultStore,
+    StoreError,
+    open_store,
+)
 
 ROLES = ("baseline", "attacked", "defended")
 
@@ -458,10 +468,24 @@ class CampaignRunner:
         Worker-pool size.  ``1`` (the default) runs everything serially
         in-process; ``N > 1`` fans cache misses out over a
         ``ProcessPoolExecutor``.
+    store:
+        Optional persistent result store: a
+        :class:`~repro.store.ResultStore` instance or a
+        ``json:<dir>`` / ``sqlite:<path>`` URL.  Unreadable, corrupt or
+        stale entries fall back to recomputation -- they never raise.
+        Against a shared store the runner takes per-unit in-flight
+        leases (see ``lease_ttl``) so concurrent runners split the work
+        instead of duplicating it.
     cache_dir:
-        Optional directory for the persistent episode cache (one JSON
-        file per spec hash).  Unreadable, corrupt or stale files fall
-        back to recomputation -- they never raise.
+        Legacy alias for ``store="json:<dir>"`` -- the one-JSON-file-
+        per-hash layout.  Mutually exclusive with ``store``.
+    lease_ttl:
+        In-flight lease time-to-live in seconds.  A unit whose lease
+        holder crashed becomes claimable again after this long, so it
+        must exceed the slowest expected episode.
+    lease_poll:
+        How often (seconds) a runner waiting on another runner's
+        leased unit re-checks the store.
     trace_dir:
         Optional directory for persistent episode traces: every
         *computed* unit writes one JSONL trace named by its content hash
@@ -479,16 +503,26 @@ class CampaignRunner:
     def __init__(self, workers: int = 1,
                  cache_dir: Optional[Union[str, Path]] = None,
                  trace_dir: Optional[Union[str, Path]] = None,
-                 telemetry: Optional[TelemetryBus] = None) -> None:
+                 telemetry: Optional[TelemetryBus] = None,
+                 store: Optional[Union[str, Path, ResultStore]] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 lease_poll: float = 0.05) -> None:
         self.workers = max(1, int(workers or 1))
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if self.cache_dir is not None:
-            try:
-                self.cache_dir.mkdir(parents=True, exist_ok=True)
-            except FileExistsError:
-                raise ValueError(
-                    f"cache dir {self.cache_dir} exists and is not a "
-                    "directory") from None
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either store= or the legacy cache_dir= "
+                             "alias, not both")
+        if store is None and cache_dir is not None:
+            store = JsonDirStore(cache_dir)
+        elif store is not None and not isinstance(store, ResultStore):
+            store = open_store(store)
+        self.store: Optional[ResultStore] = store
+        # Legacy attribute: the cache directory when the store is the
+        # JSON-dir backend, None otherwise.
+        self.cache_dir = store.root if isinstance(store, JsonDirStore) \
+            else None
+        self.lease_ttl = float(lease_ttl)
+        self.lease_poll = float(lease_poll)
+        self._owner = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         if self.trace_dir is not None:
             try:
@@ -536,11 +570,18 @@ class CampaignRunner:
     def _emit_unit_finished(self, spec: EpisodeSpec, source: str,
                             wall_time: float,
                             worker: Optional[int] = None) -> None:
+        # Cache provenance names the backend the record lives in.  The
+        # field is volatile (like worker pids): canonical run logs stay
+        # byte-identical across backends, so the store-parity CI gate
+        # can cmp a json: run against a sqlite: run.
+        extra = self._highway_fields(spec)
+        if self.store is not None:
+            extra["store"] = self.store.backend
         self._emit("unit_finished", unit=spec.key, threat=spec.threat_key,
                    variant=spec.variant, role=spec.role,
                    mechanism=spec.mechanism_key, source=source,
                    cache_hit=source != "computed", wall_time=wall_time,
-                   worker=worker, **self._highway_fields(spec))
+                   worker=worker, **extra)
 
     # ----------------------------------------------------------- execution
 
@@ -555,7 +596,9 @@ class CampaignRunner:
         requested = [(spec.key, spec) for spec in specs]
         distinct = len({key for key, _ in requested})
         self._emit("run_started", requested=len(requested),
-                   distinct=distinct, workers=self.workers)
+                   distinct=distinct, workers=self.workers,
+                   store=(self.store.backend if self.store is not None
+                          else None))
 
         # Resolve hits and collect distinct misses in request order.
         phase_start = time.perf_counter()
@@ -585,19 +628,23 @@ class CampaignRunner:
 
         phase_start = time.perf_counter()
         self._emit("phase_started", phase="compute")
-        computed = self._compute(to_compute)
+        computed, external = self._compute(to_compute)
         elapsed = time.perf_counter() - phase_start
         self._add_phase("compute", elapsed)
         self._emit("phase_finished", phase="compute", wall_time=elapsed)
 
         phase_start = time.perf_counter()
         self._emit("phase_started", phase="record")
+        # Units another runner computed (shared-store lease hand-off)
+        # arrived from the store: account them as disk hits.
+        for key in external:
+            sources[key] = "disk"
         for key, record in computed.items():
             self._memory[key] = record
-            self._store_cached(key, record)
             # Aggregate per-episode observability across the pool --
-            # computed units only, so cache hits never double-count.
-            if record.observability:
+            # units computed *here* only, so cache hits (including
+            # lease hand-offs) never double-count.
+            if key not in external and record.observability:
                 self._obs.merge_snapshot(record.observability)
 
         now = time.time()
@@ -621,81 +668,167 @@ class CampaignRunner:
 
         batch_wall = time.perf_counter() - batch_start
         self._wall_time += batch_wall
+        computed_here = len(to_compute) - len(external)
         self._emit("run_finished", requested=len(requested),
-                   distinct=distinct, computed=len(to_compute),
-                   cache_hits=distinct - len(to_compute),
+                   distinct=distinct, computed=computed_here,
+                   cache_hits=distinct - computed_here,
                    workers=self.workers, wall_time=batch_wall)
         return {key: self._memory[key] for key, _ in requested}
 
     def _add_phase(self, name: str, seconds: float) -> None:
         self._phases[name] = self._phases.get(name, 0.0) + seconds
 
-    def _compute(self, to_compute: Sequence[tuple]) -> Dict[str, EpisodeRecord]:
+    def _compute(self, to_compute: Sequence[tuple]
+                 ) -> Tuple[Dict[str, EpisodeRecord], Set[str]]:
+        """Resolve every miss: compute it here, or -- against a shared
+        store -- wait for the runner whose lease covers it.
+
+        Returns ``(records, external)`` where ``external`` is the subset
+        of keys another process computed (they surface as disk hits).
+        """
+        if not to_compute:
+            return {}, set()
+        if self.store is None:
+            return self._execute_batch(to_compute), set()
+
+        results: Dict[str, EpisodeRecord] = {}
+        external: Set[str] = set()
+        owned: List[tuple] = []
+        waiting: List[tuple] = []
+        for key, spec in to_compute:
+            status = self._acquire(key)
+            if status == "hit":
+                record = self._load_cached(key)
+                if record is None:
+                    # The entry vanished or is corrupt: repair it here.
+                    owned.append((key, spec))
+                    continue
+                results[key] = record
+                external.add(key)
+                self._emit_unit_started(spec)
+                self._emit_unit_finished(spec, "disk", 0.0)
+            elif status == "acquired":
+                owned.append((key, spec))
+            else:                                               # held
+                waiting.append((key, spec))
+
+        results.update(self._execute_batch(owned))
+
+        # Poll leased-out units: reuse results as they land; take over
+        # any unit whose holder's lease expired (crashed runner).
+        while waiting:
+            progressed = False
+            still: List[tuple] = []
+            takeover: List[tuple] = []
+            for key, spec in waiting:
+                record = self._load_cached(key)
+                if record is not None:
+                    results[key] = record
+                    external.add(key)
+                    self._emit_unit_started(spec)
+                    self._emit_unit_finished(spec, "disk", 0.0)
+                    progressed = True
+                    continue
+                status = self._acquire(key)
+                if status == "acquired":
+                    takeover.append((key, spec))
+                    progressed = True
+                else:
+                    still.append((key, spec))
+            if takeover:
+                results.update(self._execute_batch(takeover))
+            waiting = still
+            if waiting and not progressed:
+                time.sleep(self.lease_poll)
+        return results, external
+
+    def _execute_batch(self, to_compute: Sequence[tuple]
+                       ) -> Dict[str, EpisodeRecord]:
+        """Compute a batch locally (serial or pooled), persisting each
+        record -- and releasing its lease -- as it completes."""
         if not to_compute:
             return {}
         trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
         profile = obs.profiling_enabled()
-        if self.workers == 1 or len(to_compute) == 1:
-            results: Dict[str, EpisodeRecord] = {}
-            for key, spec in to_compute:
-                self._emit_unit_started(spec)
-                record = _execute_spec(spec, trace_dir, profile)
-                results[key] = record
-                self._emit_unit_finished(spec, "computed", record.wall_time,
-                                         worker=os.getpid())
-            return results
-        results = {}
-        specs_by_key = dict(to_compute)
-        pool_size = min(self.workers, len(to_compute))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {}
-            for key, spec in to_compute:
-                futures[pool.submit(_execute_spec_worker, spec, trace_dir,
-                                    profile)] = key
-                self._emit_unit_started(spec)
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = futures[future]
-                    worker, record = future.result()
+        results: Dict[str, EpisodeRecord] = {}
+        try:
+            if self.workers == 1 or len(to_compute) == 1:
+                for key, spec in to_compute:
+                    self._emit_unit_started(spec)
+                    record = _execute_spec(spec, trace_dir, profile)
                     results[key] = record
-                    self._emit_unit_finished(specs_by_key[key], "computed",
-                                             record.wall_time, worker=worker)
-        return results
+                    self._store_cached(key, record)
+                    self._emit_unit_finished(spec, "computed",
+                                             record.wall_time,
+                                             worker=os.getpid())
+                return results
+            specs_by_key = dict(to_compute)
+            pool_size = min(self.workers, len(to_compute))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = {}
+                for key, spec in to_compute:
+                    futures[pool.submit(_execute_spec_worker, spec,
+                                        trace_dir, profile)] = key
+                    self._emit_unit_started(spec)
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = futures[future]
+                        worker, record = future.result()
+                        results[key] = record
+                        self._store_cached(key, record)
+                        self._emit_unit_finished(specs_by_key[key],
+                                                 "computed",
+                                                 record.wall_time,
+                                                 worker=worker)
+            return results
+        finally:
+            # A failed episode must not leave its lease pinned until
+            # the TTL: release every claim we did not convert into a
+            # stored record (storing releases the lease itself).
+            if self.store is not None:
+                for key, _ in to_compute:
+                    if key not in results:
+                        self._release(key)
 
-    # --------------------------------------------------------- disk cache
+    # ------------------------------------------------------- result store
 
-    def _cache_path(self, key: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{key}.json"
+    def _acquire(self, key: str) -> str:
+        try:
+            return self.store.acquire(key, self._owner, self.lease_ttl)
+        except StoreError:
+            # A broken store must never stall the campaign: compute.
+            return "acquired"
+
+    def _release(self, key: str) -> None:
+        try:
+            self.store.release(key, self._owner)
+        except StoreError:
+            pass
 
     def _load_cached(self, key: str) -> Optional[EpisodeRecord]:
-        path = self._cache_path(key)
-        if path is None:
+        if self.store is None:
             return None
         try:
-            data = json.loads(path.read_text())
-            if data.get("format") != CACHE_FORMAT or data.get("key") != key:
-                return None
-            raw = data["record"]
+            raw = self.store.load(key)
+        except StoreError:
+            return None
+        if raw is None:
+            return None
+        try:
             field_names = [f.name for f in dataclasses.fields(EpisodeRecord)]
             return EpisodeRecord(**{name: raw[name] for name in field_names})
-        except (OSError, ValueError, KeyError, TypeError):
+        except (KeyError, TypeError):
             return None
 
     def _store_cached(self, key: str, record: EpisodeRecord) -> None:
-        path = self._cache_path(key)
-        if path is None:
+        if self.store is None:
             return
-        payload = {"format": CACHE_FORMAT, "key": key,
-                   "record": dataclasses.asdict(record)}
-        tmp = path.with_suffix(".tmp")
         try:
-            tmp.write_text(json.dumps(payload, indent=1))
-            tmp.replace(path)
-        except OSError:
+            self.store.store(key, dataclasses.asdict(record))
+        except (OSError, StoreError):
             pass
 
     # ---------------------------------------------------------- reporting

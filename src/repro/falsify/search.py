@@ -144,15 +144,23 @@ class Falsifier:
     """Searches a schedule space for safety violations.
 
     ``runner`` defaults to a fresh serial :class:`CampaignRunner`; pass
-    one configured with workers / a cache dir to parallelise and persist
-    candidate evaluations.  ``log`` receives one progress line per
-    stage.
+    one configured with workers / a result store -- or just a ``store``
+    URL (``json:<dir>`` / ``sqlite:<path>``) -- to parallelise and
+    persist candidate evaluations.  Memoised candidates in a shared
+    store are reused across falsifier processes (budgeted-search
+    campaigns hammer the same schedules from many workers), with unit
+    leases keeping concurrent searches from evaluating one candidate
+    twice.  ``log`` receives one progress line per stage.
     """
 
     def __init__(self, runner: Optional[CampaignRunner] = None, *,
-                 root_seed: int = 42,
+                 store=None, root_seed: int = 42,
                  log: Optional[Callable[[str], None]] = None) -> None:
-        self.runner = runner if runner is not None else CampaignRunner()
+        if runner is not None and store is not None:
+            raise ValueError("pass either a preconfigured runner or a "
+                             "store, not both")
+        self.runner = runner if runner is not None \
+            else CampaignRunner(store=store)
         self.root_seed = int(root_seed)
         self._log = log if log is not None else (lambda message: None)
 

@@ -51,10 +51,14 @@ EVENT_KINDS = (
     "run_finished",
 )
 
-#: Payload fields that describe scheduling rather than work (wall
-#: clocks, pids, emission order, pool size) and are stripped by
-#: :func:`canonical_events`.
-VOLATILE_FIELDS = frozenset({"seq", "ts", "wall_time", "worker", "workers"})
+#: Payload fields that describe scheduling/infrastructure rather than
+#: work (wall clocks, pids, emission order, pool size, which result-
+#: store backend served a record) and are stripped by
+#: :func:`canonical_events`.  ``store`` is volatile by design: the CI
+#: store-parity gate ``cmp``s a ``json:``-backed run's canonical log
+#: against a ``sqlite:``-backed one.
+VOLATILE_FIELDS = frozenset({"seq", "ts", "wall_time", "worker", "workers",
+                             "store"})
 
 _KIND_RANK = {kind: rank for rank, kind in enumerate(EVENT_KINDS)}
 

@@ -1,0 +1,43 @@
+"""Pluggable content-addressed result stores for campaign episodes.
+
+Public surface::
+
+    open_store("json:/path/to/dir")     # one JSON file per key
+    open_store("sqlite:/path/store.db") # one WAL-mode database
+
+plus the :class:`ResultStore` ABC (lease protocol, stats/verify/gc) and
+:func:`migrate` for byte-identical backend-to-backend copies.  See
+:mod:`repro.store.base` for the protocol contract.
+"""
+
+from repro.store.base import (
+    CACHE_FORMAT,
+    DEFAULT_LEASE_TTL,
+    STORE_SCHEMES,
+    ResultStore,
+    StoreError,
+    StoreStats,
+    VerifyReport,
+    canonical_record_bytes,
+    migrate,
+    open_store,
+    parse_store_url,
+)
+from repro.store.jsondir import JsonDirStore
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "CACHE_FORMAT",
+    "DEFAULT_LEASE_TTL",
+    "STORE_SCHEMES",
+    "ResultStore",
+    "StoreError",
+    "StoreStats",
+    "VerifyReport",
+    "canonical_record_bytes",
+    "migrate",
+    "open_store",
+    "parse_store_url",
+    "JsonDirStore",
+    "SqliteStore",
+]

@@ -1,0 +1,425 @@
+"""Pluggable content-addressed result stores.
+
+A :class:`ResultStore` persists campaign episode records keyed by their
+spec content hash (see :meth:`repro.core.runner.EpisodeSpec.key`).  The
+store layer owns every persistence concern the campaign runner used to
+carry inline: payload framing (``{"format", "key", "record"}``), corrupt
+and stale-format entries (always a miss, never an exception), atomic
+writes, and -- new with this layer -- an in-flight *lease* protocol so
+several runner processes sharing one store never compute the same unit
+twice.
+
+Two backends ship:
+
+* :class:`~repro.store.jsondir.JsonDirStore` -- one JSON file per key,
+  bit-compatible with the historical ``cache_dir`` layout, selected by
+  ``json:<directory>``;
+* :class:`~repro.store.sqlite.SqliteStore` -- a single WAL-mode sqlite
+  database with ``BEGIN IMMEDIATE`` upserts, safe for concurrent
+  runners on one host, selected by ``sqlite:<path>``.
+
+Lease protocol
+--------------
+Before computing a missing unit, a runner calls
+:meth:`ResultStore.acquire`; the atomic answer is one of
+
+``"hit"``
+    the record appeared since the caller last looked -- load and reuse;
+``"acquired"``
+    the caller now holds the in-flight lease -- compute, then
+    :meth:`ResultStore.store` (storing a result releases the lease);
+``"held"``
+    another live process holds the lease -- poll :meth:`ResultStore.load`
+    and retry :meth:`acquire`; when the holder crashes, its lease
+    expires after the TTL and the retry returns ``"acquired"``.
+
+Leases are advisory and TTL-bounded: a holder that outlives its TTL
+(e.g. an episode slower than the TTL) can be raced by a waiting runner,
+so choose a TTL comfortably above the slowest expected unit.  The
+sqlite backend makes every transition atomic under ``BEGIN IMMEDIATE``;
+the JSON-directory backend uses ``O_EXCL`` lease files, which is
+best-effort (adequate for the one-host many-runners deployment the
+sqlite backend is the recommended answer to).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+#: Framing format for cached episode records.  /4 added the highway
+#: merge counter (merges_completed) to the cached metrics dict; /3 added
+#: the safety metrics; /2 added the per-episode observability snapshot.
+#: Entries in any other format are stale and treated as misses.
+CACHE_FORMAT = "platoonsec-episode-cache/4"
+
+#: URL schemes understood by :func:`open_store`.
+STORE_SCHEMES = ("json", "sqlite")
+
+#: Default in-flight lease time-to-live (seconds).  Generous on purpose:
+#: a waiting runner may legitimately take over after this long, so it
+#: must exceed the slowest expected episode by a wide margin.
+DEFAULT_LEASE_TTL = 600.0
+
+ACQUIRE_STATES = ("hit", "acquired", "held")
+
+
+class StoreError(Exception):
+    """A backend-level storage failure (I/O, database, framing)."""
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate view of a store's contents."""
+
+    backend: str
+    location: str
+    entries: int
+    total_bytes: int
+    oldest: Optional[float] = None      # epoch seconds, stored_at
+    newest: Optional[float] = None
+    leases: int = 0                     # active (unexpired) leases
+
+    def rows(self) -> list:
+        """Table rows for the CLI (label, value)."""
+        def age(stamp: Optional[float]) -> str:
+            if stamp is None:
+                return "-"
+            return f"{max(time.time() - stamp, 0.0):.0f}s ago"
+        return [["backend", self.backend],
+                ["location", self.location],
+                ["entries", self.entries],
+                ["bytes", self.total_bytes],
+                ["oldest entry", age(self.oldest)],
+                ["newest entry", age(self.newest)],
+                ["active leases", self.leases]]
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of :meth:`ResultStore.verify`."""
+
+    checked: int = 0
+    problems: list = field(default_factory=list)    # (key, reason)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def parse_store_url(url: Union[str, Path]) -> Tuple[str, str]:
+    """Split a ``scheme:location`` store URL into its parts.
+
+    A bare :class:`~pathlib.Path` (no scheme) is a JSON directory --
+    the historical ``cache_dir`` meaning.  Strings must carry an
+    explicit ``json:`` or ``sqlite:`` scheme so a typo'd path can never
+    silently select the wrong backend.
+    """
+    if isinstance(url, Path):
+        return "json", str(url)
+    text = str(url)
+    scheme, sep, location = text.partition(":")
+    if not sep or scheme not in STORE_SCHEMES:
+        raise ValueError(
+            f"bad store URL {text!r}; expected one of "
+            + ", ".join(f"'{s}:<path>'" for s in STORE_SCHEMES))
+    if not location:
+        raise ValueError(f"store URL {text!r} has an empty path")
+    return scheme, location
+
+
+def open_store(url: Union[str, Path, "ResultStore"],
+               create: bool = True) -> "ResultStore":
+    """Open a result store from a URL (or pass an instance through).
+
+    ``create=False`` refuses to open a location that does not exist yet
+    (the CLI inspection commands use it so ``store stats`` on a typo'd
+    path errors instead of minting an empty store).
+    """
+    if isinstance(url, ResultStore):
+        return url
+    scheme, location = parse_store_url(url)
+    if scheme == "json":
+        from repro.store.jsondir import JsonDirStore
+
+        return JsonDirStore(location, create=create)
+    from repro.store.sqlite import SqliteStore
+
+    return SqliteStore(location, create=create)
+
+
+class ResultStore(ABC):
+    """Content-addressed record storage with in-flight unit leases.
+
+    Subclasses implement the storage and lease primitives; the framing
+    (format/key validation), migration round-trip helper and aggregate
+    operations (:meth:`stats`, :meth:`verify`, :meth:`gc`) are shared.
+    ``fmt`` is the payload framing format; entries in any other format
+    are stale and load as ``None``.
+    """
+
+    backend: str = "?"
+
+    def __init__(self, fmt: str = CACHE_FORMAT) -> None:
+        self.format = fmt
+
+    # ------------------------------------------------------------ records
+
+    def load(self, key: str) -> Optional[dict]:
+        """The record stored under ``key``; ``None`` on miss, corrupt
+        payload, stale format or embedded-key mismatch."""
+        payload = self._read_payload(key)
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != self.format or payload.get("key") != key:
+            return None
+        record = payload.get("record")
+        return record if isinstance(record, dict) else None
+
+    def store(self, key: str, record: dict) -> None:
+        """Persist ``record`` under ``key`` and release any lease on it."""
+        self._write_payload(key, {"format": self.format, "key": key,
+                                  "record": record})
+        self._drop_lease(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove the entry (and any lease) for ``key``; True if it
+        existed."""
+        self._drop_lease(key)
+        return self._delete_entry(key)
+
+    def items(self) -> Iterator[Tuple[str, Optional[dict]]]:
+        """Every ``(key, record)`` pair; corrupt entries yield None."""
+        for key in self.keys():
+            yield key, self.load(key)
+
+    # ------------------------------------------------------------- leases
+
+    def acquire(self, key: str, owner: str,
+                ttl: float = DEFAULT_LEASE_TTL) -> str:
+        """Try to claim the in-flight lease for ``key``.
+
+        Returns ``"hit"`` when a record for ``key`` already exists,
+        ``"acquired"`` when the caller now holds (or refreshed) the
+        lease, ``"held"`` when another unexpired owner does.
+        """
+        return self._acquire_lease(key, owner, float(ttl), time.time())
+
+    def release(self, key: str, owner: str) -> None:
+        """Drop ``owner``'s lease on ``key`` (no-op for other owners)."""
+        held = self.lease_holder(key)
+        if held is not None and held[0] == owner:
+            self._drop_lease(key)
+
+    def lease_holder(self, key: str) -> Optional[Tuple[str, float]]:
+        """The active ``(owner, expires)`` lease on ``key``, if any."""
+        row = self._lease_row(key)
+        if row is None or row[1] <= time.time():
+            return None
+        return row
+
+    def purge_leases(self) -> int:
+        """Drop expired leases; returns how many were removed."""
+        now = time.time()
+        purged = 0
+        for key, _, expires in self._iter_leases():
+            if expires <= now:
+                self._drop_lease(key)
+                purged += 1
+        return purged
+
+    def active_leases(self) -> int:
+        now = time.time()
+        return sum(1 for _, _, expires in self._iter_leases()
+                   if expires > now)
+
+    # ---------------------------------------------------------- aggregate
+
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for key in self.keys():
+            entries += 1
+            total += self._entry_size(key)
+            stamp = self.entry_mtime(key)
+            if stamp is not None:
+                oldest = stamp if oldest is None else min(oldest, stamp)
+                newest = stamp if newest is None else max(newest, stamp)
+        return StoreStats(backend=self.backend, location=self.location(),
+                          entries=entries, total_bytes=total,
+                          oldest=oldest, newest=newest,
+                          leases=self.active_leases())
+
+    def verify(self) -> VerifyReport:
+        """Re-check every entry against its key and framing.
+
+        The storage key *is* the spec content hash, and a well-formed
+        record names it again as ``spec_key``; any disagreement (or an
+        unreadable/stale payload) is reported rather than repaired.
+        """
+        report = VerifyReport()
+        for key in self.keys():
+            report.checked += 1
+            payload = self._read_payload(key)
+            if not isinstance(payload, dict):
+                report.problems.append((key, "unreadable payload"))
+                continue
+            if payload.get("format") != self.format:
+                report.problems.append(
+                    (key, f"stale format {payload.get('format')!r} "
+                          f"(expected {self.format!r})"))
+                continue
+            if payload.get("key") != key:
+                report.problems.append(
+                    (key, f"embedded key {payload.get('key')!r} does not "
+                          "match the storage key"))
+                continue
+            record = payload.get("record")
+            if not isinstance(record, dict):
+                report.problems.append((key, "record is not an object"))
+                continue
+            if record.get("spec_key") not in (None, key):
+                report.problems.append(
+                    (key, f"record spec_key {record.get('spec_key')!r} "
+                          "does not re-hash to the storage key"))
+                continue
+            problem = self._verify_entry(key, payload)
+            if problem is not None:
+                report.problems.append((key, problem))
+        return report
+
+    def gc(self, older_than: Optional[float] = None,
+           now: Optional[float] = None) -> list:
+        """Drop entries older than ``older_than`` seconds (and every
+        expired lease); returns the deleted keys."""
+        now = time.time() if now is None else now
+        deleted = []
+        if older_than is not None:
+            for key in list(self.keys()):
+                stamp = self.entry_mtime(key)
+                if stamp is not None and now - stamp > older_than:
+                    self.delete(key)
+                    deleted.append(key)
+        self.purge_leases()
+        return deleted
+
+    # ----------------------------------------------------------- identity
+
+    def url(self) -> str:
+        """The ``scheme:location`` URL that reopens this store."""
+        return f"{self.backend}:{self.location()}"
+
+    def default_run_log_path(self) -> Path:
+        """Where the CLI drops ``run-log.jsonl`` for this store."""
+        return self.run_log_dir() / "run-log.jsonl"
+
+    def close(self) -> None:                # pragma: no cover - trivial
+        pass
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.location()!r})"
+
+    # ---------------------------------------------------------- primitives
+
+    @abstractmethod
+    def keys(self) -> list:
+        """Every stored key (corrupt entries included)."""
+
+    @abstractmethod
+    def entry_mtime(self, key: str) -> Optional[float]:
+        """Epoch seconds the entry was last stored; None if absent."""
+
+    @abstractmethod
+    def location(self) -> str:
+        """The backend's storage location (directory or database path)."""
+
+    @abstractmethod
+    def run_log_dir(self) -> Path:
+        """Directory where run logs naturally live for this backend."""
+
+    @abstractmethod
+    def _read_payload(self, key: str) -> Optional[dict]:
+        """Raw framed payload; None when missing or unparseable."""
+
+    @abstractmethod
+    def _write_payload(self, key: str, payload: dict) -> None:
+        """Atomically persist a framed payload (upsert)."""
+
+    @abstractmethod
+    def _delete_entry(self, key: str) -> bool:
+        ...
+
+    @abstractmethod
+    def _entry_size(self, key: str) -> int:
+        ...
+
+    @abstractmethod
+    def _acquire_lease(self, key: str, owner: str, ttl: float,
+                       now: float) -> str:
+        ...
+
+    @abstractmethod
+    def _drop_lease(self, key: str) -> None:
+        ...
+
+    @abstractmethod
+    def _lease_row(self, key: str) -> Optional[Tuple[str, float]]:
+        """The raw ``(owner, expires)`` lease row, expired or not."""
+
+    @abstractmethod
+    def _iter_leases(self) -> Iterator[Tuple[str, str, float]]:
+        """Every raw lease as ``(key, owner, expires)``."""
+
+    def _verify_entry(self, key: str, payload: dict) -> Optional[str]:
+        """Backend-specific integrity hook (e.g. checksum re-hash)."""
+        return None
+
+
+def canonical_record_bytes(record: dict) -> bytes:
+    """The byte-identity unit for migration round-trips.
+
+    Two stores hold byte-identical copies of a record iff their
+    canonical encodings compare equal, regardless of backend framing
+    (file indentation vs database row).
+    """
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def migrate(src: ResultStore, dst: ResultStore) -> Tuple[int, list]:
+    """Copy every readable record from ``src`` into ``dst``.
+
+    Each migrated record is reloaded from ``dst`` and compared
+    byte-for-byte (canonical encoding) against the source; any
+    divergence -- and any unreadable source entry -- lands in the
+    returned problem list instead of silently degrading the copy.
+    Returns ``(migrated_count, problems)``.
+    """
+    migrated = 0
+    problems: list = []
+    for key in src.keys():
+        record = src.load(key)
+        if record is None:
+            problems.append((key, "unreadable in source store"))
+            continue
+        dst.store(key, record)
+        back = dst.load(key)
+        if back is None or (canonical_record_bytes(back)
+                            != canonical_record_bytes(record)):
+            problems.append((key, "round-trip through destination "
+                                  "store is not byte-identical"))
+            continue
+        migrated += 1
+    return migrated, problems

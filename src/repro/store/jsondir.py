@@ -1,0 +1,173 @@
+"""JSON-directory result store: one file per key.
+
+This backend is bit-compatible with the historical
+``CampaignRunner(cache_dir=...)`` layout: ``<dir>/<key>.json`` holding
+``{"format", "key", "record"}`` serialised with ``indent=1``.  Caches
+written before the store layer existed keep hitting with zero
+migration, and files this backend writes are byte-identical to what the
+pre-store runner wrote.
+
+Writes are atomic: the payload lands in ``<key>.tmp`` and is
+``os.replace``d over the real name, so a killed worker can never leave
+a truncated entry under a valid key -- at worst it leaves a ``*.tmp``
+orphan, which readers never look at and ``gc`` sweeps up.
+
+Leases are ``<key>.lease`` files created with ``O_EXCL``.  Creation is
+atomic; expiry takeover (rewriting an expired lease) is best-effort --
+for many concurrent runners on one host, prefer the sqlite backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.store.base import CACHE_FORMAT, ResultStore
+
+
+class JsonDirStore(ResultStore):
+    """One ``<key>.json`` file per record inside one directory."""
+
+    backend = "json"
+
+    def __init__(self, root: Union[str, Path], fmt: str = CACHE_FORMAT,
+                 create: bool = True) -> None:
+        super().__init__(fmt)
+        self.root = Path(root)
+        if create:
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError):
+                raise ValueError(
+                    f"cache dir {self.root} exists and is not a "
+                    "directory") from None
+        elif not self.root.is_dir():
+            raise ValueError(f"store directory {self.root} does not exist")
+
+    # ----------------------------------------------------------- locations
+
+    def location(self) -> str:
+        return str(self.root)
+
+    def run_log_dir(self) -> Path:
+        return self.root
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _lease_path(self, key: str) -> Path:
+        return self.root / f"{key}.lease"
+
+    # ------------------------------------------------------------- records
+
+    def keys(self) -> list:
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def entry_mtime(self, key: str) -> Optional[float]:
+        try:
+            return self._path(key).stat().st_mtime
+        except OSError:
+            return None
+
+    def _read_payload(self, key: str) -> Optional[dict]:
+        try:
+            return json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _write_payload(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=1))
+            os.replace(tmp, path)
+        except OSError:
+            # Best-effort persistence, matching the historical runner
+            # cache: a full or vanished disk degrades to recomputation.
+            pass
+
+    def _delete_entry(self, key: str) -> bool:
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def _entry_size(self, key: str) -> int:
+        try:
+            return self._path(key).stat().st_size
+        except OSError:
+            return 0
+
+    # -------------------------------------------------------------- leases
+
+    def _acquire_lease(self, key: str, owner: str, ttl: float,
+                       now: float) -> str:
+        if self._path(key).exists():
+            return "hit"
+        lease = self._lease_path(key)
+        body = json.dumps({"owner": owner, "expires": now + ttl})
+        try:
+            fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            with os.fdopen(fd, "w") as fh:
+                fh.write(body)
+            return "acquired"
+        except FileExistsError:
+            pass
+        except OSError:
+            # Unwritable store: pretend acquired so the caller computes.
+            return "acquired"
+        row = self._lease_row(key)
+        if row is not None and row[1] > now and row[0] != owner:
+            return "held"
+        # Expired, corrupt or our own lease: take it over (best-effort).
+        tmp = lease.parent / (lease.name + ".tmp")
+        try:
+            tmp.write_text(body)
+            os.replace(tmp, lease)
+        except OSError:
+            pass
+        return "acquired"
+
+    def _drop_lease(self, key: str) -> None:
+        try:
+            self._lease_path(key).unlink()
+        except OSError:
+            pass
+
+    def _lease_row(self, key: str) -> Optional[Tuple[str, float]]:
+        try:
+            data = json.loads(self._lease_path(key).read_text())
+            return str(data["owner"]), float(data["expires"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _iter_leases(self) -> Iterator[Tuple[str, str, float]]:
+        for path in self.root.glob("*.lease"):
+            row = self._lease_row(path.stem)
+            if row is not None:
+                yield path.stem, row[0], row[1]
+            else:
+                # Corrupt lease files block nothing; sweep them.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ----------------------------------------------------------------- gc
+
+    def gc(self, older_than: Optional[float] = None,
+           now: Optional[float] = None) -> list:
+        deleted = super().gc(older_than=older_than, now=now)
+        # Orphaned atomic-write temporaries from killed workers.
+        cutoff = (time.time() if now is None else now) - 60.0
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                pass
+        return deleted

@@ -1,0 +1,239 @@
+"""Sqlite result store: one WAL-mode database, concurrent-runner safe.
+
+All records live in a single ``store.db``: the ``records`` table keys
+rows by spec content hash and carries the canonical JSON record text
+plus a sha256 checksum of it (``verify`` re-hashes every row), and the
+``leases`` table holds the in-flight unit leases.  Every mutation runs
+under ``BEGIN IMMEDIATE``, so two runner processes sharing the database
+serialise their upserts and lease transitions -- the property the
+campaign runner's no-double-execution guarantee is built on.
+
+Connections are opened lazily per thread and per process (sqlite3
+objects are bound to the thread that created them, and sharing one
+across ``fork`` corrupts its file handle): each thread of each process
+gets its own connection to the same database file, and the WAL +
+``BEGIN IMMEDIATE`` discipline serialises their writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.store.base import CACHE_FORMAT, ResultStore, StoreError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    key       TEXT PRIMARY KEY,
+    format    TEXT NOT NULL,
+    record    TEXT NOT NULL,
+    sha256    TEXT NOT NULL,
+    stored_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS leases (
+    key     TEXT PRIMARY KEY,
+    owner   TEXT NOT NULL,
+    expires REAL NOT NULL
+);
+"""
+
+
+def _record_text(record: dict) -> str:
+    # Key order is preserved, not canonicalised: a json -> sqlite ->
+    # json migration must hand back byte-identical cache files.
+    return json.dumps(record, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SqliteStore(ResultStore):
+    """All records in one sqlite database (WAL, ``BEGIN IMMEDIATE``)."""
+
+    backend = "sqlite"
+
+    def __init__(self, path: Union[str, Path], fmt: str = CACHE_FORMAT,
+                 create: bool = True, timeout: float = 30.0) -> None:
+        super().__init__(fmt)
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self._local = threading.local()
+        if not create and not self.path.exists():
+            raise ValueError(f"store database {self.path} does not exist")
+        if create:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError):
+                raise ValueError(
+                    f"store path {self.path} is not reachable (parent is "
+                    "not a directory)") from None
+        try:
+            self._connect()
+        except sqlite3.Error as exc:
+            raise ValueError(
+                f"store database {self.path} cannot be opened: "
+                f"{exc}") from None
+
+    # ---------------------------------------------------------- connection
+
+    def _connect(self) -> sqlite3.Connection:
+        # One connection per (process, thread): a connection inherited
+        # across fork shares the parent's file handle and must be
+        # discarded, never used.
+        if getattr(self._local, "pid", None) != os.getpid():
+            self._local.conn = None
+            self._local.pid = os.getpid()
+        if self._local.conn is None:
+            conn = sqlite3.connect(str(self.path), timeout=self.timeout,
+                                   isolation_level=None)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            self._local.conn = conn
+        return self._local.conn
+
+    @contextmanager
+    def _txn(self):
+        """One ``BEGIN IMMEDIATE`` write transaction."""
+        conn = self._connect()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield conn
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid", None) == os.getpid():
+            conn.close()
+        self._local.conn = None
+
+    # ----------------------------------------------------------- locations
+
+    def location(self) -> str:
+        return str(self.path)
+
+    def run_log_dir(self) -> Path:
+        """Run logs live next to the database, never inside it."""
+        return self.path.parent
+
+    # ------------------------------------------------------------- records
+
+    def keys(self) -> list:
+        rows = self._connect().execute(
+            "SELECT key FROM records ORDER BY key").fetchall()
+        return [row[0] for row in rows]
+
+    def entry_mtime(self, key: str) -> Optional[float]:
+        row = self._connect().execute(
+            "SELECT stored_at FROM records WHERE key = ?", (key,)).fetchone()
+        return float(row[0]) if row is not None else None
+
+    def _read_payload(self, key: str) -> Optional[dict]:
+        try:
+            row = self._connect().execute(
+                "SELECT format, record FROM records WHERE key = ?",
+                (key,)).fetchone()
+        except sqlite3.Error:
+            return None
+        if row is None:
+            return None
+        try:
+            record = json.loads(row[1])
+        except ValueError:
+            return None
+        return {"format": row[0], "key": key, "record": record}
+
+    def _write_payload(self, key: str, payload: dict) -> None:
+        text = _record_text(payload["record"])
+        try:
+            with self._txn() as conn:
+                conn.execute(
+                    "INSERT INTO records "
+                    "(key, format, record, sha256, stored_at) "
+                    "VALUES (?, ?, ?, ?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET "
+                    "format = excluded.format, record = excluded.record, "
+                    "sha256 = excluded.sha256, "
+                    "stored_at = excluded.stored_at",
+                    (key, payload["format"], text, _sha256(text),
+                     time.time()))
+                conn.execute("DELETE FROM leases WHERE key = ?", (key,))
+        except sqlite3.Error as exc:
+            raise StoreError(f"sqlite store {self.path}: {exc}") from exc
+
+    def _delete_entry(self, key: str) -> bool:
+        with self._txn() as conn:
+            cursor = conn.execute("DELETE FROM records WHERE key = ?",
+                                  (key,))
+            return cursor.rowcount > 0
+
+    def _entry_size(self, key: str) -> int:
+        row = self._connect().execute(
+            "SELECT length(record) FROM records WHERE key = ?",
+            (key,)).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def _verify_entry(self, key: str, payload: dict) -> Optional[str]:
+        row = self._connect().execute(
+            "SELECT record, sha256 FROM records WHERE key = ?",
+            (key,)).fetchone()
+        if row is None:                      # pragma: no cover - racy delete
+            return None
+        if _sha256(row[0]) != row[1]:
+            return "stored sha256 checksum does not match the record text"
+        return None
+
+    # -------------------------------------------------------------- leases
+
+    def _acquire_lease(self, key: str, owner: str, ttl: float,
+                       now: float) -> str:
+        try:
+            with self._txn() as conn:
+                hit = conn.execute(
+                    "SELECT 1 FROM records WHERE key = ?", (key,)).fetchone()
+                if hit is not None:
+                    return "hit"
+                row = conn.execute(
+                    "SELECT owner, expires FROM leases WHERE key = ?",
+                    (key,)).fetchone()
+                if row is not None and row[1] > now and row[0] != owner:
+                    return "held"
+                conn.execute(
+                    "INSERT INTO leases (key, owner, expires) "
+                    "VALUES (?, ?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET "
+                    "owner = excluded.owner, expires = excluded.expires",
+                    (key, owner, now + ttl))
+                return "acquired"
+        except sqlite3.Error as exc:
+            raise StoreError(f"sqlite store {self.path}: {exc}") from exc
+
+    def _drop_lease(self, key: str) -> None:
+        try:
+            with self._txn() as conn:
+                conn.execute("DELETE FROM leases WHERE key = ?", (key,))
+        except sqlite3.Error:
+            pass
+
+    def _lease_row(self, key: str) -> Optional[Tuple[str, float]]:
+        row = self._connect().execute(
+            "SELECT owner, expires FROM leases WHERE key = ?",
+            (key,)).fetchone()
+        return (str(row[0]), float(row[1])) if row is not None else None
+
+    def _iter_leases(self) -> Iterator[Tuple[str, str, float]]:
+        rows = self._connect().execute(
+            "SELECT key, owner, expires FROM leases ORDER BY key").fetchall()
+        for key, owner, expires in rows:
+            yield key, str(owner), float(expires)

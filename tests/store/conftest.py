@@ -1,0 +1,43 @@
+"""Shared fixtures: every contract test runs against both backends."""
+
+import pytest
+
+from repro.store import JsonDirStore, SqliteStore
+
+
+@pytest.fixture(params=["json", "sqlite"])
+def store(request, tmp_path):
+    """A fresh store of each backend, closed after the test."""
+    if request.param == "json":
+        backend = JsonDirStore(tmp_path / "cache")
+    else:
+        backend = SqliteStore(tmp_path / "store.db")
+    yield backend
+    backend.close()
+
+
+RECORD = {
+    "spec_key": None,               # tests overwrite with the real key
+    "threat_key": "jamming",
+    "variant": "barrage-30dBm",
+    "role": "attacked",
+    "mechanism_key": None,
+    "seed": 123,
+    "metrics": {"pdr": 0.42, "degraded_fraction": 0.72},
+    "attack_observables": [{"attack": "JammingAttack",
+                            "observables": {"airtime": 1.5}}],
+    "defense_observables": {},
+    "wall_time": 0.07,
+    "observability": {"counters": {"sim.ticks": 900}},
+}
+
+
+def make_record(key: str, **overrides) -> dict:
+    record = dict(RECORD)
+    record["spec_key"] = key
+    record.update(overrides)
+    return record
+
+
+KEY = "a" * 64
+OTHER = "b" * 64

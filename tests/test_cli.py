@@ -513,3 +513,120 @@ class TestConsoleScript:
             timeout=120)
         assert proc.returncode == 0
         assert "registry check" in proc.stdout
+
+
+class TestCliStore:
+    """The --store flag, the --cache-dir deprecation, and `store` commands."""
+
+    URL_FLAGS = TINY + ["--workers", "1"]
+
+    def _catalogue(self, extra, capsys):
+        code = main(self.URL_FLAGS + extra + ["catalogue", "--only",
+                                              "jamming"])
+        captured = capsys.readouterr()
+        return code, captured
+
+    def test_sqlite_store_cold_then_warm(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 'store.db'}"
+        code, captured = self._catalogue(["--store", url], capsys)
+        assert code == 0 and "2 computed" in captured.out
+        code, captured = self._catalogue(["--store", url], capsys)
+        assert code == 0 and "0 computed" in captured.out
+        assert "2 cache hits" in captured.out
+
+    def test_sqlite_run_log_defaults_next_to_database(self, tmp_path,
+                                                      capsys):
+        url = f"sqlite:{tmp_path / 'store.db'}"
+        assert self._catalogue(["--store", url], capsys)[0] == 0
+        assert (tmp_path / "run-log.jsonl").exists()
+
+    def test_store_and_cache_dir_conflict_is_a_usage_error(self, tmp_path,
+                                                           capsys):
+        code, captured = self._catalogue(
+            ["--store", f"json:{tmp_path / 'a'}",
+             "--cache-dir", str(tmp_path / "b")], capsys)
+        assert code == 2
+        assert "mutually exclusive" in captured.err
+
+    def test_cache_dir_warns_but_still_works(self, tmp_path, capsys):
+        with pytest.warns(DeprecationWarning, match="--store json:"):
+            code, captured = self._catalogue(
+                ["--cache-dir", str(tmp_path / "cache")], capsys)
+        assert code == 0 and "2 computed" in captured.out
+        assert len(list((tmp_path / "cache").glob("*.json"))) == 2
+
+    def test_bad_store_url_is_a_usage_error(self, tmp_path, capsys):
+        code, captured = self._catalogue(["--store", str(tmp_path)],
+                                         capsys)
+        assert code == 2
+        assert "store url" in captured.err.lower()
+
+    def test_store_stats_verify_gc(self, tmp_path, capsys):
+        url = f"json:{tmp_path / 'cache'}"
+        assert self._catalogue(["--store", url], capsys)[0] == 0
+        assert main(["store", "stats", url]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "json" in out
+        assert main(["store", "verify", url]) == 0
+        assert "2 entr" in capsys.readouterr().out
+        assert main(["store", "gc", url, "--older-than", "0s"]) == 0
+        assert "deleted 2 of 2" in capsys.readouterr().out
+        assert main(["store", "stats", url]) == 0
+        assert main(["store", "verify", url]) == 0
+
+    def test_store_verify_reports_tampering(self, tmp_path, capsys):
+        url = f"json:{tmp_path / 'cache'}"
+        assert self._catalogue(["--store", url], capsys)[0] == 0
+        victim = next((tmp_path / "cache").glob("*.json"))
+        payload = json.loads(victim.read_text())
+        payload["record"]["spec_key"] = "f" * 64
+        victim.write_text(json.dumps(payload, indent=1))
+        capsys.readouterr()
+        assert main(["store", "verify", url]) == 1
+        assert "spec_key" in capsys.readouterr().err
+
+    def test_store_migrate_then_warm_hits(self, tmp_path, capsys):
+        json_url = f"json:{tmp_path / 'cache'}"
+        sqlite_url = f"sqlite:{tmp_path / 'store.db'}"
+        assert self._catalogue(["--store", json_url], capsys)[0] == 0
+        assert main(["store", "migrate", json_url, sqlite_url]) == 0
+        assert "2 record(s)" in capsys.readouterr().out
+        code, captured = self._catalogue(["--store", sqlite_url], capsys)
+        assert code == 0 and "0 computed" in captured.out
+
+    def test_store_commands_require_existing_store(self, tmp_path, capsys):
+        assert main(["store", "stats",
+                     f"json:{tmp_path / 'missing'}"]) == 2
+        assert main(["store", "migrate",
+                     f"sqlite:{tmp_path / 'missing.db'}",
+                     f"json:{tmp_path / 'dst'}"]) == 2
+
+    def test_parse_age(self):
+        from repro.__main__ import _parse_age
+
+        assert _parse_age("7d") == 7 * 86400.0
+        assert _parse_age("36h") == 36 * 3600.0
+        assert _parse_age("90m") == 90 * 60.0
+        assert _parse_age("45s") == 45.0
+        assert _parse_age("3600") == 3600.0
+        for bad in ("", "7y", "fast", "-1"):
+            with pytest.raises(ValueError):
+                _parse_age(bad)
+
+    def test_run_logs_canonically_identical_across_backends(self, tmp_path,
+                                                            capsys):
+        # The local twin of the CI store-parity gate: the same campaign
+        # through json: and sqlite: stores must leave byte-identical
+        # canonical run logs (backend provenance is a volatile field).
+        from repro.obs.telemetry import canonical_run_log_bytes
+
+        json_log = tmp_path / "json.jsonl"
+        sqlite_log = tmp_path / "sqlite.jsonl"
+        assert self._catalogue(["--store", f"json:{tmp_path / 'cache'}",
+                                "--run-log", str(json_log)], capsys)[0] == 0
+        assert self._catalogue(["--store",
+                                f"sqlite:{tmp_path / 'store.db'}",
+                                "--run-log", str(sqlite_log)],
+                               capsys)[0] == 0
+        assert canonical_run_log_bytes(json_log) == \
+            canonical_run_log_bytes(sqlite_log)
