@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import os
 import sys
-import warnings
 from typing import Any, Callable, Optional, Sequence
 
 from repro.analysis.tables import format_table
@@ -23,13 +22,15 @@ from repro.core.scenario import ScenarioConfig
 # bench-compare` can gate.
 BENCH_HISTORY = os.environ.get("REPRO_BENCH_HISTORY") or None
 
-# Deprecated free-form prose log.  Historically every emitted table was
-# appended to benchmarks/results.log; that default is gone -- the log is
-# written only when REPRO_BENCH_LOG is set explicitly, and that escape
-# hatch goes away one release after the history store landed.
-RESULTS_LOG = os.environ.get("REPRO_BENCH_LOG") or None
-_log_initialized = False
-_log_deprecation_warned = False
+# The REPRO_BENCH_LOG prose log served its one deprecation release and
+# is gone; fail loudly (not silently ignore) so CI configs still setting
+# it get pointed at the structured replacements.
+if os.environ.get("REPRO_BENCH_LOG"):
+    raise RuntimeError(
+        "REPRO_BENCH_LOG was removed: set REPRO_BENCH_HISTORY=<path.jsonl> "
+        "to record structured platoonsec-bench/1 records (gated by "
+        "'python -m repro bench-compare'), and REPRO_BENCH_STORE=<url> to "
+        "reuse episode results across harness runs")
 
 # The canonical bench scenario: 8 vehicles, 90 simulated seconds, CACC at
 # motorway speed -- large enough for string effects, small enough to keep
@@ -88,11 +89,8 @@ def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]],
     """Print a regenerated table (stderr) and record its outcome.
 
     With ``REPRO_BENCH_HISTORY`` set, the table's numeric cells are
-    appended as one ``platoonsec-bench/1`` record to that history file;
-    the legacy ``REPRO_BENCH_LOG`` prose log still works but is
-    deprecated.
+    appended as one ``platoonsec-bench/1`` record to that history file.
     """
-    global _log_initialized, _log_deprecation_warned
     text = format_table(headers, rows, title=f"\n== {title} ==")
     if notes:
         text += f"\n{notes}"
@@ -103,21 +101,6 @@ def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]],
         append_history(BENCH_HISTORY, make_bench_record(
             f"bench[{title}]", metrics=table_metrics(headers, rows),
             root_seed=BENCH_CONFIG.seed))
-    if RESULTS_LOG is not None:
-        if not _log_deprecation_warned:
-            _log_deprecation_warned = True
-            warnings.warn(
-                "REPRO_BENCH_LOG prose logging is deprecated; set "
-                "REPRO_BENCH_HISTORY to record structured "
-                "platoonsec-bench/1 records instead",
-                DeprecationWarning, stacklevel=2)
-        mode = "a" if _log_initialized else "w"
-        _log_initialized = True
-        try:
-            with open(RESULTS_LOG, mode) as log:
-                log.write(text + "\n")
-        except OSError:
-            pass
     return text
 
 

@@ -6,9 +6,10 @@ threat executed against the same 8-truck motorway platoon, reporting the
 compromised security attribute and the measured impact vs baseline.
 
 The campaign executes through the parallel campaign engine: use
-``--workers N`` to fan episodes over a process pool and ``--cache-dir``
-to reuse episode results across invocations (identical results either
-way, thanks to per-experiment seed derivation).
+``--workers N`` to fan episodes over a process pool and ``--store``
+(``json:<dir>`` or ``sqlite:<path>``) to reuse episode results across
+invocations (identical results either way, thanks to per-experiment
+seed derivation).
 
 With ``--spec FILE`` the campaign instead runs one declarative
 ``platoonsec-experiment/1`` spec (see ``examples/specs/``) against the
@@ -17,7 +18,7 @@ same freight platoon -- new experiments are JSON, not code.
 Usage::
 
     python examples/attack_campaign.py [--quick] [--workers N]
-                                       [--cache-dir DIR] [--spec FILE]
+                                       [--store URL] [--spec FILE]
 """
 
 import argparse
@@ -58,8 +59,6 @@ def main() -> None:
     parser.add_argument("--store", default=None,
                         help="persistent result store URL "
                              "(json:<dir> or sqlite:<path>)")
-    parser.add_argument("--cache-dir", default=None,
-                        help="deprecated alias for --store json:<dir>")
     parser.add_argument("--spec", default=None,
                         help="run one platoonsec-experiment/1 spec file "
                              "instead of the full catalogue")
@@ -79,8 +78,7 @@ def main() -> None:
           f"{config.initial_speed * 3.6:.0f} km/h, "
           f"workers={args.workers})...\n")
 
-    runner = CampaignRunner(workers=args.workers, store=args.store,
-                            cache_dir=args.cache_dir)
+    runner = CampaignRunner(workers=args.workers, store=args.store)
     outcomes = run_threat_catalogue(config, runner=runner)
 
     rows = []

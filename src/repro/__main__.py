@@ -18,9 +18,9 @@ The campaign commands (``catalogue``, ``matrix``) execute through the
 campaign engine: ``--workers N`` fans episodes over a process pool,
 ``--store URL`` persists/reuses episode results across invocations and
 processes (``json:<dir>`` for the one-file-per-hash layout,
-``sqlite:<path>`` for the concurrent-runner-safe database;
-``--cache-dir DIR`` survives one release as a deprecated alias for
-``json:DIR``), ``--trace-dir DIR`` streams one schema-versioned JSONL
+``sqlite:<path>`` for the concurrent-runner-safe database; the old
+``--cache-dir`` alias is gone and now errors with the replacement
+spelled out), ``--trace-dir DIR`` streams one schema-versioned JSONL
 trace per computed unit (named by content hash), ``--profile`` enables
 profiling spans and prints the aggregated counters/timers, and
 ``--report`` prints the per-unit cache/timing breakdown.
@@ -42,6 +42,12 @@ profiling spans and prints the aggregated counters/timers, and
     presets.
 ``tracediff <a> <b>``
     Compare two trace files and name the first divergent record.
+``detections <trace|run-log>``
+    Summarize the security-verdict telemetry in a JSONL episode trace
+    (per-mechanism verdict counts rebuilt from ``verdict`` records) or
+    a campaign run log (the detection-quality projection on every
+    ``unit_finished`` event): flag rate, TPR/FPR against ground-truth
+    attack provenance, time to first flag and missed injections.
 ``bench-compare [old.json [new.json]]``
     Diff two ``platoonsec-bench/1`` records (or the last N history
     entries) under explicit wall-time/metric tolerances; exits non-zero
@@ -101,28 +107,21 @@ def _base_config(args) -> ScenarioConfig:
 
 
 def _resolve_store(args):
-    """The result store selected by ``--store`` / ``--cache-dir``.
+    """The result store selected by ``--store``.
 
-    ``--cache-dir DIR`` is a deprecated alias for ``--store json:DIR``
-    (one release, mirroring the ``REPRO_BENCH_LOG`` precedent); passing
-    both is a usage error.  Returns ``None`` when neither flag is set.
+    ``--cache-dir`` served its one deprecation release as an alias for
+    ``--store json:DIR`` and is now removed; the argument survives only
+    so the error can name the exact replacement invocation.
     """
-    import warnings
-
     from repro.store import open_store
 
-    if args.store is not None and args.cache_dir is not None:
-        raise ValueError("--store and --cache-dir are mutually exclusive "
-                         "(--cache-dir is the deprecated alias for "
-                         "--store json:DIR)")
+    if args.cache_dir is not None:
+        raise ValueError(
+            "--cache-dir was removed; use --store "
+            f"json:{args.cache_dir} (or --store sqlite:<path> for the "
+            "concurrent-runner-safe backend)")
     if args.store is not None:
         return open_store(args.store)
-    if args.cache_dir is not None:
-        warnings.warn(
-            "--cache-dir is deprecated; use --store json:"
-            f"{args.cache_dir} (or sqlite:<path> for the concurrent-safe "
-            "backend) instead", DeprecationWarning, stacklevel=2)
-        return open_store(f"json:{args.cache_dir}")
     return None
 
 
@@ -205,6 +204,15 @@ def _matrix_metrics(cells) -> dict:
         metrics[f"{prefix}.defended"] = c.defended_value
         if c.mitigation is not None:
             metrics[f"{prefix}.mitigation"] = c.mitigation
+        # Detection counters from the defended episode's verdict ledger:
+        # deterministic simulator state, so CI gates them at zero
+        # tolerance alongside the headline metric.
+        totals = (c.detection or {}).get("totals")
+        if totals:
+            metrics[f"{prefix}.det_verdicts"] = float(totals["verdicts"])
+            metrics[f"{prefix}.det_flagged"] = float(totals["flagged"])
+            metrics[f"{prefix}.det_missed"] = float(
+                totals["missed_injections"])
     return metrics
 
 
@@ -625,8 +633,13 @@ def cmd_store_stats(args) -> int:
     from repro.store import open_store
 
     store = open_store(args.url, create=False)
-    print(format_table(["property", "value"], store.stats().rows(),
+    stats = store.stats()
+    print(format_table(["property", "value"], stats.rows(),
                        title=f"result store {store.url()}"))
+    if stats.lease_table:
+        print(format_table(["key", "owner", "state", "remaining"],
+                           stats.lease_rows(),
+                           title="\nin-flight leases"))
     return 0
 
 
@@ -672,6 +685,102 @@ def cmd_store_verify(args) -> int:
     for key, reason in report.problems:
         print(f"  {key}: {reason}", file=sys.stderr)
     return 1
+
+
+def _opt(value, digits: int = 4):
+    """Optional-metric cell: ``n/a`` for None, rounded otherwise."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return round(value, digits)
+    return value
+
+
+_DETECTION_HEADERS = ["mechanism", "verdicts", "flagged", "flag rate",
+                      "TPR", "FPR", "first flag [s]", "missed"]
+
+
+def _detection_rows(summary: dict) -> list:
+    rows = []
+    for name, tally in summary["mechanisms"].items():
+        rows.append([name, tally["verdicts"], tally["flagged"],
+                     _opt(tally["flag_rate"]), _opt(tally["tpr"]),
+                     _opt(tally["fpr"]), _opt(tally["time_to_first_flag"]),
+                     tally["missed_injections"]])
+    totals = summary["totals"]
+    rows.append(["(total)", totals["verdicts"], totals["flagged"],
+                 _opt(totals["flag_rate"]), _opt(totals["tpr"]),
+                 _opt(totals["fpr"]), _opt(totals["time_to_first_flag"]),
+                 totals["missed_injections"]])
+    return rows
+
+
+def cmd_detections(args) -> int:
+    """Summarize security verdicts from a trace or a campaign run log.
+
+    The input kind is sniffed from the first JSON line: a trace leads
+    with a ``format`` header, a run log with ``kind`` events.
+    """
+    import json
+
+    from repro.obs.security import TRACE_VERDICT_CAP, summarize_trace_verdicts
+    from repro.obs.trace import TRACE_FORMAT, load_trace
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            first_line = fh.readline().strip()
+            rest = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        head = json.loads(first_line) if first_line else {}
+    except json.JSONDecodeError:
+        head = {}
+
+    if isinstance(head, dict) and head.get("format") == TRACE_FORMAT:
+        header, records = load_trace(args.path)
+        summary = summarize_trace_verdicts(records).summary()
+        unit = header.get("spec_key") or args.path
+        print(format_table(_DETECTION_HEADERS, _detection_rows(summary),
+                           title=f"detection verdicts: trace {unit}"))
+        print(f"(trace retention keeps the first {TRACE_VERDICT_CAP} "
+              "records per mechanism/verdict pair; aggregate counts in "
+              "run logs and metrics are uncapped)")
+        return 0
+
+    if isinstance(head, dict) and "kind" in head:
+        rows = []
+        for line in [first_line] + rest.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            detection = event.get("detection")
+            if event.get("kind") != "unit_finished" or not detection:
+                continue
+            unit_label = (f"{event.get('threat')}/{event.get('variant')}"
+                          f" {event.get('mechanism') or '-'}"
+                          f" [{event.get('role')}]")
+            rows.append([unit_label, detection["verdicts"],
+                         detection["flagged"], _opt(detection["flag_rate"]),
+                         _opt(detection["tpr"]), _opt(detection["fpr"]),
+                         _opt(detection["time_to_first_flag"]),
+                         detection["missed_injections"]])
+        if not rows:
+            print("no unit_finished events carry detection telemetry "
+                  "(defence-free campaign, or a pre-detection run log)")
+            return 0
+        print(format_table(["unit"] + _DETECTION_HEADERS[1:], rows,
+                           title=f"detection verdicts: run log {args.path}"))
+        return 0
+
+    print(f"error: {args.path} is neither a platoonsec trace "
+          "(format header) nor a run log (kind events)", file=sys.stderr)
+    return 2
 
 
 def cmd_tracediff(args) -> int:
@@ -793,7 +902,7 @@ def main(argv=None) -> int:
                              "sqlite:<path> (single WAL database, safe "
                              "for concurrent runners)")
     parser.add_argument("--cache-dir", default=None,
-                        help="deprecated alias for --store json:<dir>")
+                        help="removed: use --store json:<dir> instead")
     parser.add_argument("--trace-dir", default=None,
                         help="directory for per-unit JSONL episode traces")
     parser.add_argument("--profile", action="store_true",
@@ -807,8 +916,8 @@ def main(argv=None) -> int:
     parser.add_argument("--run-log", default=None,
                         help="stream one JSON event line per run/unit/phase "
                              "transition to this file (defaults to "
-                             "<cache-dir>/run-log.jsonl when --cache-dir "
-                             "is set)")
+                             "run-log.jsonl inside/next to the --store "
+                             "backend when one is configured)")
     parser.add_argument("--progress", action="store_true",
                         help="force the live stderr progress line "
                              "(auto-enabled only when stderr is a TTY)")
@@ -933,6 +1042,19 @@ def main(argv=None) -> int:
     p_diff.add_argument("trace_a")
     p_diff.add_argument("trace_b")
     p_diff.set_defaults(fn=cmd_tracediff)
+
+    p_det = sub.add_parser(
+        "detections",
+        help="summarize security verdicts from a trace or run log",
+        epilog="exit codes:\n"
+               "  0  summary printed (possibly empty)\n"
+               "  2  unreadable or unrecognized input",
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_det.add_argument("path",
+                       help="JSONL episode trace (verdict records) or "
+                            "campaign run log (unit_finished detection "
+                            "projections)")
+    p_det.set_defaults(fn=cmd_detections)
 
     p_bench = sub.add_parser(
         "bench-compare",

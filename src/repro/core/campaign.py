@@ -408,6 +408,9 @@ class MatrixCell:
     attacked_std: float = 0.0
     defended_std: float = 0.0
     replicates: int = 1
+    # Detection ledger summary of the *defended* episode (replicate 0):
+    # per-mechanism verdict counts, TPR/FPR, time-to-first-flag.
+    detection: dict = field(default_factory=dict)
 
     @property
     def mitigation(self) -> Optional[float]:
@@ -463,7 +466,8 @@ def run_matrix_cell(mechanism_key: str, threat_key: str,
                       metric_name=experiment.metric_name,
                       baseline_value=experiment.extract_metric(baseline),
                       attacked_value=experiment.extract_metric(attacked),
-                      defended_value=experiment.extract_metric(defended))
+                      defended_value=experiment.extract_metric(defended),
+                      detection=defended.detection)
 
 
 def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
@@ -517,7 +521,8 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
                 metric_name=metric,
                 baseline_value=records[plan.baseline.key].extract_metric(metric),
                 attacked_value=records[plan.attacked.key].extract_metric(metric),
-                defended_value=records[plan.defended.key].extract_metric(metric)))
+                defended_value=records[plan.defended.key].extract_metric(metric),
+                detection=records[plan.defended.key].detection))
             continue
         from repro.sweep.aggregate import summary_stats
 
@@ -534,5 +539,6 @@ def run_defense_matrix(base_config: Optional[ScenarioConfig] = None,
             baseline_value=base["mean"], attacked_value=atk["mean"],
             defended_value=dfd["mean"],
             baseline_std=base["std"], attacked_std=atk["std"],
-            defended_std=dfd["std"], replicates=seed_replicates))
+            defended_std=dfd["std"], replicates=seed_replicates,
+            detection=records[plan.defended.key].detection))
     return cells

@@ -47,3 +47,23 @@ class Defense(abc.ABC):
                                     suspect=suspect, reason=reason,
                                     defense=self.name,
                                     true_positive=true_positive)
+
+    def verdict(self, observer: str, subject: str, verdict: str, reason: str,
+                message_kind: str | None = None,
+                tainted: bool | None = None) -> None:
+        """Emit one security verdict into the scenario's detection ledger.
+
+        Every accept/flag/drop decision a mechanism makes should pass
+        through here exactly once -- the ledger feeds the detection-quality
+        metrics (flag rate, TPR/FPR, time-to-first-flag) and the trace's
+        ``"verdict"`` records.  ``tainted`` defaults to ground-truth attack
+        provenance: whether ``subject`` is in the scenario's
+        ``tainted_identities`` set at emission time.
+        """
+        assert self.scenario is not None
+        if tainted is None:
+            tainted = subject in self.scenario.tainted_identities
+        self.scenario.detection_ledger.record(
+            t=self.scenario.sim.now, mechanism=self.name, verdict=verdict,
+            reason=reason, observer=observer, subject=subject,
+            message_kind=message_kind, tainted=tainted)

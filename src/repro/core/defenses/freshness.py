@@ -72,15 +72,22 @@ class FreshnessDefense(Defense):
         def freshness_filter(msg: Message) -> bool:
             if msg.msg_type not in _PROTECTED_TYPES:
                 return True
+            kind = msg.msg_type.name.lower()
             now = self.scenario.sim.now
             if abs(now - msg.timestamp) > self.window:
                 self.rejected_stale += 1
+                self.verdict(vehicle_id, msg.sender_id, "drop",
+                             "stale_timestamp", message_kind=kind)
                 return False
             if self.use_nonces and msg.nonce is not None:
                 if not window.accept(msg.sender_id, msg.nonce):
                     self.rejected_nonce += 1
+                    self.verdict(vehicle_id, msg.sender_id, "drop",
+                                 "nonce_replay", message_kind=kind)
                     return False
             self.accepted += 1
+            self.verdict(vehicle_id, msg.sender_id, "accept", "fresh",
+                         message_kind=kind)
             return True
 
         return freshness_filter

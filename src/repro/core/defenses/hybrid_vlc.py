@@ -105,6 +105,8 @@ class HybridVlcDefense(Defense):
         if medium == "vlc" and self._radio_presumed_jammed(vehicle.vehicle_id):
             # Radio is gone: switch to VLC-only operation.
             self.fallback_accepts += 1
+            self.verdict(vehicle.vehicle_id, msg.sender_id, "accept",
+                         "vlc_fallback", message_kind="maneuver")
             self._deliver(downstream, msg)
             return
         pending = self._pending[vehicle.vehicle_id]
@@ -113,11 +115,15 @@ class HybridVlcDefense(Defense):
         for stale_key in [k for k, (t, _, _) in pending.items()
                           if now - t > self.pair_window]:
             self.maneuvers_blocked += 1
+            self.verdict(vehicle.vehicle_id, stale_key[0], "drop",
+                         "unpaired_maneuver", message_kind="maneuver")
             del pending[stale_key]
         if key in pending:
             _, other_medium, stored = pending.pop(key)
             if other_medium != medium:
                 self.maneuvers_cross_checked += 1
+                self.verdict(vehicle.vehicle_id, msg.sender_id, "accept",
+                             "cross_checked", message_kind="maneuver")
                 self._deliver(downstream, stored if medium == "vlc" else msg)
             else:
                 pending[key] = (now, medium, msg)

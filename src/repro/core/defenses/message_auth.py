@@ -67,7 +67,7 @@ class GroupKeyAuthDefense(Defense):
             self._nonces[vehicle.vehicle_id] = NonceGenerator()
             vehicle.outbound_processors.append(
                 self._make_signer(vehicle.vehicle_id))
-            vehicle.radio.add_filter(self._verify)
+            vehicle.radio.add_filter(self._make_verifier(vehicle.vehicle_id))
 
     def _make_signer(self, vehicle_id: str):
         def signer(msg: Message) -> Message:
@@ -82,16 +82,24 @@ class GroupKeyAuthDefense(Defense):
 
         return signer
 
-    def _verify(self, msg: Message) -> bool:
-        if msg.msg_type not in _PROTECTED_TYPES:
-            return True
-        if hmac_verify(self.group_key, msg.signing_bytes(), msg.auth_tag):
-            self.verified += 1
-            obs.inc("crypto.verified")
-            return True
-        self.rejected += 1
-        obs.inc("crypto.rejected")
-        return False
+    def _make_verifier(self, vehicle_id: str):
+        def verify(msg: Message) -> bool:
+            if msg.msg_type not in _PROTECTED_TYPES:
+                return True
+            kind = msg.msg_type.name.lower()
+            if hmac_verify(self.group_key, msg.signing_bytes(), msg.auth_tag):
+                self.verified += 1
+                obs.inc("crypto.verified")
+                self.verdict(vehicle_id, msg.sender_id, "accept",
+                             "mac_verified", message_kind=kind)
+                return True
+            self.rejected += 1
+            obs.inc("crypto.rejected")
+            self.verdict(vehicle_id, msg.sender_id, "drop", "bad_group_mac",
+                         message_kind=kind)
+            return False
+
+        return verify
 
     def observables(self) -> dict:
         return {"verified": self.verified, "rejected": self.rejected,
@@ -138,7 +146,7 @@ class PkiSignatureDefense(Defense):
             certs[vehicle.vehicle_id] = cert
             vehicle.outbound_processors.append(
                 self._make_signer(vehicle.vehicle_id))
-            vehicle.radio.add_filter(self._verify)
+            vehicle.radio.add_filter(self._make_verifier(vehicle.vehicle_id))
         # Published so stolen-key attack variants can model key exfiltration.
         scenario.security_context["keypairs"] = keypairs
         scenario.security_context["certificates"] = certs
@@ -156,33 +164,48 @@ class PkiSignatureDefense(Defense):
 
         return signer
 
-    def _verify(self, msg: Message) -> bool:
-        if msg.msg_type not in _PROTECTED_TYPES:
-            return True
-        cert = msg.cert
-        if cert is None:
-            self.rejected_no_cert += 1
-            return False
-        # Identity binding: the certificate subject must be the claimed sender.
-        if cert.subject_id != msg.sender_id:
-            self.rejected_identity += 1
-            return False
-        if self.check_revocation and self.ca.is_revoked(cert.subject_id):
-            self.rejected_revoked += 1
-            return False
-        if cert.serial not in self._cert_cache:
-            if not self.ca.validate_certificate(cert, now=self.scenario.sim.now):
-                self.rejected_identity += 1
+    def _make_verifier(self, vehicle_id: str):
+        def verify(msg: Message) -> bool:
+            if msg.msg_type not in _PROTECTED_TYPES:
+                return True
+            kind = msg.msg_type.name.lower()
+
+            def drop(reason: str) -> bool:
+                self.verdict(vehicle_id, msg.sender_id, "drop", reason,
+                             message_kind=kind)
                 return False
-            self._cert_cache.add(cert.serial)
-        elif self.check_revocation and self.ca.is_revoked(cert.subject_id):
-            self.rejected_revoked += 1
-            return False
-        if not rsa_verify(cert.public_key, msg.signing_bytes(), msg.signature):
-            self.rejected_signature += 1
-            return False
-        self.verified += 1
-        return True
+
+            cert = msg.cert
+            if cert is None:
+                self.rejected_no_cert += 1
+                return drop("no_certificate")
+            # Identity binding: the certificate subject must be the claimed
+            # sender.
+            if cert.subject_id != msg.sender_id:
+                self.rejected_identity += 1
+                return drop("identity_mismatch")
+            if self.check_revocation and self.ca.is_revoked(cert.subject_id):
+                self.rejected_revoked += 1
+                return drop("revoked_certificate")
+            if cert.serial not in self._cert_cache:
+                if not self.ca.validate_certificate(
+                        cert, now=self.scenario.sim.now):
+                    self.rejected_identity += 1
+                    return drop("bad_cert_chain")
+                self._cert_cache.add(cert.serial)
+            elif self.check_revocation and self.ca.is_revoked(cert.subject_id):
+                self.rejected_revoked += 1
+                return drop("revoked_certificate")
+            if not rsa_verify(cert.public_key, msg.signing_bytes(),
+                              msg.signature):
+                self.rejected_signature += 1
+                return drop("bad_signature")
+            self.verified += 1
+            self.verdict(vehicle_id, msg.sender_id, "accept",
+                         "signature_verified", message_kind=kind)
+            return True
+
+        return verify
 
     def observables(self) -> dict:
         return {

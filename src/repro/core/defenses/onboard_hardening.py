@@ -83,6 +83,8 @@ class OnboardHardeningDefense(Defense):
                 self.remediations += cleaned
                 self.detect(vehicle.vehicle_id, vehicle.vehicle_id,
                             "malware_remediated", true_positive=True)
+                self.verdict(vehicle.vehicle_id, vehicle.vehicle_id, "flag",
+                             "malware_remediated", tainted=True)
                 if network.v2x_available() and not vehicle.radio.enabled:
                     vehicle.radio.enable()
                     if vehicle.vlc is not None:
@@ -91,6 +93,9 @@ class OnboardHardeningDefense(Defense):
                     self.scenario.events.record(self.scenario.sim.now,
                                                 "v2x_restored",
                                                 vehicle.vehicle_id)
+            else:
+                self.verdict(vehicle.vehicle_id, vehicle.vehicle_id, "accept",
+                             "scan_clean")
 
         return scan
 
@@ -99,6 +104,9 @@ class OnboardHardeningDefense(Defense):
             network = self._networks[vehicle.vehicle_id]
             refused = network.reboot()
             self.boot_refusals += len(refused)
+            for _ in refused:
+                self.verdict(vehicle.vehicle_id, vehicle.vehicle_id, "drop",
+                             "boot_refused", tainted=True)
 
         return reboot
 
@@ -130,6 +138,8 @@ class OnboardHardeningDefense(Defense):
                         self.gps_anomalies += 1
                         self.detect(vid, vid, "gps_fusion_anomaly",
                                     true_positive=vehicle.gps.spoofed)
+                        self.verdict(vid, vid, "flag", "gps_fusion_anomaly",
+                                     tainted=vehicle.gps.spoofed)
                         # Broadcast dead-reckoned positions until GPS recovers.
                         vehicle.beacon_position_fn = (
                             lambda v=vehicle: self._dead_reckoning[
@@ -149,6 +159,8 @@ class OnboardHardeningDefense(Defense):
                     self.tpms_anomalies += 1
                     self.detect(vid, vid, "tpms_fusion_anomaly",
                                 true_positive=vehicle.tpms.spoofed)
+                    self.verdict(vid, vid, "flag", "tpms_fusion_anomaly",
+                                 tainted=vehicle.tpms.spoofed)
                     return  # implausible sample: do not pollute history
             history.append(reading.pressure_kpa)
             if len(history) > 20:

@@ -93,6 +93,14 @@ class PseudonymRotationDefense(Defense):
                                         "pseudonym_rotated",
                                         vehicle.vehicle_id,
                                         pseudonym=cert.subject_id)
+            # Privacy action, not a detection: the vehicle judged its own
+            # identity exposure and rotated -- an accept of its own traffic
+            # under a new name.
+            self.verdict(vehicle.vehicle_id, vehicle.vehicle_id, "accept",
+                         "pseudonym_rotated", message_kind="beacon")
+        else:
+            self.verdict(vehicle.vehicle_id, vehicle.vehicle_id, "accept",
+                         "rotation_suppressed", message_kind="beacon")
         self._schedule_rotation(vehicle)
 
     def _make_renamer(self, vehicle_id: str):

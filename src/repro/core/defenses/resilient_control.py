@@ -41,11 +41,15 @@ class ResilientController:
 
     def __init__(self, inner: Controller, accel_clamp: float = 2.0,
                  gate_threshold: float = 1.5,
-                 stats: Optional[_GateStats] = None) -> None:
+                 stats: Optional[_GateStats] = None,
+                 on_verdict=None) -> None:
         self.inner = inner
         self.accel_clamp = accel_clamp
         self.gate_threshold = gate_threshold
         self.stats = stats if stats is not None else _GateStats()
+        # Optional (verdict, reason) callback into the defence layer's
+        # detection ledger; the controller itself stays scenario-agnostic.
+        self.on_verdict = on_verdict
         self.name = f"{inner.name}+resilient"
 
     def desired_gap(self, speed: float) -> float:
@@ -54,12 +58,14 @@ class ResilientController:
     def compute(self, inputs: ControllerInputs) -> float:
         self.stats.ticks += 1
         guarded = ControllerInputs(**vars(inputs))
+        gated = clamped = False
 
         # Innovation gate: beacon-claimed relative speed vs radar Doppler.
         if (inputs.gap_rate is not None and inputs.predecessor_speed is not None):
             beacon_rate = inputs.predecessor_speed - inputs.own_speed
             if abs(beacon_rate - inputs.gap_rate) > self.gate_threshold:
                 self.stats.gated += 1
+                gated = True
                 guarded.predecessor_speed = inputs.own_speed + inputs.gap_rate
                 guarded.predecessor_accel = 0.0
                 # A lying predecessor taints trust in relayed leader data too.
@@ -73,8 +79,18 @@ class ResilientController:
             value = getattr(guarded, attr)
             if value is not None and abs(value) > self.accel_clamp:
                 self.stats.clamped += 1
+                clamped = True
                 setattr(guarded, attr,
                         max(-self.accel_clamp, min(self.accel_clamp, value)))
+
+        if self.on_verdict is not None:
+            # One verdict per control decision; gating outranks clamping.
+            if gated:
+                self.on_verdict("flag", "innovation_gated")
+            elif clamped:
+                self.on_verdict("flag", "input_clamped")
+            else:
+                self.on_verdict("accept", "control_ok")
 
         return self.inner.compute(guarded)
 
@@ -100,7 +116,19 @@ class ResilientControlDefense(Defense):
         for vehicle in vehicles:
             vehicle.cacc_controller = ResilientController(
                 vehicle.cacc_controller, accel_clamp=self.accel_clamp,
-                gate_threshold=self.gate_threshold, stats=self.stats)
+                gate_threshold=self.gate_threshold, stats=self.stats,
+                on_verdict=self._make_on_verdict(vehicle))
+
+    def _make_on_verdict(self, vehicle):
+        def on_verdict(verdict: str, reason: str) -> None:
+            # The judged input is the cooperative (beacon-borne) stream,
+            # which arrives from the roster predecessor.
+            subject = (vehicle.state.predecessor_id(vehicle.vehicle_id)
+                       or vehicle.vehicle_id)
+            self.verdict(vehicle.vehicle_id, subject, verdict, reason,
+                         message_kind="beacon")
+
+        return on_verdict
 
     def observables(self) -> dict:
         return {

@@ -60,7 +60,8 @@ class RsuKeyDistributionDefense(Defense):
             self._secrets[vehicle.vehicle_id] = scenario.authority.register_vehicle(
                 vehicle.vehicle_id, now=scenario.sim.now)
             vehicle.radio.on_receive(self._make_rx(vehicle))
-            vehicle.radio.add_filter(self._revocation_filter)
+            vehicle.radio.add_filter(
+                self._make_revocation_filter(vehicle.vehicle_id))
             scenario.sim.every(self.request_interval,
                                self._make_requester(vehicle),
                                initial_delay=scenario.sim.rng.uniform(
@@ -117,12 +118,18 @@ class RsuKeyDistributionDefense(Defense):
                 self.rogue_rejected += 1
                 self.detect(vehicle.vehicle_id, msg.sender_id, "rogue_rsu",
                             true_positive=True)
+                self.verdict(vehicle.vehicle_id, msg.sender_id, "drop",
+                             "rogue_rsu", message_kind="key_distribution",
+                             tainted=True)
                 return
             from repro.infra.authority import TrustedAuthority, WrappedKey
 
             tag_hex = msg.payload.get("tag")
             if tag_hex is None or msg.encrypted_key is None:
                 self.invalid_replies += 1
+                self.verdict(vehicle.vehicle_id, msg.sender_id, "drop",
+                             "invalid_rsu_reply",
+                             message_kind="key_distribution")
                 return
             wrapped = WrappedKey(key_id=msg.key_id,
                                  ciphertext=msg.encrypted_key,
@@ -131,6 +138,9 @@ class RsuKeyDistributionDefense(Defense):
             key = TrustedAuthority.unwrap_group_key(secret, wrapped)
             if key is None:
                 self.invalid_replies += 1
+                self.verdict(vehicle.vehicle_id, msg.sender_id, "drop",
+                             "invalid_rsu_reply",
+                             message_kind="key_distribution")
                 return
             first = vehicle.vehicle_id not in self.keys_obtained
             self.keys_obtained[vehicle.vehicle_id] = key
@@ -139,17 +149,26 @@ class RsuKeyDistributionDefense(Defense):
                 self.scenario.events.record(self.scenario.sim.now,
                                             "group_key_obtained",
                                             vehicle.vehicle_id, key_id=msg.key_id)
+                self.verdict(vehicle.vehicle_id, msg.sender_id, "accept",
+                             "group_key_obtained",
+                             message_kind="key_distribution")
 
         return on_key_message
 
     # ------------------------------------------------------------- revocation
 
-    def _revocation_filter(self, msg: Message) -> bool:
-        if msg.msg_type in (MessageType.BEACON, MessageType.MANEUVER) \
-                and msg.sender_id in self._revoked:
-            self.dropped_revoked += 1
-            return False
-        return True
+    def _make_revocation_filter(self, vehicle_id: str):
+        def revocation_filter(msg: Message) -> bool:
+            if msg.msg_type in (MessageType.BEACON, MessageType.MANEUVER) \
+                    and msg.sender_id in self._revoked:
+                self.dropped_revoked += 1
+                self.verdict(vehicle_id, msg.sender_id, "drop",
+                             "revoked_sender",
+                             message_kind=msg.msg_type.name.lower())
+                return False
+            return True
+
+        return revocation_filter
 
     def vehicles_with_key(self) -> int:
         return sum(1 for k in self.keys_obtained if not k.endswith(":id"))

@@ -61,7 +61,7 @@ class TrustFilterDefense(Defense):
         if scenario.joiner is not None:
             vehicles.append(scenario.joiner)
         for vehicle in vehicles:
-            vehicle.radio.add_filter(self._beacon_filter)
+            vehicle.radio.add_filter(self._make_beacon_filter(vehicle.vehicle_id))
         scenario.sim.every(self.poll_period, self._ingest_evidence,
                            initial_delay=self.poll_period)
 
@@ -99,23 +99,37 @@ class TrustFilterDefense(Defense):
                     self.scenario.leader_logic.broadcast_roster()
                     self.scenario.events.record(now, "trust_expelled", self.name,
                                                 member=member_id)
+                    self.verdict(registry.leader_id, member_id, "flag",
+                                 "trust_expelled")
 
     # ----------------------------------------------------------------- gates
 
     def _admit(self, msg: ManeuverMessage) -> bool:
         now = self.scenario.sim.now
+        leader_id = self.scenario.leader.vehicle_id
         if self.manager.is_distrusted(msg.sender_id, now):
             self.joins_rejected += 1
+            self.verdict(leader_id, msg.sender_id, "drop", "distrusted_join",
+                         message_kind="maneuver")
             return False
+        self.verdict(leader_id, msg.sender_id, "accept", "trusted_join",
+                     message_kind="maneuver")
         return True
 
-    def _beacon_filter(self, msg: Message) -> bool:
-        if msg.msg_type is not MessageType.BEACON:
+    def _make_beacon_filter(self, vehicle_id: str):
+        def beacon_filter(msg: Message) -> bool:
+            if msg.msg_type is not MessageType.BEACON:
+                return True
+            if self.manager.is_distrusted(msg.sender_id, self.scenario.sim.now):
+                self.beacons_dropped += 1
+                self.verdict(vehicle_id, msg.sender_id, "drop",
+                             "distrusted_beacon", message_kind="beacon")
+                return False
+            self.verdict(vehicle_id, msg.sender_id, "accept", "trusted_beacon",
+                         message_kind="beacon")
             return True
-        if self.manager.is_distrusted(msg.sender_id, self.scenario.sim.now):
-            self.beacons_dropped += 1
-            return False
-        return True
+
+        return beacon_filter
 
     def observables(self) -> dict:
         now = self.scenario.sim.now if self.scenario else 0.0

@@ -147,6 +147,9 @@ class VpdAdaDefense(Defense):
         self.detect(vehicle.vehicle_id, state.leader_id or "unknown",
                     "phantom_entrance",
                     true_positive=bool(self.scenario.tainted_identities))
+        self.verdict(vehicle.vehicle_id, state.leader_id or "unknown", "flag",
+                     "phantom_entrance", message_kind="maneuver",
+                     tainted=bool(self.scenario.tainted_identities))
 
     def _check_own_gps(self, vehicle) -> None:
         """Multi-source self-check: GPS against wheel-odometry dead reckoning.
@@ -254,6 +257,8 @@ class VpdAdaDefense(Defense):
                 self._emit(vehicle.vehicle_id, suspect, "position_mismatch")
         else:
             self._clear_strikes(vehicle.vehicle_id)
+            self.verdict(vehicle.vehicle_id, pred_id, "accept", "position_ok",
+                         message_kind="beacon")
 
     def _clear_strikes(self, checker_id: str) -> None:
         for key in [k for k in self._pred_strikes if k[0] == checker_id]:
@@ -327,6 +332,11 @@ class VpdAdaDefense(Defense):
         if suspect_id not in self._first_detection_at and true_positive:
             self._first_detection_at[suspect_id] = self.scenario.sim.now
         self.detect(checker_id, suspect_id, reason, true_positive)
+        # Ground truth here is richer than the tainted-identity set alone
+        # (compromised flags, spoofed GPS, ghost identities) -- pass it
+        # through explicitly rather than letting verdict() re-derive it.
+        self.verdict(checker_id, suspect_id, "flag", reason,
+                     tainted=true_positive)
         count = self._report_counts.get(suspect_id, 0) + 1
         self._report_counts[suspect_id] = count
         if (self.expel and count >= self.expel_reports

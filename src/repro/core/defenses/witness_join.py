@@ -77,13 +77,20 @@ class WitnessJoinDefense(Defense):
             return True
         if msg.maneuver is not ManeuverType.JOIN_COMPLETE:
             return True
+        leader_id = self.scenario.leader.vehicle_id
         if self._witnessed_behind_tail():
             self.joins_witnessed += 1
+            self.verdict(leader_id, msg.sender_id, "accept", "witnessed_join",
+                         message_kind="maneuver")
             return True
         self.joins_refused += 1
-        self.detect(self.scenario.leader.vehicle_id, msg.sender_id,
-                    "unwitnessed_join",
-                    true_positive=msg.sender_id not in self.scenario.world)
+        ghost = msg.sender_id not in self.scenario.world
+        self.detect(leader_id, msg.sender_id, "unwitnessed_join",
+                    true_positive=ghost)
+        self.verdict(leader_id, msg.sender_id, "drop", "unwitnessed_join",
+                     message_kind="maneuver",
+                     tainted=ghost or msg.sender_id
+                     in self.scenario.tainted_identities)
         return False
 
     def observables(self) -> dict:

@@ -439,6 +439,18 @@ HEADLINE_METRICS = (
     ("collision_count", True, "contact events (re-collisions counted)"),
     ("min_brake_margin", False,
      "worst emergency-brake envelope margin seen [m]"),
+    # Detection quality (security-verdict ledger, repro.obs.security):
+    # how well the installed defence stack *noticed* the attack, not
+    # just how well the platoon survived it.
+    ("security_verdicts", False, "defence accept/flag/drop decisions made"),
+    ("security_flags", False, "verdicts that flagged or dropped"),
+    ("flag_rate", False, "flagged fraction of all security verdicts"),
+    ("detection_tpr", False,
+     "flagged fraction of tainted-traffic verdicts (ground truth)"),
+    ("detection_fpr", True, "flagged fraction of clean-traffic verdicts"),
+    ("time_to_first_flag", True, "sim seconds until the first flag/drop"),
+    ("missed_injections", True,
+     "tainted identities observed but never flagged"),
 )
 
 for _name, _lower, _description in HEADLINE_METRICS:

@@ -228,7 +228,19 @@ class MetricsCollector:
                         for e in events.of_kind("gap_timeout"))
         gap_open_total = sum(t.gap_open_time for t in self.traces.values())
 
+        # Detection-quality aggregates from the security-verdict ledger
+        # (repro.obs.security).  Totals across all installed mechanisms;
+        # the per-mechanism split rides ScenarioResult.detection.
+        ledger_totals = scenario.detection_ledger.summary()["totals"]
+
         return ScenarioMetrics(
+            security_verdicts=ledger_totals["verdicts"],
+            security_flags=ledger_totals["flagged"],
+            flag_rate=ledger_totals["flag_rate"],
+            detection_tpr=ledger_totals["tpr"],
+            detection_fpr=ledger_totals["fpr"],
+            time_to_first_flag=ledger_totals["time_to_first_flag"],
+            missed_injections=ledger_totals["missed_injections"],
             duration=scenario.sim.now,
             mean_abs_spacing_error=(sum(member_errors) / len(member_errors)
                                     if member_errors else 0.0),
@@ -301,6 +313,16 @@ class ScenarioMetrics:
     # to the platoon ahead); nonzero only on highway scenarios.  Default
     # keeps records built from pre-highway field sets constructible.
     merges_completed: int = 0
+    # Detection quality (security-verdict ledger totals, repro.obs.
+    # security).  All defaulted: records written before the ledger landed
+    # stay constructible, and undefended episodes report zeros/None.
+    security_verdicts: int = 0
+    security_flags: int = 0
+    flag_rate: float = 0.0
+    detection_tpr: Optional[float] = None
+    detection_fpr: Optional[float] = None
+    time_to_first_flag: Optional[float] = None
+    missed_injections: int = 0
 
     def summary(self) -> dict:
         return {
@@ -329,4 +351,13 @@ class ScenarioMetrics:
             "gap_open_waste_s": round(self.gap_open_waste_s, 1),
             "gap_open_time_s": round(self.gap_open_time_s, 1),
             "detections": self.detections,
+            "security_verdicts": self.security_verdicts,
+            "security_flags": self.security_flags,
+            "flag_rate": round(self.flag_rate, 6),
+            "detection_tpr": self.detection_tpr,
+            "detection_fpr": self.detection_fpr,
+            "time_to_first_flag": (round(self.time_to_first_flag, 3)
+                                   if self.time_to_first_flag is not None
+                                   else None),
+            "missed_injections": self.missed_injections,
         }

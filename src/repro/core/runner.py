@@ -259,6 +259,9 @@ class EpisodeRecord:
     # the worker's isolated MetricsRegistry; the runner aggregates these
     # across the pool into its run report.
     observability: dict = field(default_factory=dict)
+    # DetectionLedger.summary(): per-mechanism + total detection-quality
+    # aggregates for the episode's defence stack (empty when undefended).
+    detection: dict = field(default_factory=dict)
 
     def extract_metric(self, name: str) -> float:
         """Headline-metric lookup mirroring ``campaign._extract``:
@@ -300,6 +303,7 @@ def record_from_result(spec: EpisodeSpec, result, wall_time: float,
         defense_observables=_roundtrip(result.defense_observables),
         wall_time=wall_time,
         observability=_roundtrip(observability or {}),
+        detection=_roundtrip(result.detection),
     )
 
 
@@ -569,7 +573,8 @@ class CampaignRunner:
 
     def _emit_unit_finished(self, spec: EpisodeSpec, source: str,
                             wall_time: float,
-                            worker: Optional[int] = None) -> None:
+                            worker: Optional[int] = None,
+                            record: Optional[EpisodeRecord] = None) -> None:
         # Cache provenance names the backend the record lives in.  The
         # field is volatile (like worker pids): canonical run logs stay
         # byte-identical across backends, so the store-parity CI gate
@@ -577,6 +582,21 @@ class CampaignRunner:
         extra = self._highway_fields(spec)
         if self.store is not None:
             extra["store"] = self.store.backend
+        # Detection-quality projection: derived from simulator state only,
+        # so (unlike wall times / worker ids) it is NOT volatile -- the
+        # fields survive into canonical run logs and are byte-identical
+        # across kernels, worker counts and store backends.
+        totals = (record.detection or {}).get("totals") if record else None
+        if totals:
+            extra["detection"] = {
+                "verdicts": totals["verdicts"],
+                "flagged": totals["flagged"],
+                "flag_rate": totals["flag_rate"],
+                "tpr": totals["tpr"],
+                "fpr": totals["fpr"],
+                "time_to_first_flag": totals["time_to_first_flag"],
+                "missed_injections": totals["missed_injections"],
+            }
         self._emit("unit_finished", unit=spec.key, threat=spec.threat_key,
                    variant=spec.variant, role=spec.role,
                    mechanism=spec.mechanism_key, source=source,
@@ -621,7 +641,8 @@ class CampaignRunner:
                     continue
             # Cache hits resolve instantly: start and finish back to back.
             self._emit_unit_started(spec)
-            self._emit_unit_finished(spec, sources[key], 0.0)
+            self._emit_unit_finished(spec, sources[key], 0.0,
+                                     record=self._memory[key])
         elapsed = time.perf_counter() - phase_start
         self._add_phase("resolve", elapsed)
         self._emit("phase_finished", phase="resolve", wall_time=elapsed)
@@ -706,7 +727,7 @@ class CampaignRunner:
                 results[key] = record
                 external.add(key)
                 self._emit_unit_started(spec)
-                self._emit_unit_finished(spec, "disk", 0.0)
+                self._emit_unit_finished(spec, "disk", 0.0, record=record)
             elif status == "acquired":
                 owned.append((key, spec))
             else:                                               # held
@@ -726,7 +747,7 @@ class CampaignRunner:
                     results[key] = record
                     external.add(key)
                     self._emit_unit_started(spec)
-                    self._emit_unit_finished(spec, "disk", 0.0)
+                    self._emit_unit_finished(spec, "disk", 0.0, record=record)
                     progressed = True
                     continue
                 status = self._acquire(key)
@@ -760,7 +781,8 @@ class CampaignRunner:
                     self._store_cached(key, record)
                     self._emit_unit_finished(spec, "computed",
                                              record.wall_time,
-                                             worker=os.getpid())
+                                             worker=os.getpid(),
+                                             record=record)
                 return results
             specs_by_key = dict(to_compute)
             pool_size = min(self.workers, len(to_compute))
@@ -782,7 +804,8 @@ class CampaignRunner:
                         self._emit_unit_finished(specs_by_key[key],
                                                  "computed",
                                                  record.wall_time,
-                                                 worker=worker)
+                                                 worker=worker,
+                                                 record=record)
             return results
         finally:
             # A failed episode must not leave its lease pinned until

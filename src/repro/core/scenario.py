@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.events import EventLog
 from repro.highway.config import HighwayConfig
 from repro.obs import registry as obs
+from repro.obs.security import DetectionLedger
 from repro.obs.trace import TraceRecorder, write_trace
 from repro.net.channel import ChannelConfig, RadioChannel
 from repro.net.messages import reset_message_seq
@@ -135,6 +136,8 @@ class ScenarioResult:
     attack_reports: list = field(default_factory=list)
     defense_observables: dict = field(default_factory=dict)
     events: Optional[EventLog] = None
+    # DetectionLedger.summary(): per-mechanism detection-quality aggregates.
+    detection: dict = field(default_factory=dict)
 
     def summary(self) -> dict:
         out = dict(self.metrics.summary())
@@ -288,6 +291,9 @@ class Scenario:
         # spoofed).  Attacks register here; detectors never read it -- only
         # the metrics layer does, to label detections true/false positive.
         self.tainted_identities: set[str] = set()
+        # Every defence accept/flag/drop decision lands here (repro.obs.
+        # security); the summary feeds ScenarioMetrics and the trace.
+        self.detection_ledger = DetectionLedger()
         self.metrics_collector = MetricsCollector(self)
         self._ran = False
 
@@ -357,7 +363,8 @@ class Scenario:
         obs.inc("detections", self.events.count("detection"))
         obs.inc("disbands", self.events.count("platoon_disband"))
         obs.inc("collisions", metrics.collisions)
-        return ScenarioResult(config=self.config, metrics=metrics,
+        return ScenarioResult(detection=self.detection_ledger.summary(),
+                              config=self.config, metrics=metrics,
                               attack_reports=reports,
                               defense_observables=defense_obs,
                               events=self.events)

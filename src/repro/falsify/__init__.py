@@ -36,7 +36,12 @@ from repro.falsify.corpus import (
     replay_counterexample,
     write_counterexample,
 )
-from repro.falsify.objective import SAFETY_METRICS, SafetyVerdict, assess
+from repro.falsify.objective import (
+    SAFETY_METRICS,
+    SafetyVerdict,
+    assess,
+    stealth_flag_rate,
+)
 from repro.falsify.schedule import AttackSchedule, AttackWindow, ScheduleSpace
 from repro.falsify.search import (
     CandidateOutcome,
@@ -62,5 +67,6 @@ __all__ = [
     "assess",
     "iter_corpus",
     "replay_counterexample",
+    "stealth_flag_rate",
     "write_counterexample",
 ]

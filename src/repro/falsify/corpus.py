@@ -105,10 +105,14 @@ class ReplayReport:
     verdict: SafetyVerdict
     trace_matches: bool
     divergence: Optional[str] = None
+    # False only when the manifest committed a detection ledger and the
+    # replay's ledger differs; pre-detection manifests vacuously match.
+    detection_matches: bool = True
 
     @property
     def ok(self) -> bool:
-        return self.trace_matches and self.verdict.violated
+        return (self.trace_matches and self.detection_matches
+                and self.verdict.violated)
 
 
 def _build_episode(spec: ExperimentSpec, config: ScenarioConfig):
@@ -163,6 +167,9 @@ def write_counterexample(corpus_dir: Union[str, Path],
             "severity": verdict.severity,
         },
         "provenance": dict(provenance or {}),
+        # The emission episode's full detection-ledger summary: replay
+        # re-derives it and must reproduce it bit-identically.
+        "detection": json.loads(json.dumps(result.detection)),
         "files": {"spec": SPEC_FILE, "trace": TRACE_FILE},
     }
     (path / SPEC_FILE).write_text(json.dumps(spec_dict, indent=2) + "\n")
@@ -210,6 +217,16 @@ def replay_counterexample(entry: CorpusEntry, *, kernel: str = "scalar",
 
             divergence = diff_traces(entry.trace_path, trace_path).format()
     verdict = assess(dataclasses.asdict(result.metrics))
+    detection_matches = True
+    committed_detection = entry.manifest.get("detection")
+    if committed_detection is not None:
+        fresh_detection = json.loads(json.dumps(result.detection))
+        detection_matches = fresh_detection == committed_detection
+        if not detection_matches and divergence is None:
+            divergence = ("detection ledger diverged from the committed "
+                          "manifest (same trace bytes would have caught "
+                          "record-level drift; this is summary-level)")
     return ReplayReport(entry=entry, kernel=kernel, verdict=verdict,
                         trace_matches=fresh == committed,
-                        divergence=divergence)
+                        divergence=divergence,
+                        detection_matches=detection_matches)

@@ -80,3 +80,16 @@ def assess(metrics: Mapping) -> SafetyVerdict:
 def severity_key(verdict: SafetyVerdict) -> tuple:
     """Sort key ordering verdicts worst-first (collisions break ties)."""
     return (verdict.severity, -verdict.collision_count)
+
+
+def stealth_flag_rate(metrics: Mapping) -> float:
+    """How loudly the defence stack objected to this episode.
+
+    Reads the detection-telemetry projection (``flag_rate``: flagged +
+    dropped verdicts over all verdicts) from an episode's metrics dict.
+    A search that minimises this *alongside* severity hunts **stealthy**
+    counterexamples -- schedules that degrade safety while staying under
+    the deployed detectors' radar.  Defence-free episodes emit no
+    verdicts and score 0.0 (nothing was watching, nothing objected).
+    """
+    return float(metrics.get("flag_rate") or 0.0)

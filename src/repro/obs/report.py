@@ -259,6 +259,58 @@ def _matrix_section(cells) -> tuple[str, str]:
                         "attacked", "defended", "mitigation"], rows))
 
 
+def _detection_rows(cells) -> list[list]:
+    rows = []
+    for c in cells:
+        mechanisms = (getattr(c, "detection", None) or {}) \
+            .get("mechanisms", {})
+        for name, tally in mechanisms.items():
+            rows.append([c.threat_key, c.mechanism_key, name,
+                         tally.get("verdicts", 0), tally.get("flagged", 0),
+                         _num(tally.get("flag_rate"), 4),
+                         _num(tally.get("tpr"), 4), _num(tally.get("fpr"), 4),
+                         _num(tally.get("time_to_first_flag")),
+                         tally.get("missed_injections", 0)])
+    return rows
+
+
+def _detection_section(cells) -> list[tuple[str, str]]:
+    """Detection-quality grid + per-mechanism flag timelines.
+
+    Built from the defended episode's detection ledger on each matrix
+    cell; cells produced before the ledger existed render nothing.
+    """
+    rows = _detection_rows(cells)
+    if not rows:
+        return []
+    sections = [("Detection quality (defended episodes)",
+                 html_table(["threat", "stack", "mechanism", "verdicts",
+                             "flagged", "flag rate", "TPR", "FPR",
+                             "first flag [s]", "missed"], rows))]
+    # Cumulative-flag timeline: one series per (threat, mechanism) pair
+    # that actually flagged something, stepped over the union of flag
+    # timestamps.  flag_times is capped at emission, so late tails of
+    # very chatty mechanisms flatten out -- the grid above has the
+    # uncapped totals.
+    series_times: dict[str, list[float]] = {}
+    for c in cells:
+        mechanisms = (getattr(c, "detection", None) or {}) \
+            .get("mechanisms", {})
+        for name, tally in mechanisms.items():
+            times = tally.get("flag_times") or []
+            if times:
+                series_times[f"{c.threat_key}/{name}"] = list(times)
+    if series_times:
+        xs = sorted({t for times in series_times.values() for t in times})
+        series = {name: [sum(1 for t in times if t <= x) for x in xs]
+                  for name, times in sorted(series_times.items())}
+        chart = svg_line_chart(xs, series, title="cumulative flags",
+                               x_label="sim time [s]", y_label="flags")
+        if chart:
+            sections.append(("Detection timeline", chart))
+    return sections
+
+
 def _unit_section(run_report, trace_dir=None) -> tuple[str, str]:
     from repro.obs.trace import trace_filename
 
@@ -307,6 +359,7 @@ def campaign_report(title: str, outcomes=(), cells=(), run_report=None,
         sections.append(_outcome_section(outcomes))
     if cells:
         sections.append(_matrix_section(cells))
+        sections.extend(_detection_section(cells))
     if run_report is not None:
         sections.append(_cache_section(run_report))
         if run_report.units:

@@ -229,15 +229,20 @@ class ProgressSink(TelemetrySink):
                 and self._done < self._total:
             return
         self._last_draw = now
-        elapsed = max(now - (self._started if self._started is not None
-                             else now), 1e-9)
-        rate = self._done / elapsed
+        # Zero-duration runs are real (an all-cache-hit batch can finish
+        # within one clock tick, and clock skew can even make ``now``
+        # precede ``run_started``): a degenerate elapsed must not
+        # fabricate a billion-units/s rate or divide anything by ~0.
+        elapsed = now - (self._started if self._started is not None
+                         else now)
+        rate = self._done / elapsed if elapsed > 1e-6 else None
         remaining = max(self._total - self._done, 0)
-        eta = f"{remaining / rate:.0f}s" if rate > 0 else "?"
+        rate_text = f"{rate:.1f}" if rate is not None else "?"
+        eta = f"{remaining / rate:.0f}s" if rate else "?"
         hit_ratio = self._hits / self._done if self._done else 0.0
         line = (f"[campaign] {self._done}/{self._total} units | "
                 f"{self._computed} computed, {self._hits} cache hits "
-                f"({hit_ratio:.0%}) | {rate:.1f} unit/s | ETA {eta}")
+                f"({hit_ratio:.0%}) | {rate_text} unit/s | ETA {eta}")
         pad = max(self._last_width - len(line), 0)
         self._last_width = len(line)
         self.stream.write("\r" + line + " " * pad)

@@ -46,7 +46,9 @@ if TYPE_CHECKING:
     from repro.core.scenario import Scenario
 
 TRACE_FORMAT = "platoonsec-trace/1"
-SCHEMA_VERSION = 1
+# 1: events + samples; 2: adds "verdict" records (security-verdict
+# stream from repro.obs.security, capped per (mechanism, verdict)).
+SCHEMA_VERSION = 2
 
 #: Default sampling period [simulated seconds]; coarse enough to keep a
 #: 90 s episode's trace in the tens of kilobytes.
@@ -129,12 +131,18 @@ class TraceRecorder:
         self._proc.stop()
 
     def records(self) -> list[dict]:
-        """Events + samples, merged and stably sorted by simulation time."""
+        """Events + verdicts + samples, stably sorted by simulation time.
+
+        Verdict records come from the scenario's detection ledger (the
+        retained first-N per (mechanism, verdict) pair); the stable sort
+        keeps the within-timestamp order events < verdicts < samples.
+        """
         merged = [
             {"t": e.time, "type": "event", "kind": e.kind,
              "source": e.source, "data": dict(e.data)}
             for e in self.scenario.events
         ]
+        merged.extend(self.scenario.detection_ledger.trace_records())
         merged.extend(self._samples)
         merged.sort(key=lambda record: record["t"])
         return merged

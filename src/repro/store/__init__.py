@@ -14,6 +14,7 @@ from repro.store.base import (
     CACHE_FORMAT,
     DEFAULT_LEASE_TTL,
     STORE_SCHEMES,
+    LeaseInfo,
     ResultStore,
     StoreError,
     StoreStats,
@@ -30,6 +31,7 @@ __all__ = [
     "CACHE_FORMAT",
     "DEFAULT_LEASE_TTL",
     "STORE_SCHEMES",
+    "LeaseInfo",
     "ResultStore",
     "StoreError",
     "StoreStats",

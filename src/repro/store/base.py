@@ -51,11 +51,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
 
-#: Framing format for cached episode records.  /4 added the highway
-#: merge counter (merges_completed) to the cached metrics dict; /3 added
-#: the safety metrics; /2 added the per-episode observability snapshot.
-#: Entries in any other format are stale and treated as misses.
-CACHE_FORMAT = "platoonsec-episode-cache/4"
+#: Framing format for cached episode records.  /5 added the detection
+#: ledger summary (record.detection + detection-quality metrics); /4
+#: added the highway merge counter (merges_completed) to the cached
+#: metrics dict; /3 added the safety metrics; /2 added the per-episode
+#: observability snapshot.  Entries in any other format are stale and
+#: treated as misses.
+CACHE_FORMAT = "platoonsec-episode-cache/5"
 
 #: URL schemes understood by :func:`open_store`.
 STORE_SCHEMES = ("json", "sqlite")
@@ -73,6 +75,16 @@ class StoreError(Exception):
 
 
 @dataclass(frozen=True)
+class LeaseInfo:
+    """One in-flight unit lease, as seen at stats time."""
+
+    key: str
+    owner: str
+    expires: float          # epoch seconds
+    active: bool            # unexpired at the stats() snapshot instant
+
+
+@dataclass(frozen=True)
 class StoreStats:
     """Aggregate view of a store's contents."""
 
@@ -83,6 +95,8 @@ class StoreStats:
     oldest: Optional[float] = None      # epoch seconds, stored_at
     newest: Optional[float] = None
     leases: int = 0                     # active (unexpired) leases
+    expired_leases: int = 0             # expired but not yet purged
+    lease_table: Tuple[LeaseInfo, ...] = ()
 
     def rows(self) -> list:
         """Table rows for the CLI (label, value)."""
@@ -96,7 +110,19 @@ class StoreStats:
                 ["bytes", self.total_bytes],
                 ["oldest entry", age(self.oldest)],
                 ["newest entry", age(self.newest)],
-                ["active leases", self.leases]]
+                ["active leases", self.leases],
+                ["expired leases", self.expired_leases]]
+
+    def lease_rows(self) -> list:
+        """Table rows for the in-flight lease table (one per lease)."""
+        now = time.time()
+        rows = []
+        for lease in self.lease_table:
+            remaining = lease.expires - now
+            state = "active" if lease.active else "expired"
+            rows.append([lease.key[:16], lease.owner, state,
+                         f"{remaining:+.0f}s"])
+        return rows
 
 
 @dataclass
@@ -251,10 +277,20 @@ class ResultStore(ABC):
             if stamp is not None:
                 oldest = stamp if oldest is None else min(oldest, stamp)
                 newest = stamp if newest is None else max(newest, stamp)
+        # One clock read for the whole lease snapshot so a lease cannot
+        # straddle the active/expired split.
+        now = time.time()
+        lease_table = tuple(
+            LeaseInfo(key=key, owner=owner, expires=expires,
+                      active=expires > now)
+            for key, owner, expires in sorted(self._iter_leases()))
+        active = sum(1 for lease in lease_table if lease.active)
         return StoreStats(backend=self.backend, location=self.location(),
                           entries=entries, total_bytes=total,
                           oldest=oldest, newest=newest,
-                          leases=self.active_leases())
+                          leases=active,
+                          expired_leases=len(lease_table) - active,
+                          lease_table=lease_table)
 
     def verify(self) -> VerifyReport:
         """Re-check every entry against its key and framing.

@@ -166,8 +166,9 @@ class TestCompareRecords:
 
 
 class TestBenchHarnessRouting:
-    """benchmarks/_util.emit feeds the history store, and the free-form
-    results.log is opt-in (and deprecated)."""
+    """benchmarks/_util.emit feeds the history store; the removed
+    REPRO_BENCH_LOG prose log errors loudly instead of silently
+    ignoring the setting."""
 
     def util(self):
         import benchmarks._util as util
@@ -178,7 +179,6 @@ class TestBenchHarnessRouting:
         util = self.util()
         hist = tmp_path / "BENCH_history.jsonl"
         monkeypatch.setattr(util, "BENCH_HISTORY", str(hist))
-        monkeypatch.setattr(util, "RESULTS_LOG", None)
         util.emit("T2 jamming", ["threat", "metric", "value"],
                   [["jamming", "degraded_fraction", 0.79]])
         (rec,) = load_history(hist)
@@ -189,21 +189,20 @@ class TestBenchHarnessRouting:
     def test_no_results_log_by_default(self, tmp_path, monkeypatch):
         util = self.util()
         monkeypatch.setattr(util, "BENCH_HISTORY", None)
-        monkeypatch.setattr(util, "RESULTS_LOG", None)
         monkeypatch.chdir(tmp_path)
         util.emit("quiet", ["a"], [["x"]])
         assert list(tmp_path.iterdir()) == []
 
-    def test_legacy_log_warns_deprecated(self, tmp_path, monkeypatch):
-        util = self.util()
-        log = tmp_path / "results.log"
-        monkeypatch.setattr(util, "BENCH_HISTORY", None)
-        monkeypatch.setattr(util, "RESULTS_LOG", str(log))
-        monkeypatch.setattr(util, "_log_deprecation_warned", False)
-        monkeypatch.setattr(util, "_log_initialized", False)
-        with pytest.warns(DeprecationWarning, match="REPRO_BENCH_LOG"):
-            util.emit("legacy", ["a"], [["x"]])
-        assert "legacy" in log.read_text()
+    def test_legacy_log_env_rejected_at_import(self, tmp_path, monkeypatch):
+        # A fresh import with REPRO_BENCH_LOG set must fail with the
+        # replacement spelled out, not quietly drop the prose log.
+        import importlib
+        import benchmarks._util as util
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(tmp_path / "results.log"))
+        with pytest.raises(RuntimeError, match="REPRO_BENCH_HISTORY"):
+            importlib.reload(util)
+        monkeypatch.delenv("REPRO_BENCH_LOG")
+        importlib.reload(util)
 
     def test_table_metrics_flattening(self):
         util = self.util()

@@ -1,0 +1,202 @@
+"""Unit tests for the security-verdict telemetry layer
+(:mod:`repro.obs.security`): ledger arithmetic, trace retention caps,
+trace round-trips and the stealth objective term."""
+
+import pytest
+
+from repro.obs.security import (
+    DETECTION_SCHEMA,
+    FLAG_TIMES_CAP,
+    TRACE_VERDICT_CAP,
+    DetectionEvent,
+    DetectionLedger,
+    summarize_trace_verdicts,
+)
+
+
+def rec(ledger, t=1.0, mechanism="m", verdict="accept", reason="ok",
+        observer="v0", subject="v1", **kw):
+    return ledger.record(t=t, mechanism=mechanism, verdict=verdict,
+                         reason=reason, observer=observer, subject=subject,
+                         **kw)
+
+
+class TestDetectionEvent:
+    def test_to_record_shape(self):
+        event = DetectionEvent(t=2.5, mechanism="freshness", verdict="drop",
+                               reason="nonce_replay", observer="v0",
+                               subject="ghost", message_kind="beacon",
+                               tainted=True)
+        record = event.to_record()
+        assert record["type"] == "verdict"
+        assert record == {"t": 2.5, "type": "verdict",
+                          "mechanism": "freshness", "verdict": "drop",
+                          "reason": "nonce_replay", "observer": "v0",
+                          "subject": "ghost", "message_kind": "beacon",
+                          "tainted": True}
+
+
+class TestDetectionLedger:
+    def test_unknown_verdict_rejected(self):
+        ledger = DetectionLedger()
+        with pytest.raises(ValueError, match="unknown verdict"):
+            rec(ledger, verdict="maybe")
+
+    def test_flag_and_drop_both_count_as_flagged(self):
+        ledger = DetectionLedger()
+        rec(ledger, verdict="accept")
+        rec(ledger, verdict="flag")
+        rec(ledger, verdict="drop")
+        tally = ledger.summary()["mechanisms"]["m"]
+        assert (tally["accepts"], tally["flags"], tally["drops"]) == (1, 1, 1)
+        assert tally["flagged"] == 2
+        assert tally["flag_rate"] == pytest.approx(2 / 3, abs=1e-6)
+
+    def test_tpr_fpr_against_taint_ground_truth(self):
+        ledger = DetectionLedger()
+        # 2 tainted verdicts, 1 flagged; 2 clean verdicts, 1 flagged.
+        rec(ledger, subject="ghost", verdict="drop", tainted=True)
+        rec(ledger, subject="ghost", verdict="accept", tainted=True)
+        rec(ledger, subject="v2", verdict="flag")
+        rec(ledger, subject="v2", verdict="accept")
+        tally = ledger.summary()["mechanisms"]["m"]
+        assert tally["tpr"] == 0.5
+        assert tally["fpr"] == 0.5
+
+    def test_rates_are_none_without_denominator(self):
+        ledger = DetectionLedger()
+        rec(ledger, verdict="accept")                    # clean only
+        tally = ledger.summary()["mechanisms"]["m"]
+        assert tally["tpr"] is None                      # no tainted traffic
+        assert tally["fpr"] == 0.0
+        assert tally["time_to_first_flag"] is None
+
+    def test_time_to_first_flag_is_earliest_flag(self):
+        ledger = DetectionLedger()
+        rec(ledger, t=5.0, verdict="accept")
+        rec(ledger, t=7.0, verdict="drop")
+        rec(ledger, t=9.0, verdict="flag")
+        assert ledger.summary()["mechanisms"]["m"]["time_to_first_flag"] == 7.0
+
+    def test_missed_injection_is_seen_but_never_flagged(self):
+        ledger = DetectionLedger()
+        rec(ledger, subject="ghost", verdict="accept", tainted=True)
+        rec(ledger, subject="sybil", verdict="accept", tainted=True)
+        rec(ledger, subject="sybil", verdict="drop", tainted=True)
+        tally = ledger.summary()["mechanisms"]["m"]
+        assert tally["missed_injections"] == 1           # ghost, not sybil
+
+    def test_totals_miss_only_when_no_mechanism_flagged(self):
+        # Mechanism A misses the ghost, mechanism B catches it: the
+        # per-mechanism miss stands but the episode total is 0 misses.
+        ledger = DetectionLedger()
+        rec(ledger, mechanism="a", subject="ghost", verdict="accept",
+            tainted=True)
+        rec(ledger, mechanism="b", subject="ghost", verdict="drop",
+            tainted=True)
+        summary = ledger.summary()
+        assert summary["mechanisms"]["a"]["missed_injections"] == 1
+        assert summary["mechanisms"]["b"]["missed_injections"] == 0
+        assert summary["totals"]["missed_injections"] == 0
+
+    def test_totals_aggregate_across_mechanisms(self):
+        ledger = DetectionLedger()
+        rec(ledger, t=3.0, mechanism="b", verdict="flag")
+        rec(ledger, t=1.0, mechanism="a", verdict="accept")
+        rec(ledger, t=2.0, mechanism="a", verdict="drop", tainted=True,
+            subject="ghost")
+        totals = ledger.summary()["totals"]
+        assert totals["verdicts"] == 3
+        assert totals["flagged"] == 2
+        assert totals["time_to_first_flag"] == 2.0       # earliest anywhere
+        assert ledger.mechanisms() == ["a", "b"]
+        assert ledger.total_verdicts == 3
+
+    def test_summary_schema_and_sorted_reasons(self):
+        ledger = DetectionLedger()
+        rec(ledger, reason="zeta")
+        rec(ledger, reason="alpha")
+        summary = ledger.summary()
+        assert summary["schema"] == DETECTION_SCHEMA
+        assert list(summary["mechanisms"]["m"]["reasons"]) == ["alpha",
+                                                               "zeta"]
+        assert "reasons" not in summary["totals"]        # details per-mech
+
+    def test_trace_retention_capped_but_counts_exact(self):
+        ledger = DetectionLedger()
+        for i in range(TRACE_VERDICT_CAP + 25):
+            rec(ledger, t=float(i), verdict="accept")
+        for i in range(5):
+            rec(ledger, t=float(i), verdict="drop")
+        records = ledger.trace_records()
+        # accepts capped at the first N in emission order, drops uncapped
+        accepts = [r for r in records if r["verdict"] == "accept"]
+        assert len(accepts) == TRACE_VERDICT_CAP
+        assert accepts[-1]["t"] == float(TRACE_VERDICT_CAP - 1)
+        assert len([r for r in records if r["verdict"] == "drop"]) == 5
+        tally = ledger.summary()["mechanisms"]["m"]
+        assert tally["verdicts"] == TRACE_VERDICT_CAP + 30   # uncapped
+
+    def test_flag_times_capped(self):
+        ledger = DetectionLedger()
+        for i in range(FLAG_TIMES_CAP + 10):
+            rec(ledger, t=float(i), verdict="flag")
+        tally = ledger.summary()["mechanisms"]["m"]
+        assert len(tally["flag_times"]) == FLAG_TIMES_CAP
+        assert tally["flags"] == FLAG_TIMES_CAP + 10
+
+
+class TestTraceRoundTrip:
+    def test_summarize_trace_verdicts_rebuilds_ledger(self):
+        ledger = DetectionLedger()
+        rec(ledger, t=1.0, verdict="accept")
+        rec(ledger, t=2.0, verdict="drop", subject="ghost", tainted=True,
+            reason="nonce_replay", message_kind="beacon")
+        rebuilt = summarize_trace_verdicts(ledger.trace_records())
+        assert rebuilt.summary() == ledger.summary()
+
+    def test_non_verdict_records_ignored(self):
+        records = [{"t": 0.0, "type": "event", "kind": "platoon_disband"},
+                   {"t": 1.0, "type": "sample", "pdr": 0.9}]
+        assert summarize_trace_verdicts(records).total_verdicts == 0
+
+
+class TestStealthObjective:
+    def test_reads_flag_rate(self):
+        from repro.falsify import stealth_flag_rate
+
+        assert stealth_flag_rate({"flag_rate": 0.25}) == 0.25
+        assert stealth_flag_rate({}) == 0.0              # defence-free
+        assert stealth_flag_rate({"flag_rate": None}) == 0.0
+
+
+class TestReportDetectionSection:
+    def cell(self, detection):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(mechanism_key="secret_public_keys",
+                               threat_key="replay", metric_name="gap",
+                               baseline_value=1.0, attacked_value=2.0,
+                               defended_value=1.1, mitigation=0.9,
+                               detection=detection)
+
+    def test_grid_and_timeline_rendered(self):
+        from repro.obs.report import campaign_report
+
+        detection = {"schema": 1, "mechanisms": {"freshness": {
+            "verdicts": 100, "flagged": 40, "flag_rate": 0.4,
+            "tpr": 0.8, "fpr": 0.0, "time_to_first_flag": 10.5,
+            "missed_injections": 0, "reasons": {"nonce_replay": 40},
+            "flag_times": [10.5, 11.0, 12.5]}},
+            "totals": {"verdicts": 100, "flagged": 40}}
+        html = campaign_report("t", cells=[self.cell(detection)])
+        assert "Detection quality" in html
+        assert "freshness" in html and "nonce_replay" not in html
+        assert "Detection timeline" in html
+        assert "cumulative flags" in html
+
+    def test_no_section_without_detection(self):
+        from repro.obs.report import campaign_report
+
+        html = campaign_report("t", cells=[self.cell({})])
+        assert "Detection quality" not in html

@@ -128,6 +128,50 @@ class TestProgressSink:
         assert "1 computed, 1 cache hits (50%)" in text
         assert text.endswith("\n")
 
+    def _fire_at(self, sink, ts_of):
+        """Drive a 3-unit run through the sink with controlled clocks."""
+        from repro.obs.telemetry import TelemetryEvent
+
+        sink.handle(TelemetryEvent(kind="run_started", seq=0,
+                                   ts=ts_of("run_started"),
+                                   payload={"distinct": 3}))
+        for i in range(3):
+            sink.handle(TelemetryEvent(kind="unit_finished", seq=i + 1,
+                                       ts=ts_of("unit_finished"),
+                                       payload={"cache_hit": True}))
+        sink.handle(TelemetryEvent(kind="run_finished", seq=4,
+                                   ts=ts_of("run_finished"), payload={}))
+
+    def test_zero_duration_run_reports_unknown_rate(self):
+        # An all-cache-hit batch can complete within one clock tick:
+        # elapsed == 0 must not divide, nor fabricate an absurd rate.
+        stream = io.StringIO()
+        sink = ProgressSink(stream=stream, enabled=True, min_interval=0.0)
+        self._fire_at(sink, lambda kind: 1000.0)
+        text = stream.getvalue()
+        assert "3/3 units" in text
+        assert "? unit/s" in text and "ETA ?" in text
+        assert "e+" not in text                    # no 1e9-ish rates
+
+    def test_backwards_clock_skew_reports_unknown_rate(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream=stream, enabled=True, min_interval=0.0)
+        self._fire_at(sink, lambda kind: 1000.0
+                      if kind == "run_started" else 999.5)
+        text = stream.getvalue()
+        assert "? unit/s" in text and "ETA ?" in text
+
+    def test_unit_finished_without_run_started(self):
+        # A malformed stream (no run_started) still draws sanely.
+        from repro.obs.telemetry import TelemetryEvent
+
+        stream = io.StringIO()
+        sink = ProgressSink(stream=stream, enabled=True, min_interval=0.0)
+        sink.handle(TelemetryEvent(kind="unit_finished", seq=0, ts=5.0,
+                                   payload={"cache_hit": False}))
+        assert "1/0 units" in stream.getvalue()
+        assert "? unit/s" in stream.getvalue()
+
 
 class TestRunnerEventStream:
     """What the campaign runner actually emits, serial and parallel."""

@@ -64,6 +64,31 @@ class TestStoreContract:
         assert stats.backend == store.backend
         assert stats.oldest is not None and stats.newest is not None
 
+    def test_stats_lease_table_splits_active_and_expired(self, store):
+        import time
+
+        store.acquire(KEY, "alice", ttl=60)
+        store.acquire(OTHER, "crashed", ttl=0.05)
+        time.sleep(0.1)                       # the second lease expires
+        stats = store.stats()
+        assert stats.leases == 1              # active only
+        assert stats.expired_leases == 1
+        by_key = {lease.key: lease for lease in stats.lease_table}
+        assert by_key[KEY].owner == "alice" and by_key[KEY].active
+        assert by_key[OTHER].owner == "crashed" and not by_key[OTHER].active
+        # CLI projections: summary rows name both counts, lease rows
+        # carry one line per in-flight lease with its state.
+        assert ["active leases", 1] in stats.rows()
+        assert ["expired leases", 1] in stats.rows()
+        states = {row[0]: row[2] for row in stats.lease_rows()}
+        assert states == {KEY[:16]: "active", OTHER[:16]: "expired"}
+
+    def test_stats_lease_table_empty_without_leases(self, store):
+        stats = store.stats()
+        assert stats.lease_table == ()
+        assert stats.leases == 0 and stats.expired_leases == 0
+        assert stats.lease_rows() == []
+
     def test_verify_clean_store(self, store):
         store.store(KEY, make_record(KEY))
         report = store.verify()

@@ -309,14 +309,64 @@ class TestCliObservability:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCliDetections:
+    """The `detections` summarizer over traces and run logs."""
+
+    def trace_with_verdicts(self, tmp_path):
+        records = [
+            {"t": 9.0, "type": "verdict", "mechanism": "freshness",
+             "verdict": "accept", "reason": "fresh", "observer": "v1",
+             "subject": "v0", "message_kind": "beacon", "tainted": False},
+            {"t": 11.0, "type": "verdict", "mechanism": "freshness",
+             "verdict": "drop", "reason": "nonce_replay", "observer": "v1",
+             "subject": "ghost", "message_kind": "beacon", "tainted": True},
+        ]
+        return write_trace(tmp_path / "ep.jsonl", records,
+                           meta={"spec_key": "cafe" * 16})
+
+    def test_trace_summary_exits_zero(self, tmp_path, capsys):
+        trace = self.trace_with_verdicts(tmp_path)
+        assert main(["detections", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "freshness" in out and "nonce_replay" not in out
+        assert "(total)" in out
+        # 1 tainted drop / 1 tainted verdict -> TPR 1.0; clean FPR 0.
+        assert "1.0" in out
+
+    def test_run_log_summary_exits_zero(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(TINY + ["--run-log", str(log),
+                            "matrix", "secret_public_keys"]) == 0
+        capsys.readouterr()
+        assert main(["detections", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "secret_public_keys" in out
+        assert "run log" in out
+
+    def test_trace_without_verdicts_still_exits_zero(self, tmp_path,
+                                                     capsys):
+        trace = write_trace(tmp_path / "empty.jsonl", [])
+        assert main(["detections", str(trace)]) == 0
+
+    def test_unrecognized_input_exits_two(self, tmp_path, capsys):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("not json at all\n")
+        assert main(["detections", str(junk)]) == 2
+        assert "neither" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["detections", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestCliTelemetry:
     """The --run-log / --progress / --bench-history surface."""
 
-    def test_run_log_defaults_into_cache_dir(self, tmp_path, capsys):
+    def test_run_log_defaults_into_json_store_dir(self, tmp_path, capsys):
         from repro.obs.telemetry import load_run_log
 
         cache = tmp_path / "cache"
-        assert main(TINY + ["--cache-dir", str(cache),
+        assert main(TINY + ["--store", f"json:{cache}",
                             "catalogue", "--only", "jamming"]) == 0
         records = load_run_log(cache / "run-log.jsonl")
         kinds = [r["kind"] for r in records]
@@ -334,6 +384,42 @@ class TestCliTelemetry:
                                 "catalogue", "--only", "jamming"]) == 0
             logs[workers] = canonical_run_log_bytes(path)
         assert logs["1"] == logs["2"]
+
+    def test_detection_fields_canonical_across_workers_and_backends(
+            self, tmp_path, capsys):
+        """Satellite invariant: the detection projection on unit_finished
+        events is part of the canonical run log, byte-identical between
+        serial, workers=2 and the sqlite backend (volatile fields like
+        worker pids and store provenance are projected out; detection is
+        deliberately NOT volatile)."""
+        from repro.obs.telemetry import (
+            canonical_events,
+            canonical_run_log_bytes,
+            load_run_log,
+        )
+
+        matrix = ["matrix", "secret_public_keys"]
+        runs = {
+            "serial": ["--workers", "1"],
+            "pool": ["--workers", "2"],
+            "sqlite": ["--workers", "1",
+                       "--store", f"sqlite:{tmp_path / 'store.db'}"],
+        }
+        logs = {}
+        for name, flags in runs.items():
+            path = tmp_path / f"{name}.jsonl"
+            assert main(TINY + flags + ["--run-log", str(path)]
+                        + matrix) == 0
+            logs[name] = canonical_run_log_bytes(path)
+        assert logs["serial"] == logs["pool"] == logs["sqlite"]
+        # And the canonical events actually carry the detection fields.
+        events = canonical_events(load_run_log(tmp_path / "serial.jsonl"))
+        defended = [e for e in events
+                    if e.get("kind") == "unit_finished"
+                    and e.get("mechanism")]
+        assert defended
+        assert all("detection" in e for e in defended)
+        assert any(e["detection"]["verdicts"] > 0 for e in defended)
 
     def test_progress_forced_without_tty(self, tmp_path, capsys):
         assert main(TINY + ["--progress",
@@ -540,20 +626,16 @@ class TestCliStore:
         assert self._catalogue(["--store", url], capsys)[0] == 0
         assert (tmp_path / "run-log.jsonl").exists()
 
-    def test_store_and_cache_dir_conflict_is_a_usage_error(self, tmp_path,
-                                                           capsys):
+    def test_cache_dir_is_removed_with_replacement_named(self, tmp_path,
+                                                         capsys):
+        # The deprecated alias served its one release; now it errors and
+        # the message spells out the exact --store replacement.
         code, captured = self._catalogue(
-            ["--store", f"json:{tmp_path / 'a'}",
-             "--cache-dir", str(tmp_path / "b")], capsys)
+            ["--cache-dir", str(tmp_path / "cache")], capsys)
         assert code == 2
-        assert "mutually exclusive" in captured.err
-
-    def test_cache_dir_warns_but_still_works(self, tmp_path, capsys):
-        with pytest.warns(DeprecationWarning, match="--store json:"):
-            code, captured = self._catalogue(
-                ["--cache-dir", str(tmp_path / "cache")], capsys)
-        assert code == 0 and "2 computed" in captured.out
-        assert len(list((tmp_path / "cache").glob("*.json"))) == 2
+        assert "--cache-dir was removed" in captured.err
+        assert f"--store json:{tmp_path / 'cache'}" in captured.err
+        assert not (tmp_path / "cache").exists()
 
     def test_bad_store_url_is_a_usage_error(self, tmp_path, capsys):
         code, captured = self._catalogue(["--store", str(tmp_path)],
@@ -573,6 +655,29 @@ class TestCliStore:
         assert "deleted 2 of 2" in capsys.readouterr().out
         assert main(["store", "stats", url]) == 0
         assert main(["store", "verify", url]) == 0
+
+    def test_store_stats_prints_lease_table(self, tmp_path, capsys):
+        from repro.store import open_store
+
+        url = f"json:{tmp_path / 'cache'}"
+        with open_store(url) as store:
+            store.acquire("a" * 64, "worker-1", ttl=300)
+            store.acquire("b" * 64, "crashed", ttl=0.0)
+        assert main(["store", "stats", url]) == 0
+        out = capsys.readouterr().out
+        assert "active leases" in out and "expired leases" in out
+        assert "in-flight leases" in out
+        assert "worker-1" in out and "active" in out
+        assert "crashed" in out and "expired" in out
+
+    def test_store_stats_no_lease_table_when_idle(self, tmp_path, capsys):
+        url = f"json:{tmp_path / 'cache'}"
+        assert self._catalogue(["--store", url], capsys)[0] == 0
+        assert main(["store", "stats", url]) == 0
+        out = capsys.readouterr().out
+        # Finished runs release their leases: counts stay, table vanishes.
+        assert "active leases" in out
+        assert "in-flight leases" not in out
 
     def test_store_verify_reports_tampering(self, tmp_path, capsys):
         url = f"json:{tmp_path / 'cache'}"
